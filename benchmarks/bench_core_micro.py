@@ -1,0 +1,80 @@
+"""Micro-benchmarks for the library's hot paths (timing only).
+
+Not tied to a paper table; these keep the engine honest: happens-before
+stamping, Theorem 5 witness construction, full protocol rounds, and the
+conformance checker, each timed on a realistic mid-size run.
+"""
+
+import pytest
+
+from repro.analysis.checker import analyze
+from repro.core.indistinguishability import (
+    ensure_crashes,
+    fail_stop_witness,
+    fail_stop_witness_by_commutation,
+)
+from repro.protocols import SfsProcess
+from repro.sim import build_world
+
+
+def _mid_size_history():
+    world = build_world(12, lambda: SfsProcess(t=3), seed=5)
+    world.adversary.hold_suspicions_about(7, {7})
+    world.inject_suspicion(0, 7, at=1.0)
+    world.inject_suspicion(1, 8, at=1.2)
+    world.inject_crash(9, at=0.5)
+    world.inject_suspicion(2, 9, at=1.4)
+    world.scheduler.schedule_at(30.0, world.adversary.heal)
+    world.run_to_quiescence()
+    return ensure_crashes(world.history()), world
+
+
+HISTORY, WORLD = _mid_size_history()
+
+
+def test_bench_protocol_round(benchmark):
+    """One full detection round on n=12, t=3 from a cold world."""
+
+    def run():
+        world = build_world(12, lambda: SfsProcess(t=3), seed=1)
+        world.inject_suspicion(0, 7, at=1.0)
+        world.run_to_quiescence()
+        return len(world.history())
+
+    events = benchmark(run)
+    assert events > 0
+
+
+def test_bench_happens_before_stamping(benchmark):
+    """Vector-clock stamping plus an all-pairs sample of hb queries."""
+
+    def run():
+        history = HISTORY.with_events(HISTORY.events)  # fresh caches
+        count = 0
+        step = max(1, len(history) // 40)
+        for a in range(0, len(history), step):
+            for b in range(0, len(history), step):
+                count += history.happens_before(a, b)
+        return count
+
+    assert benchmark(run) >= 0
+
+
+def test_bench_fail_stop_witness(benchmark):
+    """Theorem 5 constraint-graph construction on a bad-pair-rich run."""
+    result = benchmark(lambda: fail_stop_witness(HISTORY))
+    assert len(result) == len(HISTORY)
+
+
+def test_bench_witness_by_commutation(benchmark):
+    """The appendix's pairwise commutation construction, same input."""
+    result = benchmark(lambda: fail_stop_witness_by_commutation(HISTORY))
+    assert len(result) == len(HISTORY)
+
+
+def test_bench_full_conformance_report(benchmark):
+    """analyze(): validity + Figure 1 + witness + quorum checks."""
+    report = benchmark(
+        lambda: analyze(HISTORY, WORLD.trace.quorum_records, t=3)
+    )
+    assert report.is_simulated_fail_stop

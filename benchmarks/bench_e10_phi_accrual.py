@@ -1,0 +1,39 @@
+"""E10 — phi-accrual: the FS1/FS2 trade-off as a threshold sweep.
+
+Regenerates the accuracy/latency curve: raising the phi threshold cuts
+false suspicions monotonically while detection delay of a genuine crash
+rises — the quantitative version of why FS2 must be weakened to sFS2a-d.
+Shape to hold: false suspicions non-increasing in the threshold; the
+genuine crash detected at conservative thresholds.
+"""
+
+from repro.analysis.experiments import run_e10
+from repro.analysis.report import print_table
+
+from conftest import attach_rows
+
+THRESHOLDS = (0.5, 1.0, 2.0, 4.0, 8.0)
+SEEDS = tuple(range(8))
+
+
+def test_e10_threshold_sweep(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_e10(thresholds=THRESHOLDS, seeds=SEEDS),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "E10  Phi-accrual detection: accuracy vs latency "
+        "(log-normal delays, n=6, 1 genuine crash)",
+        rows,
+    )
+    attach_rows(benchmark, rows)
+    false_counts = [row.false_suspicions for row in rows]
+    assert false_counts[0] >= false_counts[-1]
+    assert rows[-1].crash_detected_runs >= len(SEEDS) - 1
+    delays = [
+        row.mean_detection_delay
+        for row in rows
+        if row.mean_detection_delay is not None
+    ]
+    assert all(delay >= 0 for delay in delays)

@@ -1,0 +1,52 @@
+"""E11 + A1 — extension experiments (Section 6 probe and design ablation).
+
+E11: does detection-knowledge piggybacking push failed-before towards the
+transitive relation Section 6 muses about? Measured answer: no — ordering
+inversions and crash-truncated logs occur at identical rates, because
+knowledge and confirmations ride the same FIFO channels. Shape to hold:
+identical columns for both protocols, full sFS conformance for both.
+
+A1: remove the "takes no other action" deferral from the Section 5
+protocol and sFS2d genuinely breaks under a cross-channel race; with it,
+never. Shape to hold: a strict 0% / 100% split.
+"""
+
+from repro.analysis.extensions import run_a1, run_e11
+from repro.analysis.report import print_table
+
+from conftest import attach_rows
+
+
+def test_e11_transitivity_probe(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_e11(seeds=range(25)), rounds=1, iterations=1
+    )
+    print_table(
+        "E11  Section 6 probe: knowledge piggybacking vs plain sFS",
+        rows,
+    )
+    attach_rows(benchmark, rows)
+    plain = next(r for r in rows if r.protocol == "sfs")
+    piggy = next(r for r in rows if r.protocol == "sfs+piggyback")
+    # The finding: the decoration changes nothing measurable...
+    assert piggy.inversions == plain.inversions
+    assert piggy.truncated_logs == plain.truncated_logs
+    # ...while both remain fully conformant, and the phenomena are real.
+    assert plain.sfs_conformant == plain.runs
+    assert piggy.sfs_conformant == piggy.runs
+    assert plain.inversions > 0
+
+
+def test_a1_deferral_ablation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_a1(seeds=range(10)), rounds=1, iterations=1
+    )
+    print_table(
+        "A1  Ablation: sFS2d with and without application-message deferral",
+        rows,
+    )
+    attach_rows(benchmark, rows)
+    with_deferral = next(r for r in rows if r.defer_app)
+    without = next(r for r in rows if not r.defer_app)
+    assert with_deferral.sfs2d_violations == 0
+    assert without.violation_rate == 1.0

@@ -1,0 +1,34 @@
+"""E1 — Theorem 1: fixed timeouts cannot implement FS2 (perfect detection).
+
+Regenerates the false-suspicion-vs-timeout table: under heavy-tailed
+(Pareto) delays, every timeout factor produces false suspicions; raising
+the factor lowers the rate but never structurally zeroes it, while the
+genuine crash is still detected (FS1). Shape to hold: monotone decrease,
+never zero.
+"""
+
+from repro.analysis.experiments import run_e1
+from repro.analysis.report import print_table
+
+from conftest import attach_rows
+
+SEEDS = tuple(range(12))
+FACTORS = (1.5, 2.0, 4.0, 8.0)
+
+
+def test_e1_timeout_sweep(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_e1(seeds=SEEDS, timeout_factors=FACTORS),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "E1  Theorem 1: false suspicions vs timeout factor "
+        "(Pareto delays, n=8, 1 genuine crash)",
+        rows,
+    )
+    attach_rows(benchmark, rows)
+    totals = [row.total_false_suspicions for row in rows]
+    # Shape: aggressive timeouts misfire more; none reach zero.
+    assert totals[0] >= totals[-1]
+    assert all(total > 0 for total in totals)

@@ -1,0 +1,33 @@
+"""E2 — Figure 1 + Theorem 5: sFS conformance and the FS witness.
+
+Regenerates the conformance table: over random fault schedules (half with
+adversarial shields that force bad pairs), every run satisfies
+FS1 ^ sFS2a-d and the Theorem 5 construction produces a verified FS run
+isomorphic to it. Shape to hold: 100% conformance, 100% witnesses, bad
+pairs present in a nontrivial fraction of runs (so the witness engine is
+actually exercised).
+"""
+
+from repro.analysis.experiments import run_e2
+from repro.analysis.report import print_table
+
+from conftest import attach_rows
+
+CONFIGS = ((4, 1), (6, 2), (9, 2), (12, 3))
+SEEDS = tuple(range(20))
+
+
+def test_e2_conformance(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_e2(configs=CONFIGS, seeds=SEEDS), rounds=1, iterations=1
+    )
+    print_table(
+        "E2  Figure 1 / Theorem 5: sFS conformance and FS witnesses "
+        "(random schedules, half adversarial)",
+        rows,
+    )
+    attach_rows(benchmark, rows)
+    for row in rows:
+        assert row.sfs_conformant == row.runs
+        assert row.witnesses_verified == row.runs
+    assert any(row.runs_with_bad_pairs > 0 for row in rows)

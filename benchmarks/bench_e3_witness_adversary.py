@@ -1,0 +1,30 @@
+"""E3 — Theorem 6 / Appendix A.3: the adversarial k-cycle construction.
+
+Regenerates the construction table: with quorums one below the Theorem 7
+bound the shield adversary drives the generic one-round protocol into a
+k-cycle of failure detections; at the legal minimum the same schedule
+starves every detection. Shape to hold: cycle of length exactly k below
+the bound, zero detections at it.
+"""
+
+from repro.analysis.experiments import run_e3
+from repro.analysis.report import print_table
+
+from conftest import attach_rows
+
+KS = (2, 3, 4, 5)
+
+
+def test_e3_cycle_construction(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_e3(ks=KS, multiplier=3), rounds=1, iterations=1
+    )
+    print_table(
+        "E3  Theorem 6: adversarial k-cycle at / below the quorum bound",
+        rows,
+    )
+    attach_rows(benchmark, rows)
+    below = [row for row in rows if row.quorum_size < row.legal_quorum]
+    at = [row for row in rows if row.quorum_size >= row.legal_quorum]
+    assert all(row.cycle_formed and row.cycle_length == row.k for row in below)
+    assert all(not row.cycle_formed and row.detections == 0 for row in at)

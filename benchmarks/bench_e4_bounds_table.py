@@ -1,0 +1,28 @@
+"""E4 — Theorem 7 + Corollary 8: the bounds table.
+
+Regenerates the quorum/replication bound table for a spread of system
+sizes, cross-checked against the counterexample-family construction
+(empty intersection exactly at the floor of the bound). Shape to hold:
+min quorum strictly exceeds n(t-1)/t; feasibility flips exactly at
+t = isqrt(n-1).
+"""
+
+from repro.analysis.experiments import run_e4
+from repro.analysis.report import print_table
+
+from conftest import attach_rows
+
+NS = (4, 9, 10, 16, 25, 26, 49, 50, 100, 101)
+
+
+def test_e4_bounds_table(benchmark):
+    rows = benchmark.pedantic(lambda: run_e4(ns=NS), rounds=1, iterations=1)
+    print_table(
+        "E4  Theorem 7 / Corollary 8: minimum quorum and max tolerable t",
+        rows,
+    )
+    attach_rows(benchmark, rows)
+    for row in rows:
+        assert row.min_quorum > row.n * (row.t - 1) / row.t
+        assert row.family_intersection_empty
+        assert row.feasible == (row.n > row.t * row.t)

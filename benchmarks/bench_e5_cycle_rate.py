@@ -1,0 +1,38 @@
+"""E5 — Theorem 7 tightness: cycle rate vs quorum size (echo protocol).
+
+Regenerates the cycle-rate sweep: the Section 5 protocol run with
+deliberately illegal quorum sizes forms failed-before cycles under the
+shield adversary, and the rate drops to exactly zero at the legal minimum
+(Lemma 9's witness-order argument). Shape to hold: positive rate well
+below the bound, zero at and above it.
+"""
+
+from repro.analysis.experiments import run_e5
+from repro.analysis.report import print_table
+from repro.core.bounds import min_quorum_size
+
+from conftest import attach_rows
+
+N, T = 12, 3
+SEEDS = tuple(range(25))
+
+
+def test_e5_cycle_rate_sweep(benchmark):
+    legal = min_quorum_size(N, T)
+    sizes = tuple(range(2, legal + 2))
+    rows = benchmark.pedantic(
+        lambda: run_e5(n=N, t=T, quorum_sizes=sizes, seeds=SEEDS),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        f"E5  Theorem 7 tightness: cycle rate vs quorum size "
+        f"(n={N}, t={T}, legal minimum={legal})",
+        rows,
+        ["quorum_size", "at_or_above_bound", "runs", "runs_with_cycle"],
+    )
+    attach_rows(benchmark, rows)
+    below = [row for row in rows if not row.at_or_above_bound]
+    at_or_above = [row for row in rows if row.at_or_above_bound]
+    assert any(row.runs_with_cycle > 0 for row in below)
+    assert all(row.runs_with_cycle == 0 for row in at_or_above)

@@ -1,0 +1,31 @@
+"""E6 — Section 5 protocol cost: message complexity and latency scaling.
+
+Regenerates the cost table: protocol messages per detected failure grow
+Theta(n^2) (every participant echoes to everyone), detection completes in
+about one round for the fixed-quorum policy, and the wait-for-all policy
+pays extra first-detection latency for its weaker replication requirement.
+Shape to hold: superlinear message growth; fixed <= wait-for-all latency.
+"""
+
+from repro.analysis.experiments import run_e6
+from repro.analysis.report import print_table
+
+from conftest import attach_rows
+
+NS = (4, 6, 9, 12, 16, 25)
+
+
+def test_e6_cost_scaling(benchmark):
+    rows = benchmark.pedantic(lambda: run_e6(ns=NS), rounds=1, iterations=1)
+    print_table(
+        "E6  Section 5 cost: messages per failure and detection latency",
+        rows,
+    )
+    attach_rows(benchmark, rows)
+    fixed = [row for row in rows if row.policy == "fixed"]
+    # Theta(n^2): messages/target at n=25 dwarf n=4 by far more than 25/4.
+    assert fixed[-1].messages_per_target > 4 * fixed[0].messages_per_target
+    for n in NS:
+        fq = next(r for r in rows if r.n == n and r.policy == "fixed")
+        wfa = next(r for r in rows if r.n == n and r.policy == "wait-for-all")
+        assert fq.first_detection_latency <= wfa.first_detection_latency

@@ -1,0 +1,34 @@
+"""E7 — Section 6: the cheap unilateral model vs full sFS.
+
+Regenerates the cycle-rate comparison on identical concurrent-mutual-
+suspicion schedules: the broadcast-then-detect model (sFS2a,c,d but not
+sFS2b) forms failed-before cycles and becomes *distinguishable* from
+fail-stop; the Section 5 protocol never does. Shape to hold: cheap rate
+positive (here: every run — the schedule is maximally hostile), sFS rate
+exactly zero, distinguishability co-occurring with cycles.
+"""
+
+from repro.analysis.experiments import run_e7
+from repro.analysis.report import print_table
+
+from conftest import attach_rows
+
+SEEDS = tuple(range(40))
+
+
+def test_e7_cheap_vs_sfs(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_e7(n=6, seeds=SEEDS), rounds=1, iterations=1
+    )
+    print_table(
+        "E7  Section 6: failed-before cycles, cheap model vs sFS "
+        "(identical mutual-suspicion schedules)",
+        rows,
+    )
+    attach_rows(benchmark, rows)
+    cheap = next(r for r in rows if r.protocol == "unilateral")
+    sfs = next(r for r in rows if r.protocol == "sfs")
+    assert cheap.cycle_rate > 0.9
+    assert sfs.cycle_rate == 0.0
+    assert sfs.runs_distinguishable == 0
+    assert cheap.runs_distinguishable == cheap.runs_with_cycle

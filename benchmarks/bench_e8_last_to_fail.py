@@ -1,0 +1,30 @@
+"""E8 — [Ske85] via Section 6: last-process-to-fail recovery.
+
+Regenerates the recovery scoreboard over staged total failures: pooled
+failure logs name the correct last process under sFS in every run; under
+the cheap model a poisoned (cyclic) log leaves recovery unsolvable —
+"the only possible recovery is to always wait for all crashed processes
+to recover". Shape to hold: sFS 100% correct; unilateral 100% unsolvable.
+"""
+
+from repro.analysis.experiments import run_e8
+from repro.analysis.report import print_table
+
+from conftest import attach_rows
+
+SEEDS = tuple(range(25))
+
+
+def test_e8_recovery(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_e8(n=5, seeds=SEEDS), rounds=1, iterations=1
+    )
+    print_table(
+        "E8  Skeen recovery after total failure: sFS vs cheap model",
+        rows,
+    )
+    attach_rows(benchmark, rows)
+    sfs = next(r for r in rows if r.protocol == "sfs")
+    cheap = next(r for r in rows if r.protocol == "unilateral")
+    assert sfs.correct_rate == 1.0
+    assert cheap.recoveries_unsolvable == cheap.runs

@@ -1,0 +1,31 @@
+"""E9 — Section 1 election: split-brain in the raw run, never in the witness.
+
+Regenerates the internal-indistinguishability demonstration: the adversary
+shields a falsely-suspected leader so the raw run transiently holds two
+self-believed leaders, yet the Theorem 5 FS-witness of the *same* run —
+the execution every process actually experienced — never does. Shape to
+hold: raw split-brain in every shielded run; witness max one leader,
+always.
+"""
+
+from repro.analysis.experiments import run_e9
+from repro.analysis.report import print_table
+
+from conftest import attach_rows
+
+SEEDS = tuple(range(25))
+
+
+def test_e9_split_brain(benchmark):
+    row = benchmark.pedantic(
+        lambda: run_e9(n=6, seeds=SEEDS), rounds=1, iterations=1
+    )
+    print_table(
+        "E9  Election: concurrent leaders, raw run vs Theorem 5 witness",
+        [row],
+    )
+    attach_rows(benchmark, row)
+    assert row.raw_runs_with_two_leaders == row.runs
+    assert row.witness_runs_with_two_leaders == 0
+    assert row.max_raw_leaders == 2
+    assert row.max_witness_leaders <= 1

@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark module regenerates one experiment from DESIGN.md's
+per-experiment index (E1-E10). The pattern: run the experiment driver once
+under ``benchmark()`` for timing, print the paper-style table, and assert
+the qualitative *shape* the paper claims (who wins, where the crossover
+falls) so a regression in the reproduction fails the bench run loudly.
+"""
+
+from __future__ import annotations
+
+
+def attach_rows(benchmark, rows, columns=None) -> None:
+    """Stash result rows in the benchmark's extra_info for the report."""
+    try:
+        if isinstance(rows, (list, tuple)):
+            benchmark.extra_info["rows"] = [str(r) for r in rows]
+        else:
+            benchmark.extra_info["rows"] = [str(rows)]
+    except Exception:
+        pass

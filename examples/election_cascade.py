@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Leader election under simulated fail-stop (the paper's Section 1 demo).
+
+Scenario: process 0 leads; the adversary hides the (false!) suspicion
+against it, so process 1 takes over while 0 is still alive — a transient
+two-leader global state. Then the real leader 1 crashes and 2 succeeds it.
+
+The payoff: the raw run shows split-brain when inspected from the outside,
+but the Theorem 5 witness — the run every process *experienced* — never
+has two leaders. Election stays internally safe without consensus.
+
+Run:  python examples/election_cascade.py
+"""
+
+from repro.apps.election import (
+    ElectionProcess,
+    leaders_at_every_state,
+    leadership_profile,
+)
+from repro.core import ensure_crashes, fail_stop_witness
+from repro.sim import UniformDelay, build_world
+
+
+def describe(history, title: str) -> None:
+    profile = leadership_profile(history)
+    print(f"\n--- {title} ---")
+    print(f"max concurrent leaders: {profile.max_concurrent}")
+    print(f"global states with two or more leaders: "
+          f"{profile.positions_with_two_plus} / {profile.total_positions}")
+    # Show the distinct leadership regimes in order.
+    seen = []
+    for leaders in leaders_at_every_state(history):
+        if not seen or seen[-1] != leaders:
+            seen.append(leaders)
+    chain = " -> ".join(
+        "{" + ",".join(map(str, sorted(s))) + "}" for s in seen
+    )
+    print(f"leadership regimes: {chain}")
+
+
+def main() -> None:
+    world = build_world(
+        6, lambda: ElectionProcess(t=2), seed=11,
+        delay_model=UniformDelay(0.3, 1.2),
+    )
+
+    # Falsely depose leader 0, hiding the gossip from it.
+    world.adversary.hold_suspicions_about(0, {0})
+    world.inject_suspicion(2, 0, at=1.0)
+    world.scheduler.schedule_at(30.0, world.adversary.heal)
+
+    # Later the new leader 1 genuinely crashes; 3 notices.
+    world.inject_crash(1, at=40.0)
+    world.inject_suspicion(3, 1, at=42.0)
+
+    world.run_to_quiescence()
+    history = ensure_crashes(world.history())
+
+    describe(history, "raw run (outside observer's view)")
+    witness = fail_stop_witness(history)
+    describe(witness, "Theorem 5 witness (what the processes experienced)")
+
+    final_leader = next(
+        p for p in world.processes if not p.crashed and p.believes_leader()
+    )
+    print(f"\nfinal leader: process {final_leader.pid}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Skeen's 'determining the last process to fail' under two failure models.
+
+Section 6's sensitivity case: recovery from total failure needs the
+failed-before relation to be acyclic. We stage the same kind of total
+failure twice:
+
+* under the **simulated fail-stop** protocol, the pooled failure logs
+  name the correct last process (validated against the Theorem 5 witness
+  crash order);
+* under the **cheap unilateral** model, one concurrent mutual suspicion
+  poisons the logs with a cycle — recovery cannot name anyone, and the
+  paper's prescription applies: wait for *everyone* to come back.
+
+Run:  python examples/last_process_to_fail.py
+"""
+
+from repro.apps.last_to_fail import (
+    collect_logs,
+    recover_last_to_fail,
+    simulated_crash_order,
+    verdict_is_correct,
+)
+from repro.core import ensure_crashes
+from repro.protocols import SfsProcess, UnilateralProcess
+from repro.sim import UniformDelay, build_world
+
+
+def stage_total_failure(protocol: str, seed: int = 17):
+    if protocol == "sfs":
+        factory = lambda: SfsProcess(t=4, enforce_bounds=False, quorum_size=2)
+    else:
+        factory = lambda: UnilateralProcess()
+    world = build_world(5, factory, UniformDelay(0.2, 0.8), seed=seed)
+    if protocol == "unilateral":
+        # The poison: 0 and 1 suspect each other at the same instant.
+        world.inject_suspicion(0, 1, at=0.9)
+        world.inject_suspicion(1, 0, at=0.9)
+    # The rest of the system goes down one by one, observed by process 4,
+    # which finally crashes on its own - a total failure.
+    at = 1.0
+    for victim in (3, 1, 0, 2):
+        world.inject_suspicion(4, victim, at=at)
+        at += 5.0
+    world.inject_crash(4, at=at + 3.0)
+    world.run_to_quiescence()
+    return ensure_crashes(world.history())
+
+
+def report(protocol: str) -> None:
+    history = stage_total_failure(protocol)
+    print(f"\n=== {protocol} protocol ===")
+    print("pooled failure logs (owner: detected, in order):")
+    for log in collect_logs(history):
+        if log.entries:
+            print(f"  process {log.owner}: {list(log.entries)}")
+    verdict = recover_last_to_fail(history)
+    if verdict.solvable:
+        print(f"recovery answer: last to fail in {sorted(verdict.candidates)}")
+        order = simulated_crash_order(history)
+        print(f"simulated crash order (witness): {order}")
+        print(f"answer correct: {verdict_is_correct(history)}")
+    else:
+        print("recovery IMPOSSIBLE:")
+        if verdict.cycle:
+            rendered = ", ".join(
+                f"{i} failed-before {j}" for i, j in verdict.cycle
+            )
+            print(f"  failed-before cycle: {rendered}")
+        print("  -> must wait for ALL crashed processes to recover")
+
+
+def main() -> None:
+    report("sfs")
+    report("unilateral")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""repro — Simulating Fail-Stop in Asynchronous Distributed Systems.
+
+A full reproduction of Sabel & Marzullo (Cornell TR 94-1413 / PODC 1994):
+
+* :mod:`repro.core` — the formal model: events, histories, happens-before,
+  the FS and sFS failure models, the Theorem 5 indistinguishability engine,
+  quorums, and the Section 4 lower bounds.
+* :mod:`repro.sim` — a deterministic discrete-event simulator of the
+  asynchronous system model (FIFO channels, unbounded delays, adversary).
+* :mod:`repro.protocols` — the Section 5 one-round simulated-fail-stop
+  protocol and the Section 6 "cheap" unilateral model.
+* :mod:`repro.detectors` — FS1 suspicion sources (heartbeat timeout,
+  phi-accrual).
+* :mod:`repro.apps` — leader election, last-process-to-fail, membership.
+* :mod:`repro.analysis` — conformance reports, metrics, experiment drivers.
+* :mod:`repro.runtime` — an asyncio runtime for wall-clock validation.
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    BoundsError,
+    CannotRearrangeError,
+    InvalidHistoryError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "InvalidHistoryError",
+    "CannotRearrangeError",
+    "ProtocolError",
+    "SimulationError",
+    "BoundsError",
+]

@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo`` — run the quickstart scenario and print the conformance report
+  plus the Theorem 5 witness verdict.
+* ``bounds N [T]`` — print the Theorem 7 / Corollary 8 bounds for a
+  system of N processes (all t up to the feasibility edge, or just T).
+* ``experiment EID`` — run one experiment driver (e1..e11, a1) at reduced
+  scale and print its table.
+* ``cycle K`` — run the Theorem 6 adversarial construction for a k-cycle
+  and print the impossibility certificate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze
+    from repro.core import ensure_crashes
+    from repro.protocols import SfsProcess
+    from repro.sim import build_world
+
+    world = build_world(args.n, lambda: SfsProcess(t=args.t), seed=args.seed)
+    world.inject_crash(args.n - 2, at=0.5)
+    world.inject_suspicion(0, args.n - 2, at=1.0)
+    world.adversary.hold_suspicions_about(args.n - 1, {args.n - 1})
+    world.inject_suspicion(1, args.n - 1, at=1.2)
+    world.scheduler.schedule_at(25.0, world.adversary.heal)
+    world.run_to_quiescence()
+    history = ensure_crashes(world.history())
+    report = analyze(history, world.trace.quorum_records, t=args.t,
+                     complete=False)
+    print(f"n={args.n} t={args.t} seed={args.seed}: "
+          f"{len(history)} events, crashed="
+          f"{sorted(history.crashed_processes())}")
+    print(report.summary())
+    return 0 if report.indistinguishable_from_fail_stop else 1
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    from repro.analysis.report import print_table
+    from repro.core.bounds import bounds_table
+
+    ts = [args.t] if args.t is not None else None
+    rows = bounds_table([args.n], ts=ts)
+    print_table(f"Theorem 7 / Corollary 8 bounds for n={args.n}", rows)
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        print_table,
+        run_a1,
+        run_e1,
+        run_e2,
+        run_e3,
+        run_e4,
+        run_e5,
+        run_e6,
+        run_e7,
+        run_e8,
+        run_e9,
+        run_e10,
+        run_e11,
+    )
+
+    small = range(8)
+    drivers = {
+        "e1": lambda: run_e1(seeds=small),
+        "e2": lambda: run_e2(seeds=small),
+        "e3": lambda: run_e3(),
+        "e4": lambda: run_e4(),
+        "e5": lambda: run_e5(seeds=small),
+        "e6": lambda: run_e6(),
+        "e7": lambda: run_e7(seeds=range(16)),
+        "e8": lambda: run_e8(seeds=small),
+        "e9": lambda: run_e9(seeds=small),
+        "e10": lambda: run_e10(seeds=range(4)),
+        "e11": lambda: run_e11(seeds=small),
+        "a1": lambda: run_a1(seeds=range(4)),
+    }
+    eid = args.eid.lower()
+    if eid not in drivers:
+        print(f"unknown experiment {args.eid!r}; choose from "
+              f"{', '.join(sorted(drivers))}", file=sys.stderr)
+        return 2
+    rows = drivers[eid]()
+    if not isinstance(rows, list):
+        rows = [rows]
+    print_table(f"experiment {eid.upper()} (reduced scale)", rows)
+    return 0
+
+
+def _cmd_cycle(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import run_e3_single
+    from repro.core.bounds import min_quorum_size
+
+    k = args.k
+    n = args.n if args.n is not None else 3 * k
+    available = n - (-(-n // k))
+    legal = min_quorum_size(n, k)
+    for quorum in (available, legal):
+        row = run_e3_single(k, n, quorum)
+        outcome = (
+            f"CYCLE of length {row.cycle_length}"
+            if row.cycle_formed
+            else "no cycle (starved)"
+        )
+        marker = "below bound" if quorum < legal else "at bound"
+        print(f"k={k} n={n} quorum={quorum} ({marker}): "
+              f"{row.detections} detections, {outcome}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Simulating Fail-Stop in Asynchronous Distributed "
+        "Systems (Sabel & Marzullo, 1994) — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="quickstart scenario + verdict")
+    demo.add_argument("--n", type=int, default=9)
+    demo.add_argument("--t", type=int, default=2)
+    demo.add_argument("--seed", type=int, default=7)
+    demo.set_defaults(fn=_cmd_demo)
+
+    bounds = sub.add_parser("bounds", help="Theorem 7 / Corollary 8 table")
+    bounds.add_argument("n", type=int)
+    bounds.add_argument("t", type=int, nargs="?", default=None)
+    bounds.set_defaults(fn=_cmd_bounds)
+
+    experiment = sub.add_parser("experiment", help="run one experiment")
+    experiment.add_argument("eid", help="e1..e11 or a1")
+    experiment.set_defaults(fn=_cmd_experiment)
+
+    cycle = sub.add_parser("cycle", help="Theorem 6 k-cycle construction")
+    cycle.add_argument("k", type=int)
+    cycle.add_argument("--n", type=int, default=None)
+    cycle.set_defaults(fn=_cmd_cycle)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

@@ -1,0 +1,164 @@
+"""One-call conformance analysis of a recorded run.
+
+:func:`analyze` bundles every check the paper defines — well-formedness,
+FS1/FS2, sFS2a-d, Conditions 1-3, failed-before acyclicity, the Witness
+Property, and the Theorem 5 witness construction — into a single
+:class:`ConformanceReport` that tests, benchmarks, and examples can print
+or assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.failed_before import find_cycle
+from repro.core.failure_models import (
+    CheckResult,
+    check_fs1,
+    check_fs2,
+    check_necessary_conditions,
+    check_sfs2a,
+    check_sfs2b,
+    check_sfs2c,
+    check_sfs2d,
+)
+from repro.core.history import History
+from repro.core.indistinguishability import (
+    bad_pairs,
+    ensure_crashes,
+    fail_stop_witness,
+    verify_witness,
+)
+from repro.core.quorum import (
+    QuorumRecord,
+    t_wise_intersecting,
+    witness_property,
+)
+from repro.core.validate import validate_history
+from repro.errors import CannotRearrangeError
+
+
+@dataclass(frozen=True)
+class ConformanceReport:
+    """Everything the paper lets us say about one run."""
+
+    valid: bool
+    fs1: CheckResult
+    fs2: CheckResult
+    sfs2a: CheckResult
+    sfs2b: CheckResult
+    sfs2c: CheckResult
+    sfs2d: CheckResult
+    conditions: CheckResult
+    bad_pair_count: int
+    cycle: tuple[tuple[int, int], ...] | None
+    witness_exists: bool
+    witness_verified: bool
+    global_witness_property: bool | None
+    t_wise_witness_property: bool | None
+    problems: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def is_fail_stop(self) -> bool:
+        """Whether the run already satisfies FS (FS1 ^ FS2)."""
+        return self.fs1.ok and self.fs2.ok
+
+    @property
+    def is_simulated_fail_stop(self) -> bool:
+        """Whether the run satisfies sFS (FS1 ^ sFS2a-d)."""
+        return (
+            self.fs1.ok
+            and self.sfs2a.ok
+            and self.sfs2b.ok
+            and self.sfs2c.ok
+            and self.sfs2d.ok
+        )
+
+    @property
+    def indistinguishable_from_fail_stop(self) -> bool:
+        """Whether a verified FS witness run exists (Definition 4)."""
+        return self.witness_exists and self.witness_verified
+
+    def summary(self) -> str:
+        """A compact multi-line human-readable report."""
+        lines = [
+            f"valid history:        {self.valid}",
+            f"FS1 (completeness):   {self.fs1.ok}",
+            f"FS2 (no false det.):  {self.fs2.ok}",
+            f"sFS2a (eventual crash): {self.sfs2a.ok}",
+            f"sFS2b (acyclic f-b):  {self.sfs2b.ok}",
+            f"sFS2c (no self-det.): {self.sfs2c.ok}",
+            f"sFS2d (propagation):  {self.sfs2d.ok}",
+            f"Conditions 1-3:       {self.conditions.ok}",
+            f"bad pairs:            {self.bad_pair_count}",
+            f"failed-before cycle:  {self.cycle}",
+            f"FS witness exists:    {self.witness_exists}"
+            f" (verified: {self.witness_verified})",
+        ]
+        if self.global_witness_property is not None:
+            lines.append(
+                f"witness property:     global={self.global_witness_property} "
+                f"t-wise={self.t_wise_witness_property}"
+            )
+        for problem in self.problems:
+            lines.append(f"  ! {problem}")
+        return "\n".join(lines)
+
+
+def analyze(
+    history: History,
+    quorums: Sequence[QuorumRecord] | None = None,
+    t: int | None = None,
+    complete: bool = True,
+    pending_ok: bool = False,
+) -> ConformanceReport:
+    """Run the full battery of checks against a recorded history.
+
+    Args:
+        history: the run to judge.
+        quorums: quorum records from the trace, for Witness Property
+            checks (skipped when None).
+        t: failure bound for the t-wise witness check.
+        complete: apply :func:`ensure_crashes` first (finite-prefix
+            completion under the sFS2a obligation).
+        pending_ok: treat unresolved liveness obligations as non-fatal.
+    """
+    judged = ensure_crashes(history) if complete else history
+    problems = list(validate_history(judged))
+
+    witness_exists = False
+    witness_verified = False
+    try:
+        witness = fail_stop_witness(judged)
+        witness_exists = True
+        witness_problems = verify_witness(judged, witness)
+        witness_verified = not witness_problems
+        problems.extend(witness_problems)
+    except CannotRearrangeError:
+        pass
+
+    global_w: bool | None = None
+    t_wise_w: bool | None = None
+    if quorums is not None:
+        global_w = witness_property(list(quorums))
+        if t is not None:
+            t_wise_w = t_wise_intersecting(list(quorums), t)
+
+    return ConformanceReport(
+        valid=not validate_history(judged),
+        fs1=check_fs1(judged, pending_ok),
+        fs2=check_fs2(judged),
+        sfs2a=check_sfs2a(judged, pending_ok),
+        sfs2b=check_sfs2b(judged),
+        sfs2c=check_sfs2c(judged),
+        sfs2d=check_sfs2d(judged),
+        conditions=check_necessary_conditions(judged, pending_ok),
+        bad_pair_count=len(bad_pairs(judged)),
+        cycle=tuple(find_cycle(judged)) if find_cycle(judged) else None,
+        witness_exists=witness_exists,
+        witness_verified=witness_verified,
+        global_witness_property=global_w,
+        t_wise_witness_property=t_wise_w,
+        problems=tuple(problems),
+    )

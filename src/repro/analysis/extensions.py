@@ -1,0 +1,214 @@
+"""Extension experiments: E11 (transitivity probe) and A1 (deferral ablation).
+
+E11 quantifies Section 6's closing discussion: how far does detection-
+knowledge piggybacking push the failed-before relation towards
+transitivity, compared to the plain Section 5 protocol on identical
+schedules? (Spoiler, matching the paper's caution: closer, not closed.)
+
+A1 is the design-choice ablation DESIGN.md calls out: remove the
+application-message deferral ("takes no other action" clause) and show
+that sFS2d genuinely breaks — the mechanism is load-bearing, not
+ceremonial.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.failure_models import check_sfs, check_sfs2d
+from repro.core.indistinguishability import ensure_crashes
+from repro.protocols.sfs import SfsProcess
+from repro.protocols.transitive import TransitiveSfsProcess
+from repro.sim.delays import UniformDelay
+from repro.sim.failures import apply_faults, random_fault_plan
+from repro.sim.world import build_world
+
+
+# ----------------------------------------------------------------------
+# E11 — transitivity of failed-before, plain vs piggybacked
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class E11Row:
+    """Ordering/transitivity statistics for one protocol over many seeds.
+
+    ``inversions`` counts per-process detection-order reversals against
+    the global suspicion order in a two-victim race; ``truncated_logs``
+    counts crash-truncated logs that recorded the *later* victim without
+    the earlier one. The paper-relevant finding is that both columns are
+    *identical* for the plain and piggybacked protocols: FIFO plus full
+    echo already provides every ordering the knowledge decoration could
+    enforce (knowledge and confirmations ride the same FIFO channels, so
+    whenever the piggybacked prerequisite information is available, the
+    plain protocol's quorums were already ordered), and the remaining
+    intransitivity is information dying with crashed processes — which no
+    payload decoration of a one-round protocol can resurrect. Section 6's
+    "stronger versions of fail-stop" really do need a different protocol,
+    not a richer message.
+    """
+
+    protocol: str
+    runs: int
+    inversions: int
+    truncated_logs: int
+    sfs_conformant: int
+
+
+def _race_inversions(factory, seed: int) -> int:
+    """Two staggered victims; count per-process detection reversals."""
+    n = 9
+    world = build_world(n, factory, UniformDelay(0.1, 4.0), seed=seed)
+    world.inject_suspicion(2, 7, at=1.0)
+    world.inject_suspicion(3, 8, at=1.8)
+    world.run_to_quiescence()
+    history = world.history()
+    inversions = 0
+    for p in range(n):
+        first = history.failed_index.get((p, 7))
+        second = history.failed_index.get((p, 8))
+        if first is not None and second is not None and second < first:
+            inversions += 1
+    return inversions
+
+
+def _truncated_log(factory, seed: int) -> tuple[bool, bool]:
+    """Crash a bystander mid-window; inspect its truncated log.
+
+    Returns ``(truncated_inversion, sfs_ok)`` where the first flag means
+    the crashed process logged the later victim without the earlier one —
+    the log shape that makes failed-before intransitive in total-failure
+    recovery.
+    """
+    n = 9
+    rng = random.Random(seed + 500)
+    world = build_world(n, factory, UniformDelay(0.1, 4.0), seed=seed)
+    world.inject_suspicion(2, 7, at=1.0)
+    world.inject_suspicion(3, 8, at=1.4)
+    world.inject_crash(5, at=rng.uniform(2.0, 5.0))
+    world.inject_suspicion(2, 5, at=8.0)
+    world.run_to_quiescence()
+    history = ensure_crashes(world.history())
+    logged = sorted(t for (d, t) in history.failed_index if d == 5)
+    truncated_inversion = logged == [8]
+    return truncated_inversion, check_sfs(history, pending_ok=True).ok
+
+
+def run_e11(
+    seeds: Sequence[int] = tuple(range(40)),
+) -> list[E11Row]:
+    """Measure ordering and truncation behaviour, plain vs piggybacked."""
+    rows: list[E11Row] = []
+    for protocol_name, race_factory, trunc_factory in (
+        (
+            "sfs",
+            lambda: SfsProcess(t=2),
+            lambda: SfsProcess(t=3, enforce_bounds=False, quorum_size=4),
+        ),
+        (
+            "sfs+piggyback",
+            lambda: TransitiveSfsProcess(t=2),
+            lambda: TransitiveSfsProcess(
+                t=3, enforce_bounds=False, quorum_size=4
+            ),
+        ),
+    ):
+        inversions = 0
+        truncated = 0
+        conformant = 0
+        for seed in seeds:
+            inversions += _race_inversions(race_factory, seed)
+            was_truncated, ok = _truncated_log(trunc_factory, seed)
+            truncated += was_truncated
+            conformant += ok
+        rows.append(
+            E11Row(
+                protocol=protocol_name,
+                runs=len(seeds),
+                inversions=inversions,
+                truncated_logs=truncated,
+                sfs_conformant=conformant,
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# A1 — ablation: remove the sFS2d deferral mechanism
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class A1Row:
+    """sFS2d outcomes with and without application-message deferral."""
+
+    defer_app: bool
+    runs: int
+    sfs2d_violations: int
+
+    @property
+    def violation_rate(self) -> float:
+        """Fraction of runs violating sFS2d."""
+        return self.sfs2d_violations / self.runs
+
+
+def run_a1(
+    n: int = 9, t: int = 2, seeds: Sequence[int] = tuple(range(20))
+) -> list[A1Row]:
+    """Chatty application + a quorum-starved receiver, deferral on vs off.
+
+    The application broadcasts work items continuously. One receiver
+    (process 1) gets its last needed confirmations only over slow
+    channels, so its round stays open while fast channels keep delivering
+    post-detection work from peers that already executed ``failed``. With
+    deferral (the paper's "takes no other action" clause) the race is
+    impossible by construction; without it, sFS2d genuinely breaks.
+
+    Note what does *not* break it: FIFO alone protects any single
+    channel (the sender's own ``"j failed"`` precedes its work), which is
+    why the violation needs the *cross-channel* race this scenario sets
+    up — and why the paper needs the deferral clause at all.
+    """
+    from repro.sim.delays import PerChannelDelay
+
+    class ChattyProcess(SfsProcess):
+        def on_start(self):
+            super().on_start()
+            self._work_seq = 0
+            self.set_timer(0.5, self._tick, periodic=True)
+
+        def _tick(self):
+            if self.crashed:
+                return
+            self._work_seq += 1
+            self.broadcast_app(("work", self.pid, self._work_seq))
+            if self._work_seq < 40:
+                self.set_timer(0.5, self._tick, periodic=True)
+
+    slow_channels = tuple(((src, 1), 8.0) for src in (5, 6, 7, 8))
+    rows: list[A1Row] = []
+    for defer in (True, False):
+        violations = 0
+        for seed in seeds:
+            world = build_world(
+                n,
+                lambda: ChattyProcess(t=t, defer_app=defer),
+                delay_model=PerChannelDelay(
+                    UniformDelay(0.2, 2.0), slow_channels
+                ),
+                seed=seed,
+            )
+            world.adversary.hold_suspicions_about(4, {4})
+            world.inject_suspicion(0, 4, at=1.0)
+            world.scheduler.schedule_at(30.0, world.adversary.heal)
+            world.run(until=80.0)
+            world.run_to_quiescence(max_events=2_000_000)
+            history = ensure_crashes(world.history())
+            if not check_sfs2d(history).ok:
+                violations += 1
+        rows.append(
+            A1Row(defer_app=defer, runs=len(seeds), sfs2d_violations=violations)
+        )
+    return rows

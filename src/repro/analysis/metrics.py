@@ -1,0 +1,121 @@
+"""Quantitative metrics over simulated runs.
+
+The paper's cost model for the Section 5 protocol: one round, O(n^2)
+messages per failure detection (every process echoes the suspicion to every
+process), and a quorum-size-dependent latency. These helpers extract those
+quantities from a finished :class:`~repro.sim.world.World` for the E6/E10
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.events import FailedEvent
+from repro.sim.world import World
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Aggregate counters for one simulated run."""
+
+    n: int
+    events: int
+    app_messages: int
+    protocol_messages: int
+    system_messages: int
+    crashes: int
+    detections: int
+    distinct_targets: int
+    mean_quorum_size: float
+    virtual_duration: float
+
+    @property
+    def modelled_messages(self) -> int:
+        """Application messages — the modelled event alphabet."""
+        return self.app_messages
+
+    @property
+    def messages_per_detection(self) -> float:
+        """Protocol messages divided by completed detections."""
+        if self.detections == 0:
+            return float("nan")
+        return self.protocol_messages / self.detections
+
+    @property
+    def messages_per_target(self) -> float:
+        """Protocol messages per distinct detected process — the paper's
+        per-failure message complexity (Theta(n^2) for Section 5)."""
+        if self.distinct_targets == 0:
+            return float("nan")
+        return self.protocol_messages / self.distinct_targets
+
+
+def collect_metrics(world: World) -> RunMetrics:
+    """Summarize a finished world's trace and network counters."""
+    history = world.history()
+    detections = history.detected_pairs()
+    quorums = world.trace.quorum_records
+    mean_quorum = (
+        sum(q.size for q in quorums) / len(quorums) if quorums else 0.0
+    )
+    return RunMetrics(
+        n=world.n,
+        events=len(history),
+        app_messages=world.network.app_messages_sent,
+        protocol_messages=world.network.protocol_messages_sent,
+        system_messages=world.network.system_messages_sent,
+        crashes=len(history.crashed_processes()),
+        detections=len(detections),
+        distinct_targets=len({target for _, target in detections}),
+        mean_quorum_size=mean_quorum,
+        virtual_duration=world.scheduler.now,
+    )
+
+
+@dataclass(frozen=True)
+class DetectionLatency:
+    """Latency of one failure's detection across the system."""
+
+    target: int
+    suspicion_time: float
+    first_detection: float | None
+    last_detection: float | None
+    detectors: int
+
+    @property
+    def first_latency(self) -> float | None:
+        """Suspicion to the earliest ``failed`` execution."""
+        if self.first_detection is None:
+            return None
+        return self.first_detection - self.suspicion_time
+
+    @property
+    def last_latency(self) -> float | None:
+        """Suspicion to system-wide detection (FS1 fulfilled)."""
+        if self.last_detection is None:
+            return None
+        return self.last_detection - self.suspicion_time
+
+
+def detection_latency(
+    world: World, target: int, suspicion_time: float
+) -> DetectionLatency:
+    """Latency profile of ``target``'s detection in a finished world."""
+    times = world.trace.detection_times(target)
+    return DetectionLatency(
+        target=target,
+        suspicion_time=suspicion_time,
+        first_detection=min(times.values()) if times else None,
+        last_detection=max(times.values()) if times else None,
+        detectors=len(times),
+    )
+
+
+def detections_by_detector(world: World) -> dict[int, int]:
+    """How many ``failed`` events each process executed."""
+    counts: dict[int, int] = {}
+    for event in world.history():
+        if isinstance(event, FailedEvent):
+            counts[event.proc] = counts.get(event.proc, 0) + 1
+    return counts

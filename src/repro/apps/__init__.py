@@ -1,0 +1,70 @@
+"""Applications built on the simulated-fail-stop failure model.
+
+* :mod:`repro.apps.election` — the Section 1 list-based leader election.
+* :mod:`repro.apps.last_to_fail` — Skeen's determining-the-last-process-
+  to-fail, Section 6's sensitivity case for sFS2b.
+* :mod:`repro.apps.membership` — a view-based membership service whose
+  core invariant is sFS2d lifted to views.
+* :mod:`repro.apps.snapshot` — Chandy-Lamport consistent snapshots
+  ([CL85], the paper's stability citation) over the same substrate.
+"""
+
+from repro.apps.election import (
+    BECOME_LEADER,
+    ElectionProcess,
+    LeadershipProfile,
+    leaders_at_every_state,
+    leadership_profile,
+    max_concurrent_leaders,
+)
+from repro.apps.last_to_fail import (
+    FailureLog,
+    RecoveryVerdict,
+    collect_logs,
+    recover_last_to_fail,
+    simulated_crash_order,
+    two_process_counterexample_shape,
+    verdict_is_correct,
+)
+from repro.apps.membership import (
+    VIEW_CHANGE,
+    MembershipProcess,
+    MembershipReport,
+    check_exclusion_propagation,
+    check_membership,
+)
+from repro.apps.snapshot import (
+    LocalSnapshot,
+    Marker,
+    SnapshotProcess,
+    assemble_global_snapshot,
+    cut_indices,
+    verify_consistent_cut,
+)
+
+__all__ = [
+    "ElectionProcess",
+    "LeadershipProfile",
+    "leadership_profile",
+    "leaders_at_every_state",
+    "max_concurrent_leaders",
+    "BECOME_LEADER",
+    "FailureLog",
+    "RecoveryVerdict",
+    "collect_logs",
+    "recover_last_to_fail",
+    "simulated_crash_order",
+    "verdict_is_correct",
+    "two_process_counterexample_shape",
+    "MembershipProcess",
+    "MembershipReport",
+    "check_membership",
+    "check_exclusion_propagation",
+    "VIEW_CHANGE",
+    "SnapshotProcess",
+    "LocalSnapshot",
+    "Marker",
+    "verify_consistent_cut",
+    "cut_indices",
+    "assemble_global_snapshot",
+]

@@ -1,0 +1,133 @@
+"""Leader election under (simulated) fail-stop — the Section 1 example.
+
+Each process keeps the list ``(0, 1, ..., n-1)``; the head of the list is
+the leader. When a process detects a failure it removes the victim from its
+local copy; when a process finds itself at the head, it knows it is the
+leader. Under true fail-stop there is never more than one leader. Under a
+model that is merely *indistinguishable* from fail-stop "there may be more
+than one leader in some global state, but no process will be able to
+determine this" — experiment E9 makes that sentence quantitative:
+
+* :func:`max_concurrent_leaders` over the raw sFS run can exceed 1
+  (transiently, while a falsely-detected leader has not yet crashed);
+* over the Theorem 5 FS-witness of the *same* run it never does — and the
+  witness is indistinguishable to every process, so no process saw two
+  leaders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.events import CrashEvent, FailedEvent
+from repro.core.history import History
+from repro.protocols.sfs import SfsProcess
+
+BECOME_LEADER = "become-leader"
+"""Internal-event label recorded when a process assumes leadership."""
+
+
+class ElectionProcess(SfsProcess):
+    """An sFS protocol participant running the list-based election."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._was_leader = False
+
+    @property
+    def candidates(self) -> list[int]:
+        """The local list with detected processes removed."""
+        return [p for p in range(self.n) if p not in self.detected]
+
+    @property
+    def leader(self) -> int:
+        """The head of the local candidate list."""
+        return self.candidates[0]
+
+    def believes_leader(self) -> bool:
+        """Whether this process currently considers itself the leader."""
+        return not self.crashed and self.leader == self.pid
+
+    def on_start(self) -> None:
+        super().on_start()
+        self._assume_if_leader()
+
+    def on_detect(self, target: int) -> None:
+        super().on_detect(target)
+        self._assume_if_leader()
+
+    def _assume_if_leader(self) -> None:
+        if self.believes_leader() and not self._was_leader:
+            self._was_leader = True
+            self.record_internal(BECOME_LEADER)
+
+
+# ----------------------------------------------------------------------
+# Offline analysis of leadership over the global states of a history
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LeadershipProfile:
+    """Leadership statistics over every global state of a run."""
+
+    max_concurrent: int
+    positions_with_two_plus: int
+    total_positions: int
+    leaderless_positions: int
+
+    @property
+    def ever_split(self) -> bool:
+        """Whether two live processes were simultaneously leaders."""
+        return self.max_concurrent >= 2
+
+
+def leaders_at_every_state(history: History) -> list[frozenset[int]]:
+    """For each position, the set of live processes that believe they lead.
+
+    Process *i* believes it leads when it has detected every
+    lower-numbered process and has not crashed. Computed incrementally,
+    one pass over the history.
+    """
+    n = history.n
+    crashed: set[int] = set()
+    detected: list[set[int]] = [set() for _ in range(n)]
+
+    def leaders() -> frozenset[int]:
+        out = set()
+        for i in range(n):
+            if i in crashed:
+                continue
+            lower = set(range(i))
+            if lower <= detected[i]:
+                out.add(i)
+                # Processes above the first live leader-candidate may
+                # *also* believe they lead if they detected everyone
+                # below them; keep scanning.
+        return frozenset(out)
+
+    result = [leaders()]
+    for event in history:
+        if isinstance(event, CrashEvent):
+            crashed.add(event.proc)
+        elif isinstance(event, FailedEvent):
+            detected[event.proc].add(event.target)
+        result.append(leaders())
+    return result
+
+
+def leadership_profile(history: History) -> LeadershipProfile:
+    """Summarize concurrent-leadership over a run's global states."""
+    per_state = leaders_at_every_state(history)
+    counts = [len(s) for s in per_state]
+    return LeadershipProfile(
+        max_concurrent=max(counts) if counts else 0,
+        positions_with_two_plus=sum(1 for c in counts if c >= 2),
+        total_positions=len(counts),
+        leaderless_positions=sum(1 for c in counts if c == 0),
+    )
+
+
+def max_concurrent_leaders(history: History) -> int:
+    """The largest number of simultaneous (live) self-believed leaders."""
+    return leadership_profile(history).max_concurrent

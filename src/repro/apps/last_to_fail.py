@@ -1,0 +1,135 @@
+"""Determining the last process to fail ([Ske85]) — Section 6's case study.
+
+Every process durably logs the failures it detects (its view of the
+failed-before relation). After a *total failure*, recovering processes pool
+their logs and look for the processes that nobody outlived: the maximal
+elements of failed-before among the crashed. The paper's point:
+
+* if failed-before is **acyclic** (sFS2b — any model indistinguishable
+  from fail-stop), the candidate set is non-empty and consistent with the
+  simulated crash order, so recovery can proceed once the candidates are
+  back;
+* if **cycles** are possible (the Section 6 cheap model), recovery can be
+  flat wrong — the paper's two-process example has process 1 falsely
+  detect 2, crash, and later conclude *it* was last to fail while 2
+  actually outlived it. "The only possible recovery is to always wait for
+  all crashed processes to recover."
+
+Experiment E8 runs staged total failures under both protocols and scores
+the recovered verdicts against the Theorem 5 witness (the simulated crash
+order that defines correctness under indistinguishability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.events import CrashEvent, FailedEvent
+from repro.core.failed_before import find_cycle, last_failed_candidates
+from repro.core.history import History
+from repro.core.indistinguishability import ensure_crashes, fail_stop_witness
+from repro.errors import CannotRearrangeError
+
+
+@dataclass(frozen=True)
+class FailureLog:
+    """One process's durable record of the failures it detected, in order."""
+
+    owner: int
+    entries: tuple[int, ...]
+
+
+def collect_logs(history: History) -> list[FailureLog]:
+    """Reconstruct every process's failure log from the history.
+
+    This is what each process's stable storage would contain at the end of
+    the run: the targets of its ``failed`` events, in execution order.
+    """
+    entries: dict[int, list[int]] = {p: [] for p in history.processes}
+    for event in history:
+        if isinstance(event, FailedEvent):
+            entries[event.proc].append(event.target)
+    return [FailureLog(p, tuple(entries[p])) for p in history.processes]
+
+
+@dataclass(frozen=True)
+class RecoveryVerdict:
+    """The outcome of a last-to-fail recovery attempt.
+
+    Attributes:
+        candidates: crashed processes that no other crashed process is
+            recorded as having outlived (the recovery's answer).
+        cycle: a failed-before cycle if one poisoned the logs, else None.
+        solvable: whether the recovery algorithm can answer at all
+            (non-empty candidates, no cycle).
+    """
+
+    candidates: frozenset[int]
+    cycle: tuple[tuple[int, int], ...] | None
+    solvable: bool
+
+
+def recover_last_to_fail(history: History) -> RecoveryVerdict:
+    """Run Skeen-style recovery over the pooled logs of a finished run."""
+    cycle = find_cycle(history)
+    candidates = last_failed_candidates(history)
+    if cycle is not None:
+        return RecoveryVerdict(
+            candidates=candidates,
+            cycle=tuple(cycle),
+            solvable=False,
+        )
+    return RecoveryVerdict(
+        candidates=candidates, cycle=None, solvable=bool(candidates)
+    )
+
+
+def simulated_crash_order(history: History) -> list[int]:
+    """The crash order of the Theorem 5 FS-witness run.
+
+    Under a model indistinguishable from fail-stop, *this* is the failure
+    order the system's inhabitants experienced; it defines correctness for
+    last-to-fail. Raises :class:`CannotRearrangeError` when no witness
+    exists (cyclic runs), in which case there is no consistent order.
+    """
+    witness = fail_stop_witness(history)
+    return [e.proc for e in witness if isinstance(e, CrashEvent)]
+
+
+def verdict_is_correct(history: History) -> bool:
+    """Score a recovery against the simulated crash order.
+
+    Correct means: recovery was solvable and its candidate set contains
+    the process that crashed last in the FS-witness ordering. (Ties —
+    several maximal candidates — are allowed: the recovery protocol then
+    waits for all of them, which is safe.)
+    """
+    completed = ensure_crashes(history)
+    verdict = recover_last_to_fail(completed)
+    if not verdict.solvable:
+        return False
+    try:
+        order = simulated_crash_order(completed)
+    except CannotRearrangeError:
+        return False
+    if not order:
+        return False
+    return order[-1] in verdict.candidates
+
+
+def two_process_counterexample_shape(history: History) -> bool:
+    """Detect the paper's 1-falsely-detects-2 pathology in a run.
+
+    True when some process's own log says it detected a peer that, in
+    fact, detected *it* too — the mutual-detection knot that makes naive
+    recovery claim the wrong survivor.
+    """
+    detected: dict[int, set[int]] = {p: set() for p in history.processes}
+    for event in history:
+        if isinstance(event, FailedEvent):
+            detected[event.proc].add(event.target)
+    for p in history.processes:
+        for q in detected[p]:
+            if p in detected.get(q, ()):
+                return True
+    return False

@@ -1,0 +1,159 @@
+"""A small view-based group-membership service on top of sFS.
+
+Failure detection "is typically done as part of a group membership service
+(e.g., [RB91, MPS91, ADKM92])" — Section 6. This app closes the loop: a
+membership view is the process universe minus everything the local process
+has detected, and sFS2d lifts directly to the membership invariant that
+makes views usable:
+
+    **exclusion propagation** — if a sender had excluded ``j`` from its
+    view before sending a message, the receiver has excluded ``j`` by the
+    time it consumes that message.
+
+So a process never acts on a message from a peer whose view is "ahead" of
+its own with respect to the sender's exclusions, without any extra view
+agreement rounds. The checkers below verify exclusion propagation and
+eventual view agreement on recorded histories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.events import CrashEvent, FailedEvent, RecvEvent, SendEvent
+from repro.core.history import History
+from repro.core.messages import Message
+from repro.protocols.sfs import SfsProcess
+
+VIEW_CHANGE = "view-change"
+"""Internal-event label recorded at each view installation."""
+
+
+class MembershipProcess(SfsProcess):
+    """An sFS participant exposing a monotonically shrinking view."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.view_history: list[frozenset[int]] = []
+
+    @property
+    def view(self) -> frozenset[int]:
+        """The current membership view (universe minus detections)."""
+        return frozenset(p for p in range(self.n) if p not in self.detected)
+
+    def on_start(self) -> None:
+        super().on_start()
+        self.view_history.append(self.view)
+
+    def on_detect(self, target: int) -> None:
+        super().on_detect(target)
+        self.view_history.append(self.view)
+        self.record_internal((VIEW_CHANGE, tuple(sorted(self.view))))
+
+    # Convenience for applications above membership -------------------
+
+    def multicast(self, payload: Hashable) -> list[Message]:
+        """Send application data to every current view member (not self)."""
+        sent = []
+        for dst in sorted(self.view - {self.pid}):
+            msg = self.send_app(dst, payload)
+            if msg is not None:
+                sent.append(msg)
+        return sent
+
+
+# ----------------------------------------------------------------------
+# Offline invariants
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MembershipReport:
+    """Outcome of the membership invariant checks on one history."""
+
+    exclusion_propagation: bool
+    views_monotone: bool
+    survivors_agree: bool
+    violations: tuple[str, ...]
+
+
+def _views_over_history(history: History) -> tuple[list[dict[int, set[int]]], list]:
+    """Per-event snapshots of each process's exclusion set."""
+    excluded: dict[int, set[int]] = {p: set() for p in history.processes}
+    snapshots: list[dict[int, set[int]]] = []
+    for event in history:
+        snapshots.append({p: set(s) for p, s in excluded.items()})
+        if isinstance(event, FailedEvent):
+            excluded[event.proc].add(event.target)
+    snapshots.append({p: set(s) for p, s in excluded.items()})
+    return snapshots, list(history)
+
+
+def check_exclusion_propagation(history: History) -> list[str]:
+    """sFS2d, phrased on views: sender exclusions precede receipt.
+
+    For every application message: everything the sender had excluded
+    when it sent must be excluded by the receiver when it consumes.
+    """
+    violations: list[str] = []
+    snapshots, events = _views_over_history(history)
+    recv_index = history.recv_index
+    for uid, sidx in history.send_index.items():
+        ridx = recv_index.get(uid)
+        if ridx is None:
+            continue
+        send_event = events[sidx]
+        assert isinstance(send_event, SendEvent)
+        sender, receiver = send_event.proc, send_event.dst
+        sender_excluded = snapshots[sidx][sender]
+        receiver_excluded = snapshots[ridx + 1][receiver]
+        missing = sender_excluded - receiver_excluded
+        # Protocol traffic (Susp) is exempt: it is the propagation itself.
+        payload = send_event.msg.payload
+        if getattr(payload, "suspicion_target", None) is not None:
+            continue
+        if missing:
+            violations.append(
+                f"message {uid} from {sender} (excluded {sorted(sender_excluded)}) "
+                f"consumed by {receiver} before excluding {sorted(missing)}"
+            )
+    return violations
+
+
+def check_membership(history: History) -> MembershipReport:
+    """All membership invariants over one finished run."""
+    violations = check_exclusion_propagation(history)
+    exclusion_ok = not violations
+
+    # Views monotone: exclusion sets only grow (true by construction of
+    # stable FAILED variables, but re-checked against the raw history).
+    monotone = True
+    seen: dict[int, set[int]] = {p: set() for p in history.processes}
+    for event in history:
+        if isinstance(event, FailedEvent):
+            if event.target in seen[event.proc]:
+                monotone = False
+                violations.append(
+                    f"duplicate exclusion of {event.target} at {event.proc}"
+                )
+            seen[event.proc].add(event.target)
+
+    # Survivors agree: every non-crashed process ends with the same view.
+    crashed = {
+        e.proc for e in history if isinstance(e, CrashEvent)
+    }
+    final_views = {
+        p: frozenset(history.processes) - frozenset(seen[p])
+        for p in history.processes
+        if p not in crashed
+    }
+    agree = len(set(final_views.values())) <= 1
+    if not agree:
+        violations.append(f"survivor views diverge: {final_views}")
+    return MembershipReport(
+        exclusion_propagation=exclusion_ok,
+        views_monotone=monotone,
+        survivors_agree=agree,
+        violations=tuple(violations),
+    )

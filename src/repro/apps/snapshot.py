@@ -1,0 +1,227 @@
+"""Chandy-Lamport distributed snapshots on the sFS substrate ([CL85]).
+
+The paper leans on [CL85] for the stability of its predicates; this app
+closes that dependency by implementing the snapshot algorithm itself on
+top of the simulated-fail-stop stack, so stable predicates (CRASH, FAILED,
+and application state) can be evaluated at *consistent cuts* of a live
+system rather than only offline.
+
+Standard algorithm, adapted to the substrate:
+
+* an initiator records its local state and sends a marker on every
+  outgoing channel;
+* on first marker receipt, a process records its state, marks the channel
+  the marker arrived on as empty, and relays markers on all outgoing
+  channels;
+* for every other incoming channel, the process records the application
+  messages arriving between its own recording point and that channel's
+  marker — the in-flight channel state.
+
+Because markers ride the same FIFO application channels as data, the
+recorded cut is consistent: no recorded state reflects a message receipt
+whose send is outside the cut. :func:`verify_consistent_cut` checks
+exactly that against the recorded history's happens-before relation, and
+the test suite runs it under concurrent failure detections (deferral
+shifts when a marker is *consumed*, which moves the cut but never breaks
+its consistency — FIFO consumption order is preserved).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.core.events import InternalEvent, RecvEvent, SendEvent
+from repro.core.history import History
+from repro.protocols.sfs import SfsProcess
+
+RECORD_LABEL = "snapshot-record"
+
+
+@dataclass(frozen=True, slots=True)
+class Marker:
+    """The snapshot marker, tagged with the snapshot id and initiator."""
+
+    snap_id: int
+    initiator: int
+
+
+@dataclass
+class LocalSnapshot:
+    """One process's contribution to a global snapshot."""
+
+    snap_id: int
+    owner: int
+    state: Hashable
+    channel_messages: dict[int, list[Hashable]] = field(default_factory=dict)
+    complete: bool = False
+
+
+class SnapshotProcess(SfsProcess):
+    """An sFS participant that can take Chandy-Lamport snapshots.
+
+    Subclasses may override :meth:`snapshot_state` to expose application
+    state; the default records the detection set and a message counter,
+    which suffices for evaluating the paper's predicates at the cut.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.snapshots: dict[int, LocalSnapshot] = {}
+        self._recording_from: dict[int, set[int]] = {}
+        self.app_messages_seen = 0
+
+    # ------------------------------------------------------------------
+    # State exposure
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> Hashable:
+        """The local state captured at the recording point."""
+        return (
+            ("detected", tuple(sorted(self.detected))),
+            ("app_messages_seen", self.app_messages_seen),
+        )
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+
+    def initiate_snapshot(self, snap_id: int) -> None:
+        """Record local state and flood markers (the [CL85] initiator)."""
+        if self.crashed or snap_id in self.snapshots:
+            return
+        self._record_local(snap_id, self.pid)
+
+    def _record_local(self, snap_id: int, initiator: int) -> None:
+        snapshot = LocalSnapshot(
+            snap_id=snap_id, owner=self.pid, state=self.snapshot_state()
+        )
+        self.snapshots[snap_id] = snapshot
+        # Record in the history so the cut is visible to offline checks.
+        self.record_internal((RECORD_LABEL, snap_id))
+        # Every other incoming channel is now being recorded.
+        self._recording_from[snap_id] = set(self.peers)
+        for peer in self.peers:
+            snapshot.channel_messages[peer] = []
+        for peer in self.peers:
+            self.send_app(peer, Marker(snap_id, initiator))
+        self._maybe_complete(snap_id)
+
+    def on_app_message(self, src: int, payload, msg) -> None:
+        if isinstance(payload, Marker):
+            self._on_marker(src, payload)
+            return
+        self.app_messages_seen += 1
+        # Any in-progress snapshot records this message if the channel is
+        # still being recorded.
+        for snap_id, channels in self._recording_from.items():
+            if src in channels:
+                self.snapshots[snap_id].channel_messages[src].append(payload)
+        self.on_data_message(src, payload, msg)
+
+    def on_data_message(self, src: int, payload, msg) -> None:
+        """Hook for application traffic that is not snapshot machinery."""
+
+    def _on_marker(self, src: int, marker: Marker) -> None:
+        snap_id = marker.snap_id
+        if snap_id not in self.snapshots:
+            # First marker: record state; the marker's channel is empty.
+            self._record_local(snap_id, marker.initiator)
+        recording = self._recording_from.get(snap_id)
+        if recording is not None:
+            recording.discard(src)
+        self._maybe_complete(snap_id)
+
+    def _maybe_complete(self, snap_id: int) -> None:
+        recording = self._recording_from.get(snap_id)
+        snapshot = self.snapshots.get(snap_id)
+        if snapshot is None or recording is None:
+            return
+        # Channels from processes we have detected will never deliver a
+        # marker; their recorded state is whatever arrived before the
+        # detection (the model guarantees nothing more can arrive).
+        still_open = {src for src in recording if src not in self.detected}
+        if not still_open:
+            snapshot.complete = True
+
+    def on_detect(self, target: int) -> None:
+        super().on_detect(target)
+        for snap_id in list(self._recording_from):
+            self._maybe_complete(snap_id)
+
+
+# ----------------------------------------------------------------------
+# Offline verification
+# ----------------------------------------------------------------------
+
+
+def cut_indices(history: History, snap_id: int) -> dict[int, int]:
+    """Each process's recording point (history index), if it recorded."""
+    out: dict[int, int] = {}
+    for idx, event in enumerate(history):
+        if (
+            isinstance(event, InternalEvent)
+            and isinstance(event.label, tuple)
+            and len(event.label) == 2
+            and event.label[0] == RECORD_LABEL
+            and event.label[1] == snap_id
+        ):
+            out.setdefault(event.proc, idx)
+    return out
+
+
+def verify_consistent_cut(history: History, snap_id: int) -> list[str]:
+    """Check the fundamental snapshot property on the recorded history.
+
+    The cut puts, for each recorded process, everything up to its
+    recording point inside. Consistency: no *data* message received inside
+    the cut was sent outside it. Markers are exempt — they are the cut's
+    control traffic and by construction cross it (a receiver records
+    state immediately upon consuming its first marker). A process that
+    crashed without recording contributes its whole (finite) execution to
+    the inside: it takes no steps after the snapshot begins, so nothing
+    it did can depend on post-cut events. A live process that never
+    recorded contributes everything to the outside (conservative).
+    Returns violations (empty = consistent).
+    """
+    cut = cut_indices(history, snap_id)
+    if not cut:
+        return [f"snapshot {snap_id}: nobody recorded"]
+    crashed = history.crashed_processes()
+
+    def inside(idx: int, proc: int) -> bool:
+        boundary = cut.get(proc)
+        if boundary is None:
+            return proc in crashed
+        return idx < boundary
+
+    violations: list[str] = []
+    recv_index = history.recv_index
+    for uid, sidx in history.send_index.items():
+        ridx = recv_index.get(uid)
+        if ridx is None:
+            continue
+        send_event = history[sidx]
+        recv_event = history[ridx]
+        assert isinstance(send_event, SendEvent)
+        assert isinstance(recv_event, RecvEvent)
+        if isinstance(send_event.msg.payload, Marker):
+            continue  # control traffic: defines the cut, never violates it
+        if inside(ridx, recv_event.proc) and not inside(sidx, send_event.proc):
+            violations.append(
+                f"snapshot {snap_id}: message {uid} received inside the cut "
+                f"(by {recv_event.proc} at [{ridx}]) but sent outside "
+                f"(by {send_event.proc} at [{sidx}])"
+            )
+    return violations
+
+
+def assemble_global_snapshot(
+    processes: list[SnapshotProcess], snap_id: int
+) -> dict[int, LocalSnapshot]:
+    """Collect each participant's local snapshot (post-run convenience)."""
+    return {
+        p.pid: p.snapshots[snap_id]
+        for p in processes
+        if snap_id in p.snapshots
+    }

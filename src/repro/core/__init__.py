@@ -1,0 +1,189 @@
+"""The paper's formal model and primary contribution, as a library.
+
+Everything in this package operates on plain data — events, histories,
+runs — independent of how those histories were produced (hand-written,
+discrete-event simulation via :mod:`repro.sim`, or the asyncio runtime via
+:mod:`repro.runtime`).
+
+Typical use::
+
+    from repro.core import (
+        History, check_sfs, fail_stop_witness, isomorphic,
+    )
+
+    report = check_sfs(history)          # Figure 1 conformance
+    witness = fail_stop_witness(history)  # Theorem 5 construction
+    assert isomorphic(history, witness) or True
+"""
+
+from repro.core.bounds import (
+    BoundsRow,
+    acks_to_wait_for,
+    bounds_table,
+    check_protocol_parameters,
+    feasible_fixed_quorum,
+    feasible_wait_for_all,
+    max_tolerable_t,
+    min_quorum_size,
+)
+from repro.core.events import (
+    CrashEvent,
+    Event,
+    FailedEvent,
+    InternalEvent,
+    RecvEvent,
+    SendEvent,
+    channel_of,
+    crash,
+    failed,
+    internal,
+    is_crash,
+    is_failed,
+    is_internal,
+    is_recv,
+    is_send,
+    message_of,
+    recv,
+    send,
+)
+from repro.core.failed_before import (
+    failed_before_graph,
+    failed_before_pairs,
+    find_cycle,
+    is_acyclic,
+    is_transitive,
+    last_failed_candidates,
+)
+from repro.core.failure_models import (
+    CheckResult,
+    check_condition1,
+    check_condition2,
+    check_condition3,
+    check_fs,
+    check_fs1,
+    check_fs2,
+    check_necessary_conditions,
+    check_sfs,
+    check_sfs2a,
+    check_sfs2b,
+    check_sfs2c,
+    check_sfs2d,
+)
+from repro.core.history import (
+    History,
+    find_message_chains,
+    isomorphic,
+    messages_in_flight,
+)
+from repro.core.indistinguishability import (
+    bad_pairs,
+    distinguishability_certificate,
+    ensure_crashes,
+    fail_stop_witness,
+    fail_stop_witness_by_commutation,
+    is_internally_fail_stop,
+    verify_witness,
+)
+from repro.core.messages import Message, MessageMint, make_messages
+from repro.core.quorum import (
+    QuorumRecord,
+    common_witnesses,
+    counterexample_family,
+    pairwise_intersecting,
+    t_wise_intersecting,
+    witness_property,
+)
+from repro.core.runs import GlobalState, Run, run_of
+from repro.core.semantics import (
+    MachineState,
+    apply_event,
+    can_occur,
+    is_executable,
+    replay,
+)
+from repro.core.validate import check_valid, is_valid, validate_history
+
+__all__ = [
+    # events / messages
+    "Event",
+    "SendEvent",
+    "RecvEvent",
+    "CrashEvent",
+    "FailedEvent",
+    "InternalEvent",
+    "send",
+    "recv",
+    "crash",
+    "failed",
+    "internal",
+    "is_send",
+    "is_recv",
+    "is_crash",
+    "is_failed",
+    "is_internal",
+    "channel_of",
+    "message_of",
+    "Message",
+    "MessageMint",
+    "make_messages",
+    # histories / runs
+    "History",
+    "isomorphic",
+    "find_message_chains",
+    "messages_in_flight",
+    "Run",
+    "GlobalState",
+    "run_of",
+    "validate_history",
+    "is_valid",
+    "check_valid",
+    "MachineState",
+    "can_occur",
+    "apply_event",
+    "replay",
+    "is_executable",
+    # failure models
+    "CheckResult",
+    "check_fs1",
+    "check_fs2",
+    "check_fs",
+    "check_sfs2a",
+    "check_sfs2b",
+    "check_sfs2c",
+    "check_sfs2d",
+    "check_sfs",
+    "check_condition1",
+    "check_condition2",
+    "check_condition3",
+    "check_necessary_conditions",
+    # failed-before
+    "failed_before_pairs",
+    "failed_before_graph",
+    "is_acyclic",
+    "find_cycle",
+    "is_transitive",
+    "last_failed_candidates",
+    # indistinguishability
+    "ensure_crashes",
+    "bad_pairs",
+    "fail_stop_witness",
+    "fail_stop_witness_by_commutation",
+    "distinguishability_certificate",
+    "is_internally_fail_stop",
+    "verify_witness",
+    # quorums / bounds
+    "QuorumRecord",
+    "witness_property",
+    "common_witnesses",
+    "pairwise_intersecting",
+    "t_wise_intersecting",
+    "counterexample_family",
+    "min_quorum_size",
+    "max_tolerable_t",
+    "feasible_fixed_quorum",
+    "feasible_wait_for_all",
+    "acks_to_wait_for",
+    "check_protocol_parameters",
+    "bounds_table",
+    "BoundsRow",
+]

@@ -1,0 +1,137 @@
+"""Lower bounds on quorum size and replication (Theorem 7, Corollary 8).
+
+* A fixed-size quorum must contain **strictly more than** ``n(t-1)/t``
+  processes to guarantee the Witness Property against ``t`` failures
+  (Theorem 7); the least such integer is ``floor(n(t-1)/t) + 1``.
+* With the minimum quorum, progress requires ``n - t`` live processes to
+  be able to fill a quorum, which forces ``n > t**2`` (Corollary 8).
+* The *wait-for-all* alternative (quorum = every process not currently
+  suspected) only needs ``t < n``, at the cost of waiting for up to
+  ``n - t`` acknowledgements per detection.
+
+These are pure arithmetic; the benchmarks (experiment E4) print the bound
+table and the tests check the formulas against brute-force search over the
+counterexample family of :mod:`repro.core.quorum`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import BoundsError
+
+
+def min_quorum_size(n: int, t: int) -> int:
+    """Least quorum size that is strictly greater than ``n(t-1)/t``.
+
+    For ``t == 1`` no cycle is possible with a single failure... a cycle
+    needs at least two detections, but Theorem 7's formula still applies
+    and gives 1 (any non-empty quorum, i.e. the detector alone).
+    """
+    if n < 1 or t < 1:
+        raise BoundsError(f"need n >= 1 and t >= 1, got n={n}, t={t}")
+    return (n * (t - 1)) // t + 1
+
+
+def max_tolerable_t(n: int) -> int:
+    """Largest ``t`` with ``n > t**2`` (Corollary 8); 0 when n <= 1."""
+    if n <= 1:
+        return 0
+    return math.isqrt(n - 1)
+
+
+def feasible_fixed_quorum(n: int, t: int) -> bool:
+    """Whether a minimum-quorum one-round protocol can tolerate ``t``.
+
+    Corollary 8: the ``n - t`` processes guaranteed alive must be able to
+    fill a quorum of ``min_quorum_size(n, t)``, which holds iff
+    ``n > t**2``.
+    """
+    if n < 1 or t < 0:
+        return False
+    if t == 0:
+        return True
+    return n > t * t
+
+
+def feasible_wait_for_all(n: int, t: int) -> bool:
+    """Whether the wait-for-all variant can tolerate ``t`` (needs t < n)."""
+    return 0 <= t < n
+
+
+def acks_to_wait_for(n: int, t: int) -> int:
+    """Messages a detector must receive (counting itself) before detecting.
+
+    Corollary 8 phrases this as ``ceil(n(t-1)/t)``...the protocol of
+    Section 5 waits for *more than* ``n(t-1)/t`` confirmations including
+    its own, i.e. for :func:`min_quorum_size` confirmations.
+    """
+    return min_quorum_size(n, t)
+
+
+def check_protocol_parameters(n: int, t: int, quorum_size: int | None = None) -> int:
+    """Validate ``(n, t, quorum)`` for a min-quorum protocol deployment.
+
+    Returns the quorum size to use (the minimum legal one by default).
+    Raises :class:`BoundsError` when the parameters violate Theorem 7 or
+    Corollary 8 — the failure mode the benchmarks deliberately explore by
+    bypassing this check.
+    """
+    if t >= 1 and not feasible_fixed_quorum(n, t):
+        raise BoundsError(
+            f"n={n} cannot tolerate t={t} with a fixed quorum: Corollary 8 "
+            f"requires n > t^2 (largest tolerable t is {max_tolerable_t(n)})"
+        )
+    minimum = min_quorum_size(n, t)
+    if quorum_size is None:
+        return minimum
+    if quorum_size < minimum:
+        raise BoundsError(
+            f"quorum size {quorum_size} violates Theorem 7: must be an "
+            f"integer strictly greater than n(t-1)/t = {n * (t - 1) / t:.2f} "
+            f"(minimum {minimum})"
+        )
+    if quorum_size > n:
+        raise BoundsError(f"quorum size {quorum_size} exceeds n={n}")
+    return quorum_size
+
+
+@dataclass(frozen=True)
+class BoundsRow:
+    """One row of the Theorem 7 / Corollary 8 bounds table (experiment E4)."""
+
+    n: int
+    t: int
+    min_quorum: int
+    quorum_fraction: float
+    fixed_quorum_feasible: bool
+    wait_for_all_feasible: bool
+    max_t: int
+
+
+def bounds_table(ns: list[int], ts: list[int] | None = None) -> list[BoundsRow]:
+    """Tabulate the bounds for each ``n`` (and each ``t`` if given).
+
+    With ``ts=None``, each ``n`` is paired with every ``t`` from 1 to
+    ``max_tolerable_t(n) + 1`` so the table shows the feasibility edge.
+    """
+    rows: list[BoundsRow] = []
+    for n in ns:
+        t_values = ts if ts is not None else list(range(1, max_tolerable_t(n) + 2))
+        for t in t_values:
+            if t < 1 or t > n:
+                continue
+            quorum = min_quorum_size(n, t)
+            rows.append(
+                BoundsRow(
+                    n=n,
+                    t=t,
+                    min_quorum=quorum,
+                    quorum_fraction=quorum / n,
+                    fixed_quorum_feasible=feasible_fixed_quorum(n, t),
+                    wait_for_all_feasible=feasible_wait_for_all(n, t),
+                    max_t=max_tolerable_t(n),
+                )
+            )
+    return rows

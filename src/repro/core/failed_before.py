@@ -1,0 +1,87 @@
+"""The *failed-before* relation (Definition 3) and its acyclicity (sFS2b).
+
+``i`` failed before ``j`` in run ``r`` iff ``r |= <> FAILED_j(i)`` — that
+is, *j* detects *i*'s failure at some point. sFS2b demands this relation be
+acyclic; the paper shows (Theorem 2, Condition 2) that acyclicity is
+*necessary* for a failure model to be indistinguishable from fail-stop, and
+Section 6 shows protocols (last-process-to-fail) that are incorrect exactly
+when cycles occur.
+
+The relation is represented as a :class:`networkx.DiGraph` whose edge
+``(i, j)`` means "i failed before j".
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.history import History
+
+
+def failed_before_pairs(history: History) -> list[tuple[int, int]]:
+    """All ordered pairs ``(i, j)`` with *i failed before j*, in detection order.
+
+    The pair ``(i, j)`` is produced when ``failed_j(i)`` occurs in the
+    history (note the argument swap relative to the event: the *detector*
+    is the second element of the relation).
+    """
+    pairs = sorted(history.failed_index.items(), key=lambda kv: kv[1])
+    return [(target, detector) for (detector, target), _ in pairs]
+
+
+def failed_before_graph(history: History) -> nx.DiGraph:
+    """The failed-before relation as a digraph over process ids."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(history.processes)
+    graph.add_edges_from(failed_before_pairs(history))
+    return graph
+
+
+def is_acyclic(history: History) -> bool:
+    """sFS2b: true iff the failed-before relation has no cycle."""
+    return nx.is_directed_acyclic_graph(failed_before_graph(history))
+
+
+def find_cycle(history: History) -> list[tuple[int, int]] | None:
+    """A cycle in the failed-before relation, or ``None`` if acyclic.
+
+    Returns the cycle as a list of edges ``(i, j)`` meaning *i failed
+    before j*; useful as a human-readable certificate that a run is
+    distinguishable from fail-stop (Theorem 2, Condition 2).
+    """
+    graph = failed_before_graph(history)
+    try:
+        return [edge[:2] for edge in nx.find_cycle(graph)]
+    except nx.NetworkXNoCycle:
+        return None
+
+
+def is_transitive(history: History) -> bool:
+    """Whether failed-before is transitive (Section 6's stronger model).
+
+    The paper notes that sFS does *not* guarantee transitivity, and that a
+    transitive failed-before relation permits a faster last-process-to-fail
+    recovery. This predicate lets experiments measure how often transitivity
+    happens to hold.
+    """
+    graph = failed_before_graph(history)
+    for a, b in graph.edges:
+        for _, c in graph.out_edges(b):
+            if not graph.has_edge(a, c):
+                return False
+    return True
+
+
+def last_failed_candidates(history: History) -> frozenset[int]:
+    """Crashed processes that are maximal in the failed-before order.
+
+    These are the possible answers to Skeen's "last process to fail"
+    question: crashed processes that nobody is recorded as having
+    detected — if any process executed ``failed(p)``, something outlived
+    ``p`` and ``p`` was not last.
+    """
+    graph = failed_before_graph(history)
+    crashed = history.crashed_processes()
+    return frozenset(
+        p for p in crashed if not any(True for _ in graph.successors(p))
+    )

@@ -1,0 +1,263 @@
+"""Direct checkers for the paper's failure models (Sections 3.1-3.3).
+
+Each property of Figure 1 is implemented as a fast structural check on a
+:class:`~repro.core.history.History`, returning a :class:`CheckResult` that
+lists every violation found (so counterexamples are self-describing).
+
+The temporal-logic formulas in :mod:`repro.core.predicates` express the same
+properties declaratively; the test suite cross-validates the two on both
+hand-written and simulator-generated histories.
+
+Finite-prefix caveats:
+
+* FS1 and sFS2a are *liveness* properties; on a finite prefix they are
+  judged against the recorded events, so callers should either run the
+  system to quiescence or use
+  :func:`repro.core.indistinguishability.ensure_crashes` first. Both
+  checkers accept ``pending_ok=True`` to treat unresolved obligations as
+  not-yet-violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.events import FailedEvent, RecvEvent, SendEvent
+from repro.core.failed_before import find_cycle
+from repro.core.history import History
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of a model check: ``ok`` plus human-readable violations."""
+
+    name: str
+    ok: bool
+    violations: tuple[str, ...] = field(default_factory=tuple)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = "ok" if self.ok else f"FAIL({len(self.violations)})"
+        return f"<{self.name}: {status}>"
+
+
+def _result(name: str, violations: list[str]) -> CheckResult:
+    return CheckResult(name, not violations, tuple(violations))
+
+
+# ----------------------------------------------------------------------
+# Fail-stop (Section 3.1)
+# ----------------------------------------------------------------------
+
+
+def check_fs1(history: History, pending_ok: bool = False) -> CheckResult:
+    """FS1: every crash is eventually detected by every surviving process.
+
+    On the finite prefix: for every crashed ``i`` and every ``j``, either
+    ``j`` crashes somewhere in the history or ``failed_j(i)`` occurs.
+    With ``pending_ok`` the check is vacuously satisfied (used for
+    prefixes cut before the detection machinery has quiesced).
+    """
+    violations: list[str] = []
+    if pending_ok:
+        return _result("FS1", violations)
+    crash_index = history.crash_index
+    failed_index = history.failed_index
+    for i in crash_index:
+        for j in history.processes:
+            if j == i:
+                continue
+            if j in crash_index:
+                continue  # CRASH_j discharges the obligation
+            if (j, i) not in failed_index:
+                violations.append(
+                    f"FS1: crash_{i} never detected by surviving process {j}"
+                )
+    return _result("FS1", violations)
+
+
+def check_fs2(history: History) -> CheckResult:
+    """FS2: no false detections — ``crash_i`` precedes every ``failed_j(i)``."""
+    violations: list[str] = []
+    crash_index = history.crash_index
+    for (detector, target), fidx in sorted(
+        history.failed_index.items(), key=lambda kv: kv[1]
+    ):
+        cidx = crash_index.get(target)
+        if cidx is None:
+            violations.append(
+                f"FS2: failed_{detector}({target}) at [{fidx}] but "
+                f"crash_{target} never occurs"
+            )
+        elif cidx > fidx:
+            violations.append(
+                f"FS2: failed_{detector}({target}) at [{fidx}] precedes "
+                f"crash_{target} at [{cidx}]"
+            )
+    return _result("FS2", violations)
+
+
+def check_fs(history: History, pending_ok: bool = False) -> CheckResult:
+    """The fail-stop model: FS1 and FS2 together."""
+    violations = list(check_fs1(history, pending_ok).violations)
+    violations += list(check_fs2(history).violations)
+    return _result("FS", violations)
+
+
+# ----------------------------------------------------------------------
+# Simulated fail-stop (Section 3.3, Figure 1)
+# ----------------------------------------------------------------------
+
+
+def check_sfs2a(history: History, pending_ok: bool = False) -> CheckResult:
+    """sFS2a: if ``failed_i(j)`` occurs then ``crash_j`` occurs (eventually).
+
+    Unlike FS2, the crash may come *after* the detection.
+    """
+    violations: list[str] = []
+    crash_index = history.crash_index
+    for (detector, target), fidx in history.failed_index.items():
+        if target not in crash_index:
+            if pending_ok:
+                continue
+            violations.append(
+                f"sFS2a: failed_{detector}({target}) at [{fidx}] but "
+                f"crash_{target} never occurs in the prefix"
+            )
+    return _result("sFS2a", violations)
+
+
+def check_sfs2b(history: History) -> CheckResult:
+    """sFS2b: the failed-before relation is acyclic."""
+    cycle = find_cycle(history)
+    violations: list[str] = []
+    if cycle is not None:
+        rendered = " , ".join(f"{i} failed-before {j}" for i, j in cycle)
+        violations.append(f"sFS2b: failed-before cycle: {rendered}")
+    return _result("sFS2b", violations)
+
+
+def check_sfs2c(history: History) -> CheckResult:
+    """sFS2c: no process ever detects its own failure."""
+    violations: list[str] = []
+    for (detector, target), fidx in history.failed_index.items():
+        if detector == target:
+            violations.append(
+                f"sFS2c: self-detection failed_{detector}({target}) at [{fidx}]"
+            )
+    return _result("sFS2c", violations)
+
+
+def check_sfs2d(history: History) -> CheckResult:
+    """sFS2d: detections propagate ahead of subsequent messages.
+
+    If ``send_i(k, m)`` occurs after ``failed_i(j)`` and ``recv_k(i, m)``
+    occurs, then ``failed_k(j)`` must occur before the receive. (If *k*
+    crashes instead, it simply never receives *m*, which also satisfies
+    the property — there is then no receive event to check.)
+    """
+    violations: list[str] = []
+    recv_index = history.recv_index
+    failed_index = history.failed_index
+    # Detections by each process, ordered by index, for quick "which
+    # detections precede this send" queries.
+    detections_by_proc: dict[int, list[tuple[int, int]]] = {}
+    for (detector, target), fidx in failed_index.items():
+        detections_by_proc.setdefault(detector, []).append((fidx, target))
+    for proc in detections_by_proc:
+        detections_by_proc[proc].sort()
+
+    for uid, sidx in history.send_index.items():
+        send_event = history[sidx]
+        assert isinstance(send_event, SendEvent)
+        i, k = send_event.proc, send_event.dst
+        ridx = recv_index.get(uid)
+        if ridx is None:
+            continue  # never received: nothing to check
+        for fidx, j in detections_by_proc.get(i, ()):
+            if fidx > sidx:
+                break  # detections sorted by index; rest are later
+            # i had detected j before sending m; k must detect j first.
+            k_fidx = failed_index.get((k, j))
+            if k_fidx is None or k_fidx > ridx:
+                if k_fidx is None:
+                    tail = f"failed_{k}({j}) never occurs"
+                else:
+                    tail = f"failed_{k}({j}) only occurs at [{k_fidx}]"
+                violations.append(
+                    f"sFS2d: send_{i}({k}, {send_event.msg!r}) at [{sidx}] "
+                    f"follows failed_{i}({j}) at [{fidx}], but the receive "
+                    f"at [{ridx}] is not preceded by the detection: {tail}"
+                )
+    return _result("sFS2d", violations)
+
+
+def check_sfs(history: History, pending_ok: bool = False) -> CheckResult:
+    """The full simulated fail-stop model: FS1 ^ sFS2a-d (Figure 1)."""
+    violations: list[str] = []
+    for result in (
+        check_fs1(history, pending_ok),
+        check_sfs2a(history, pending_ok),
+        check_sfs2b(history),
+        check_sfs2c(history),
+        check_sfs2d(history),
+    ):
+        violations.extend(result.violations)
+    return _result("sFS", violations)
+
+
+# ----------------------------------------------------------------------
+# Necessary conditions for indistinguishability (Section 3.2)
+# ----------------------------------------------------------------------
+
+
+def check_condition1(history: History, pending_ok: bool = False) -> CheckResult:
+    """Condition 1: ``<> FAILED_i(j)`` implies ``<> CRASH_j``.
+
+    Identical in force to sFS2a on a completed prefix.
+    """
+    inner = check_sfs2a(history, pending_ok)
+    return CheckResult("Condition1", inner.ok, inner.violations)
+
+
+def check_condition2(history: History) -> CheckResult:
+    """Condition 2: the failed-before relation is acyclic (= sFS2b)."""
+    inner = check_sfs2b(history)
+    return CheckResult("Condition2", inner.ok, inner.violations)
+
+
+def check_condition3(history: History) -> CheckResult:
+    """Condition 3: no event of ``j`` causally follows ``failed_i(j)``.
+
+    Checked directly with the happens-before relation: for every detection
+    event ``failed_i(j)`` and every later event ``e`` of process ``j``,
+    require ``not (failed_i(j) -> e)``.
+    """
+    violations: list[str] = []
+    for (detector, target), fidx in history.failed_index.items():
+        for eidx in history.indices_of_process(target):
+            if eidx <= fidx:
+                continue
+            if history.happens_before(fidx, eidx):
+                violations.append(
+                    f"Condition3: failed_{detector}({target}) at [{fidx}] "
+                    f"happens-before event {history[eidx]!r} of process "
+                    f"{target} at [{eidx}]"
+                )
+    return _result("Condition3", violations)
+
+
+def check_necessary_conditions(
+    history: History, pending_ok: bool = False
+) -> CheckResult:
+    """Conditions 1-3 of Theorem 2 together."""
+    violations: list[str] = []
+    for result in (
+        check_condition1(history, pending_ok),
+        check_condition2(history),
+        check_condition3(history),
+    ):
+        violations.extend(result.violations)
+    return _result("Conditions1-3", violations)

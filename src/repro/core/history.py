@@ -1,0 +1,355 @@
+"""Histories and the happens-before relation (Section 2, [Lam78]).
+
+A :class:`History` is the (finite prefix of the) event sequence of a run.
+For any run ``r`` the history ``H_r`` is uniquely determined, and ``r`` can
+be reconstructed from ``H_r`` plus the initial global state — so the library
+treats histories as the canonical representation of runs and derives global
+states on demand (:mod:`repro.core.runs`).
+
+The paper's happens-before relation (reflexive, per their convention) is
+computed with vector clocks: each event is stamped with a vector ``V`` where
+``V[p]`` counts the events of process ``p`` in its causal past (inclusive).
+Then for events ``a`` of process ``p_a`` and ``b``::
+
+    a -> b   iff   V(b)[p_a] >= V(a)[p_a]
+
+which is the standard characterization, and is reflexive as required.
+
+Histories are immutable; rearrangement operations (used by the Theorem 5
+construction in :mod:`repro.core.indistinguishability`) return new histories.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from typing import Iterable
+
+from repro.core.events import (
+    CrashEvent,
+    Event,
+    FailedEvent,
+    RecvEvent,
+    SendEvent,
+)
+from repro.core.messages import Message
+
+
+class History(Sequence[Event]):
+    """An immutable sequence of events over processes ``0 .. n-1``.
+
+    Args:
+        events: the event sequence, in execution order.
+        n: number of processes. If omitted, inferred as one more than the
+            largest process id mentioned by any event (and at least 1).
+    """
+
+    __slots__ = (
+        "_events",
+        "_n",
+        "_vectors",
+        "_send_index",
+        "_recv_index",
+        "_crash_index",
+        "_failed_index",
+        "_proc_indices",
+    )
+
+    def __init__(self, events: Iterable[Event] = (), n: int | None = None):
+        self._events: tuple[Event, ...] = tuple(events)
+        if n is None:
+            n = 0
+            for e in self._events:
+                n = max(n, e.proc + 1)
+                if isinstance(e, SendEvent):
+                    n = max(n, e.dst + 1)
+                elif isinstance(e, RecvEvent):
+                    n = max(n, e.src + 1)
+                elif isinstance(e, FailedEvent):
+                    n = max(n, e.target + 1)
+            n = max(n, 1)
+        self._n = n
+        self._vectors: list[tuple[int, ...]] | None = None
+        self._send_index: dict[tuple[int, int], int] | None = None
+        self._recv_index: dict[tuple[int, int], int] | None = None
+        self._crash_index: dict[int, int] | None = None
+        self._failed_index: dict[tuple[int, int], int] | None = None
+        self._proc_indices: list[list[int]] | None = None
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return History(self._events[index], self._n)
+        return self._events[index]
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, History):
+            return NotImplemented
+        return self._events == other._events and self._n == other._n
+
+    def __hash__(self) -> int:
+        return hash((self._events, self._n))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        shown = ", ".join(repr(e) for e in self._events[:6])
+        if len(self._events) > 6:
+            shown += f", ... ({len(self._events)} events)"
+        return f"History(n={self._n}: {shown})"
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of processes in the system."""
+        return self._n
+
+    @property
+    def events(self) -> tuple[Event, ...]:
+        """The raw event tuple."""
+        return self._events
+
+    @property
+    def processes(self) -> range:
+        """The process id universe ``0 .. n-1``."""
+        return range(self._n)
+
+    def append(self, *events: Event) -> "History":
+        """A new history with ``events`` appended."""
+        return History(self._events + tuple(events), self._n)
+
+    def with_events(self, events: Iterable[Event]) -> "History":
+        """A new history over the same process universe."""
+        return History(events, self._n)
+
+    # ------------------------------------------------------------------
+    # Derived indices (lazy)
+    # ------------------------------------------------------------------
+
+    def _build_indices(self) -> None:
+        send_index: dict[tuple[int, int], int] = {}
+        recv_index: dict[tuple[int, int], int] = {}
+        crash_index: dict[int, int] = {}
+        failed_index: dict[tuple[int, int], int] = {}
+        proc_indices: list[list[int]] = [[] for _ in range(self._n)]
+        for idx, e in enumerate(self._events):
+            proc_indices[e.proc].append(idx)
+            if isinstance(e, SendEvent):
+                send_index.setdefault(e.msg.uid, idx)
+            elif isinstance(e, RecvEvent):
+                recv_index.setdefault(e.msg.uid, idx)
+            elif isinstance(e, CrashEvent):
+                crash_index.setdefault(e.proc, idx)
+            elif isinstance(e, FailedEvent):
+                failed_index.setdefault((e.proc, e.target), idx)
+        self._send_index = send_index
+        self._recv_index = recv_index
+        self._crash_index = crash_index
+        self._failed_index = failed_index
+        self._proc_indices = proc_indices
+
+    @property
+    def send_index(self) -> dict[tuple[int, int], int]:
+        """Map from message uid to the index of its send event."""
+        if self._send_index is None:
+            self._build_indices()
+        assert self._send_index is not None
+        return self._send_index
+
+    @property
+    def recv_index(self) -> dict[tuple[int, int], int]:
+        """Map from message uid to the index of its receive event."""
+        if self._recv_index is None:
+            self._build_indices()
+        assert self._recv_index is not None
+        return self._recv_index
+
+    @property
+    def crash_index(self) -> dict[int, int]:
+        """Map from process id to the index of its crash event (if any)."""
+        if self._crash_index is None:
+            self._build_indices()
+        assert self._crash_index is not None
+        return self._crash_index
+
+    @property
+    def failed_index(self) -> dict[tuple[int, int], int]:
+        """Map ``(detector, target)`` to the index of ``failed`` event."""
+        if self._failed_index is None:
+            self._build_indices()
+        assert self._failed_index is not None
+        return self._failed_index
+
+    def indices_of_process(self, proc: int) -> list[int]:
+        """Indices of all events of ``proc``, in history order."""
+        if self._proc_indices is None:
+            self._build_indices()
+        assert self._proc_indices is not None
+        return list(self._proc_indices[proc])
+
+    def crashed_processes(self) -> frozenset[int]:
+        """Processes whose crash event appears in this history."""
+        return frozenset(self.crash_index)
+
+    def detected_pairs(self) -> list[tuple[int, int]]:
+        """All ``(detector, target)`` pairs with a failed event, in order."""
+        pairs = sorted(self.failed_index.items(), key=lambda kv: kv[1])
+        return [pair for pair, _ in pairs]
+
+    # ------------------------------------------------------------------
+    # Happens-before
+    # ------------------------------------------------------------------
+
+    def _build_vectors(self) -> None:
+        n = self._n
+        current: list[tuple[int, ...]] = [tuple([0] * n) for _ in range(n)]
+        vectors: list[tuple[int, ...]] = []
+        send_vec: dict[tuple[int, int], tuple[int, ...]] = {}
+        for e in self._events:
+            p = e.proc
+            vec = list(current[p])
+            if isinstance(e, RecvEvent):
+                origin = send_vec.get(e.msg.uid)
+                if origin is not None:
+                    for q in range(n):
+                        if origin[q] > vec[q]:
+                            vec[q] = origin[q]
+            vec[p] += 1
+            stamped = tuple(vec)
+            current[p] = stamped
+            vectors.append(stamped)
+            if isinstance(e, SendEvent):
+                send_vec[e.msg.uid] = stamped
+        self._vectors = vectors
+
+    @property
+    def vectors(self) -> list[tuple[int, ...]]:
+        """Vector timestamps, one per event, aligned with indices."""
+        if self._vectors is None:
+            self._build_vectors()
+        assert self._vectors is not None
+        return self._vectors
+
+    def happens_before(self, a: int, b: int) -> bool:
+        """Paper's (reflexive) happens-before on event *indices* ``a, b``."""
+        if a == b:
+            return True
+        vectors = self.vectors
+        pa = self._events[a].proc
+        return vectors[b][pa] >= vectors[a][pa]
+
+    def concurrent(self, a: int, b: int) -> bool:
+        """True iff neither ``a -> b`` nor ``b -> a`` (and ``a != b``)."""
+        if a == b:
+            return False
+        return not self.happens_before(a, b) and not self.happens_before(b, a)
+
+    def causal_past(self, idx: int) -> list[int]:
+        """Indices of all events ``e`` with ``e -> history[idx]``."""
+        return [a for a in range(len(self._events)) if self.happens_before(a, idx)]
+
+    def causal_future(self, idx: int) -> list[int]:
+        """Indices of all events ``e`` with ``history[idx] -> e``."""
+        return [
+            b for b in range(len(self._events)) if self.happens_before(idx, b)
+        ]
+
+    # ------------------------------------------------------------------
+    # Projections and isomorphism (Section 2, "=_i" / "=_Q")
+    # ------------------------------------------------------------------
+
+    def projection(self, proc: int) -> tuple[Event, ...]:
+        """The subsequence of events of process ``proc``.
+
+        For deterministic processes started from the same initial state, the
+        per-process event sequence determines the per-process state sequence,
+        so equality of projections is the paper's run isomorphism ``=_i``.
+        """
+        return tuple(e for e in self._events if e.proc == proc)
+
+    def projection_of(self, procs: Iterable[int]) -> tuple[Event, ...]:
+        """The subsequence of events of any process in ``procs`` (``=_Q``)."""
+        wanted = set(procs)
+        return tuple(e for e in self._events if e.proc in wanted)
+
+
+def isomorphic(
+    x: History, y: History, procs: Iterable[int] | None = None
+) -> bool:
+    """Paper's run isomorphism ``x =_Q y``.
+
+    Two histories are isomorphic with respect to a set of processes if each
+    of those processes executes the same events in the same order in both.
+    With ``procs=None`` the check is over all processes (``=_P``), i.e. no
+    process can distinguish the two runs.
+    """
+    if procs is None:
+        if x.n != y.n:
+            return False
+        procs = range(x.n)
+    return all(x.projection(p) == y.projection(p) for p in procs)
+
+
+def merge_preserving_process_order(histories: Iterable[History]) -> History:
+    """Interleave histories of disjoint process sets (testing helper).
+
+    Events are merged round-robin while preserving each input's order. The
+    inputs must concern disjoint process sets for the result to make sense.
+    """
+    sequences = [list(h.events) for h in histories]
+    merged: list[Event] = []
+    while any(sequences):
+        for seq in sequences:
+            if seq:
+                merged.append(seq.pop(0))
+    return History(merged)
+
+
+def find_message_chains(history: History) -> list[list[int]]:
+    """All maximal send->recv chains, as lists of event indices.
+
+    A chain alternates ``send -> recv`` across processes, following the
+    definition of happens-before clause 2/3; used in tests and diagnostics
+    for sFS2d (Lemma 4's message chains).
+    """
+    chains: list[list[int]] = []
+    recv_index = history.recv_index
+    # A chain starts at a send whose message was received.
+    for uid, send_idx in sorted(history.send_index.items(), key=lambda kv: kv[1]):
+        recv_idx = recv_index.get(uid)
+        if recv_idx is None:
+            continue
+        chain = [send_idx, recv_idx]
+        # Extend through sends by the receiver after the receive.
+        receiver = history[recv_idx].proc
+        for later in range(recv_idx + 1, len(history)):
+            e = history[later]
+            if e.proc != receiver or not isinstance(e, SendEvent):
+                continue
+            nxt = recv_index.get(e.msg.uid)
+            if nxt is not None:
+                chain.extend([later, nxt])
+                receiver = history[nxt].proc
+        chains.append(chain)
+    return chains
+
+
+def messages_in_flight(history: History) -> list[Message]:
+    """Messages sent but never received in this (finite) history."""
+    pending: list[Message] = []
+    recv_index = history.recv_index
+    for uid, send_idx in sorted(history.send_index.items(), key=lambda kv: kv[1]):
+        if uid not in recv_index:
+            event = history[send_idx]
+            assert isinstance(event, SendEvent)
+            pending.append(event.msg)
+    return pending

@@ -1,0 +1,319 @@
+"""Indistinguishability from fail-stop: Theorem 5 made executable.
+
+Definition 4: a failure model M is *indistinguishable* from FS if every run
+``r`` of M has a run ``r'`` in FS with ``r =_P r'`` — the same events at
+every process, so nobody inside the system can tell the difference.
+
+This module decides, for a concrete (finite, completed) history, whether
+such an FS witness exists, and constructs one when it does:
+
+* :func:`fail_stop_witness` — the primary engine. It builds the *ordering
+  constraint graph* the paper's impossibility arguments reason about
+  (Theorems 2 and 3): happens-before edges (process order and
+  send-before-receive) plus, for every detected process ``i``, an edge
+  ``crash_i  before  failed_j(i)``. A topological order of this graph is a
+  valid run, isomorphic to the original at every process, in which every
+  crash precedes its detections — i.e. an FS run. A cycle is a certificate
+  that no FS witness exists, exactly mirroring the "circular constraints"
+  of Theorem 2's proof.
+
+* :func:`fail_stop_witness_by_commutation` — the construction of the
+  Theorem 5 proof itself (Appendix A.2): repeatedly find a *bad pair*
+  (``failed_j(i)`` preceding ``crash_i``) and commute the non-causally-
+  related events of the enclosed segment in front of the detection. On
+  sFS runs this terminates with the same guarantees; it exists chiefly to
+  mirror the paper's argument and is cross-checked against the primary
+  engine in the test suite.
+
+Finite prefixes are completed with :func:`ensure_crashes`, which appends
+the crash events that sFS2a promises (every detected process eventually
+crashes); without completion a detected-but-not-yet-crashed process would
+make FS2 unsatisfiable for spurious reasons.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.core.events import CrashEvent, Event, FailedEvent, RecvEvent, SendEvent
+from repro.core.history import History, isomorphic
+from repro.errors import CannotRearrangeError
+
+
+def ensure_crashes(history: History) -> History:
+    """Append ``crash_i`` for every detected-but-uncrashed process ``i``.
+
+    This is the finite-prefix completion licensed by sFS2a: in any
+    continuation of the run, each detected process must eventually crash,
+    and appending the crash at the end is always a valid next event (the
+    process simply takes no further steps). Detected processes are appended
+    in the order of their first detection.
+    """
+    crash_index = history.crash_index
+    pending: list[tuple[int, int]] = []
+    seen: set[int] = set()
+    for (detector, target), fidx in sorted(
+        history.failed_index.items(), key=lambda kv: kv[1]
+    ):
+        del detector
+        if target not in crash_index and target not in seen:
+            pending.append((fidx, target))
+            seen.add(target)
+    if not pending:
+        return history
+    return history.append(*(CrashEvent(target) for _, target in pending))
+
+
+def bad_pairs(history: History) -> list[tuple[int, int, int, int]]:
+    """All bad pairs per Definition 8 of Appendix A.2.
+
+    A pair ``(i, j)`` is *bad* when ``failed_j(i)`` precedes ``crash_i``
+    in the history — the order FS2 forbids. Returns tuples
+    ``(i, j, failed_idx, crash_idx)``, ordered by the detection index.
+    (Pairs where ``crash_i`` is absent entirely are not listed; run
+    :func:`ensure_crashes` first.)
+    """
+    crash_index = history.crash_index
+    out: list[tuple[int, int, int, int]] = []
+    for (detector, target), fidx in sorted(
+        history.failed_index.items(), key=lambda kv: kv[1]
+    ):
+        cidx = crash_index.get(target)
+        if cidx is not None and fidx < cidx:
+            out.append((target, detector, fidx, cidx))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Primary engine: ordering-constraint graph + stable topological sort
+# ----------------------------------------------------------------------
+
+
+def _constraint_edges(history: History) -> list[tuple[int, int]]:
+    """Edges ``a -> b`` meaning event ``a`` must precede event ``b``.
+
+    Three sources, matching the paper's proofs:
+
+    1. process order — consecutive events of the same process;
+    2. communication — ``send`` before its matching ``recv``;
+    3. fail-stop — ``crash_i`` before every ``failed_j(i)``.
+
+    (1) and (2) generate exactly the happens-before relation; any linear
+    extension of (1)+(2) over the same event set is a valid run isomorphic
+    to the original at every process. Adding (3) forces FS2.
+    """
+    edges: list[tuple[int, int]] = []
+    last_of_proc: dict[int, int] = {}
+    for idx, event in enumerate(history):
+        prev = last_of_proc.get(event.proc)
+        if prev is not None:
+            edges.append((prev, idx))
+        last_of_proc[event.proc] = idx
+    recv_index = history.recv_index
+    for uid, sidx in history.send_index.items():
+        ridx = recv_index.get(uid)
+        if ridx is not None:
+            edges.append((sidx, ridx))
+    crash_index = history.crash_index
+    for (detector, target), fidx in history.failed_index.items():
+        del detector
+        cidx = crash_index.get(target)
+        if cidx is not None:
+            edges.append((cidx, fidx))
+    return edges
+
+
+def _find_constraint_cycle(
+    num_events: int, edges: list[tuple[int, int]]
+) -> list[int] | None:
+    """A cycle in the constraint graph as a list of event indices, or None."""
+    succ: dict[int, list[int]] = {}
+    for a, b in edges:
+        succ.setdefault(a, []).append(b)
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = [WHITE] * num_events
+    parent: dict[int, int] = {}
+    for root in range(num_events):
+        if color[root] != WHITE:
+            continue
+        stack: list[tuple[int, int]] = [(root, 0)]
+        color[root] = GRAY
+        while stack:
+            node, child_pos = stack[-1]
+            children = succ.get(node, [])
+            if child_pos >= len(children):
+                color[node] = BLACK
+                stack.pop()
+                continue
+            stack[-1] = (node, child_pos + 1)
+            child = children[child_pos]
+            if color[child] == GRAY:
+                # Found a back edge: reconstruct the cycle.
+                cycle = [child, node]
+                cursor = node
+                while cursor != child:
+                    cursor = parent[cursor]
+                    cycle.append(cursor)
+                cycle.reverse()
+                return cycle[:-1]
+            if color[child] == WHITE:
+                color[child] = GRAY
+                parent[child] = node
+                stack.append((child, 0))
+    return None
+
+
+def distinguishability_certificate(history: History) -> list[Event] | None:
+    """A cycle of ordering constraints proving no FS witness exists.
+
+    Returns the events on the cycle (in constraint order), or ``None`` if
+    the history *is* internally indistinguishable from fail-stop. The
+    certificate reads exactly like the circular-constraint arguments in the
+    proofs of Theorems 2 and 3.
+    """
+    completed = ensure_crashes(history)
+    edges = _constraint_edges(completed)
+    cycle = _find_constraint_cycle(len(completed), edges)
+    if cycle is None:
+        return None
+    return [completed[idx] for idx in cycle]
+
+
+def fail_stop_witness(history: History) -> History:
+    """Construct an FS run isomorphic (``=_P``) to ``history``.
+
+    The witness is the minimal-index-first topological order of the
+    ordering-constraint graph, which:
+
+    * preserves every process's event subsequence (process-order edges),
+    * preserves send-before-receive and channel FIFO (communication edges
+      plus preserved per-process order of sends and receives),
+    * places every crash before all detections of it (fail-stop edges),
+
+    hence is a valid run in FS that no process can distinguish from the
+    original. Raises :class:`CannotRearrangeError` with a constraint-cycle
+    certificate when no witness exists (the run is *distinguishable*).
+    """
+    completed = ensure_crashes(history)
+    num = len(completed)
+    edges = _constraint_edges(completed)
+    indegree = [0] * num
+    succ: dict[int, list[int]] = {}
+    for a, b in edges:
+        succ.setdefault(a, []).append(b)
+        indegree[b] += 1
+    ready = [idx for idx in range(num) if indegree[idx] == 0]
+    heapq.heapify(ready)
+    order: list[int] = []
+    while ready:
+        idx = heapq.heappop(ready)
+        order.append(idx)
+        for nxt in succ.get(idx, ()):
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                heapq.heappush(ready, nxt)
+    if len(order) != num:
+        cycle = _find_constraint_cycle(num, edges)
+        assert cycle is not None
+        raise CannotRearrangeError(
+            "no fail-stop run is isomorphic to this history: ordering "
+            "constraints are circular (cf. Theorems 2 and 3): "
+            + " -> ".join(repr(completed[idx]) for idx in cycle),
+            certificate=[completed[idx] for idx in cycle],
+        )
+    return completed.with_events(completed[idx] for idx in order)
+
+
+def is_internally_fail_stop(history: History) -> bool:
+    """True iff some FS run is isomorphic to ``history`` at every process."""
+    return distinguishability_certificate(history) is None
+
+
+# ----------------------------------------------------------------------
+# The paper's own construction (Appendix A.2), for fidelity
+# ----------------------------------------------------------------------
+
+
+def _fix_bad_pair(history: History, fidx: int, cidx: int) -> History:
+    """One application of the appendix's inductive construction.
+
+    Every event ``e`` in the segment ``(fidx, cidx]`` with
+    ``not (failed_j(i) -> e)`` — including ``crash_i`` itself, by Lemma 4 —
+    is moved, order preserved, to just before the detection at ``fidx``.
+    Events causally after the detection keep their positions relative to
+    each other. Transitivity of happens-before guarantees the result is a
+    valid run, and no process's own subsequence changes.
+    """
+    segment = range(fidx + 1, cidx + 1)
+    moved = [k for k in segment if not history.happens_before(fidx, k)]
+    kept = [k for k in segment if history.happens_before(fidx, k)]
+    if cidx not in moved:
+        raise CannotRearrangeError(
+            f"failed event at [{fidx}] happens-before crash at [{cidx}]: "
+            "the run violates Lemma 4's preconditions (sFS2c/sFS2d)"
+        )
+    events = list(history.events)
+    reordered = (
+        events[:fidx]
+        + [events[k] for k in moved]
+        + [events[fidx]]
+        + [events[k] for k in kept]
+        + events[cidx + 1 :]
+    )
+    return history.with_events(reordered)
+
+
+def fail_stop_witness_by_commutation(
+    history: History, max_rounds: int | None = None
+) -> History:
+    """Theorem 5's proof as an algorithm (Appendix A.2).
+
+    Repeatedly fixes bad pairs by commuting non-happens-before-related
+    events, exactly as the appendix's inductive construction does. For runs
+    satisfying sFS2a-d the proof guarantees termination; ``max_rounds``
+    (default ``4 * (bad pairs + 1)**2 + 8``) guards against histories
+    outside that model, for which :class:`CannotRearrangeError` is raised.
+    """
+    current = ensure_crashes(history)
+    pairs = bad_pairs(current)
+    if max_rounds is None:
+        max_rounds = 4 * (len(pairs) + 1) ** 2 + 8
+    rounds = 0
+    while True:
+        pairs = bad_pairs(current)
+        if not pairs:
+            return current
+        rounds += 1
+        if rounds > max_rounds:
+            raise CannotRearrangeError(
+                f"commutation did not converge after {max_rounds} rounds; "
+                "the run is likely distinguishable from fail-stop"
+            )
+        _, _, fidx, cidx = pairs[0]
+        current = _fix_bad_pair(current, fidx, cidx)
+
+
+# ----------------------------------------------------------------------
+# Witness verification (used by tests and the analysis harness)
+# ----------------------------------------------------------------------
+
+
+def verify_witness(original: History, witness: History) -> list[str]:
+    """Check that ``witness`` really is an FS run indistinguishable from
+    ``original`` (modulo crash-completion). Returns violations (empty = ok).
+    """
+    from repro.core.failure_models import check_fs2
+    from repro.core.validate import validate_history
+
+    problems = list(validate_history(witness))
+    completed = ensure_crashes(original)
+    if not isomorphic(completed, witness):
+        diff = [
+            p
+            for p in completed.processes
+            if completed.projection(p) != witness.projection(p)
+        ]
+        problems.append(f"witness not isomorphic at processes {diff}")
+    fs2 = check_fs2(witness)
+    problems.extend(fs2.violations)
+    return problems

@@ -1,0 +1,66 @@
+"""Unique messages, as assumed by the system model of Section 2.
+
+The paper assumes "all messages m are unique (they can easily be made so by
+including in m its source and a sequence number)". :class:`Message` does
+exactly that: a message is identified by its ``(sender, seq)`` pair, and the
+payload rides along. Two sends of the "same" application data are therefore
+distinct messages, which is what makes send/receive matching (and hence the
+happens-before relation) unambiguous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """An immutable, globally unique message.
+
+    Attributes:
+        sender: id of the sending process (the ``i`` of ``send_i(j, m)``).
+        seq: per-sender sequence number making the message unique.
+        payload: arbitrary hashable application or protocol content.
+    """
+
+    sender: int
+    seq: int
+    payload: Hashable = None
+
+    @property
+    def uid(self) -> tuple[int, int]:
+        """The globally unique identity of this message."""
+        return (self.sender, self.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"m({self.sender}.{self.seq}:{self.payload!r})"
+
+
+@dataclass
+class MessageMint:
+    """Mints unique messages on behalf of one sending process.
+
+    Each process owns one mint; the mint guarantees the paper's uniqueness
+    assumption by construction.
+    """
+
+    sender: int
+    _next_seq: int = field(default=0)
+
+    def mint(self, payload: Hashable = None) -> Message:
+        """Create a fresh message with the next sequence number."""
+        msg = Message(self.sender, self._next_seq, payload)
+        self._next_seq += 1
+        return msg
+
+    @property
+    def minted(self) -> int:
+        """How many messages have been minted so far."""
+        return self._next_seq
+
+
+def make_messages(sender: int, payloads: list[Any]) -> list[Message]:
+    """Convenience: mint one message per payload, in order."""
+    mint = MessageMint(sender)
+    return [mint.mint(p) for p in payloads]

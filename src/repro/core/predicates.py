@@ -1,0 +1,153 @@
+"""The paper's named state predicates as temporal-logic atoms.
+
+Provides CRASH_i, FAILED_i(j), SEND_i(j, m), RECV_i(j, m) (all stable by
+construction, Section 2) plus the failure-model formulas FS1, FS2 and
+sFS2a/c/d assembled exactly as in Figure 1. These formulas are the
+*executable specification*; :mod:`repro.core.failure_models` re-implements
+the same checks directly on histories for speed, and the test suite verifies
+the two agree.
+"""
+
+from __future__ import annotations
+
+from repro.core.messages import Message
+from repro.core.runs import Run
+from repro.core.temporal import (
+    Always,
+    Atom,
+    Eventually,
+    Formula,
+    Implies,
+    Not,
+    atom,
+    conj,
+    disj,
+)
+
+
+def CRASH(i: int) -> Atom:
+    """The stable predicate CRASH_i."""
+    return atom(lambda run, k: run.crash_holds(i, k), f"CRASH_{i}")
+
+
+def FAILED(i: int, j: int) -> Atom:
+    """The stable predicate FAILED_i(j): *i* has detected *j*'s crash."""
+    return atom(lambda run, k: run.failed_holds(i, j, k), f"FAILED_{i}({j})")
+
+
+def SEND(msg: Message) -> Atom:
+    """The stable predicate SEND_i(j, m) for a concrete message."""
+    return atom(lambda run, k: run.sent_holds(msg, k), f"SEND{msg.uid}")
+
+
+def RECV(msg: Message) -> Atom:
+    """The stable predicate RECV_i(j, m) for a concrete message."""
+    return atom(lambda run, k: run.recv_holds(msg, k), f"RECV{msg.uid}")
+
+
+# ----------------------------------------------------------------------
+# Failure-model formulas (Figure 1)
+# ----------------------------------------------------------------------
+
+
+def fs1_formula(n: int) -> Formula:
+    """FS1: ``[] (CRASH_i => <> (CRASH_j v FAILED_j(i)))`` for all i, j.
+
+    Every crash is eventually detected by every process that does not
+    itself crash.
+    """
+    clauses: list[Formula] = []
+    for i in range(n):
+        for j in range(n):
+            clauses.append(
+                Always(
+                    Implies(
+                        CRASH(i),
+                        Eventually(disj([CRASH(j), FAILED(j, i)])),
+                    )
+                )
+            )
+    return conj(clauses)
+
+
+def fs2_formula(n: int) -> Formula:
+    """FS2: ``[] (FAILED_j(i) => CRASH_i)`` — no false detections."""
+    clauses: list[Formula] = []
+    for i in range(n):
+        for j in range(n):
+            clauses.append(Always(Implies(FAILED(j, i), CRASH(i))))
+    return conj(clauses)
+
+
+def sfs2a_formula(n: int) -> Formula:
+    """sFS2a: ``[] (FAILED_i(j) => <> CRASH_j)``.
+
+    A detected process eventually crashes, even if the detection was
+    erroneous when made.
+    """
+    clauses: list[Formula] = []
+    for i in range(n):
+        for j in range(n):
+            clauses.append(
+                Always(Implies(FAILED(i, j), Eventually(CRASH(j))))
+            )
+    return conj(clauses)
+
+
+def sfs2c_formula(n: int) -> Formula:
+    """sFS2c: ``[] ~FAILED_i(i)`` — no process detects its own failure."""
+    return conj([Always(Not(FAILED(i, i))) for i in range(n)])
+
+
+def sfs2d_formula(run: Run) -> Formula:
+    """sFS2d, instantiated over the concrete messages of ``run``.
+
+    ``[] [FAILED_i(j) ^ ~SEND_i(k, m) => [] ((SEND_i(k,m) ^ RECV_k(i,m))
+    => FAILED_k(j))]``: once *i* has detected *j*, no message *i* sends
+    afterwards is received by *k* until *k* has also detected *j*.
+
+    The universal quantification over messages is expanded over the
+    messages actually sent in the run, which is exactly the set over which
+    the property can be non-vacuous.
+    """
+    history = run.history
+    clauses: list[Formula] = []
+    n = history.n
+    for uid, send_idx in history.send_index.items():
+        send_event = history[send_idx]
+        i = send_event.proc
+        msg = send_event.msg
+        for j in range(n):
+            if j == i:
+                continue
+            k = send_event.dst
+            inner = Always(
+                Implies(SEND(msg) & RECV(msg), FAILED(k, j))
+            )
+            clauses.append(
+                Always(Implies(FAILED(i, j) & Not(SEND(msg)), inner))
+            )
+    return conj(clauses)
+
+
+def fs_formula(n: int) -> Formula:
+    """The full fail-stop specification FS1 ^ FS2 (Section 3.1)."""
+    return fs1_formula(n) & fs2_formula(n)
+
+
+def sfs_state_formulas(run: Run) -> Formula:
+    """FS1 ^ sFS2a ^ sFS2c ^ sFS2d as one formula for a concrete run.
+
+    sFS2b (acyclicity of failed-before) is not expressible as a state
+    formula over the paper's predicates; it is checked structurally by
+    :func:`repro.core.failed_before.is_acyclic`.
+    """
+    n = run.n
+    return conj(
+        [
+            fs1_formula(n),
+            sfs2a_formula(n),
+            sfs2c_formula(n),
+            sfs2d_formula(run),
+        ]
+    )

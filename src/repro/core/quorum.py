@@ -1,0 +1,142 @@
+"""Quorum sets and the Witness Property (Section 4, Definition 5).
+
+When process *i* detects the failure of *j* in a one-round protocol, its
+*quorum set* ``Q_ij`` is the set of processes from which *i* received
+acknowledgements of its suspicion. The Witness Property (W) requires a
+single process — the witness — to belong to the quorum set of *every*
+failure detection::
+
+    W:   intersection over all FAILED_i(j) of Q_ij   is non-empty
+
+Theorem 6 shows W is necessary for sFS2b (acyclic failed-before); Theorem 7
+turns W into the quorum-size bound; this module provides the data type, the
+checkers, and the Theorem 7 counterexample construction used to prove the
+bound tight from below.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from functools import reduce
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class QuorumRecord:
+    """The quorum set behind one executed failure detection.
+
+    Attributes:
+        detector: the process *i* that executed ``failed_i(j)``.
+        target: the detected process *j*.
+        members: ``Q_ij`` — every process whose acknowledgement *i*
+            counted before detecting (always includes *i* itself in the
+            Section 5 protocol).
+    """
+
+    detector: int
+    target: int
+    members: frozenset[int]
+
+    @property
+    def size(self) -> int:
+        """``|Q_ij|``."""
+        return len(self.members)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        who = ",".join(map(str, sorted(self.members)))
+        return f"Q_{self.detector},{self.target}={{{who}}}"
+
+
+def common_witnesses(records: Iterable[QuorumRecord]) -> frozenset[int]:
+    """The set of processes in *every* quorum (empty iff W fails).
+
+    With no records the property is vacuous; by convention we return the
+    empty set, and :func:`witness_property` treats the vacuous case as
+    holding.
+    """
+    sets = [record.members for record in records]
+    if not sets:
+        return frozenset()
+    return reduce(frozenset.intersection, sets)
+
+
+def witness_property(records: Sequence[QuorumRecord]) -> bool:
+    """The Witness Property W over a run's quorum records."""
+    if not records:
+        return True
+    return bool(common_witnesses(records))
+
+
+def t_wise_intersecting(
+    records: Sequence[QuorumRecord], t: int, limit: int = 200_000
+) -> bool:
+    """The operative Witness condition: every ``t`` quorums intersect.
+
+    Theorem 7's proof guarantees ("we must guarantee that any t quorum
+    sets Q1..Qt have a nonempty intersection") — a failed-before cycle
+    involves at most ``t`` detections, so a common witness among every
+    ``t``-subset of quorums is what rules cycles out. The paper's global
+    statement of W coincides with this when each failure is detected once;
+    with many detectors per target the t-wise form is the meaningful one.
+
+    Checks all ``C(len(records), t)`` subsets when that count is at most
+    ``limit``; beyond that it falls back to the sufficient size criterion
+    of Theorem 7 (every quorum strictly larger than ``n(t-1)/t``, with
+    ``n`` taken as the size of the union of all quorum members — a
+    conservative lower bound on the true system size).
+    """
+    items = [record.members for record in records]
+    if t <= 0 or len(items) <= 1:
+        return True
+    k = min(t, len(items))
+    subsets = math.comb(len(items), k)
+    if subsets > limit:
+        universe = frozenset().union(*items)
+        n = len(universe)
+        threshold = (n * (t - 1)) / t
+        return all(len(members) > threshold for members in items)
+    for combo in itertools.combinations(items, k):
+        if not reduce(frozenset.intersection, combo):
+            return False
+    return True
+
+
+def pairwise_intersecting(records: Sequence[QuorumRecord]) -> bool:
+    """The weaker, replicated-data style condition ([Gif79]).
+
+    Every *pair* of quorums intersects. The paper stresses that W is
+    strictly stronger than this; the counterexample family below satisfies
+    pairwise intersection for t >= 3 while violating W.
+    """
+    items = list(records)
+    for a in range(len(items)):
+        for b in range(a + 1, len(items)):
+            if not (items[a].members & items[b].members):
+                return False
+    return True
+
+
+def counterexample_family(n: int, t: int) -> list[frozenset[int]]:
+    """Theorem 7's construction: ``t`` quorums with empty intersection.
+
+    Processes are split into ``t`` wrap-around blocks of size
+    ``ceil(n / t)``; quorum ``Q_i`` is the complement of block ``i``, so
+    every process is excluded from at least one quorum and the global
+    intersection is empty. Each quorum has exactly
+    ``n - ceil(n/t) = floor(n(t-1)/t)`` members — one below the protocol's
+    minimum, which is what makes the bound of Theorem 7 tight.
+
+    Requires ``2 <= t <= n``.
+    """
+    if not 2 <= t <= n:
+        raise ValueError(f"need 2 <= t <= n, got n={n}, t={t}")
+    everyone = frozenset(range(n))
+    block_size = -(-n // t)  # ceil(n / t)
+    quorums: list[frozenset[int]] = []
+    for i in range(t):
+        start = (i * block_size) % n
+        block = frozenset((start + k) % n for k in range(block_size))
+        quorums.append(everyone - block)
+    return quorums

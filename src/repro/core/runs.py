@@ -1,0 +1,202 @@
+"""Runs and global states reconstructed from histories (Definitions 1-2).
+
+A run is an infinite sequence of global states; we work with the finite
+prefix determined by a :class:`~repro.core.history.History` and treat the
+final state as repeating forever (stuttering). Because every predicate the
+paper uses — SEND, RECV, CRASH, FAILED — is *stable* (once true, forever
+true), this finite-prefix view is exact for ◇ over stable atoms and sound
+for □.
+
+For efficiency, :class:`Run` does not materialize global states; it records
+the history index at which each stable predicate first became true and
+answers point queries in O(1). Position ``k`` refers to global state Σ_k,
+i.e. the state *after* the first ``k`` events; position 0 is the initial
+state and there are ``len(history) + 1`` positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.core.events import (
+    CrashEvent,
+    FailedEvent,
+    RecvEvent,
+    SendEvent,
+)
+from repro.core.history import History
+from repro.core.messages import Message
+
+
+@dataclass(frozen=True)
+class GlobalState:
+    """A materialized global state Σ_k (Section 2).
+
+    ``channels`` maps a directed channel ``(i, j)`` to the messages sent
+    along it but not yet received, in FIFO order.
+    """
+
+    position: int
+    crashed: frozenset[int]
+    failed: frozenset[tuple[int, int]]
+    channels: dict[tuple[int, int], tuple[Message, ...]] = field(
+        default_factory=dict, compare=False
+    )
+
+    def crash_holds(self, proc: int) -> bool:
+        """CRASH_i at this state."""
+        return proc in self.crashed
+
+    def failed_holds(self, detector: int, target: int) -> bool:
+        """FAILED_i(j) at this state."""
+        return (detector, target) in self.failed
+
+
+class Run:
+    """A run reconstructed from its history and the initial global state.
+
+    The initial global state is always the canonical one (all booleans
+    false, channels empty), per Definition 1.
+    """
+
+    def __init__(self, history: History):
+        self._history = history
+        # First position at which each stable predicate holds.
+        self._crash_pos: dict[int, int] = {}
+        self._failed_pos: dict[tuple[int, int], int] = {}
+        self._sent_pos: dict[tuple[int, int], int] = {}
+        self._recv_pos: dict[tuple[int, int], int] = {}
+        for idx, event in enumerate(history):
+            pos = idx + 1  # predicate becomes true in the *resulting* state
+            if isinstance(event, CrashEvent):
+                self._crash_pos.setdefault(event.proc, pos)
+            elif isinstance(event, FailedEvent):
+                self._failed_pos.setdefault((event.proc, event.target), pos)
+            elif isinstance(event, SendEvent):
+                self._sent_pos.setdefault(event.msg.uid, pos)
+            elif isinstance(event, RecvEvent):
+                self._recv_pos.setdefault(event.msg.uid, pos)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @property
+    def history(self) -> History:
+        """The history that generated this run."""
+        return self._history
+
+    @property
+    def n(self) -> int:
+        """Number of processes."""
+        return self._history.n
+
+    @property
+    def positions(self) -> range:
+        """All state positions ``0 .. len(history)``."""
+        return range(len(self._history) + 1)
+
+    @property
+    def final_position(self) -> int:
+        """The last recorded position (the stuttering state)."""
+        return len(self._history)
+
+    # ------------------------------------------------------------------
+    # Stable predicates at a position
+    # ------------------------------------------------------------------
+
+    def crash_holds(self, proc: int, position: int | None = None) -> bool:
+        """CRASH_proc at ``position`` (default: final state)."""
+        if position is None:
+            position = self.final_position
+        first = self._crash_pos.get(proc)
+        return first is not None and first <= position
+
+    def failed_holds(
+        self, detector: int, target: int, position: int | None = None
+    ) -> bool:
+        """FAILED_detector(target) at ``position`` (default: final state)."""
+        if position is None:
+            position = self.final_position
+        first = self._failed_pos.get((detector, target))
+        return first is not None and first <= position
+
+    def sent_holds(self, msg: Message, position: int | None = None) -> bool:
+        """SEND predicate for ``msg`` at ``position`` (default: final)."""
+        if position is None:
+            position = self.final_position
+        first = self._sent_pos.get(msg.uid)
+        return first is not None and first <= position
+
+    def recv_holds(self, msg: Message, position: int | None = None) -> bool:
+        """RECV predicate for ``msg`` at ``position`` (default: final)."""
+        if position is None:
+            position = self.final_position
+        first = self._recv_pos.get(msg.uid)
+        return first is not None and first <= position
+
+    # ------------------------------------------------------------------
+    # First-truth positions (for ordering arguments)
+    # ------------------------------------------------------------------
+
+    def crash_position(self, proc: int) -> int | None:
+        """First position where CRASH_proc holds, or None."""
+        return self._crash_pos.get(proc)
+
+    def failed_position(self, detector: int, target: int) -> int | None:
+        """First position where FAILED_detector(target) holds, or None."""
+        return self._failed_pos.get((detector, target))
+
+    def crashed_processes(self, position: int | None = None) -> frozenset[int]:
+        """Set of processes crashed by ``position`` (default: final)."""
+        if position is None:
+            position = self.final_position
+        return frozenset(
+            p for p, first in self._crash_pos.items() if first <= position
+        )
+
+    def surviving_processes(self, position: int | None = None) -> frozenset[int]:
+        """Processes not crashed by ``position`` (default: final)."""
+        return frozenset(self.history.processes) - self.crashed_processes(position)
+
+    def detections(self) -> list[tuple[int, int]]:
+        """All (detector, target) pairs detected in the run, in order."""
+        return sorted(self._failed_pos, key=self._failed_pos.__getitem__)
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+
+    def state_at(self, position: int, with_channels: bool = False) -> GlobalState:
+        """Materialize global state Σ_position (O(position) if channels)."""
+        crashed = frozenset(
+            p for p, first in self._crash_pos.items() if first <= position
+        )
+        failed = frozenset(
+            pair for pair, first in self._failed_pos.items() if first <= position
+        )
+        channels: dict[tuple[int, int], tuple[Message, ...]] = {}
+        if with_channels:
+            pending: dict[tuple[int, int], list[Message]] = {}
+            for event in self._history[:position]:
+                if isinstance(event, SendEvent):
+                    pending.setdefault((event.proc, event.dst), []).append(
+                        event.msg
+                    )
+                elif isinstance(event, RecvEvent):
+                    queue = pending.get((event.src, event.proc), [])
+                    if queue and queue[0].uid == event.msg.uid:
+                        queue.pop(0)
+            channels = {ch: tuple(q) for ch, q in pending.items() if q}
+        return GlobalState(position, crashed, failed, channels)
+
+    def states(self, with_channels: bool = False) -> Iterator[GlobalState]:
+        """Iterate over all global states Σ_0 .. Σ_final."""
+        for position in self.positions:
+            yield self.state_at(position, with_channels=with_channels)
+
+
+def run_of(events: Iterable) -> Run:
+    """Convenience: build a :class:`Run` from raw events."""
+    return Run(History(events))

@@ -1,0 +1,152 @@
+"""Operational semantics of events — Appendix A.1, executable.
+
+The appendix defines an event as a function on global states, defines when
+an event *can occur* in a state (Definition 6), and defines runs as chains
+of occurrable events from the initial state (Definition 7). This module
+implements that semantics directly:
+
+* :class:`MachineState` — a full global state: per-process local flags
+  (``crash_i``, ``failed_i(j)``) and the FIFO contents of every channel;
+* :func:`can_occur` — Definition 6's preconditions;
+* :func:`apply_event` — the state transition;
+* :func:`replay` — Definition 7: execute a whole history from the initial
+  state, failing loudly at the first impossible step.
+
+It is deliberately independent of :mod:`repro.core.validate` (which checks
+histories by bookkeeping rather than state transition); the property tests
+confirm the two judge every generated history identically, which is the
+kind of redundancy a formalization deserves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.events import (
+    CrashEvent,
+    Event,
+    FailedEvent,
+    InternalEvent,
+    RecvEvent,
+    SendEvent,
+)
+from repro.core.history import History
+from repro.core.messages import Message
+from repro.errors import InvalidHistoryError
+
+
+@dataclass
+class MachineState:
+    """A mutable global state Σ (Section 2 / Appendix A.1)."""
+
+    n: int
+    crashed: set[int] = field(default_factory=set)
+    failed: set[tuple[int, int]] = field(default_factory=set)
+    channels: dict[tuple[int, int], list[Message]] = field(default_factory=dict)
+    sent_uids: set[tuple[int, int]] = field(default_factory=set)
+
+    @classmethod
+    def initial(cls, n: int) -> "MachineState":
+        """The initial global state: all flags false, channels empty."""
+        return cls(n=n)
+
+    def channel(self, src: int, dst: int) -> list[Message]:
+        """The FIFO contents of C_{src,dst} (mutable view)."""
+        return self.channels.setdefault((src, dst), [])
+
+    def snapshot(self) -> tuple:
+        """An immutable fingerprint, for equality checks in tests."""
+        return (
+            frozenset(self.crashed),
+            frozenset(self.failed),
+            tuple(
+                (ch, tuple(m.uid for m in queue))
+                for ch, queue in sorted(self.channels.items())
+                if queue
+            ),
+        )
+
+
+def can_occur(state: MachineState, event: Event) -> str | None:
+    """Definition 6: why ``event`` cannot occur in ``state`` (None = can).
+
+    Besides the appendix's channel/state preconditions, the stable-flag
+    and uniqueness rules of Section 2 apply: a crashed process takes no
+    steps, flags flip at most once, and messages are globally unique.
+    """
+    proc = event.proc
+    if not 0 <= proc < state.n:
+        return f"process {proc} outside universe 0..{state.n - 1}"
+    if proc in state.crashed:
+        return f"process {proc} has crashed and takes no further steps"
+    if isinstance(event, SendEvent):
+        if not 0 <= event.dst < state.n:
+            return f"destination {event.dst} outside universe"
+        if event.msg.uid in state.sent_uids:
+            return f"message {event.msg.uid} already sent (uniqueness)"
+        return None
+    if isinstance(event, RecvEvent):
+        if not 0 <= event.src < state.n:
+            return f"source {event.src} outside universe"
+        queue = state.channel(event.src, proc)
+        if not queue:
+            return f"channel C_{{{event.src},{proc}}} is empty"
+        if queue[0].uid != event.msg.uid:
+            return (
+                f"head of C_{{{event.src},{proc}}} is {queue[0].uid}, "
+                f"not {event.msg.uid} (FIFO)"
+            )
+        return None
+    if isinstance(event, CrashEvent):
+        return None  # crash_i "can become true at any time"
+    if isinstance(event, FailedEvent):
+        if not 0 <= event.target < state.n:
+            return f"target {event.target} outside universe"
+        if (proc, event.target) in state.failed:
+            return f"failed_{proc}({event.target}) already true (stable)"
+        return None
+    if isinstance(event, InternalEvent):
+        return None
+    return f"unknown event type {type(event).__name__}"
+
+
+def apply_event(state: MachineState, event: Event) -> MachineState:
+    """Execute one event in place (caller must check :func:`can_occur`)."""
+    if isinstance(event, SendEvent):
+        state.sent_uids.add(event.msg.uid)
+        state.channel(event.proc, event.dst).append(event.msg)
+    elif isinstance(event, RecvEvent):
+        state.channel(event.src, event.proc).pop(0)
+    elif isinstance(event, CrashEvent):
+        state.crashed.add(event.proc)
+    elif isinstance(event, FailedEvent):
+        state.failed.add((event.proc, event.target))
+    # InternalEvent changes only opaque application state.
+    return state
+
+
+def replay(history: History) -> MachineState:
+    """Definition 7: run the whole history from the initial state.
+
+    Returns the final :class:`MachineState`; raises
+    :class:`~repro.errors.InvalidHistoryError` at the first event that
+    cannot occur, with the index and reason attached.
+    """
+    state = MachineState.initial(history.n)
+    for idx, event in enumerate(history):
+        reason = can_occur(state, event)
+        if reason is not None:
+            raise InvalidHistoryError(
+                [f"[{idx}] {event!r} cannot occur: {reason}"]
+            )
+        apply_event(state, event)
+    return state
+
+
+def is_executable(history: History) -> bool:
+    """Whether the history is a run prefix per Definition 7."""
+    try:
+        replay(history)
+    except InvalidHistoryError:
+        return False
+    return True

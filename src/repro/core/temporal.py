@@ -1,0 +1,165 @@
+"""A small linear-time temporal logic over runs ([Pne77], Section 2).
+
+The paper specifies failure models with formulas like::
+
+    FS1:  forall r, i:  r |= [] (CRASH_i  =>  <> forall j (CRASH_j v FAILED_j(i)))
+    FS2:  forall r, i, j:  r |= [] (FAILED_j(i) => CRASH_i)
+
+This module provides the formula AST (:class:`Formula` subclasses), the
+satisfaction relation ``(s, k) |= P`` over the finite state sequence of a
+:class:`~repro.core.runs.Run`, and the abbreviation ``r |= P`` for
+``(r, 0) |= P``.
+
+Finite-prefix semantics: the recorded prefix is treated as the whole run
+with the final state stuttering forever. Because every atom the paper uses
+is *stable*, ``Eventually(P)`` is exact (it holds on the infinite extension
+iff it holds at some recorded position), and ``Always(P)`` is exact for
+formulas whose truth value is determined by stable atoms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.runs import Run
+
+AtomFn = Callable[[Run, int], bool]
+
+
+class Formula:
+    """Base class for temporal formulas."""
+
+    def holds(self, run: Run, position: int = 0) -> bool:
+        """Satisfaction ``(run, position) |= self``."""
+        raise NotImplementedError
+
+    # Operator sugar ----------------------------------------------------
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or((self, other))
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def implies(self, other: "Formula") -> "Formula":
+        """Material implication ``self => other``."""
+        return Implies(self, other)
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """A state predicate evaluated at a single position."""
+
+    fn: AtomFn
+    name: str = "atom"
+
+    def holds(self, run: Run, position: int = 0) -> bool:
+        return self.fn(run, position)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class TrueFormula(Formula):
+    """The constant ``true``."""
+
+    def holds(self, run: Run, position: int = 0) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    operand: Formula
+
+    def holds(self, run: Run, position: int = 0) -> bool:
+        return not self.operand.holds(run, position)
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Finite conjunction."""
+
+    operands: tuple[Formula, ...]
+
+    def holds(self, run: Run, position: int = 0) -> bool:
+        return all(op.holds(run, position) for op in self.operands)
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Finite disjunction."""
+
+    operands: tuple[Formula, ...]
+
+    def holds(self, run: Run, position: int = 0) -> bool:
+        return any(op.holds(run, position) for op in self.operands)
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    """Material implication."""
+
+    antecedent: Formula
+    consequent: Formula
+
+    def holds(self, run: Run, position: int = 0) -> bool:
+        return (not self.antecedent.holds(run, position)) or self.consequent.holds(
+            run, position
+        )
+
+
+@dataclass(frozen=True)
+class Eventually(Formula):
+    """``<> P``: P holds at some position >= the current one."""
+
+    operand: Formula
+
+    def holds(self, run: Run, position: int = 0) -> bool:
+        return any(
+            self.operand.holds(run, k)
+            for k in range(position, run.final_position + 1)
+        )
+
+
+@dataclass(frozen=True)
+class Always(Formula):
+    """``[] P``: P holds at every position >= the current one."""
+
+    operand: Formula
+
+    def holds(self, run: Run, position: int = 0) -> bool:
+        return all(
+            self.operand.holds(run, k)
+            for k in range(position, run.final_position + 1)
+        )
+
+
+def atom(fn: AtomFn, name: str = "atom") -> Atom:
+    """Wrap a ``(run, position) -> bool`` function as an atom."""
+    return Atom(fn, name)
+
+
+def conj(formulas: Sequence[Formula]) -> Formula:
+    """N-ary conjunction (``true`` when empty)."""
+    if not formulas:
+        return TrueFormula()
+    return And(tuple(formulas))
+
+
+def disj(formulas: Sequence[Formula]) -> Formula:
+    """N-ary disjunction (``~true`` when empty)."""
+    if not formulas:
+        return Not(TrueFormula())
+    return Or(tuple(formulas))
+
+
+def satisfies(run: Run, formula: Formula) -> bool:
+    """The abbreviation ``r |= P`` for ``(r, 0) |= P``."""
+    return formula.holds(run, 0)

@@ -1,0 +1,122 @@
+"""Well-formedness of histories (Definitions 1, 6, 7 of the paper).
+
+A history is *valid* when it could have been produced by some run of the
+system model: processes take no steps after crashing, receives match earlier
+sends on the same FIFO channel in FIFO order, messages are unique, and the
+stable booleans ``crash_i`` / ``failed_i(j)`` flip at most once.
+
+:func:`validate_history` returns a list of human-readable violations (empty
+for a valid history); :func:`check_valid` raises
+:class:`~repro.errors.InvalidHistoryError` instead.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+from repro.core.events import (
+    CrashEvent,
+    FailedEvent,
+    RecvEvent,
+    SendEvent,
+)
+from repro.core.history import History
+from repro.errors import InvalidHistoryError
+
+
+def validate_history(history: History) -> list[str]:
+    """Return every well-formedness violation in ``history`` (empty if ok)."""
+    violations: list[str] = []
+    n = history.n
+    crashed: set[int] = set()
+    detected: set[tuple[int, int]] = set()
+    sent_uids: set[tuple[int, int]] = set()
+    received_uids: set[tuple[int, int]] = set()
+    # Per-channel FIFO queues of message uids in flight.
+    channels: dict[tuple[int, int], deque] = defaultdict(deque)
+
+    for idx, event in enumerate(history):
+        proc = event.proc
+        if not (0 <= proc < n):
+            violations.append(f"[{idx}] {event!r}: process id out of range 0..{n-1}")
+            continue
+        if proc in crashed:
+            violations.append(
+                f"[{idx}] {event!r}: event of process {proc} after crash_{proc}"
+            )
+            # Keep scanning; later diagnostics are still useful.
+        if isinstance(event, SendEvent):
+            if not (0 <= event.dst < n):
+                violations.append(
+                    f"[{idx}] {event!r}: destination out of range 0..{n-1}"
+                )
+                continue
+            if event.msg.uid in sent_uids:
+                violations.append(
+                    f"[{idx}] {event!r}: message {event.msg.uid} sent twice"
+                )
+            sent_uids.add(event.msg.uid)
+            channels[(proc, event.dst)].append(event.msg.uid)
+        elif isinstance(event, RecvEvent):
+            if not (0 <= event.src < n):
+                violations.append(
+                    f"[{idx}] {event!r}: source out of range 0..{n-1}"
+                )
+                continue
+            uid = event.msg.uid
+            if uid in received_uids:
+                violations.append(f"[{idx}] {event!r}: message {uid} received twice")
+                continue
+            queue = channels[(event.src, proc)]
+            if not queue:
+                violations.append(
+                    f"[{idx}] {event!r}: receive with empty channel "
+                    f"C_{{{event.src},{proc}}} (no matching send)"
+                )
+                continue
+            head = queue[0]
+            if head != uid:
+                violations.append(
+                    f"[{idx}] {event!r}: FIFO violation on channel "
+                    f"C_{{{event.src},{proc}}} — head is {head}, received {uid}"
+                )
+                # Remove it anyway if present, to localize the error.
+                try:
+                    queue.remove(uid)
+                except ValueError:
+                    continue
+            else:
+                queue.popleft()
+            received_uids.add(uid)
+        elif isinstance(event, CrashEvent):
+            if proc in crashed:
+                violations.append(f"[{idx}] {event!r}: duplicate crash event")
+            crashed.add(proc)
+        elif isinstance(event, FailedEvent):
+            if not (0 <= event.target < n):
+                violations.append(
+                    f"[{idx}] {event!r}: target out of range 0..{n-1}"
+                )
+                continue
+            key = (proc, event.target)
+            if key in detected:
+                violations.append(
+                    f"[{idx}] {event!r}: duplicate failure detection "
+                    f"failed_{proc}({event.target})"
+                )
+            detected.add(key)
+        # InternalEvent needs no extra checks beyond the crash guard above.
+    return violations
+
+
+def is_valid(history: History) -> bool:
+    """True iff ``history`` has no well-formedness violations."""
+    return not validate_history(history)
+
+
+def check_valid(history: History) -> History:
+    """Raise :class:`InvalidHistoryError` if invalid; else return history."""
+    violations = validate_history(history)
+    if violations:
+        raise InvalidHistoryError(violations)
+    return history

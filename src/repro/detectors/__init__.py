@@ -1,0 +1,21 @@
+"""Suspicion sources implementing the paper's FS1 timeout assumption.
+
+* :class:`~repro.detectors.heartbeat.HeartbeatDriver` — fixed timeout,
+  the naive detector whose false suspicions demonstrate Theorem 1.
+* :class:`~repro.detectors.phi_accrual.PhiAccrualDriver` — accrual
+  (phi) detection with a tunable threshold, shared between the DES and
+  the asyncio runtime.
+"""
+
+from repro.detectors.base import HEARTBEAT, SuspicionDriver, SuspicionLog
+from repro.detectors.heartbeat import HeartbeatDriver
+from repro.detectors.phi_accrual import PhiAccrualDriver, PhiAccrualEstimator
+
+__all__ = [
+    "HEARTBEAT",
+    "SuspicionDriver",
+    "SuspicionLog",
+    "HeartbeatDriver",
+    "PhiAccrualDriver",
+    "PhiAccrualEstimator",
+]

@@ -1,0 +1,57 @@
+"""Suspicion sources: the FS1 mechanism "provided by the underlying system".
+
+The paper assumes FS1 (eventual detection) is implemented below the model,
+"using timeouts: each process would periodically send a message to every
+other process". A :class:`SuspicionDriver` is exactly that layer: it rides
+*system* messages (excluded from the modelled event alphabet, see
+:mod:`repro.sim.process`) and calls ``process.suspect(peer)`` when a peer
+falls silent — possibly erroneously, which is the entire reason FS2 must be
+weakened to sFS2a-d.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.protocols.base import DetectionProcess
+
+HEARTBEAT = "heartbeat"
+"""System payload tag for liveness pings."""
+
+
+class SuspicionDriver:
+    """Interface for timeout-style suspicion generators in the DES."""
+
+    def start(self, process: "DetectionProcess") -> None:
+        """Attach to a bound process and begin emitting/monitoring."""
+        raise NotImplementedError
+
+    def on_system_message(self, src: int, payload: Hashable, now: float) -> None:
+        """Observe system traffic (heartbeats) addressed to our process."""
+        raise NotImplementedError
+
+
+class SuspicionLog:
+    """Mixin bookkeeping: what was suspected, when, and was it erroneous.
+
+    Drivers record each suspicion they raise; experiment E1 compares these
+    against the ground-truth crash schedule to count *false* suspicions —
+    the empirical face of Theorem 1.
+    """
+
+    def __init__(self) -> None:
+        self.suspicions: list[tuple[float, int, int]] = []
+
+    def log_suspicion(self, now: float, observer: int, target: int) -> None:
+        """Record that ``observer`` suspected ``target`` at time ``now``."""
+        self.suspicions.append((now, observer, target))
+
+    def false_suspicions(self, crash_times: dict[int, float]) -> list[tuple[float, int, int]]:
+        """Suspicions raised against processes not actually crashed yet."""
+        out = []
+        for now, observer, target in self.suspicions:
+            crashed_at = crash_times.get(target)
+            if crashed_at is None or crashed_at > now:
+                out.append((now, observer, target))
+        return out

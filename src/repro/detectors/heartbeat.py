@@ -1,0 +1,92 @@
+"""Fixed-timeout heartbeat detection — the naive "perfect" detector.
+
+Every process broadcasts a system-level heartbeat each ``interval``; a
+monitor suspects any peer silent for longer than ``timeout``. In a
+synchronous network with bounded delay this would implement FS2; in the
+asynchronous model it *cannot* (Theorem 1), and experiment E1 measures the
+false-suspicion rate as the delay distribution's tail outruns any fixed
+timeout.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable
+
+from repro.detectors.base import HEARTBEAT, SuspicionDriver, SuspicionLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.protocols.base import DetectionProcess
+
+
+class HeartbeatDriver(SuspicionDriver, SuspicionLog):
+    """Periodic heartbeats plus a fixed-timeout monitor.
+
+    Args:
+        interval: gap between heartbeat broadcasts.
+        timeout: silence threshold after which a peer is suspected.
+        check_every: monitor granularity (default ``interval / 2``).
+    """
+
+    def __init__(
+        self,
+        interval: float = 1.0,
+        timeout: float = 3.0,
+        check_every: float | None = None,
+    ):
+        SuspicionLog.__init__(self)
+        self.interval = interval
+        self.timeout = timeout
+        self.check_every = check_every if check_every is not None else interval / 2
+        self._process: "DetectionProcess | None" = None
+        self._last_heard: dict[int, float] = {}
+
+    def start(self, process: "DetectionProcess") -> None:
+        self._process = process
+        now = process.now
+        for peer in process.peers:
+            self._last_heard[peer] = now
+        self._schedule_beat()
+        self._schedule_check()
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+
+    def _schedule_beat(self) -> None:
+        assert self._process is not None
+        process = self._process
+
+        def beat() -> None:
+            if process.crashed:
+                return
+            for peer in process.peers:
+                process.send(peer, HEARTBEAT, kind="system")
+            self._schedule_beat()
+
+        process.set_timer(self.interval, beat, periodic=True)
+
+    # ------------------------------------------------------------------
+    # Monitoring
+    # ------------------------------------------------------------------
+
+    def on_system_message(self, src: int, payload: Hashable, now: float) -> None:
+        if payload == HEARTBEAT:
+            self._last_heard[src] = now
+
+    def _schedule_check(self) -> None:
+        assert self._process is not None
+        process = self._process
+
+        def check() -> None:
+            if process.crashed:
+                return
+            now = process.now
+            for peer, heard in self._last_heard.items():
+                if peer in process.detected or peer in process.suspected:
+                    continue
+                if now - heard > self.timeout:
+                    self.log_suspicion(now, process.pid, peer)
+                    process.suspect(peer)
+            self._schedule_check()
+
+        process.set_timer(self.check_every, check, periodic=True)

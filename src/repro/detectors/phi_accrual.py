@@ -1,0 +1,162 @@
+"""Phi-accrual failure detection (Hayashibara et al.), as an FS1 source.
+
+Instead of a binary timeout, the accrual detector outputs a *suspicion
+level*::
+
+    phi(t_now) = -log10( P(heartbeat arrives after t_now | history) )
+
+estimated from a sliding window of observed inter-arrival times under a
+Gaussian model. ``phi = 1`` means roughly a 10% chance the peer is alive
+and merely slow; ``phi = 3`` means 0.1%. The threshold trades detection
+latency against false suspicions — the FS1-vs-FS2 tension that motivates
+the whole paper, and experiment E10 sweeps it.
+
+The math lives in :class:`PhiAccrualEstimator`, shared verbatim by the
+discrete-event simulator (:class:`PhiAccrualDriver`) and the asyncio
+runtime (:mod:`repro.runtime`), so both substrates exercise the same code.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import TYPE_CHECKING, Hashable
+
+from repro.detectors.base import HEARTBEAT, SuspicionDriver, SuspicionLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.protocols.base import DetectionProcess
+
+
+def _normal_tail(x: float) -> float:
+    """P(X > x) for a standard normal (complementary CDF)."""
+    return 0.5 * math.erfc(x / math.sqrt(2.0))
+
+
+class PhiAccrualEstimator:
+    """Sliding-window Gaussian estimator of heartbeat inter-arrival times.
+
+    Args:
+        window: number of recent inter-arrival samples retained.
+        min_std: floor on the estimated standard deviation, preventing
+            phi from exploding when the network is unrealistically steady.
+    """
+
+    def __init__(self, window: int = 100, min_std: float = 0.05):
+        if window < 2:
+            raise ValueError("window must be at least 2")
+        self.window = window
+        self.min_std = min_std
+        self._intervals: deque[float] = deque(maxlen=window)
+        self._last_arrival: float | None = None
+
+    def heartbeat(self, now: float) -> None:
+        """Record a heartbeat arrival at time ``now``."""
+        if self._last_arrival is not None:
+            delta = now - self._last_arrival
+            if delta >= 0:
+                self._intervals.append(delta)
+        self._last_arrival = now
+
+    @property
+    def samples(self) -> int:
+        """Number of inter-arrival samples currently in the window."""
+        return len(self._intervals)
+
+    def mean_std(self) -> tuple[float, float]:
+        """Windowed mean and (floored) standard deviation."""
+        if not self._intervals:
+            return (0.0, self.min_std)
+        mean = sum(self._intervals) / len(self._intervals)
+        variance = sum((x - mean) ** 2 for x in self._intervals) / len(
+            self._intervals
+        )
+        return (mean, max(math.sqrt(variance), self.min_std))
+
+    def phi(self, now: float) -> float:
+        """The suspicion level at time ``now`` (0 when data is lacking)."""
+        if self._last_arrival is None or len(self._intervals) < 2:
+            return 0.0
+        elapsed = now - self._last_arrival
+        mean, std = self.mean_std()
+        tail = _normal_tail((elapsed - mean) / std)
+        if tail <= 0.0:
+            return float("inf")
+        return -math.log10(tail)
+
+
+class PhiAccrualDriver(SuspicionDriver, SuspicionLog):
+    """Accrual-based suspicion source for the discrete-event simulator.
+
+    Args:
+        interval: heartbeat broadcast period.
+        threshold: phi level at which a peer is suspected.
+        window: estimator window size.
+        check_every: monitor granularity (default ``interval / 2``).
+        warmup: minimum samples before a peer can be suspected.
+    """
+
+    def __init__(
+        self,
+        interval: float = 1.0,
+        threshold: float = 2.0,
+        window: int = 100,
+        check_every: float | None = None,
+        warmup: int = 5,
+    ):
+        SuspicionLog.__init__(self)
+        self.interval = interval
+        self.threshold = threshold
+        self.window = window
+        self.check_every = check_every if check_every is not None else interval / 2
+        self.warmup = warmup
+        self._process: "DetectionProcess | None" = None
+        self._estimators: dict[int, PhiAccrualEstimator] = {}
+
+    def start(self, process: "DetectionProcess") -> None:
+        self._process = process
+        for peer in process.peers:
+            self._estimators[peer] = PhiAccrualEstimator(window=self.window)
+        self._schedule_beat()
+        self._schedule_check()
+
+    def phi(self, peer: int, now: float) -> float:
+        """Current suspicion level for ``peer``."""
+        return self._estimators[peer].phi(now)
+
+    def _schedule_beat(self) -> None:
+        assert self._process is not None
+        process = self._process
+
+        def beat() -> None:
+            if process.crashed:
+                return
+            for peer in process.peers:
+                process.send(peer, HEARTBEAT, kind="system")
+            self._schedule_beat()
+
+        process.set_timer(self.interval, beat, periodic=True)
+
+    def on_system_message(self, src: int, payload: Hashable, now: float) -> None:
+        if payload == HEARTBEAT and src in self._estimators:
+            self._estimators[src].heartbeat(now)
+
+    def _schedule_check(self) -> None:
+        assert self._process is not None
+        process = self._process
+
+        def check() -> None:
+            if process.crashed:
+                return
+            now = process.now
+            for peer, estimator in self._estimators.items():
+                if peer in process.detected or peer in process.suspected:
+                    continue
+                if estimator.samples < self.warmup:
+                    continue
+                if estimator.phi(now) > self.threshold:
+                    self.log_suspicion(now, process.pid, peer)
+                    process.suspect(peer)
+            self._schedule_check()
+
+        process.set_timer(self.check_every, check, periodic=True)

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class. Errors carry enough context (offending indices,
+processes, messages) to be actionable when a check fails deep inside a
+simulated run.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidHistoryError(ReproError):
+    """A history violates the well-formedness rules of Section 2 / A.1.
+
+    Raised by :func:`repro.core.validate.check_valid` with a list of
+    human-readable violations attached as :attr:`violations`.
+    """
+
+    def __init__(self, violations: list[str]):
+        self.violations = list(violations)
+        summary = "; ".join(self.violations[:5])
+        extra = len(self.violations) - 5
+        if extra > 0:
+            summary += f" (+{extra} more)"
+        super().__init__(f"invalid history: {summary}")
+
+
+class CannotRearrangeError(ReproError):
+    """No fail-stop run isomorphic to the given run exists (Theorem 5 fails).
+
+    The :attr:`certificate` is a cycle of ordering constraints (a list of
+    events) that cannot all be satisfied in any valid run, mirroring the
+    impossibility arguments of Theorems 2 and 3.
+    """
+
+    def __init__(self, message: str, certificate: list | None = None):
+        self.certificate = certificate or []
+        super().__init__(message)
+
+
+class ProtocolError(ReproError):
+    """A protocol implementation was driven into an illegal state."""
+
+
+class SimulationError(ReproError):
+    """The simulator was misconfigured or reached an impossible state."""
+
+
+class BoundsError(ReproError):
+    """Requested parameters violate the paper's lower bounds (Section 4)."""

@@ -1,0 +1,41 @@
+"""Failure-detection protocols from the paper.
+
+* :class:`~repro.protocols.sfs.SfsProcess` — Section 5's one-round echo
+  protocol; implements the full simulated-fail-stop model (FS1 given a
+  suspicion source, plus sFS2a-d).
+* :class:`~repro.protocols.generic.GenericOneRoundProcess` — Section 4's
+  SUSP/ACK skeleton, for the lower-bound experiments (quorums, Witness
+  Property, the Theorem 6 cycle construction).
+* :class:`~repro.protocols.unilateral.UnilateralProcess` — Section 6's
+  cheap model: everything but sFS2b.
+"""
+
+from repro.protocols.base import DetectionProcess
+from repro.protocols.generic import GenericOneRoundProcess
+from repro.protocols.payloads import Ack, Susp, is_protocol_payload
+from repro.protocols.quorum_policy import FixedQuorum, QuorumPolicy, WaitForAll
+from repro.protocols.sfs import SfsProcess
+from repro.protocols.transitive import (
+    KSusp,
+    TransitiveSfsProcess,
+    transitivity_gaps,
+    transitivity_ratio,
+)
+from repro.protocols.unilateral import UnilateralProcess
+
+__all__ = [
+    "DetectionProcess",
+    "SfsProcess",
+    "TransitiveSfsProcess",
+    "GenericOneRoundProcess",
+    "UnilateralProcess",
+    "Susp",
+    "Ack",
+    "KSusp",
+    "is_protocol_payload",
+    "transitivity_gaps",
+    "transitivity_ratio",
+    "QuorumPolicy",
+    "FixedQuorum",
+    "WaitForAll",
+]

@@ -1,0 +1,131 @@
+"""Shared machinery for failure-detection protocol processes.
+
+:class:`DetectionProcess` extends :class:`~repro.sim.process.SimProcess`
+with the bookkeeping every protocol in the paper needs: the set of
+processes it has detected (``failed_i(j)`` executions, with quorum records),
+an application-message layer above the detection layer, and optional
+heartbeat/phi-accrual suspicion sources implementing FS1's "mechanism
+provided by the underlying system".
+
+Subclasses implement :meth:`suspect` and the protocol's message handling;
+they call :meth:`execute_failed` to perform a detection (which records the
+``failed`` event and the quorum, then notifies the application hook).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Hashable
+
+from repro.core.messages import Message
+from repro.errors import ProtocolError
+from repro.protocols.payloads import is_protocol_payload
+from repro.sim.process import SimProcess
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.detectors.base import SuspicionDriver
+
+
+class DetectionProcess(SimProcess):
+    """A process running some failure-detection protocol.
+
+    Args:
+        detector: optional suspicion source (heartbeat / phi-accrual
+            driver) that will call :meth:`suspect` on timeouts.
+    """
+
+    def __init__(self, detector: "SuspicionDriver | None" = None):
+        super().__init__()
+        self.detected: set[int] = set()
+        self.suspected: set[int] = set()
+        self._detector = detector
+        self._deferred: deque[tuple[int, Message]] = deque()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        if self._detector is not None:
+            self._detector.start(self)
+
+    def on_system_message(self, src: int, payload: Hashable) -> None:
+        if self._detector is not None:
+            self._detector.on_system_message(src, payload, self.now)
+
+    # ------------------------------------------------------------------
+    # Detection bookkeeping
+    # ------------------------------------------------------------------
+
+    def has_detected(self, target: int) -> bool:
+        """Whether ``failed_self(target)`` has been executed."""
+        return target in self.detected
+
+    def execute_failed(self, target: int, quorum: frozenset[int]) -> None:
+        """Execute ``failed_self(target)`` with the given quorum set.
+
+        Records the event and the Definition 5 quorum, then lets the
+        application react (membership lists, election, ...).
+        """
+        if self.crashed:
+            return
+        if target == self.pid:
+            raise ProtocolError(
+                f"process {self.pid} attempted self-detection (sFS2c)"
+            )
+        if target in self.detected:
+            return
+        self.detected.add(target)
+        self.world.trace.record_failed(self.now, self.pid, target)
+        self.world.trace.record_quorum(self.pid, target, quorum)
+        self.on_detect(target)
+
+    def on_detect(self, target: int) -> None:
+        """Application hook: called right after ``failed_self(target)``."""
+
+    # ------------------------------------------------------------------
+    # Application layer
+    # ------------------------------------------------------------------
+
+    def send_app(self, dst: int, payload: Hashable) -> Message | None:
+        """Send application data (subject to the protocol's guarantees)."""
+        if is_protocol_payload(payload):
+            raise ProtocolError("application payloads must not be Susp/Ack")
+        return self.send(dst, payload)
+
+    def broadcast_app(self, payload: Hashable) -> list[Message]:
+        """Broadcast application data to all peers."""
+        if is_protocol_payload(payload):
+            raise ProtocolError("application payloads must not be Susp/Ack")
+        return self.broadcast(payload, include_self=False)
+
+    def on_app_message(self, src: int, payload: Hashable, msg: Message) -> None:
+        """Application hook: a modelled, non-protocol message arrived."""
+
+    # ------------------------------------------------------------------
+    # Deferral (the "takes no other action" clause -> sFS2d)
+    # ------------------------------------------------------------------
+
+    def detection_open(self) -> bool:
+        """Whether any suspicion is awaiting its quorum."""
+        return bool(self.suspected - self.detected)
+
+    def defer_app_message(self, src: int, msg: Message) -> None:
+        """Queue an application message until no detection is open.
+
+        No recv event is recorded yet: in the model the message simply has
+        not been received.
+        """
+        self._deferred.append((src, msg))
+
+    def flush_deferred(self) -> None:
+        """Consume deferred application traffic once detections settle."""
+        while self._deferred and not self.crashed and not self.detection_open():
+            src, msg = self._deferred.popleft()
+            self.world.trace.record_recv(self.now, self.pid, src, msg)
+            self.on_app_message(src, msg.payload, msg)
+
+    @property
+    def deferred_count(self) -> int:
+        """Application messages currently parked behind open detections."""
+        return len(self._deferred)

@@ -1,0 +1,50 @@
+"""Wire payloads shared by the failure-detection protocols.
+
+``Susp`` is the paper's ``SUSP_{i,j}`` / ``"j failed"`` message; ``Ack`` is
+the ``ACK.SUSP`` of the generic one-round skeleton (in the Section 5 echo
+protocol the two coincide: the echo *is* the acknowledgement). Both expose
+``suspicion_target`` so the adversary's content holds
+(:meth:`repro.sim.adversary.Adversary.hold_suspicions_about`) can select
+traffic "about" a process without knowing the protocol.
+
+Application traffic is any payload that is not one of these types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Susp:
+    """``"target failed"`` — a suspicion notice (SUSP_{i,target})."""
+
+    target: int
+
+    @property
+    def suspicion_target(self) -> int:
+        """The process this message claims has failed."""
+        return self.target
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f'"{self.target} failed"'
+
+
+@dataclass(frozen=True, slots=True)
+class Ack:
+    """``ACK.SUSP_{sender,target}`` — acknowledgement of a suspicion."""
+
+    target: int
+
+    @property
+    def suspicion_target(self) -> int:
+        """The suspected process being acknowledged."""
+        return self.target
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f'ack"{self.target} failed"'
+
+
+def is_protocol_payload(payload: object) -> bool:
+    """True for detection-protocol traffic, False for application data."""
+    return isinstance(payload, (Susp, Ack))

@@ -1,0 +1,54 @@
+"""The "cheaper simulated failure model" of Section 6.
+
+"The other sFS properties can be implemented simply by having process *i*
+broadcast a message ``"j failed"`` after suspecting *j*'s failure and
+before unilaterally executing ``failed_i(j)``."
+
+This protocol waits for **no one**: suspicion, broadcast, detection — done.
+It satisfies sFS2a (the broadcast reaches *j*, which crashes on reading its
+own name), sFS2c (reading your own name crashes you before you could
+detect yourself), and sFS2d (the broadcast precedes any later message on
+every FIFO channel, and a receiver processes it — detecting *j* itself —
+before consuming anything behind it). It does **not** satisfy sFS2b:
+concurrent mutual suspicion produces failed-before cycles, making runs
+*distinguishable* from fail-stop.
+
+Section 6's point, which experiment E8 reproduces: protocols insensitive to
+cyclic detection could run on this cheaper model, but protocols like
+Skeen's last-process-to-fail break under it.
+"""
+
+from __future__ import annotations
+
+from repro.core.messages import Message
+from repro.errors import ProtocolError
+from repro.protocols.base import DetectionProcess
+from repro.protocols.payloads import Susp
+
+
+class UnilateralProcess(DetectionProcess):
+    """Broadcast-then-detect, no quorum (the Section 6 cheap model)."""
+
+    def suspect(self, target: int) -> None:
+        """Broadcast ``"target failed"`` and detect immediately."""
+        if self.crashed or target in self.detected:
+            return
+        if target == self.pid:
+            raise ProtocolError("a process does not suspect itself")
+        self.suspected.add(target)
+        self.broadcast(Susp(target), include_self=False, kind="protocol")
+        # Unilateral: our quorum is ourselves alone.
+        self.execute_failed(target, frozenset({self.pid}))
+
+    def on_protocol_message(self, src: int, payload, msg: Message) -> None:
+        if isinstance(payload, Susp):
+            if payload.target == self.pid:
+                self.crash_now()
+                return
+            # Adopt the suspicion (and detect) before any later traffic
+            # on this channel is consumed - this is what yields sFS2d.
+            self.suspect(payload.target)
+
+    def consume(self, src: int, msg: Message) -> None:
+        self.world.trace.record_recv(self.now, self.pid, src, msg)
+        self.on_app_message(src, msg.payload, msg)

@@ -1,0 +1,13 @@
+"""Wall-clock asyncio runtime for the Section 5 protocol.
+
+The discrete-event simulator proves the protocol's properties under fully
+adversarial timing; this runtime demonstrates them under *real* timing —
+heartbeats, phi-accrual monitoring, asyncio scheduling jitter — and records
+histories the same :mod:`repro.core` checkers judge.
+"""
+
+from repro.runtime.node import SfsNode
+from repro.runtime.service import ClusterResult, run_cluster
+from repro.runtime.transport import LocalTransport, run_for
+
+__all__ = ["SfsNode", "LocalTransport", "run_for", "ClusterResult", "run_cluster"]

@@ -1,0 +1,175 @@
+"""The Section 5 echo protocol on wall-clock asyncio.
+
+:class:`SfsNode` re-implements the :class:`~repro.protocols.sfs.SfsProcess`
+state machine over the :class:`~repro.runtime.transport.LocalTransport`,
+with real heartbeats and a phi-accrual monitor as the FS1 suspicion source.
+The recorded history is judged by the exact same :mod:`repro.core` checkers
+as the simulator's, closing the timing-fidelity gap the calibration notes
+flag: the protocol's guarantees do not depend on the discrete-event
+abstraction.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Hashable
+
+from repro.core.bounds import min_quorum_size
+from repro.core.messages import Message
+from repro.detectors.base import HEARTBEAT
+from repro.detectors.phi_accrual import PhiAccrualEstimator
+from repro.errors import ProtocolError
+from repro.protocols.payloads import Susp
+from repro.runtime.transport import LocalTransport
+
+
+class SfsNode:
+    """One wall-clock participant in the echo protocol.
+
+    Args:
+        node_id: this node's process id.
+        transport: the shared :class:`LocalTransport`.
+        t: failure bound used to size the quorum.
+        quorum_size: explicit quorum override (default: minimum legal).
+        heartbeat_interval: seconds between heartbeat broadcasts.
+        phi_threshold: suspicion level that triggers the protocol
+            (``None`` disables the monitor — suspicions via
+            :meth:`suspect` only).
+        warmup: heartbeat samples required before suspecting a peer.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        transport: LocalTransport,
+        t: int = 1,
+        quorum_size: int | None = None,
+        heartbeat_interval: float = 0.05,
+        phi_threshold: float | None = 8.0,
+        warmup: int = 5,
+    ):
+        self.node_id = node_id
+        self.transport = transport
+        self.n = transport.n
+        self.t = t
+        self.quorum_size = (
+            quorum_size if quorum_size is not None else min_quorum_size(self.n, t)
+        )
+        self.heartbeat_interval = heartbeat_interval
+        self.phi_threshold = phi_threshold
+        self.warmup = warmup
+        self.crashed = False
+        self.detected: set[int] = set()
+        self.suspected: set[int] = set()
+        self._confirmations: dict[int, set[int]] = {}
+        self._estimators = {
+            peer: PhiAccrualEstimator() for peer in range(self.n) if peer != node_id
+        }
+        self._tasks: list[asyncio.Task] = []
+        self.app_inbox: list[tuple[int, Hashable]] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the heartbeat emitter and (optionally) the monitor."""
+        self._tasks.append(asyncio.create_task(self._heartbeat_loop()))
+        if self.phi_threshold is not None:
+            self._tasks.append(asyncio.create_task(self._monitor_loop()))
+
+    async def stop(self) -> None:
+        """Cancel background tasks (does not crash the node)."""
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+
+    def crash(self) -> None:
+        """Crash this node: record the event, freeze, silence heartbeats."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.transport.trace.record_crash(self.transport.now(), self.node_id)
+        for task in self._tasks:
+            task.cancel()
+
+    # ------------------------------------------------------------------
+    # Background loops
+    # ------------------------------------------------------------------
+
+    async def _heartbeat_loop(self) -> None:
+        while not self.crashed:
+            for peer in range(self.n):
+                if peer != self.node_id:
+                    self.transport.send(
+                        self.node_id, peer, HEARTBEAT, kind="system"
+                    )
+            await asyncio.sleep(self.heartbeat_interval)
+
+    async def _monitor_loop(self) -> None:
+        assert self.phi_threshold is not None
+        while not self.crashed:
+            await asyncio.sleep(self.heartbeat_interval / 2)
+            now = self.transport.now()
+            for peer, estimator in self._estimators.items():
+                if peer in self.suspected or peer in self.detected:
+                    continue
+                if estimator.samples < self.warmup:
+                    continue
+                if estimator.phi(now) > self.phi_threshold:
+                    self.suspect(peer)
+
+    # ------------------------------------------------------------------
+    # Protocol (mirrors repro.protocols.sfs.SfsProcess)
+    # ------------------------------------------------------------------
+
+    def suspect(self, target: int) -> None:
+        """Broadcast ``"target failed"`` to everyone, including ourselves."""
+        if self.crashed or target in self.detected or target in self.suspected:
+            return
+        if target == self.node_id:
+            raise ProtocolError("a node does not suspect itself")
+        self.suspected.add(target)
+        self._confirmations.setdefault(target, set())
+        for dst in range(self.n):
+            self.transport.send(self.node_id, dst, Susp(target), kind="protocol")
+
+    def deliver(self, src: int, msg: Message, kind: str) -> None:
+        """Transport delivery callback (runs in the event loop)."""
+        if self.crashed:
+            return
+        if kind == "system":
+            if msg.payload == HEARTBEAT and src in self._estimators:
+                self._estimators[src].heartbeat(self.transport.now())
+            return
+        if kind == "protocol":
+            if isinstance(msg.payload, Susp):
+                self._on_susp(src, msg.payload.target)
+            return
+        # Application message; the runtime demo accepts when no round is
+        # open (full deferral parity with the simulator is exercised there).
+        self.transport.trace.record_recv(
+            self.transport.now(), self.node_id, src, msg
+        )
+        self.app_inbox.append((src, msg.payload))
+
+    def _on_susp(self, src: int, target: int) -> None:
+        if target == self.node_id:
+            self.crash()
+            return
+        self._confirmations.setdefault(target, set()).add(src)
+        self.suspect(target)
+        self._check_quorum(target)
+
+    def _check_quorum(self, target: int) -> None:
+        if self.crashed or target in self.detected:
+            return
+        confirmations = self._confirmations.get(target, set())
+        if len(confirmations) >= self.quorum_size:
+            self.detected.add(target)
+            now = self.transport.now()
+            self.transport.trace.record_failed(now, self.node_id, target)
+            self.transport.trace.record_quorum(
+                self.node_id, target, frozenset(confirmations)
+            )

@@ -1,0 +1,145 @@
+"""Cluster orchestration for the asyncio runtime.
+
+:func:`run_cluster` assembles a transport plus ``n`` :class:`SfsNode`\\ s,
+runs a scripted scenario (crashes at wall-clock offsets, spontaneous
+suspicions), and returns the recorded history and quorum records — ready
+for :func:`repro.analysis.checker.analyze`.
+
+All durations are real seconds; keep them small in tests (the defaults run
+a full cluster scenario in about a second).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.core.history import History
+from repro.core.quorum import QuorumRecord
+from repro.runtime.node import SfsNode
+from repro.runtime.transport import LocalTransport
+from repro.sim.delays import DelayModel
+
+
+@dataclass
+class ClusterResult:
+    """Everything a runtime scenario produced."""
+
+    history: History
+    quorum_records: list[QuorumRecord]
+    detected: dict[int, frozenset[int]]
+    crashed: frozenset[int]
+    duration: float
+    false_suspicion_targets: frozenset[int] = field(default_factory=frozenset)
+
+
+async def _run_cluster_async(
+    n: int,
+    duration: float,
+    t: int,
+    crash_at: dict[int, float],
+    suspect_at: list[tuple[float, int, int]],
+    heartbeat_interval: float,
+    phi_threshold: float | None,
+    delay_model: DelayModel | None,
+    seed: int,
+    time_scale: float,
+) -> ClusterResult:
+    transport = LocalTransport(
+        n, delay_model=delay_model, seed=seed, time_scale=time_scale
+    )
+    nodes = [
+        SfsNode(
+            i,
+            transport,
+            t=t,
+            heartbeat_interval=heartbeat_interval,
+            phi_threshold=phi_threshold,
+        )
+        for i in range(n)
+    ]
+    transport.set_deliver(lambda src, dst, msg, kind: nodes[dst].deliver(src, msg, kind))
+    await transport.start()
+    for node in nodes:
+        await node.start()
+
+    async def scenario() -> None:
+        events: list[tuple[float, str, tuple]] = []
+        for node_id, at in crash_at.items():
+            events.append((at, "crash", (node_id,)))
+        for at, who, target in suspect_at:
+            events.append((at, "suspect", (who, target)))
+        events.sort(key=lambda item: item[0])
+        start = transport.now()
+        for at, kind, args in events:
+            wait = at - (transport.now() - start)
+            if wait > 0:
+                await asyncio.sleep(wait)
+            if kind == "crash":
+                nodes[args[0]].crash()
+            else:
+                who, target = args
+                if not nodes[who].crashed:
+                    nodes[who].suspect(target)
+
+    scenario_task = asyncio.create_task(scenario())
+    await asyncio.sleep(duration)
+    scenario_task.cancel()
+    for node in nodes:
+        await node.stop()
+    await transport.stop()
+    await asyncio.gather(scenario_task, return_exceptions=True)
+
+    crashed = frozenset(i for i, node in enumerate(nodes) if node.crashed)
+    genuinely_crashed = frozenset(crash_at)
+    return ClusterResult(
+        history=transport.trace.history(),
+        quorum_records=transport.trace.quorum_records,
+        detected={i: frozenset(node.detected) for i, node in enumerate(nodes)},
+        crashed=crashed,
+        duration=transport.now(),
+        false_suspicion_targets=crashed - genuinely_crashed,
+    )
+
+
+def run_cluster(
+    n: int = 5,
+    duration: float = 1.5,
+    t: int = 1,
+    crash_at: dict[int, float] | None = None,
+    suspect_at: list[tuple[float, int, int]] | None = None,
+    heartbeat_interval: float = 0.05,
+    phi_threshold: float | None = 8.0,
+    delay_model: DelayModel | None = None,
+    seed: int = 0,
+    time_scale: float = 0.01,
+) -> ClusterResult:
+    """Run a wall-clock cluster scenario and return its recording.
+
+    Args:
+        n: cluster size.
+        duration: total real seconds to run.
+        t: failure bound for quorum sizing.
+        crash_at: node id -> seconds offset for genuine crashes.
+        suspect_at: (seconds offset, suspecting node, target) triples for
+            injected (possibly erroneous) suspicions.
+        heartbeat_interval: heartbeat period in seconds.
+        phi_threshold: accrual threshold; ``None`` disables monitoring.
+        delay_model: artificial message delay distribution.
+        seed: delay RNG seed.
+        time_scale: multiplier turning delay-model units into seconds.
+    """
+    return asyncio.run(
+        _run_cluster_async(
+            n=n,
+            duration=duration,
+            t=t,
+            crash_at=crash_at or {},
+            suspect_at=suspect_at or [],
+            heartbeat_interval=heartbeat_interval,
+            phi_threshold=phi_threshold,
+            delay_model=delay_model,
+            seed=seed,
+            time_scale=time_scale,
+        )
+    )

@@ -1,0 +1,67 @@
+"""Deterministic discrete-event simulation of the paper's system model.
+
+The substrate everything runs on: a seeded event loop
+(:class:`~repro.sim.scheduler.Scheduler`), reliable FIFO channels with
+unbounded adversary-controllable delay (:class:`~repro.sim.network.Network`,
+:class:`~repro.sim.adversary.Adversary`), process automata
+(:class:`~repro.sim.process.SimProcess`), and a trace recorder that turns
+executions into :mod:`repro.core` histories.
+
+Quick example::
+
+    from repro.sim import World, build_world
+    from repro.protocols import SfsProcess
+
+    world = build_world(9, lambda: SfsProcess(t=2), seed=7)
+    world.inject_suspicion(0, 4, at=1.0)
+    world.run_to_quiescence()
+    history = world.history()
+"""
+
+from repro.sim.adversary import Adversary
+from repro.sim.clock import LamportClock, VectorClock
+from repro.sim.delays import (
+    ConstantDelay,
+    DelayModel,
+    ExponentialDelay,
+    LogNormalDelay,
+    ParetoDelay,
+    PerChannelDelay,
+    UniformDelay,
+)
+from repro.sim.failures import (
+    Fault,
+    apply_faults,
+    mutual_suspicion_plan,
+    random_fault_plan,
+)
+from repro.sim.network import Network
+from repro.sim.process import SimProcess
+from repro.sim.scheduler import Scheduler, TimerHandle
+from repro.sim.trace import TimedEvent, TraceRecorder
+from repro.sim.world import World, build_world
+
+__all__ = [
+    "Scheduler",
+    "TimerHandle",
+    "Network",
+    "Adversary",
+    "SimProcess",
+    "World",
+    "build_world",
+    "TraceRecorder",
+    "TimedEvent",
+    "DelayModel",
+    "ConstantDelay",
+    "UniformDelay",
+    "ExponentialDelay",
+    "LogNormalDelay",
+    "ParetoDelay",
+    "PerChannelDelay",
+    "LamportClock",
+    "VectorClock",
+    "Fault",
+    "apply_faults",
+    "random_fault_plan",
+    "mutual_suspicion_plan",
+]

@@ -1,0 +1,111 @@
+"""The scheduling adversary: asynchrony with intent.
+
+In an asynchronous system, "the adversary" is just a particularly unlucky
+schedule — every behaviour produced here is a legal behaviour of the model.
+The adversary can:
+
+* **hold a channel**: all traffic on C_{src,dst} queues, in order,
+  until released ("delayed indefinitely", proof of Theorem 6);
+* **hold by content**: a predicate marks the *first* message that starts
+  the hold; FIFO then forces everything after it on that channel to queue
+  behind ("delayed behind the previous messages");
+* **partition**: hold all channels between two groups;
+* **release**: deliver held traffic, preserving per-channel FIFO order.
+
+The Theorem 6 scenario (:func:`hold_suspicions_about`) uses content holds
+to keep each detection target ignorant of the suspicions against it, which
+is exactly how the paper constructs a k-cycle in failed-before when the
+Witness Property is violated.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.core.messages import Message
+from repro.sim.network import HoldPredicate, Network
+
+
+class Adversary:
+    """Adversarial control over a world's network."""
+
+    def __init__(self, network: Network):
+        self._network = network
+        self._rules: list[HoldPredicate] = []
+
+    # ------------------------------------------------------------------
+    # Channel-level control
+    # ------------------------------------------------------------------
+
+    def hold_channel(self, src: int, dst: int) -> None:
+        """Delay all current and future traffic on C_{src,dst}."""
+        self._network.block_channel(src, dst)
+
+    def release_channel(self, src: int, dst: int) -> int:
+        """Release a held channel; returns messages released."""
+        return self._network.release_channel(src, dst)
+
+    def partition(self, group_a: Iterable[int], group_b: Iterable[int]) -> None:
+        """Hold every channel between the two groups, both directions."""
+        side_a, side_b = list(group_a), list(group_b)
+        for a in side_a:
+            for b in side_b:
+                self.hold_channel(a, b)
+                self.hold_channel(b, a)
+
+    def heal(self) -> int:
+        """Release everything held, by any rule; returns messages released."""
+        self._rules.clear()
+        return self._network.release_all()
+
+    # ------------------------------------------------------------------
+    # Content-level control
+    # ------------------------------------------------------------------
+
+    def hold_matching(
+        self, predicate: Callable[[int, int, Message], bool]
+    ) -> HoldPredicate:
+        """Start holding any channel whose next send matches ``predicate``.
+
+        Once triggered on a channel, the hold extends to all later traffic
+        on that channel (FIFO). Returns the installed rule for
+        :meth:`stop_matching`.
+        """
+        rule = self._network.add_hold_predicate(predicate)
+        self._rules.append(rule)
+        return rule
+
+    def stop_matching(self, rule: HoldPredicate) -> None:
+        """Remove a content rule (already-held messages stay held)."""
+        self._network.remove_hold_predicate(rule)
+        if rule in self._rules:
+            self._rules.remove(rule)
+
+    def hold_suspicions_about(
+        self, target: int, shielded: Iterable[int]
+    ) -> HoldPredicate:
+        """Theorem 6 building block: keep ``shielded`` ignorant of ``target``.
+
+        Holds every modelled message *about* ``target`` (payloads exposing
+        a ``suspicion_target`` attribute equal to it — the protocol
+        packages' SUSP/ACK payloads do) that is addressed to a process in
+        ``shielded``. With ``shielded`` ∋ ``target`` itself, the target
+        never learns it is suspected and never crashes, while everyone
+        outside the shield acknowledges freely.
+        """
+        shield = frozenset(shielded)
+
+        def predicate(src: int, dst: int, msg: Message) -> bool:
+            del src
+            about = getattr(msg.payload, "suspicion_target", None)
+            return about == target and dst in shield
+
+        return self.hold_matching(predicate)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def held_counts(self) -> dict[tuple[int, int], int]:
+        """Held messages per channel."""
+        return self._network.held_messages()

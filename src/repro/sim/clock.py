@@ -1,0 +1,73 @@
+"""Logical clocks ([Lam78]) for instrumentation and the asyncio runtime.
+
+The formal core computes happens-before offline from histories
+(:mod:`repro.core.history`); these clocks are the *online* equivalents,
+used by the asyncio runtime's diagnostics and available to applications
+that want causal ordering at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LamportClock:
+    """A scalar Lamport clock: ``a -> b`` implies ``C(a) < C(b)``."""
+
+    value: int = 0
+
+    def tick(self) -> int:
+        """Advance for a local or send event; returns the new value."""
+        self.value += 1
+        return self.value
+
+    def observe(self, other: int) -> int:
+        """Merge a received timestamp; returns the new value."""
+        self.value = max(self.value, other) + 1
+        return self.value
+
+
+@dataclass
+class VectorClock:
+    """A vector clock: ``a -> b`` iff ``V(a) <= V(b)`` component-wise.
+
+    The full characterization the offline engine relies on, available
+    online for ``n`` known processes.
+    """
+
+    owner: int
+    n: int
+    components: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            self.components = [0] * self.n
+        if len(self.components) != self.n:
+            raise ValueError("component length must equal n")
+
+    def tick(self) -> tuple[int, ...]:
+        """Advance the owner's component; returns the new stamp."""
+        self.components[self.owner] += 1
+        return self.stamp()
+
+    def observe(self, other: tuple[int, ...]) -> tuple[int, ...]:
+        """Join with a received stamp, then tick; returns the new stamp."""
+        for i, value in enumerate(other):
+            if value > self.components[i]:
+                self.components[i] = value
+        return self.tick()
+
+    def stamp(self) -> tuple[int, ...]:
+        """The current value as an immutable stamp."""
+        return tuple(self.components)
+
+    @staticmethod
+    def leq(a: tuple[int, ...], b: tuple[int, ...]) -> bool:
+        """Component-wise ``a <= b`` (the happens-before-or-equal test)."""
+        return all(x <= y for x, y in zip(a, b))
+
+    @staticmethod
+    def concurrent(a: tuple[int, ...], b: tuple[int, ...]) -> bool:
+        """Neither stamp dominates the other."""
+        return not VectorClock.leq(a, b) and not VectorClock.leq(b, a)

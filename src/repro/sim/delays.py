@@ -1,0 +1,108 @@
+"""Message-delay models for the asynchronous network.
+
+The paper's only assumption about delivery time is that it is *unbounded*;
+everything interesting about asynchrony lives in the delay distribution and
+the adversary. These models give the workload generators a spectrum from
+near-synchronous (constant) to heavy-tailed (Pareto), the latter being what
+makes timeout-based "perfect" detection fail observably (experiment E1).
+
+All sampling goes through a caller-supplied :class:`random.Random` so runs
+are deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+
+class DelayModel:
+    """Samples a one-way message delay for a channel."""
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        """A non-negative delay for one message from ``src`` to ``dst``."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantDelay(DelayModel):
+    """Every message takes exactly ``delay`` time units."""
+
+    delay: float = 1.0
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        return self.delay
+
+
+@dataclass(frozen=True)
+class UniformDelay(DelayModel):
+    """Delays uniform in ``[low, high]``."""
+
+    low: float = 0.5
+    high: float = 1.5
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+@dataclass(frozen=True)
+class ExponentialDelay(DelayModel):
+    """Memoryless delays with the given ``mean``."""
+
+    mean: float = 1.0
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        return rng.expovariate(1.0 / self.mean)
+
+
+@dataclass(frozen=True)
+class LogNormalDelay(DelayModel):
+    """Log-normal delays — the canonical "mostly fast, sometimes slow".
+
+    ``median`` sets the scale; ``sigma`` the spread of the log. Used by the
+    phi-accrual experiments (E10) because the accrual detector's Gaussian
+    assumption is a reasonable fit for moderate sigma.
+    """
+
+    median: float = 1.0
+    sigma: float = 0.5
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        return rng.lognormvariate(math.log(self.median), self.sigma)
+
+
+@dataclass(frozen=True)
+class ParetoDelay(DelayModel):
+    """Heavy-tailed delays: minimum ``scale``, tail index ``alpha``.
+
+    With small ``alpha`` (e.g. 1.5) occasional deliveries take arbitrarily
+    long relative to the median — the adversarial regime in which any fixed
+    timeout misfires, demonstrating Theorem 1 empirically (experiment E1).
+    """
+
+    scale: float = 0.5
+    alpha: float = 1.5
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        return self.scale * rng.paretovariate(self.alpha)
+
+
+@dataclass(frozen=True)
+class PerChannelDelay(DelayModel):
+    """Wrap another model, slowing selected channels by a factor.
+
+    ``slow_channels`` maps ``(src, dst)`` pairs to multipliers; useful for
+    crafting asymmetric topologies (a "far away" process) without a full
+    adversary.
+    """
+
+    base: DelayModel
+    slow_channels: tuple[tuple[tuple[int, int], float], ...] = ()
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        delay = self.base.sample(rng, src, dst)
+        for (s, d), factor in self.slow_channels:
+            if (s, d) == (src, dst):
+                return delay * factor
+        return delay

@@ -1,0 +1,110 @@
+"""Fault plans: declarative crash/suspicion schedules for scenarios.
+
+A scenario is a list of :class:`Fault` records applied to a
+:class:`~repro.sim.world.World` before running. Workload generators build
+randomized plans (bounded by the ``t`` the protocol is configured for) so
+experiments can sweep seeds without hand-writing schedules.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+from repro.errors import SimulationError
+from repro.sim.world import World
+
+FaultKind = Literal["crash", "suspicion"]
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault.
+
+    ``kind="crash"``: process ``proc`` really crashes at ``at``.
+    ``kind="suspicion"``: process ``proc`` spontaneously suspects
+    ``target`` at ``at`` (the possibly-erroneous timeout of the paper).
+    """
+
+    kind: FaultKind
+    at: float
+    proc: int
+    target: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind == "suspicion" and self.target is None:
+            raise SimulationError("suspicion fault needs a target")
+
+
+def apply_faults(world: World, faults: Sequence[Fault]) -> None:
+    """Schedule every fault in the plan onto the world."""
+    for fault in faults:
+        if fault.kind == "crash":
+            world.inject_crash(fault.proc, fault.at)
+        else:
+            assert fault.target is not None
+            world.inject_suspicion(fault.proc, fault.target, fault.at)
+
+
+def random_fault_plan(
+    n: int,
+    t: int,
+    rng: random.Random,
+    horizon: float = 10.0,
+    crash_fraction: float = 0.5,
+) -> list[Fault]:
+    """A random plan with at most ``t`` distinct failure *targets*.
+
+    The paper's bound counts every failure, "including those that arise
+    from erroneous suspicions" — so the plan draws at most ``t`` distinct
+    victim processes, each of which either genuinely crashes or is falsely
+    suspected by one or more random observers.
+    """
+    if t < 0 or t > n:
+        raise SimulationError(f"need 0 <= t <= n, got t={t}, n={n}")
+    victims = rng.sample(range(n), k=rng.randint(0, t))
+    # Observers are drawn from guaranteed survivors: the paper's FS1
+    # mechanism is a timeout at *every* live process, so a crash victim is
+    # always eventually suspected by someone that stays up. (A victim
+    # observer might crash before its timeout fires, silently dropping
+    # the FS1 obligation it was carrying.)
+    survivors = [p for p in range(n) if p not in victims]
+    faults: list[Fault] = []
+    for victim in victims:
+        at = rng.uniform(0.1, horizon)
+        if rng.random() < crash_fraction and survivors:
+            faults.append(Fault("crash", at, victim))
+            observer = rng.choice(survivors)
+            faults.append(
+                Fault("suspicion", at + rng.uniform(0.1, 1.0), observer, victim)
+            )
+        elif survivors:
+            how_many = rng.randint(1, min(2, len(survivors)))
+            for observer in rng.sample(survivors, k=how_many):
+                faults.append(
+                    Fault(
+                        "suspicion",
+                        at + rng.uniform(0.0, 1.0),
+                        observer,
+                        victim,
+                    )
+                )
+    return sorted(faults, key=lambda f: f.at)
+
+
+def mutual_suspicion_plan(
+    pairs: Sequence[tuple[int, int]], at: float = 1.0, jitter: float = 0.0
+) -> list[Fault]:
+    """Concurrent mutual suspicions — the cycle-formation stress test.
+
+    For each ``(a, b)``, a suspects b and b suspects a at (nearly) the
+    same instant; under the cheap unilateral model this manufactures
+    failed-before cycles (experiment E7).
+    """
+    faults: list[Fault] = []
+    for offset, (a, b) in enumerate(pairs):
+        base = at + offset * jitter
+        faults.append(Fault("suspicion", base, a, b))
+        faults.append(Fault("suspicion", base, b, a))
+    return faults

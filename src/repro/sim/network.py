@@ -1,0 +1,215 @@
+"""Reliable FIFO channels with unbounded, adversary-controllable delay.
+
+Models the paper's communication substrate exactly (Section 2): between any
+two processes *i* and *j* there is a unidirectional channel C_{i,j} that
+does not lose, generate, garble, or reorder messages, but may take
+arbitrarily long — including "indefinitely", when the adversary holds it.
+
+FIFO is enforced structurally: each channel keeps a *clock* (the delivery
+time of the last message scheduled on it) and every new delivery is
+scheduled no earlier than that clock, whatever the sampled delay. Held
+messages queue per channel in send order, and everything sent after a held
+message queues behind it — the paper's "delayed behind the previous
+messages (recall that interprocess channels are FIFO)".
+
+Messages carry a *kind*:
+
+* ``"app"`` — application traffic: the modelled event alphabet. Only these
+  sends/receives appear in recorded histories.
+* ``"protocol"`` — SUSP/ACK traffic of the failure-detection protocols.
+  The paper's formal properties constrain ``crash``/``failed`` events and
+  application messages; the detection protocol is the *implementation* of
+  the failure model and, like the timeout mechanism, belongs to the
+  "underlying system". (Concretely: a Section 5 participant acknowledges
+  suspicion notices while its own round is open — if those
+  acknowledgement receives were modelled events, the paper's own protocol
+  would violate the letter of sFS2d.)
+* ``"system"`` — heartbeats and other liveness machinery.
+
+All kinds ride the same FIFO channels with the same delays and are held by
+the same adversary rules — the distinction is purely about which events
+the formal model sees.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.messages import Message
+from repro.errors import SimulationError
+from repro.sim.delays import DelayModel, UniformDelay
+from repro.sim.scheduler import Scheduler
+
+DeliverFn = Callable[[int, int, Message, str], None]
+"""Callback ``(src, dst, message, kind)`` invoked at delivery time."""
+
+HoldPredicate = Callable[[int, int, Message], bool]
+"""Adversary predicate deciding whether a send starts (or joins) a hold."""
+
+KINDS = ("app", "protocol", "system")
+"""Valid message kinds (see module docstring)."""
+
+
+@dataclass
+class _ChannelState:
+    clock: float = 0.0  # earliest time the next delivery may occur
+    held: list[tuple[Message, str]] = field(default_factory=list)
+    blocked: bool = False
+    sent: int = 0
+    delivered: int = 0
+
+
+class Network:
+    """All n^2 channels (including self-channels, used by Section 5)."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        n: int,
+        delay_model: DelayModel | None = None,
+        rng: random.Random | None = None,
+        deliver: DeliverFn | None = None,
+    ):
+        self._scheduler = scheduler
+        self._n = n
+        self._delay_model = delay_model or UniformDelay()
+        self._rng = rng or random.Random(0)
+        self._deliver_fn = deliver
+        self._channels: dict[tuple[int, int], _ChannelState] = {}
+        self._hold_predicates: list[HoldPredicate] = []
+        self.sent_by_kind: dict[str, int] = {kind: 0 for kind in KINDS}
+        self.messages_delivered = 0
+
+    def set_deliver(self, deliver: DeliverFn) -> None:
+        """Install the delivery callback (done by the World during wiring)."""
+        self._deliver_fn = deliver
+
+    @property
+    def n(self) -> int:
+        """Number of processes."""
+        return self._n
+
+    def _state(self, src: int, dst: int) -> _ChannelState:
+        key = (src, dst)
+        state = self._channels.get(key)
+        if state is None:
+            state = _ChannelState()
+            self._channels[key] = state
+        return state
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send(self, src: int, dst: int, msg: Message, kind: str = "app") -> None:
+        """Accept a message for eventual FIFO delivery on C_{src,dst}."""
+        if not (0 <= src < self._n and 0 <= dst < self._n):
+            raise SimulationError(f"send outside process universe: {src}->{dst}")
+        if self._deliver_fn is None:
+            raise SimulationError("network has no delivery callback installed")
+        if kind not in KINDS:
+            raise SimulationError(f"unknown message kind {kind!r}")
+        state = self._state(src, dst)
+        state.sent += 1
+        self.sent_by_kind[kind] += 1
+        if state.blocked or self._matches_hold(src, dst, msg):
+            state.blocked = True
+            state.held.append((msg, kind))
+            return
+        self._schedule_delivery(src, dst, msg, kind)
+
+    def _matches_hold(self, src: int, dst: int, msg: Message) -> bool:
+        return any(pred(src, dst, msg) for pred in self._hold_predicates)
+
+    def _schedule_delivery(
+        self, src: int, dst: int, msg: Message, kind: str
+    ) -> None:
+        state = self._state(src, dst)
+        delay = self._delay_model.sample(self._rng, src, dst)
+        if delay < 0:
+            raise SimulationError(f"delay model produced negative delay {delay}")
+        due = max(state.clock, self._scheduler.now + delay)
+        state.clock = due
+
+        def deliver() -> None:
+            state.delivered += 1
+            self.messages_delivered += 1
+            assert self._deliver_fn is not None
+            self._deliver_fn(src, dst, msg, kind)
+
+        self._scheduler.schedule_at(due, deliver, periodic=kind == "system")
+
+    # ------------------------------------------------------------------
+    # Adversary interface (used via repro.sim.adversary)
+    # ------------------------------------------------------------------
+
+    def add_hold_predicate(self, predicate: HoldPredicate) -> HoldPredicate:
+        """Install a hold rule; returns it for later removal."""
+        self._hold_predicates.append(predicate)
+        return predicate
+
+    def remove_hold_predicate(self, predicate: HoldPredicate) -> None:
+        """Remove a previously installed hold rule."""
+        self._hold_predicates.remove(predicate)
+
+    def block_channel(self, src: int, dst: int) -> None:
+        """Unconditionally hold all future traffic on C_{src,dst}."""
+        self._state(src, dst).blocked = True
+
+    def release_channel(self, src: int, dst: int) -> int:
+        """Deliver a blocked channel's queue (FIFO) and unblock it.
+
+        Returns the number of messages released. Messages are re-subjected
+        to the delay model but the channel clock preserves their order.
+        """
+        state = self._state(src, dst)
+        state.blocked = False
+        held, state.held = state.held, []
+        for msg, kind in held:
+            self._schedule_delivery(src, dst, msg, kind)
+        return len(held)
+
+    def release_all(self) -> int:
+        """Release every blocked channel; returns messages released."""
+        released = 0
+        self._hold_predicates.clear()
+        for (src, dst), state in self._channels.items():
+            if state.blocked or state.held:
+                released += self.release_channel(src, dst)
+        return released
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def app_messages_sent(self) -> int:
+        """Application (modelled) messages accepted so far."""
+        return self.sent_by_kind["app"]
+
+    @property
+    def protocol_messages_sent(self) -> int:
+        """Failure-detection protocol messages accepted so far."""
+        return self.sent_by_kind["protocol"]
+
+    @property
+    def system_messages_sent(self) -> int:
+        """Heartbeat/system messages accepted so far."""
+        return self.sent_by_kind["system"]
+
+    def held_messages(self) -> dict[tuple[int, int], int]:
+        """How many messages are currently held, per blocked channel."""
+        return {
+            channel: len(state.held)
+            for channel, state in self._channels.items()
+            if state.held
+        }
+
+    def channel_stats(self) -> dict[tuple[int, int], tuple[int, int]]:
+        """Per-channel ``(sent, delivered)`` counters."""
+        return {
+            channel: (state.sent, state.delivered)
+            for channel, state in self._channels.items()
+        }

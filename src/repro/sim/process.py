@@ -1,0 +1,195 @@
+"""Process automata for the simulated asynchronous system.
+
+A :class:`SimProcess` is the unit of computation from Section 2: it reacts
+to received messages (and, below the model, to timers), may send messages,
+and can crash — after which it takes no further steps, ever. Subclasses
+implement protocols (:mod:`repro.protocols`) and applications
+(:mod:`repro.apps`) by overriding the ``on_*`` hooks.
+
+Three layers of traffic (see :mod:`repro.sim.network`):
+
+* **application messages** (``kind="app"``) appear in the recorded history
+  as send/recv events and obey every rule of the formal model;
+* **protocol messages** (``kind="protocol"``, the SUSP/ACK traffic) are
+  the failure model's implementation — consumed immediately, never
+  recorded as events;
+* **system messages** (``kind="system"``, heartbeats) are the FS1 timeout
+  machinery of the "underlying system".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Hashable
+
+from repro.core.messages import Message, MessageMint
+from repro.errors import ProtocolError
+from repro.sim.scheduler import TimerHandle
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.world import World
+
+
+class SimProcess:
+    """Base class for simulated processes.
+
+    Lifecycle: the :class:`~repro.sim.world.World` calls :meth:`bind`, then
+    :meth:`on_start` once the simulation begins. Message deliveries arrive
+    through :meth:`deliver`; crashing freezes the process permanently.
+    """
+
+    def __init__(self) -> None:
+        self.pid: int = -1
+        self.crashed = False
+        self._world: "World | None" = None
+        self._mint: MessageMint | None = None
+        self._timers: list[TimerHandle] = []
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def bind(self, world: "World", pid: int) -> None:
+        """Attach this process to a world under process id ``pid``."""
+        self._world = world
+        self.pid = pid
+        self._mint = MessageMint(pid)
+
+    @property
+    def world(self) -> "World":
+        """The world this process lives in."""
+        if self._world is None:
+            raise ProtocolError("process used before bind()")
+        return self._world
+
+    @property
+    def n(self) -> int:
+        """Number of processes in the system."""
+        return self.world.n
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.world.scheduler.now
+
+    @property
+    def peers(self) -> list[int]:
+        """All process ids except this one."""
+        return [p for p in range(self.n) if p != self.pid]
+
+    # ------------------------------------------------------------------
+    # Hooks for subclasses
+    # ------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        """Called once when the simulation starts."""
+
+    def on_message(self, src: int, payload: Hashable, msg: Message) -> None:
+        """Called when a modelled message is consumed (recv recorded)."""
+
+    def on_protocol_message(self, src: int, payload: Hashable, msg: Message) -> None:
+        """Called for detection-protocol traffic (SUSP/ACK); not modelled."""
+
+    def on_system_message(self, src: int, payload: Hashable) -> None:
+        """Called for system-level traffic (heartbeats); not modelled."""
+
+    def on_crash(self) -> None:
+        """Called once, just after this process crashes."""
+
+    def suspect(self, target: int) -> None:
+        """Begin suspecting ``target`` (protocol subclasses implement)."""
+        raise ProtocolError(
+            f"{type(self).__name__} has no failure-detection protocol"
+        )
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+
+    def send(self, dst: int, payload: Hashable, kind: str = "app") -> Message | None:
+        """Send ``payload`` to ``dst``; returns the minted message.
+
+        Crashed processes send nothing (returns ``None``): the crash
+        freezes the state, per the model.
+        """
+        if self.crashed:
+            return None
+        assert self._mint is not None
+        msg = self._mint.mint(payload)
+        self.world.transmit(self.pid, dst, msg, kind=kind)
+        return msg
+
+    def broadcast(
+        self, payload: Hashable, include_self: bool = False, kind: str = "app"
+    ) -> list[Message]:
+        """Send ``payload`` to every process (optionally including self).
+
+        The Section 5 protocol broadcasts *including itself* — the
+        self-delivery is what puts the detector in its own quorum.
+        """
+        targets = list(range(self.n)) if include_self else self.peers
+        sent = []
+        for dst in targets:
+            msg = self.send(dst, payload, kind=kind)
+            if msg is not None:
+                sent.append(msg)
+        return sent
+
+    def set_timer(
+        self, delay: float, callback: Callable[[], None], periodic: bool = False
+    ) -> TimerHandle:
+        """Schedule a local timer; it is inert once the process crashes."""
+
+        def guarded() -> None:
+            if not self.crashed:
+                callback()
+
+        handle = self.world.scheduler.schedule(delay, guarded, periodic=periodic)
+        self._timers.append(handle)
+        return handle
+
+    def record_internal(self, label: Hashable) -> None:
+        """Mark an application-level step in the history."""
+        if not self.crashed:
+            self.world.trace.record_internal(self.now, self.pid, label)
+
+    def crash_now(self) -> None:
+        """Crash this process (idempotent): record the event and freeze."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.world.trace.record_crash(self.now, self.pid)
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+        self.on_crash()
+
+    # ------------------------------------------------------------------
+    # Delivery (called by the World)
+    # ------------------------------------------------------------------
+
+    def deliver(self, src: int, msg: Message, kind: str) -> None:
+        """Entry point for a message arriving at this process.
+
+        Crashed processes consume nothing — no recv event is recorded, as
+        required by the model (a crash is the last event of a process).
+        """
+        if self.crashed:
+            return
+        if kind == "system":
+            self.on_system_message(src, msg.payload)
+            return
+        if kind == "protocol":
+            self.on_protocol_message(src, msg.payload, msg)
+            return
+        self.consume(src, msg)
+
+    def consume(self, src: int, msg: Message) -> None:
+        """Record the recv event and run the message hook.
+
+        Protocol subclasses override this to *defer* application traffic
+        while a detection round is open (the paper's "takes no other
+        action except acknowledging" clause, which is what gives sFS2d);
+        the recv event must be recorded only at true consumption time.
+        """
+        self.world.trace.record_recv(self.now, self.pid, src, msg)
+        self.on_message(src, msg.payload, msg)

@@ -1,0 +1,191 @@
+"""Deterministic discrete-event scheduler.
+
+The heart of the asynchronous-system substrate: a priority queue of
+``(time, sequence)``-ordered callbacks. Determinism is absolute — given the
+same schedule of calls, :meth:`Scheduler.run` executes the same callbacks in
+the same order every time, so every simulated run (and every adversarial
+counterexample) is replayable from its parameters.
+
+Virtual time is a float with no relation to wall-clock time; "asynchrony"
+in the paper's sense is modelled by the *delay distributions* and the
+*adversary* (:mod:`repro.sim.adversary`), which may postpone a delivery
+arbitrarily far — including forever.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    periodic: bool = field(default=False, compare=False)
+
+
+class TimerHandle:
+    """Cancellation handle for a scheduled callback."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: _Entry):
+        self._entry = entry
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self._entry.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._entry.cancelled
+
+    @property
+    def when(self) -> float:
+        """The virtual time at which the callback is due."""
+        return self._entry.time
+
+
+class Scheduler:
+    """A deterministic virtual-time event loop.
+
+    Ties are broken by scheduling order (a monotone sequence number), so
+    simultaneous events run first-scheduled-first.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[_Entry] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def processed(self) -> int:
+        """Number of callbacks executed so far."""
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Number of queued, uncancelled callbacks."""
+        return sum(1 for entry in self._queue if not entry.cancelled)
+
+    def pending_nonperiodic(self) -> int:
+        """Queued, uncancelled callbacks not marked periodic.
+
+        Used for quiescence detection: a run with heartbeat emitters never
+        drains completely, but it *is* quiescent once only periodic
+        housekeeping remains.
+        """
+        return sum(
+            1 for entry in self._queue if not entry.cancelled and not entry.periodic
+        )
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        periodic: bool = False,
+    ) -> TimerHandle:
+        """Run ``callback`` after ``delay`` units of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self._now + delay, callback, periodic=periodic)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        periodic: bool = False,
+    ) -> TimerHandle:
+        """Run ``callback`` at absolute virtual ``time`` (>= now)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: {time} < now {self._now}"
+            )
+        entry = _Entry(time, next(self._seq), callback, periodic=periodic)
+        heapq.heappush(self._queue, entry)
+        return TimerHandle(entry)
+
+    def step(self) -> bool:
+        """Execute the next callback. Returns False when nothing is queued."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.cancelled:
+                continue
+            self._now = entry.time
+            self._processed += 1
+            entry.callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+    ) -> int:
+        """Process queued callbacks in order.
+
+        Args:
+            until: stop once the next callback would run strictly after
+                this virtual time (the clock advances to at most ``until``).
+            max_events: stop after this many callbacks (safety valve).
+
+        Returns:
+            The number of callbacks executed by this call.
+        """
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                break
+            upcoming = self._peek()
+            if upcoming is None:
+                break
+            if until is not None and upcoming.time > until:
+                self._now = max(self._now, until)
+                break
+            if not self.step():
+                break
+            executed += 1
+        return executed
+
+    def run_to_quiescence(
+        self, max_events: int = 1_000_000, ignore_periodic: bool = True
+    ) -> int:
+        """Run until no (non-periodic) work remains.
+
+        Raises :class:`SimulationError` if ``max_events`` is exceeded,
+        which almost always indicates a livelock in a protocol under test.
+        """
+        executed = 0
+        while True:
+            remaining = (
+                self.pending_nonperiodic() if ignore_periodic else self.pending
+            )
+            if remaining == 0:
+                return executed
+            if executed >= max_events:
+                raise SimulationError(
+                    f"no quiescence after {max_events} events; "
+                    "likely a livelock in the system under test"
+                )
+            if not self.step():
+                return executed
+            executed += 1
+
+    def _peek(self) -> _Entry | None:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None

@@ -1,0 +1,140 @@
+"""Trace recording: the bridge from simulation to the formal model.
+
+The simulator executes; the :class:`TraceRecorder` writes down what happened
+as :mod:`repro.core` events, in execution order, with virtual timestamps on
+the side. Everything the library proves or measures about a run — Figure 1
+conformance, failed-before cycles, the Theorem 5 witness, latency metrics —
+is computed from this recording, never from simulator internals.
+
+Quorum sets (Definition 5) are also recorded here, because they are
+protocol-level bookkeeping that the Witness Property checker (Theorem 6)
+needs but the pure event alphabet does not carry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.events import (
+    CrashEvent,
+    Event,
+    FailedEvent,
+    InternalEvent,
+    RecvEvent,
+    SendEvent,
+)
+from repro.core.history import History
+from repro.core.messages import Message
+from repro.core.quorum import QuorumRecord
+
+
+@dataclass(frozen=True)
+class TimedEvent:
+    """An event plus the virtual time at which it executed."""
+
+    time: float
+    event: Event
+
+
+class TraceRecorder:
+    """Accumulates the events of one simulated run."""
+
+    def __init__(self, n: int):
+        self._n = n
+        self._events: list[Event] = []
+        self._times: list[float] = []
+        self._quorums: list[QuorumRecord] = []
+        self._internal_seq: dict[tuple[int, object], int] = {}
+
+    @property
+    def n(self) -> int:
+        """Number of processes in the recorded system."""
+        return self._n
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def _record(self, time: float, event: Event) -> Event:
+        self._events.append(event)
+        self._times.append(time)
+        return event
+
+    def record_send(self, time: float, src: int, dst: int, msg: Message) -> Event:
+        """``send_src(dst, msg)``."""
+        return self._record(time, SendEvent(src, dst, msg))
+
+    def record_recv(self, time: float, dst: int, src: int, msg: Message) -> Event:
+        """``recv_dst(src, msg)`` — recorded at *consumption* time."""
+        return self._record(time, RecvEvent(dst, src, msg))
+
+    def record_crash(self, time: float, proc: int) -> Event:
+        """``crash_proc``."""
+        return self._record(time, CrashEvent(proc))
+
+    def record_failed(self, time: float, detector: int, target: int) -> Event:
+        """``failed_detector(target)``."""
+        return self._record(time, FailedEvent(detector, target))
+
+    def record_internal(self, time: float, proc: int, label: object) -> Event:
+        """A tagged application step, auto-sequenced for uniqueness."""
+        key = (proc, label)
+        seq = self._internal_seq.get(key, 0)
+        self._internal_seq[key] = seq + 1
+        return self._record(time, InternalEvent(proc, label, seq))
+
+    def record_quorum(
+        self, detector: int, target: int, members: frozenset[int]
+    ) -> QuorumRecord:
+        """The quorum set behind a ``failed_detector(target)`` execution."""
+        record = QuorumRecord(detector, target, members)
+        self._quorums.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def history(self) -> History:
+        """The recorded history, as formal-model data."""
+        return History(self._events, self._n)
+
+    def timed_events(self) -> list[TimedEvent]:
+        """Events paired with their virtual execution times."""
+        return [
+            TimedEvent(t, e) for t, e in zip(self._times, self._events)
+        ]
+
+    @property
+    def quorum_records(self) -> list[QuorumRecord]:
+        """All recorded quorum sets, in detection order."""
+        return list(self._quorums)
+
+    def time_of_crash(self, proc: int) -> float | None:
+        """Virtual time of ``crash_proc``, or None."""
+        for t, e in zip(self._times, self._events):
+            if isinstance(e, CrashEvent) and e.proc == proc:
+                return t
+        return None
+
+    def time_of_detection(self, detector: int, target: int) -> float | None:
+        """Virtual time of ``failed_detector(target)``, or None."""
+        for t, e in zip(self._times, self._events):
+            if (
+                isinstance(e, FailedEvent)
+                and e.proc == detector
+                and e.target == target
+            ):
+                return t
+        return None
+
+    def detection_times(self, target: int) -> dict[int, float]:
+        """Map detector -> time it executed ``failed(target)``."""
+        out: dict[int, float] = {}
+        for t, e in zip(self._times, self._events):
+            if isinstance(e, FailedEvent) and e.target == target:
+                out.setdefault(e.proc, t)
+        return out

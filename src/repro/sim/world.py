@@ -1,0 +1,162 @@
+"""The World: wiring for one simulated asynchronous system.
+
+A :class:`World` owns the scheduler, network, trace recorder, adversary,
+and the process automata, and exposes the run/inspect API that scenarios,
+tests, and benchmarks drive. Construction is deterministic: the same
+``(processes, delay model, seed, scenario)`` produces bit-identical
+histories.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from repro.core.history import History
+from repro.core.messages import Message
+from repro.errors import SimulationError
+from repro.sim.adversary import Adversary
+from repro.sim.delays import DelayModel, UniformDelay
+from repro.sim.network import Network
+from repro.sim.process import SimProcess
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import TraceRecorder
+
+
+class World:
+    """One simulated system of ``n`` processes on FIFO channels.
+
+    Args:
+        processes: the process automata, index = process id.
+        delay_model: message-delay distribution (default mildly jittered).
+        seed: RNG seed; all nondeterminism flows from here.
+    """
+
+    def __init__(
+        self,
+        processes: Sequence[SimProcess],
+        delay_model: DelayModel | None = None,
+        seed: int = 0,
+    ):
+        if not processes:
+            raise SimulationError("need at least one process")
+        self._processes = list(processes)
+        n = len(self._processes)
+        self.scheduler = Scheduler()
+        self.rng = random.Random(seed)
+        self.trace = TraceRecorder(n)
+        self.network = Network(
+            self.scheduler,
+            n,
+            delay_model or UniformDelay(),
+            self.rng,
+            deliver=self._on_deliver,
+        )
+        self.adversary = Adversary(self.network)
+        self._started = False
+        for pid, proc in enumerate(self._processes):
+            proc.bind(self, pid)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of processes."""
+        return len(self._processes)
+
+    @property
+    def processes(self) -> list[SimProcess]:
+        """The process automata (index = pid)."""
+        return list(self._processes)
+
+    def process(self, pid: int) -> SimProcess:
+        """The automaton for process ``pid``."""
+        return self._processes[pid]
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def start(self) -> "World":
+        """Run every process's ``on_start`` hook (idempotent)."""
+        if not self._started:
+            self._started = True
+            for proc in self._processes:
+                proc.on_start()
+        return self
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Start if needed, then process events (see Scheduler.run)."""
+        self.start()
+        return self.scheduler.run(until=until, max_events=max_events)
+
+    def run_to_quiescence(self, max_events: int = 1_000_000) -> int:
+        """Run until only periodic housekeeping (heartbeats) remains.
+
+        Suitable for scenarios driven by injected crashes/suspicions; for
+        detector-driven scenarios use ``run(until=horizon)`` instead, since
+        heartbeat timers keep the queue non-empty forever.
+        """
+        self.start()
+        return self.scheduler.run_to_quiescence(max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # Transmission plumbing (used by SimProcess)
+    # ------------------------------------------------------------------
+
+    def transmit(self, src: int, dst: int, msg: Message, kind: str = "app") -> None:
+        """Hand a message to the network; app sends become history events."""
+        if kind == "app":
+            self.trace.record_send(self.scheduler.now, src, dst, msg)
+        self.network.send(src, dst, msg, kind=kind)
+
+    def _on_deliver(self, src: int, dst: int, msg: Message, kind: str) -> None:
+        self._processes[dst].deliver(src, msg, kind)
+
+    # ------------------------------------------------------------------
+    # Fault/scenario injection
+    # ------------------------------------------------------------------
+
+    def inject_crash(self, pid: int, at: float) -> None:
+        """Schedule a genuine crash of ``pid`` at virtual time ``at``."""
+        self.scheduler.schedule_at(at, self._processes[pid].crash_now)
+
+    def inject_suspicion(self, pid: int, target: int, at: float) -> None:
+        """Schedule a spontaneous suspicion (e.g. a timeout) at ``pid``.
+
+        This is the paper's protocol trigger: "a failure can be suspected
+        spontaneously (e.g., due to a timeout)".
+        """
+        if pid == target:
+            raise SimulationError("a process does not suspect itself")
+
+        def fire() -> None:
+            proc = self._processes[pid]
+            if not proc.crashed:
+                proc.suspect(target)
+
+        self.scheduler.schedule_at(at, fire)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def history(self) -> History:
+        """The recorded history so far."""
+        return self.trace.history()
+
+    def alive(self) -> list[int]:
+        """Processes that have not crashed."""
+        return [p.pid for p in self._processes if not p.crashed]
+
+
+def build_world(
+    n: int,
+    factory: Callable[[], SimProcess],
+    delay_model: DelayModel | None = None,
+    seed: int = 0,
+) -> World:
+    """Build a world of ``n`` identical processes from a factory."""
+    return World([factory() for _ in range(n)], delay_model, seed)

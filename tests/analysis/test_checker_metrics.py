@@ -1,0 +1,99 @@
+"""Tests for the conformance checker and metrics."""
+
+from repro.analysis import analyze, collect_metrics, detection_latency
+from repro.analysis.metrics import detections_by_detector
+from repro.core.events import crash, failed
+from repro.core.history import History
+from repro.protocols import SfsProcess
+from repro.sim import build_world
+
+
+def finished_world(seed=0):
+    world = build_world(9, lambda: SfsProcess(t=2), seed=seed)
+    world.inject_crash(4, at=0.5)
+    world.inject_suspicion(0, 4, at=1.0)
+    world.run_to_quiescence()
+    return world
+
+
+class TestAnalyze:
+    def test_healthy_sfs_run(self):
+        world = finished_world()
+        report = analyze(world.history(), world.trace.quorum_records, t=2)
+        assert report.valid
+        assert report.is_simulated_fail_stop
+        assert report.indistinguishable_from_fail_stop
+        assert report.t_wise_witness_property
+        assert report.cycle is None
+
+    def test_cheap_cycle_run(self):
+        from repro.protocols import UnilateralProcess
+
+        world = build_world(4, lambda: UnilateralProcess(), seed=1)
+        world.inject_suspicion(0, 1, at=1.0)
+        world.inject_suspicion(1, 0, at=1.0)
+        world.run_to_quiescence()
+        report = analyze(world.history())
+        assert not report.is_simulated_fail_stop
+        assert not report.indistinguishable_from_fail_stop
+        assert report.cycle is not None
+
+    def test_fs_property_on_ordered_history(self):
+        h = History([crash(0), failed(1, 0)], n=2)
+        report = analyze(h)
+        assert report.is_fail_stop
+
+    def test_summary_renders(self):
+        world = finished_world()
+        report = analyze(world.history(), world.trace.quorum_records, t=2)
+        text = report.summary()
+        assert "FS2" in text and "sFS2b" in text
+
+    def test_bad_pairs_counted(self):
+        h = History([failed(1, 0), crash(0)], n=2)
+        report = analyze(h)
+        assert report.bad_pair_count == 1
+        assert not report.is_fail_stop
+        assert report.indistinguishable_from_fail_stop
+
+
+class TestMetrics:
+    def test_collect_metrics_counts(self):
+        world = finished_world()
+        metrics = collect_metrics(world)
+        assert metrics.n == 9
+        assert metrics.crashes == 1
+        assert metrics.distinct_targets == 1
+        assert metrics.detections == 8
+        assert metrics.protocol_messages > 0
+        assert metrics.app_messages == 0  # pure detection scenario
+        assert metrics.messages_per_detection > 0
+        # Section 5: Theta(n^2) messages per detected failure.
+        assert metrics.messages_per_target >= (9 - 1)
+
+    def test_detection_latency(self):
+        world = finished_world()
+        latency = detection_latency(world, target=4, suspicion_time=1.0)
+        assert latency.detectors == 8
+        assert latency.first_latency is not None
+        assert 0 < latency.first_latency <= latency.last_latency
+
+    def test_latency_none_when_undetected(self):
+        world = build_world(9, lambda: SfsProcess(t=2), seed=0)
+        world.run_to_quiescence()
+        latency = detection_latency(world, target=4, suspicion_time=1.0)
+        assert latency.first_latency is None and latency.detectors == 0
+
+    def test_detections_by_detector(self):
+        world = finished_world()
+        counts = detections_by_detector(world)
+        assert all(v == 1 for v in counts.values())
+        assert len(counts) == 8
+
+    def test_nan_messages_per_detection_when_none(self):
+        import math
+
+        world = build_world(3, lambda: SfsProcess(t=1), seed=0)
+        world.run_to_quiescence()
+        metrics = collect_metrics(world)
+        assert math.isnan(metrics.messages_per_detection)

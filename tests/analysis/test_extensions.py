@@ -1,0 +1,23 @@
+"""Tests for the extension experiments (E11 probe, A1 ablation)."""
+
+from repro.analysis.extensions import run_a1, run_e11
+
+
+class TestA1Ablation:
+    def test_deferral_is_load_bearing(self):
+        rows = run_a1(seeds=range(4))
+        with_deferral = next(r for r in rows if r.defer_app)
+        without = next(r for r in rows if not r.defer_app)
+        assert with_deferral.sfs2d_violations == 0
+        assert without.sfs2d_violations == without.runs
+        assert without.violation_rate == 1.0
+
+
+class TestE11Probe:
+    def test_rows_well_formed(self):
+        rows = run_e11(seeds=range(4))
+        assert {r.protocol for r in rows} == {"sfs", "sfs+piggyback"}
+        for row in rows:
+            assert row.runs == 4
+            assert 0 <= row.inversions
+            assert 0 <= row.truncated_logs <= row.runs

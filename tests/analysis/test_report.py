@@ -1,0 +1,58 @@
+"""Tests for the ASCII table renderer."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis.report import dataclass_table, format_table, print_table
+
+
+@dataclass
+class Row:
+    name: str
+    value: float
+    ok: bool
+
+
+ROWS = [Row("alpha", 1.5, True), Row("beta", 2.25, False)]
+
+
+class TestFormatTable:
+    def test_headers_and_rows_aligned(self):
+        text = format_table(["a", "b"], [[1, 2], [30, 40]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].index("b") == lines[2].index("2")
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[1.23456]])
+        assert "1.235" in text
+
+    def test_bool_rendering(self):
+        text = format_table(["x"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_none_rendering(self):
+        assert "-" in format_table(["x"], [[None]])
+
+
+class TestDataclassTable:
+    def test_all_fields(self):
+        text = dataclass_table(ROWS)
+        assert "name" in text and "alpha" in text and "2.250" in text
+
+    def test_column_subset(self):
+        text = dataclass_table(ROWS, columns=["name"])
+        assert "value" not in text
+
+    def test_empty(self):
+        assert dataclass_table([]) == "(no rows)"
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(TypeError):
+            dataclass_table([{"a": 1}])
+
+    def test_print_table(self, capsys):
+        print_table("Title", ROWS)
+        out = capsys.readouterr().out
+        assert "== Title ==" in out and "alpha" in out

@@ -1,0 +1,118 @@
+"""Tests for the Section 1 leader election under sFS."""
+
+from repro.apps.election import (
+    BECOME_LEADER,
+    ElectionProcess,
+    leaders_at_every_state,
+    leadership_profile,
+    max_concurrent_leaders,
+)
+from repro.core import ensure_crashes, fail_stop_witness
+from repro.core.events import InternalEvent
+from repro.sim import UniformDelay, build_world
+
+
+def election_world(n=6, seed=0, shield_leader=False):
+    world = build_world(
+        n, lambda: ElectionProcess(t=2), seed=seed,
+        delay_model=UniformDelay(0.3, 1.2),
+    )
+    if shield_leader:
+        world.adversary.hold_suspicions_about(0, {0})
+        world.scheduler.schedule_at(30.0, world.adversary.heal)
+    return world
+
+
+class TestBasicElection:
+    def test_initial_leader_is_zero(self):
+        world = election_world()
+        world.start()
+        assert world.process(0).believes_leader()
+        assert not world.process(1).believes_leader()
+
+    def test_become_leader_recorded(self):
+        world = election_world()
+        world.run_to_quiescence()
+        marks = [
+            e for e in world.history()
+            if isinstance(e, InternalEvent) and e.label == BECOME_LEADER
+        ]
+        assert [m.proc for m in marks] == [0]
+
+    def test_succession_after_crash(self):
+        world = election_world()
+        world.inject_crash(0, at=0.5)
+        world.inject_suspicion(2, 0, at=1.0)
+        world.run_to_quiescence()
+        assert world.process(1).believes_leader()
+        assert max_concurrent_leaders(world.history()) == 1
+
+    def test_cascade(self):
+        world = election_world(seed=4)
+        world.inject_crash(0, at=0.5)
+        world.inject_suspicion(2, 0, at=1.0)
+        world.inject_crash(1, at=10.0)
+        world.inject_suspicion(3, 1, at=11.0)
+        world.run_to_quiescence()
+        assert world.process(2).believes_leader()
+
+    def test_candidates_shrink(self):
+        world = election_world()
+        world.inject_crash(0, at=0.5)
+        world.inject_suspicion(2, 0, at=1.0)
+        world.run_to_quiescence()
+        assert 0 not in world.process(3).candidates
+
+
+class TestSplitBrain:
+    """The paper's Section 3.2 discussion, made measurable."""
+
+    def test_raw_run_can_have_two_leaders(self):
+        world = election_world(shield_leader=True)
+        world.inject_suspicion(2, 0, at=1.0)
+        world.run_to_quiescence()
+        history = ensure_crashes(world.history())
+        assert max_concurrent_leaders(history) == 2
+
+    def test_witness_never_has_two_leaders(self):
+        world = election_world(shield_leader=True)
+        world.inject_suspicion(2, 0, at=1.0)
+        world.run_to_quiescence()
+        history = ensure_crashes(world.history())
+        witness = fail_stop_witness(history)
+        assert max_concurrent_leaders(witness) <= 1
+
+    def test_profile_counts_positions(self):
+        world = election_world(shield_leader=True)
+        world.inject_suspicion(2, 0, at=1.0)
+        world.run_to_quiescence()
+        profile = leadership_profile(ensure_crashes(world.history()))
+        assert profile.ever_split
+        assert profile.positions_with_two_plus > 0
+        assert profile.total_positions == len(ensure_crashes(world.history())) + 1
+
+
+class TestLeadersAtEveryState:
+    def test_initially_only_zero(self):
+        from repro.core.history import History
+
+        states = leaders_at_every_state(History([], n=4))
+        assert states == [frozenset({0})]
+
+    def test_detection_moves_leadership(self):
+        from repro.core.events import crash, failed
+        from repro.core.history import History
+
+        h = History([crash(0), failed(1, 0)], n=3)
+        states = leaders_at_every_state(h)
+        assert states[0] == frozenset({0})
+        assert states[1] == frozenset()        # 0 crashed, nobody knows
+        assert states[2] == frozenset({1})     # 1 detected 0
+
+    def test_false_detection_double_leader(self):
+        from repro.core.events import failed
+        from repro.core.history import History
+
+        h = History([failed(1, 0)], n=2)
+        states = leaders_at_every_state(h)
+        assert states[1] == frozenset({0, 1})  # split brain

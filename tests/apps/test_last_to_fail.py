@@ -1,0 +1,106 @@
+"""Tests for Skeen's last-process-to-fail recovery (Section 6)."""
+
+from repro.apps.last_to_fail import (
+    collect_logs,
+    recover_last_to_fail,
+    simulated_crash_order,
+    two_process_counterexample_shape,
+    verdict_is_correct,
+)
+from repro.core import ensure_crashes
+from repro.core.events import crash, failed
+from repro.core.history import History
+from repro.protocols import SfsProcess, UnilateralProcess
+from repro.sim import ConstantDelay, build_world
+
+
+class TestLogs:
+    def test_logs_reconstructed_in_order(self):
+        h = History([failed(2, 0), failed(2, 1)], n=3)
+        logs = {log.owner: log.entries for log in collect_logs(h)}
+        assert logs[2] == (0, 1)
+        assert logs[0] == ()
+
+
+class TestRecovery:
+    def test_chain_recovers_last(self):
+        h = History(
+            [failed(1, 0), crash(0), failed(2, 1), crash(1), crash(2)], n=3
+        )
+        verdict = recover_last_to_fail(h)
+        assert verdict.solvable
+        assert verdict.candidates == frozenset({2})
+
+    def test_cycle_unsolvable(self):
+        h = History(
+            [failed(0, 1), failed(1, 0), crash(0), crash(1)], n=2
+        )
+        verdict = recover_last_to_fail(h)
+        assert not verdict.solvable
+        assert verdict.cycle is not None
+
+    def test_correctness_against_witness_order(self):
+        h = History(
+            [failed(1, 0), crash(0), failed(2, 1), crash(1), crash(2)], n=3
+        )
+        assert verdict_is_correct(h)
+        assert simulated_crash_order(h)[-1] == 2
+
+    def test_paper_two_process_example(self):
+        """Process 1 falsely detects 0, crashes; 0 detects 1 and crashes.
+
+        Wait: paper's scenario — 1 falsely detects 2's failure then
+        crashes; 2 detects 1, works on, crashes last. Naive recovery by
+        pooled logs must NOT name 1 (the false detector) as last.
+        """
+        h = History(
+            [failed(1, 0), crash(1), failed(0, 1), crash(0)], n=2
+        )
+        # In this mutual-detection knot recovery is unsolvable (cycle).
+        verdict = recover_last_to_fail(h)
+        assert not verdict.solvable
+        assert two_process_counterexample_shape(h)
+
+    def test_sfs_prevents_the_knot(self):
+        """Under sFS the detected process crashes before detecting back."""
+        h = History(
+            [failed(1, 0), crash(0), crash(1)], n=2
+        )
+        verdict = recover_last_to_fail(h)
+        assert verdict.solvable
+        assert verdict.candidates == frozenset({1})
+        assert not two_process_counterexample_shape(h)
+
+
+class TestEndToEnd:
+    def test_sfs_total_failure_recovers_correctly(self):
+        world = build_world(
+            4,
+            lambda: SfsProcess(t=3, enforce_bounds=False, quorum_size=2),
+            ConstantDelay(0.5),
+            seed=5,
+        )
+        world.inject_suspicion(1, 0, at=1.0)
+        world.inject_suspicion(2, 1, at=6.0)
+        world.inject_suspicion(3, 2, at=12.0)
+        world.inject_crash(3, at=20.0)
+        world.run_to_quiescence()
+        history = ensure_crashes(world.history())
+        assert verdict_is_correct(history)
+        verdict = recover_last_to_fail(history)
+        assert 3 in verdict.candidates
+
+    def test_unilateral_total_failure_breaks(self):
+        world = build_world(
+            4, lambda: UnilateralProcess(), ConstantDelay(0.5), seed=5
+        )
+        # Concurrent mutual suspicion poisons the logs...
+        world.inject_suspicion(0, 1, at=1.0)
+        world.inject_suspicion(1, 0, at=1.0)
+        # ...then the rest of the system dies.
+        world.inject_suspicion(2, 3, at=5.0)
+        world.inject_crash(2, at=10.0)
+        world.run_to_quiescence()
+        history = ensure_crashes(world.history())
+        verdict = recover_last_to_fail(history)
+        assert not verdict.solvable

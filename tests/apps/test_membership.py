@@ -1,0 +1,101 @@
+"""Tests for the view-based membership service."""
+
+from repro.apps.membership import (
+    MembershipProcess,
+    check_exclusion_propagation,
+    check_membership,
+)
+from repro.core.events import crash, failed, recv, send
+from repro.core.history import History
+from repro.core.messages import MessageMint
+from repro.sim import ConstantDelay, build_world
+
+
+def membership_world(n=6, seed=0, **kwargs):
+    return build_world(
+        n, lambda: MembershipProcess(t=2, **kwargs), seed=seed
+    )
+
+
+class TestViews:
+    def test_initial_view_is_everyone(self):
+        world = membership_world()
+        world.start()
+        assert world.process(0).view == frozenset(range(6))
+
+    def test_view_shrinks_on_detection(self):
+        world = membership_world()
+        world.inject_crash(3, at=0.5)
+        world.inject_suspicion(0, 3, at=1.0)
+        world.run_to_quiescence()
+        for pid in range(6):
+            if pid == 3:
+                continue
+            assert world.process(pid).view == frozenset(range(6)) - {3}
+
+    def test_view_history_records_installations(self):
+        world = membership_world()
+        world.inject_crash(3, at=0.5)
+        world.inject_suspicion(0, 3, at=1.0)
+        world.run_to_quiescence()
+        vh = world.process(0).view_history
+        assert vh[0] == frozenset(range(6))
+        assert vh[-1] == frozenset(range(6)) - {3}
+
+    def test_multicast_targets_current_view(self):
+        world = membership_world()
+        world.inject_crash(3, at=0.5)
+        world.inject_suspicion(0, 3, at=1.0)
+        world.run_to_quiescence()
+        sent = world.process(0).multicast("hello")
+        assert len(sent) == 4  # 6 - self - detected
+
+
+class TestInvariants:
+    def test_full_report_on_healthy_run(self):
+        world = membership_world(seed=2)
+        world.inject_crash(3, at=0.5)
+        world.inject_suspicion(0, 3, at=1.0)
+        world.run_to_quiescence()
+        report = check_membership(world.history())
+        assert report.exclusion_propagation
+        assert report.views_monotone
+        assert report.survivors_agree
+        assert report.violations == ()
+
+    def test_exclusion_propagation_violation_detected(self):
+        """A hand-built history where the sender's exclusion outruns the
+        receiver — exactly what sFS2d forbids."""
+        mint = MessageMint(0)
+        m = mint.mint("app")
+        h = History(
+            [failed(0, 2), send(0, 1, m), recv(1, 0, m), crash(2)], n=3
+        )
+        violations = check_exclusion_propagation(h)
+        assert violations
+
+    def test_survivor_disagreement_detected(self):
+        h = History([failed(1, 0), crash(0)], n=3)
+        # Process 2 never detects 0: FS1 incomplete -> views diverge.
+        report = check_membership(h)
+        assert not report.survivors_agree
+
+    def test_protocol_traffic_exempt_from_view_check(self):
+        world = membership_world(seed=3)
+        world.inject_suspicion(0, 3, at=1.0)
+        world.run_to_quiescence()
+        assert check_exclusion_propagation(world.history()) == []
+
+    def test_app_traffic_during_detection_respects_views(self):
+        world = build_world(
+            6, lambda: MembershipProcess(t=2), ConstantDelay(1.0), seed=1
+        )
+
+        def scenario():
+            world.process(0).suspect(3)
+            world.process(0).send_app(1, "payload")
+
+        world.scheduler.schedule_at(1.0, scenario)
+        world.run_to_quiescence()
+        report = check_membership(world.history())
+        assert report.exclusion_propagation

@@ -1,0 +1,141 @@
+"""Tests for Chandy-Lamport snapshots over the sFS substrate."""
+
+import pytest
+
+from repro.apps.snapshot import (
+    Marker,
+    SnapshotProcess,
+    assemble_global_snapshot,
+    cut_indices,
+    verify_consistent_cut,
+)
+from repro.sim import ConstantDelay, UniformDelay, build_world
+
+
+class ChattySnapshotProcess(SnapshotProcess):
+    """Generates background traffic so channels have in-flight state."""
+
+    def on_start(self):
+        super().on_start()
+        self._sent = 0
+        self.set_timer(0.3, self._tick, periodic=True)
+
+    def _tick(self):
+        if self.crashed or self._sent >= 20:
+            return
+        self._sent += 1
+        self.send_app((self.pid + 1) % self.n, ("data", self.pid, self._sent))
+        self.set_timer(0.3, self._tick, periodic=True)
+
+
+def snapshot_world(n=5, seed=0, delay=None, chatty=True):
+    factory = ChattySnapshotProcess if chatty else SnapshotProcess
+    return build_world(
+        n, lambda: factory(t=1), delay or UniformDelay(0.2, 1.5), seed=seed
+    )
+
+
+class TestBasicSnapshot:
+    def test_everyone_records(self):
+        world = snapshot_world()
+        world.scheduler.schedule_at(2.0, lambda: world.process(0).initiate_snapshot(1))
+        world.run_to_quiescence()
+        cut = cut_indices(world.history(), 1)
+        assert set(cut) == set(range(5))
+
+    def test_snapshots_complete(self):
+        world = snapshot_world()
+        world.scheduler.schedule_at(2.0, lambda: world.process(0).initiate_snapshot(1))
+        world.run_to_quiescence()
+        snapshots = assemble_global_snapshot(
+            [p for p in world.processes], 1  # type: ignore[list-item]
+        )
+        assert len(snapshots) == 5
+        assert all(s.complete for s in snapshots.values())
+
+    def test_cut_is_consistent(self):
+        for seed in range(6):
+            world = snapshot_world(seed=seed)
+            world.scheduler.schedule_at(
+                2.0, lambda: world.process(0).initiate_snapshot(1)
+            )
+            world.run_to_quiescence()
+            assert verify_consistent_cut(world.history(), 1) == []
+
+    def test_channel_state_captured(self):
+        # Constant delay 2.0 with ticks every 0.3: messages are in flight
+        # when the snapshot happens, so some channel state is non-empty.
+        world = snapshot_world(delay=ConstantDelay(2.0))
+        world.scheduler.schedule_at(
+            3.0, lambda: world.process(0).initiate_snapshot(1)
+        )
+        world.run_to_quiescence()
+        snapshots = assemble_global_snapshot(list(world.processes), 1)  # type: ignore[arg-type]
+        recorded = sum(
+            len(msgs)
+            for snap in snapshots.values()
+            for msgs in snap.channel_messages.values()
+        )
+        assert recorded > 0
+        assert verify_consistent_cut(world.history(), 1) == []
+
+    def test_idempotent_initiation(self):
+        world = snapshot_world(chatty=False)
+        world.start()
+        world.process(0).initiate_snapshot(1)
+        world.process(0).initiate_snapshot(1)
+        world.run_to_quiescence()
+        assert verify_consistent_cut(world.history(), 1) == []
+
+
+class TestSnapshotUnderFailures:
+    def test_snapshot_completes_despite_crash(self):
+        world = snapshot_world(seed=3)
+        world.inject_crash(3, at=1.0)
+        world.inject_suspicion(1, 3, at=1.5)
+        world.scheduler.schedule_at(
+            4.0, lambda: world.process(0).initiate_snapshot(7)
+        )
+        world.run_to_quiescence()
+        # Survivors complete: the crashed peer's channels close via
+        # detection instead of markers.
+        for pid in (0, 1, 2, 4):
+            proc = world.process(pid)
+            assert isinstance(proc, SnapshotProcess)
+            assert proc.snapshots[7].complete
+        assert verify_consistent_cut(world.history(), 7) == []
+
+    def test_concurrent_snapshot_and_detection(self):
+        world = snapshot_world(seed=5)
+        world.scheduler.schedule_at(
+            2.0, lambda: world.process(0).initiate_snapshot(9)
+        )
+        world.inject_crash(4, at=2.1)
+        world.inject_suspicion(2, 4, at=2.5)
+        world.run_to_quiescence()
+        assert verify_consistent_cut(world.history(), 9) == []
+
+    def test_state_includes_detections(self):
+        world = snapshot_world(seed=2)
+        world.inject_crash(3, at=0.5)
+        world.inject_suspicion(1, 3, at=1.0)
+        world.scheduler.schedule_at(
+            10.0, lambda: world.process(0).initiate_snapshot(2)
+        )
+        world.run_to_quiescence()
+        proc = world.process(0)
+        assert isinstance(proc, SnapshotProcess)
+        state = dict(proc.snapshots[2].state)
+        assert 3 in state["detected"]
+
+
+class TestVerifier:
+    def test_reports_missing_snapshot(self):
+        world = snapshot_world(chatty=False)
+        world.run_to_quiescence()
+        problems = verify_consistent_cut(world.history(), 42)
+        assert problems and "nobody recorded" in problems[0]
+
+    def test_marker_payload(self):
+        marker = Marker(3, 0)
+        assert marker.snap_id == 3 and marker.initiator == 0

@@ -1,0 +1,128 @@
+"""Unit tests for the Theorem 7 / Corollary 8 arithmetic."""
+
+import itertools
+
+import pytest
+
+from repro.core.bounds import (
+    acks_to_wait_for,
+    bounds_table,
+    check_protocol_parameters,
+    feasible_fixed_quorum,
+    feasible_wait_for_all,
+    max_tolerable_t,
+    min_quorum_size,
+)
+from repro.errors import BoundsError
+
+
+class TestMinQuorumSize:
+    @pytest.mark.parametrize(
+        "n,t,expected",
+        [
+            (9, 2, 5),     # > 4.5
+            (10, 2, 6),    # > 5
+            (9, 3, 7),     # > 6
+            (10, 3, 7),    # > 6.67
+            (12, 4, 10),   # > 9
+            (100, 9, 89),  # > 88.9
+            (5, 1, 1),     # > 0
+        ],
+    )
+    def test_formula(self, n, t, expected):
+        assert min_quorum_size(n, t) == expected
+
+    def test_strictly_greater_than_bound(self):
+        for n in range(2, 40):
+            for t in range(1, n + 1):
+                q = min_quorum_size(n, t)
+                assert q > n * (t - 1) / t
+                assert q - 1 <= n * (t - 1) / t
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(BoundsError):
+            min_quorum_size(0, 1)
+        with pytest.raises(BoundsError):
+            min_quorum_size(5, 0)
+
+
+class TestMaxTolerableT:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(1, 0), (2, 1), (4, 1), (5, 2), (9, 2), (10, 3), (16, 3), (17, 4),
+         (100, 9), (101, 10)],
+    )
+    def test_corollary8(self, n, expected):
+        assert max_tolerable_t(n) == expected
+
+    def test_consistency_with_feasibility(self):
+        for n in range(2, 60):
+            t_max = max_tolerable_t(n)
+            assert feasible_fixed_quorum(n, t_max)
+            assert not feasible_fixed_quorum(n, t_max + 1)
+
+
+class TestFeasibility:
+    def test_fixed_quorum_needs_n_gt_t_squared(self):
+        assert feasible_fixed_quorum(10, 3)
+        assert not feasible_fixed_quorum(9, 3)
+
+    def test_zero_failures_always_feasible(self):
+        assert feasible_fixed_quorum(1, 0)
+
+    def test_wait_for_all_needs_t_lt_n(self):
+        assert feasible_wait_for_all(5, 4)
+        assert not feasible_wait_for_all(5, 5)
+
+    def test_acks_equals_min_quorum(self):
+        assert acks_to_wait_for(9, 2) == min_quorum_size(9, 2)
+
+
+class TestCheckProtocolParameters:
+    def test_default_resolves_minimum(self):
+        assert check_protocol_parameters(9, 2) == 5
+
+    def test_rejects_sub_minimum_quorum(self):
+        with pytest.raises(BoundsError):
+            check_protocol_parameters(9, 2, quorum_size=4)
+
+    def test_accepts_larger_quorum(self):
+        assert check_protocol_parameters(9, 2, quorum_size=7) == 7
+
+    def test_rejects_quorum_above_n(self):
+        with pytest.raises(BoundsError):
+            check_protocol_parameters(9, 2, quorum_size=10)
+
+    def test_rejects_infeasible_t(self):
+        with pytest.raises(BoundsError):
+            check_protocol_parameters(9, 3)
+
+
+class TestBoundsTable:
+    def test_covers_feasibility_edge(self):
+        rows = bounds_table([10])
+        ts = [row.t for row in rows]
+        assert max_tolerable_t(10) in ts
+        assert max_tolerable_t(10) + 1 in ts
+
+    def test_explicit_ts(self):
+        rows = bounds_table([9, 10], ts=[2])
+        assert [(r.n, r.t) for r in rows] == [(9, 2), (10, 2)]
+
+    def test_quorum_fraction(self):
+        row = bounds_table([10], ts=[2])[0]
+        assert row.quorum_fraction == row.min_quorum / 10
+
+    def test_brute_force_tightness_small_n(self):
+        """Any t subsets of size min_quorum over [n] must intersect."""
+        for n, t in [(5, 2), (6, 2), (7, 2)]:
+            q = min_quorum_size(n, t)
+            universe = list(range(n))
+            for combo in itertools.combinations(
+                itertools.combinations(universe, q), t
+            ):
+                sets = [frozenset(c) for c in combo]
+                inter = sets[0]
+                for s in sets[1:]:
+                    inter &= s
+                assert inter, (n, t, sets)

@@ -1,0 +1,101 @@
+"""Unit tests for repro.core.events (constructors, classifiers)."""
+
+import pytest
+
+from repro.core.events import (
+    CrashEvent,
+    FailedEvent,
+    InternalEvent,
+    RecvEvent,
+    SendEvent,
+    channel_of,
+    crash,
+    failed,
+    internal,
+    is_crash,
+    is_failed,
+    is_internal,
+    is_recv,
+    is_send,
+    message_of,
+    recv,
+    send,
+)
+from repro.core.messages import Message
+
+MSG = Message(0, 0, "x")
+
+
+class TestConstructors:
+    def test_send_matches_paper_notation(self):
+        event = send(0, 1, MSG)
+        assert event == SendEvent(0, 1, MSG)
+        assert event.proc == 0 and event.dst == 1
+
+    def test_recv_receiver_is_proc(self):
+        event = recv(1, 0, MSG)
+        assert event == RecvEvent(1, 0, MSG)
+        assert event.proc == 1 and event.src == 0
+
+    def test_crash(self):
+        assert crash(4) == CrashEvent(4)
+
+    def test_failed_detector_then_target(self):
+        event = failed(2, 5)
+        assert event == FailedEvent(2, 5)
+        assert event.proc == 2 and event.target == 5
+
+    def test_internal_sequencing(self):
+        assert internal(0, "step", 3) == InternalEvent(0, "step", 3)
+
+
+class TestClassifiers:
+    @pytest.mark.parametrize(
+        "event,expected",
+        [
+            (send(0, 1, MSG), (True, False, False, False, False)),
+            (recv(1, 0, MSG), (False, True, False, False, False)),
+            (crash(0), (False, False, True, False, False)),
+            (failed(0, 1), (False, False, False, True, False)),
+            (internal(0, "x"), (False, False, False, False, True)),
+        ],
+    )
+    def test_exactly_one_kind(self, event, expected):
+        kinds = (
+            is_send(event),
+            is_recv(event),
+            is_crash(event),
+            is_failed(event),
+            is_internal(event),
+        )
+        assert kinds == expected
+
+
+class TestChannelOf:
+    def test_send_channel_named_from_sender(self):
+        assert channel_of(send(0, 1, MSG)) == (0, 1)
+
+    def test_recv_reports_same_channel_as_matching_send(self):
+        assert channel_of(recv(1, 0, MSG)) == (0, 1)
+
+    def test_local_events_have_no_channel(self):
+        assert channel_of(crash(0)) is None
+        assert channel_of(failed(0, 1)) is None
+        assert channel_of(internal(0, "x")) is None
+
+
+class TestMessageOf:
+    def test_communication_events_carry_message(self):
+        assert message_of(send(0, 1, MSG)) is MSG
+        assert message_of(recv(1, 0, MSG)) is MSG
+
+    def test_local_events_carry_none(self):
+        assert message_of(crash(0)) is None
+
+
+class TestImmutability:
+    def test_events_hashable_and_frozen(self):
+        events = {send(0, 1, MSG), recv(1, 0, MSG), crash(0), failed(0, 1)}
+        assert len(events) == 4
+        with pytest.raises(AttributeError):
+            crash(0).proc = 1  # type: ignore[misc]

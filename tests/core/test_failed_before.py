@@ -1,0 +1,86 @@
+"""Unit tests for repro.core.failed_before (Definition 3, sFS2b)."""
+
+from repro.core.events import crash, failed
+from repro.core.failed_before import (
+    failed_before_graph,
+    failed_before_pairs,
+    find_cycle,
+    is_acyclic,
+    is_transitive,
+    last_failed_candidates,
+)
+from repro.core.history import History
+
+
+class TestRelation:
+    def test_pairs_swap_detector_and_target(self):
+        h = History([failed(1, 0)], n=2)
+        # failed_1(0): 0 failed before 1.
+        assert failed_before_pairs(h) == [(0, 1)]
+
+    def test_pairs_in_detection_order(self):
+        h = History([failed(2, 0), failed(0, 1)], n=3)
+        assert failed_before_pairs(h) == [(0, 2), (1, 0)]
+
+    def test_graph_has_all_nodes(self):
+        h = History([], n=4)
+        assert set(failed_before_graph(h).nodes) == {0, 1, 2, 3}
+
+    def test_empty_relation_acyclic(self):
+        assert is_acyclic(History([], n=3))
+
+
+class TestCycles:
+    def test_two_cycle(self):
+        h = History([failed(0, 1), failed(1, 0)], n=2)
+        assert not is_acyclic(h)
+        cycle = find_cycle(h)
+        assert cycle is not None and len(cycle) == 2
+
+    def test_three_cycle(self):
+        h = History([failed(0, 1), failed(1, 2), failed(2, 0)], n=3)
+        cycle = find_cycle(h)
+        assert cycle is not None and len(cycle) == 3
+
+    def test_chain_is_acyclic(self):
+        h = History([failed(1, 0), failed(2, 1)], n=3)
+        assert is_acyclic(h)
+        assert find_cycle(h) is None
+
+    def test_diamond_is_acyclic(self):
+        h = History(
+            [failed(1, 0), failed(2, 0), failed(3, 1), failed(3, 2)], n=4
+        )
+        assert is_acyclic(h)
+
+
+class TestTransitivity:
+    def test_transitive_chain(self):
+        # 0 fb 1, 1 fb 2, and 0 fb 2 recorded: transitive.
+        h = History([failed(1, 0), failed(2, 1), failed(2, 0)], n=3)
+        assert is_transitive(h)
+
+    def test_intransitive_chain(self):
+        # 0 fb 1, 1 fb 2 but no 0 fb 2: sFS does not guarantee this edge.
+        h = History([failed(1, 0), failed(2, 1)], n=3)
+        assert not is_transitive(h)
+
+    def test_empty_is_transitive(self):
+        assert is_transitive(History([], n=2))
+
+
+class TestLastFailedCandidates:
+    def test_total_failure_chain(self):
+        # 0 detected by 1, 1 detected by 2; all crash. 2 is maximal.
+        h = History(
+            [failed(1, 0), crash(0), failed(2, 1), crash(1), crash(2)], n=3
+        )
+        assert last_failed_candidates(h) == frozenset({2})
+
+    def test_unrelated_crashes_all_candidates(self):
+        h = History([crash(0), crash(1)], n=2)
+        assert last_failed_candidates(h) == frozenset({0, 1})
+
+    def test_non_crashed_not_candidates(self):
+        h = History([failed(1, 0), crash(0)], n=2)
+        assert last_failed_candidates(h) == frozenset()

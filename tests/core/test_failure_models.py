@@ -1,0 +1,172 @@
+"""Unit tests for the FS / sFS checkers (Sections 3.1-3.3, Figure 1)."""
+
+from repro.core.events import crash, failed, recv, send
+from repro.core.failure_models import (
+    check_condition1,
+    check_condition2,
+    check_condition3,
+    check_fs,
+    check_fs1,
+    check_fs2,
+    check_necessary_conditions,
+    check_sfs,
+    check_sfs2a,
+    check_sfs2b,
+    check_sfs2c,
+    check_sfs2d,
+)
+from repro.core.history import History
+from repro.core.messages import MessageMint
+
+
+class TestFS1:
+    def test_vacuous_without_crashes(self):
+        assert check_fs1(History([], n=3)).ok
+
+    def test_all_survivors_must_detect(self):
+        h = History([crash(0), failed(1, 0)], n=3)
+        result = check_fs1(h)
+        assert not result.ok
+        assert any("process 2" in v for v in result.violations)
+
+    def test_crashed_observers_excused(self):
+        # Process 2 crashes without detecting 0: excused by its own crash.
+        # Process 1 must detect both crashes for FS1 to hold.
+        h = History([crash(0), failed(1, 0), crash(2), failed(1, 2)], n=3)
+        assert check_fs1(h).ok
+
+    def test_pending_ok_suppresses(self):
+        h = History([crash(0)], n=2)
+        assert not check_fs1(h).ok
+        assert check_fs1(h, pending_ok=True).ok
+
+
+class TestFS2:
+    def test_ok_when_crash_precedes(self):
+        assert check_fs2(History([crash(0), failed(1, 0)], n=2)).ok
+
+    def test_detection_before_crash_fails(self, bad_pair_history):
+        result = check_fs2(bad_pair_history)
+        assert not result.ok
+        assert "precedes" in result.violations[0]
+
+    def test_detection_without_crash_fails(self):
+        result = check_fs2(History([failed(1, 0)], n=2))
+        assert not result.ok
+        assert "never occurs" in result.violations[0]
+
+    def test_check_fs_combines(self, bad_pair_history):
+        assert not check_fs(bad_pair_history).ok
+
+
+class TestSfs2a:
+    def test_eventual_crash_suffices(self, bad_pair_history):
+        assert check_sfs2a(bad_pair_history).ok
+
+    def test_missing_crash_fails(self):
+        assert not check_sfs2a(History([failed(1, 0)], n=2)).ok
+
+    def test_pending_ok(self):
+        assert check_sfs2a(History([failed(1, 0)], n=2), pending_ok=True).ok
+
+
+class TestSfs2b:
+    def test_acyclic_ok(self):
+        assert check_sfs2b(History([failed(1, 0), failed(2, 1)], n=3)).ok
+
+    def test_cycle_reported(self):
+        result = check_sfs2b(History([failed(0, 1), failed(1, 0)], n=2))
+        assert not result.ok
+        assert "cycle" in result.violations[0]
+
+
+class TestSfs2c:
+    def test_no_self_detection_ok(self):
+        assert check_sfs2c(History([failed(1, 0)], n=2)).ok
+
+    def test_self_detection_fails(self):
+        assert not check_sfs2c(History([failed(0, 0)], n=1)).ok
+
+
+class TestSfs2d:
+    def _exchange(self, with_receiver_detection: bool):
+        mint = MessageMint(0)
+        m = mint.mint("app")
+        events = [failed(0, 2), send(0, 1, m)]
+        if with_receiver_detection:
+            events.append(failed(1, 2))
+        events.append(recv(1, 0, m))
+        events.append(crash(2))
+        return History(events, n=3)
+
+    def test_violation_when_receiver_has_not_detected(self):
+        assert not check_sfs2d(self._exchange(False)).ok
+
+    def test_ok_when_receiver_detected_first(self):
+        assert check_sfs2d(self._exchange(True)).ok
+
+    def test_unreceived_message_no_obligation(self):
+        mint = MessageMint(0)
+        m = mint.mint("app")
+        h = History([failed(0, 2), send(0, 1, m), crash(2)], n=3)
+        assert check_sfs2d(h).ok
+
+    def test_send_before_detection_unconstrained(self):
+        mint = MessageMint(0)
+        m = mint.mint("app")
+        h = History([send(0, 1, m), failed(0, 2), recv(1, 0, m), crash(2)], n=3)
+        assert check_sfs2d(h).ok
+
+    def test_late_receiver_detection_still_violates(self):
+        mint = MessageMint(0)
+        m = mint.mint("app")
+        h = History(
+            [failed(0, 2), send(0, 1, m), recv(1, 0, m), failed(1, 2),
+             crash(2)],
+            n=3,
+        )
+        assert not check_sfs2d(h).ok
+
+
+class TestCheckSfs:
+    def test_aggregates_all(self, bad_pair_history):
+        # bad pair alone satisfies sFS (detection before crash is allowed).
+        assert check_sfs(bad_pair_history).ok
+
+    def test_cycle_fails_sfs(self):
+        h = History(
+            [failed(0, 1), failed(1, 0), crash(0), crash(1)], n=2
+        )
+        result = check_sfs(h)
+        assert not result.ok
+        assert any("cycle" in v for v in result.violations)
+
+
+class TestNecessaryConditions:
+    def test_condition1_matches_sfs2a(self, bad_pair_history):
+        assert check_condition1(bad_pair_history).ok
+
+    def test_condition2_matches_sfs2b(self):
+        h = History([failed(0, 1), failed(1, 0)], n=2)
+        assert not check_condition2(h).ok
+
+    def test_condition3_event_after_detection(self):
+        # j acts *causally after* failed_i(j): impossible in any FS run.
+        mint = MessageMint(0)
+        m = mint.mint("go")
+        h = History(
+            [failed(0, 1), send(0, 1, m), recv(1, 0, m), crash(1)], n=2
+        )
+        result = check_condition3(h)
+        assert not result.ok
+
+    def test_condition3_concurrent_event_fine(self):
+        # j acts after the detection in history order but not causally.
+        mint1 = MessageMint(1)
+        m = mint1.mint("x")
+        h = History([failed(0, 1), send(1, 0, m), crash(1)], n=2)
+        assert check_condition3(h).ok
+
+    def test_combined(self):
+        h = History([failed(0, 1), crash(1)], n=2)
+        assert check_necessary_conditions(h).ok

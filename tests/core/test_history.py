@@ -1,0 +1,175 @@
+"""Unit tests for repro.core.history: happens-before, projections, indices."""
+
+import pytest
+
+from repro.core.events import crash, failed, internal, recv, send
+from repro.core.history import (
+    History,
+    find_message_chains,
+    isomorphic,
+    messages_in_flight,
+)
+from repro.core.messages import MessageMint
+
+from tests.conftest import make_chain_history
+
+
+class TestConstruction:
+    def test_n_inferred_from_events(self):
+        h = History([crash(4)])
+        assert h.n == 5
+
+    def test_n_inferred_from_send_destination(self):
+        mint = MessageMint(0)
+        h = History([send(0, 7, mint.mint())])
+        assert h.n == 8
+
+    def test_n_inferred_from_failed_target(self):
+        h = History([failed(0, 3)])
+        assert h.n == 4
+
+    def test_explicit_n_kept(self):
+        h = History([crash(0)], n=10)
+        assert h.n == 10
+
+    def test_empty_history_has_one_process(self):
+        assert History().n == 1
+
+    def test_sequence_protocol(self):
+        h = History([crash(0), crash(1)])
+        assert len(h) == 2
+        assert h[0] == crash(0)
+        assert list(h) == [crash(0), crash(1)]
+
+    def test_slicing_returns_history(self):
+        h = History([crash(0), crash(1), crash(2)])
+        sliced = h[1:]
+        assert isinstance(sliced, History)
+        assert list(sliced) == [crash(1), crash(2)]
+        assert sliced.n == h.n
+
+    def test_append_is_persistent(self):
+        h = History([crash(0)], n=3)
+        h2 = h.append(crash(1))
+        assert len(h) == 1 and len(h2) == 2
+
+    def test_equality_and_hash(self):
+        a = History([crash(0)], n=2)
+        b = History([crash(0)], n=2)
+        assert a == b and hash(a) == hash(b)
+        assert a != History([crash(0)], n=3)
+
+
+class TestIndices:
+    def test_send_and_recv_index(self, mints):
+        m = mints(0).mint()
+        h = History([send(0, 1, m), recv(1, 0, m)])
+        assert h.send_index[m.uid] == 0
+        assert h.recv_index[m.uid] == 1
+
+    def test_crash_and_failed_index(self):
+        h = History([crash(0), failed(1, 0)], n=2)
+        assert h.crash_index == {0: 0}
+        assert h.failed_index == {(1, 0): 1}
+
+    def test_indices_of_process(self):
+        h = History([crash(0), failed(1, 0), internal(1, "x")], n=2)
+        assert h.indices_of_process(1) == [1, 2]
+
+    def test_crashed_processes(self):
+        h = History([crash(0), crash(2)], n=3)
+        assert h.crashed_processes() == frozenset({0, 2})
+
+    def test_detected_pairs_in_order(self):
+        h = History([failed(1, 0), failed(2, 0)], n=3)
+        assert h.detected_pairs() == [(1, 0), (2, 0)]
+
+
+class TestHappensBefore:
+    def test_reflexive(self, simple_exchange):
+        for i in range(len(simple_exchange)):
+            assert simple_exchange.happens_before(i, i)
+
+    def test_process_order(self):
+        h = History([internal(0, "a"), internal(0, "b")], n=1)
+        assert h.happens_before(0, 1)
+        assert not h.happens_before(1, 0)
+
+    def test_send_before_receive(self, simple_exchange):
+        assert simple_exchange.happens_before(0, 1)
+        assert not simple_exchange.happens_before(1, 0)
+
+    def test_transitivity_through_message_chain(self):
+        h = make_chain_history()
+        # send_0 -> recv_1 -> send_1 -> recv_2
+        assert h.happens_before(0, 3)
+
+    def test_concurrent_events_of_different_processes(self):
+        h = History([internal(0, "a"), internal(1, "b")], n=2)
+        assert h.concurrent(0, 1)
+        assert not h.happens_before(0, 1)
+        assert not h.happens_before(1, 0)
+
+    def test_position_does_not_imply_happens_before(self):
+        h = History([internal(0, "a"), internal(1, "b")], n=2)
+        # 'a' precedes 'b' in the history but they are unrelated.
+        assert not h.happens_before(0, 1)
+
+    def test_causal_past_and_future(self):
+        h = make_chain_history()
+        assert h.causal_past(3) == [0, 1, 2, 3]
+        assert h.causal_future(0) == [0, 1, 2, 3]
+
+    def test_vectors_monotone_per_process(self):
+        h = make_chain_history()
+        v = h.vectors
+        assert v[1][1] > 0  # recv joined sender's component
+        assert v[3][0] >= v[0][0]  # chain carries 0's component to 2
+
+
+class TestProjections:
+    def test_projection_orders_preserved(self, simple_exchange):
+        assert simple_exchange.projection(0) == (
+            simple_exchange[0],
+            simple_exchange[2],
+        )
+
+    def test_projection_of_set(self, simple_exchange):
+        assert simple_exchange.projection_of({0, 1}) == tuple(simple_exchange)
+
+    def test_isomorphic_same_history(self, simple_exchange):
+        assert isomorphic(simple_exchange, simple_exchange)
+
+    def test_isomorphic_under_commutation_of_unrelated(self):
+        a = History([internal(0, "a"), internal(1, "b")], n=2)
+        b = History([internal(1, "b"), internal(0, "a")], n=2)
+        assert isomorphic(a, b)
+
+    def test_not_isomorphic_when_local_order_differs(self):
+        a = History([internal(0, "a"), internal(0, "b")], n=1)
+        b = History([internal(0, "b"), internal(0, "a")], n=1)
+        assert not isomorphic(a, b)
+
+    def test_isomorphic_respects_process_subset(self):
+        a = History([internal(0, "a"), internal(1, "b")], n=2)
+        b = History([internal(0, "a"), internal(1, "c")], n=2)
+        assert isomorphic(a, b, procs={0})
+        assert not isomorphic(a, b, procs={1})
+
+    def test_different_universe_sizes_not_isomorphic(self):
+        assert not isomorphic(History([], n=2), History([], n=3))
+
+
+class TestChainsAndFlight:
+    def test_find_message_chains(self):
+        h = make_chain_history()
+        chains = find_message_chains(h)
+        assert [0, 1, 2, 3] in chains
+
+    def test_messages_in_flight(self, mints):
+        m1, m2 = mints(0).mint("a"), mints(0).mint("b")
+        h = History([send(0, 1, m1), send(0, 1, m2), recv(1, 0, m1)])
+        assert messages_in_flight(h) == [m2]
+
+    def test_no_messages_in_flight(self, simple_exchange):
+        assert messages_in_flight(simple_exchange) == []

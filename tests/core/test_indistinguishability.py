@@ -1,0 +1,188 @@
+"""Unit tests for the Theorem 5 engine (repro.core.indistinguishability)."""
+
+import pytest
+
+from repro.core.events import crash, failed, internal, recv, send
+from repro.core.failure_models import check_fs2
+from repro.core.history import History, isomorphic
+from repro.core.indistinguishability import (
+    bad_pairs,
+    distinguishability_certificate,
+    ensure_crashes,
+    fail_stop_witness,
+    fail_stop_witness_by_commutation,
+    is_internally_fail_stop,
+    verify_witness,
+)
+from repro.core.messages import MessageMint
+from repro.core.validate import is_valid
+from repro.errors import CannotRearrangeError
+
+
+class TestEnsureCrashes:
+    def test_appends_missing_crash(self):
+        h = History([failed(1, 0)], n=2)
+        completed = ensure_crashes(h)
+        assert crash(0) in list(completed)
+        assert len(completed) == 2
+
+    def test_noop_when_all_crashed(self, simple_exchange):
+        assert ensure_crashes(simple_exchange) == simple_exchange
+
+    def test_appends_in_detection_order(self):
+        h = History([failed(2, 1), failed(1, 0)], n=3)
+        completed = ensure_crashes(h)
+        assert list(completed)[-2:] == [crash(1), crash(0)]
+
+    def test_single_crash_per_target(self):
+        h = History([failed(1, 0), failed(2, 0)], n=3)
+        completed = ensure_crashes(h)
+        assert sum(1 for e in completed if e == crash(0)) == 1
+
+
+class TestBadPairs:
+    def test_none_when_fs_ordered(self, simple_exchange):
+        assert bad_pairs(simple_exchange) == []
+
+    def test_found_with_positions(self, bad_pair_history):
+        assert bad_pairs(bad_pair_history) == [(0, 1, 0, 1)]
+
+    def test_multiple_bad_pairs(self):
+        h = History(
+            [failed(1, 0), failed(2, 0), crash(0)], n=3
+        )
+        assert len(bad_pairs(h)) == 2
+
+
+class TestWitnessConstruction:
+    def test_single_bad_pair_fixed(self, bad_pair_history):
+        witness = fail_stop_witness(bad_pair_history)
+        assert list(witness) == [crash(0), failed(1, 0)]
+        assert verify_witness(bad_pair_history, witness) == []
+
+    def test_witness_is_identity_for_fs_runs(self, simple_exchange):
+        witness = fail_stop_witness(simple_exchange)
+        assert isomorphic(simple_exchange, witness)
+        assert check_fs2(witness).ok
+
+    def test_witness_valid_and_isomorphic_with_messages(self):
+        mint1 = MessageMint(1)
+        m = mint1.mint("work")
+        h = History(
+            [failed(1, 0), send(1, 2, m), recv(2, 1, m), crash(0)], n=3
+        )
+        witness = fail_stop_witness(h)
+        assert is_valid(witness)
+        assert verify_witness(h, witness) == []
+        # crash_0 must now precede failed_1(0).
+        events = list(witness)
+        assert events.index(crash(0)) < events.index(failed(1, 0))
+
+    def test_witness_completes_prefix(self):
+        h = History([failed(1, 0)], n=2)
+        witness = fail_stop_witness(h)
+        assert list(witness) == [crash(0), failed(1, 0)]
+
+    def test_cycle_has_no_witness(self):
+        h = History(
+            [failed(0, 1), failed(1, 0), crash(0), crash(1)], n=2
+        )
+        with pytest.raises(CannotRearrangeError) as exc:
+            fail_stop_witness(h)
+        assert exc.value.certificate
+
+    def test_condition3_violation_has_no_witness(self):
+        # failed_i(j) happens-before an event of j (Theorem 2, Cond. 3).
+        mint0 = MessageMint(0)
+        m = mint0.mint("go")
+        h = History(
+            [failed(0, 1), send(0, 1, m), recv(1, 0, m), crash(1)], n=2
+        )
+        with pytest.raises(CannotRearrangeError):
+            fail_stop_witness(h)
+
+    def test_theorem3_counterexample_rejected(self):
+        """The run of Theorem 3: Conditions 1-3 hold, yet no FS witness.
+
+        failed_y(x); send_y(a,m0); recv_a(y,m0); crash_a; failed_b(a);
+        send_b(x,m1); recv_x(b,m1); crash_x — the crossing chains make
+        the ordering constraints circular.
+        """
+        x, y, a, b = 0, 1, 2, 3
+        minty, mintb = MessageMint(y), MessageMint(b)
+        m0, m1 = minty.mint("m0"), mintb.mint("m1")
+        h = History(
+            [
+                failed(y, x),
+                send(y, a, m0),
+                recv(a, y, m0),
+                crash(a),
+                failed(b, a),
+                send(b, x, m1),
+                recv(x, b, m1),
+                crash(x),
+            ],
+            n=4,
+        )
+        with pytest.raises(CannotRearrangeError):
+            fail_stop_witness(h)
+        assert not is_internally_fail_stop(h)
+
+
+class TestCertificate:
+    def test_none_for_rearrangeable(self, bad_pair_history):
+        assert distinguishability_certificate(bad_pair_history) is None
+
+    def test_cycle_certificate_lists_events(self):
+        h = History(
+            [failed(0, 1), failed(1, 0), crash(0), crash(1)], n=2
+        )
+        cert = distinguishability_certificate(h)
+        assert cert is not None
+        assert any(e == crash(0) or e == crash(1) for e in cert)
+
+    def test_is_internally_fail_stop(self, simple_exchange):
+        assert is_internally_fail_stop(simple_exchange)
+
+
+class TestCommutationConstruction:
+    def test_agrees_with_primary_on_simple_case(self, bad_pair_history):
+        by_commutation = fail_stop_witness_by_commutation(bad_pair_history)
+        assert verify_witness(bad_pair_history, by_commutation) == []
+
+    def test_fixes_nested_bad_pairs(self):
+        h = History(
+            [failed(1, 0), failed(2, 0), internal(1, "x"), crash(0)], n=3
+        )
+        witness = fail_stop_witness_by_commutation(h)
+        assert verify_witness(h, witness) == []
+        assert bad_pairs(witness) == []
+
+    def test_raises_on_cycle(self):
+        h = History(
+            [failed(0, 1), failed(1, 0), crash(0), crash(1)], n=2
+        )
+        with pytest.raises(CannotRearrangeError):
+            fail_stop_witness_by_commutation(h)
+
+    def test_preserves_projections(self):
+        mint1 = MessageMint(1)
+        m = mint1.mint("w")
+        h = History(
+            [failed(1, 0), send(1, 2, m), recv(2, 1, m), crash(0)], n=3
+        )
+        witness = fail_stop_witness_by_commutation(h)
+        assert isomorphic(ensure_crashes(h), witness)
+
+
+class TestVerifyWitness:
+    def test_rejects_non_isomorphic(self, bad_pair_history):
+        fake = History([crash(0)], n=2)
+        problems = verify_witness(bad_pair_history, fake)
+        assert any("isomorphic" in p for p in problems)
+
+    def test_rejects_fs2_violation(self, bad_pair_history):
+        problems = verify_witness(
+            bad_pair_history, ensure_crashes(bad_pair_history)
+        )
+        assert any("FS2" in p for p in problems)

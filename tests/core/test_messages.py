@@ -1,0 +1,65 @@
+"""Unit tests for repro.core.messages (uniqueness, minting)."""
+
+import pytest
+
+from repro.core.messages import Message, MessageMint, make_messages
+
+
+class TestMessage:
+    def test_uid_is_sender_and_seq(self):
+        assert Message(3, 7, "x").uid == (3, 7)
+
+    def test_equality_includes_payload(self):
+        assert Message(0, 0, "a") == Message(0, 0, "a")
+        assert Message(0, 0, "a") != Message(0, 0, "b")
+
+    def test_hashable(self):
+        assert len({Message(0, 0), Message(0, 1), Message(1, 0)}) == 3
+
+    def test_immutable(self):
+        msg = Message(0, 0, "a")
+        with pytest.raises(AttributeError):
+            msg.payload = "b"  # type: ignore[misc]
+
+    def test_default_payload_is_none(self):
+        assert Message(0, 0).payload is None
+
+    def test_repr_mentions_uid(self):
+        assert "1.2" in repr(Message(1, 2, "x"))
+
+
+class TestMessageMint:
+    def test_mints_sequential_seqs(self):
+        mint = MessageMint(5)
+        a, b, c = mint.mint(), mint.mint(), mint.mint()
+        assert (a.seq, b.seq, c.seq) == (0, 1, 2)
+
+    def test_all_minted_unique(self):
+        mint = MessageMint(1)
+        uids = {mint.mint("same").uid for _ in range(100)}
+        assert len(uids) == 100
+
+    def test_sender_stamped(self):
+        assert MessageMint(9).mint().sender == 9
+
+    def test_minted_counter(self):
+        mint = MessageMint(0)
+        assert mint.minted == 0
+        mint.mint()
+        mint.mint()
+        assert mint.minted == 2
+
+    def test_distinct_mints_can_collide_only_across_senders(self):
+        a = MessageMint(0).mint()
+        b = MessageMint(1).mint()
+        assert a.uid != b.uid
+
+
+class TestMakeMessages:
+    def test_one_per_payload_in_order(self):
+        msgs = make_messages(2, ["x", "y", "z"])
+        assert [m.payload for m in msgs] == ["x", "y", "z"]
+        assert [m.seq for m in msgs] == [0, 1, 2]
+
+    def test_empty(self):
+        assert make_messages(0, []) == []

@@ -1,0 +1,99 @@
+"""Tests that the declarative formulas agree with the direct checkers."""
+
+from repro.core.events import crash, failed, recv, send
+from repro.core.failure_models import (
+    check_fs1,
+    check_fs2,
+    check_sfs2a,
+    check_sfs2c,
+    check_sfs2d,
+)
+from repro.core.history import History
+from repro.core.messages import MessageMint
+from repro.core.predicates import (
+    CRASH,
+    FAILED,
+    fs1_formula,
+    fs2_formula,
+    fs_formula,
+    sfs2a_formula,
+    sfs2c_formula,
+    sfs2d_formula,
+)
+from repro.core.runs import Run
+from repro.core.temporal import satisfies
+
+
+def histories():
+    """A small zoo of histories exercising each property both ways."""
+    mint0, mint1 = MessageMint(0), MessageMint(1)
+    m = mint0.mint("app")
+    zoo = {
+        "fs_ok": History([crash(0), failed(1, 0)], n=2),
+        "bad_pair": History([failed(1, 0), crash(0)], n=2),
+        "self_detect": History([failed(0, 0)], n=1),
+        "no_crash_after_detect": History([failed(1, 0)], n=2),
+        "sfs2d_violation": History(
+            [failed(0, 2), send(0, 1, m), recv(1, 0, m)], n=3
+        ),
+        "sfs2d_ok": History(
+            [failed(0, 2), send(0, 1, m), failed(1, 2), recv(1, 0, m),
+             crash(2)],
+            n=3,
+        ),
+    }
+    return zoo
+
+
+class TestFormulasAgreeWithCheckers:
+    def test_fs2_agreement(self):
+        for name, h in histories().items():
+            run = Run(h)
+            assert satisfies(run, fs2_formula(h.n)) == check_fs2(h).ok, name
+
+    def test_sfs2a_agreement(self):
+        for name, h in histories().items():
+            run = Run(h)
+            assert (
+                satisfies(run, sfs2a_formula(h.n)) == check_sfs2a(h).ok
+            ), name
+
+    def test_sfs2c_agreement(self):
+        for name, h in histories().items():
+            run = Run(h)
+            assert (
+                satisfies(run, sfs2c_formula(h.n)) == check_sfs2c(h).ok
+            ), name
+
+    def test_sfs2d_agreement(self):
+        for name, h in histories().items():
+            run = Run(h)
+            assert (
+                satisfies(run, sfs2d_formula(run)) == check_sfs2d(h).ok
+            ), name
+
+    def test_fs1_agreement(self):
+        for name, h in histories().items():
+            run = Run(h)
+            assert satisfies(run, fs1_formula(h.n)) == check_fs1(h).ok, name
+
+
+class TestNamedAtoms:
+    def test_crash_atom(self):
+        run = Run(History([crash(0)], n=2))
+        assert not CRASH(0).holds(run, 0)
+        assert CRASH(0).holds(run, 1)
+        assert not CRASH(1).holds(run, 1)
+
+    def test_failed_atom(self):
+        run = Run(History([failed(1, 0)], n=2))
+        assert FAILED(1, 0).holds(run, 1)
+        assert not FAILED(0, 1).holds(run, 1)
+
+    def test_fs_formula_on_fs_run(self):
+        run = Run(History([crash(0), failed(1, 0)], n=2))
+        assert satisfies(run, fs_formula(2))
+
+    def test_fs_formula_rejects_bad_pair(self):
+        run = Run(History([failed(1, 0), crash(0)], n=2))
+        assert not satisfies(run, fs_formula(2))

@@ -1,0 +1,104 @@
+"""Unit tests for quorums and the Witness Property (Section 4)."""
+
+from functools import reduce
+
+from repro.core.quorum import (
+    QuorumRecord,
+    common_witnesses,
+    counterexample_family,
+    pairwise_intersecting,
+    t_wise_intersecting,
+    witness_property,
+)
+
+
+def records(*member_sets):
+    return [
+        QuorumRecord(i, (i + 1) % 10, frozenset(m))
+        for i, m in enumerate(member_sets)
+    ]
+
+
+class TestWitnessProperty:
+    def test_vacuous_on_empty(self):
+        assert witness_property([])
+
+    def test_single_quorum(self):
+        assert witness_property(records({0, 1, 2}))
+
+    def test_common_witness_found(self):
+        rs = records({0, 1, 2}, {2, 3, 4}, {2, 5})
+        assert witness_property(rs)
+        assert common_witnesses(rs) == frozenset({2})
+
+    def test_empty_intersection(self):
+        rs = records({0, 1}, {1, 2}, {2, 0})
+        assert not witness_property(rs)
+        assert common_witnesses(rs) == frozenset()
+
+    def test_quorum_record_size(self):
+        assert QuorumRecord(0, 1, frozenset({0, 2, 4})).size == 3
+
+
+class TestPairwise:
+    def test_pairwise_weaker_than_global(self):
+        # The paper's point: pairwise intersection (Gifford-style) is not
+        # enough for W.
+        rs = records({0, 1}, {1, 2}, {2, 0})
+        assert pairwise_intersecting(rs)
+        assert not witness_property(rs)
+
+    def test_pairwise_violated(self):
+        assert not pairwise_intersecting(records({0, 1}, {2, 3}))
+
+
+class TestTWise:
+    def test_two_wise_equals_pairwise(self):
+        rs = records({0, 1}, {1, 2}, {2, 0})
+        assert t_wise_intersecting(rs, 2) == pairwise_intersecting(rs)
+
+    def test_three_wise_catches_triple_gap(self):
+        rs = records({0, 1}, {1, 2}, {2, 0})
+        assert not t_wise_intersecting(rs, 3)
+
+    def test_t_larger_than_records(self):
+        rs = records({0, 1}, {0, 2})
+        assert t_wise_intersecting(rs, 5)
+
+    def test_fallback_size_criterion(self):
+        # Force the fallback by a tiny limit: quorums of size > n(t-1)/t.
+        big = records(*[set(range(9)) - {i} for i in range(8)])
+        assert t_wise_intersecting(big, 2, limit=1)
+
+    def test_trivial_t(self):
+        assert t_wise_intersecting(records({0}), 0)
+
+
+class TestCounterexampleFamily:
+    def test_sizes_are_floor_bound(self):
+        for n, t in [(6, 2), (6, 3), (9, 3), (12, 4), (10, 3)]:
+            family = counterexample_family(n, t)
+            bound = (n * (t - 1)) // t
+            assert all(len(q) == n - (-(-n // t)) for q in family)
+            assert all(len(q) <= bound for q in family)
+
+    def test_intersection_empty(self):
+        for n, t in [(6, 2), (9, 3), (12, 4), (10, 3), (7, 2)]:
+            family = counterexample_family(n, t)
+            assert not reduce(frozenset.intersection, family)
+
+    def test_every_process_excluded_somewhere(self):
+        family = counterexample_family(9, 3)
+        for p in range(9):
+            assert any(p not in q for q in family)
+
+    def test_family_has_t_members(self):
+        assert len(counterexample_family(8, 3)) == 3
+
+    def test_rejects_bad_parameters(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            counterexample_family(3, 1)
+        with pytest.raises(ValueError):
+            counterexample_family(3, 4)

@@ -1,0 +1,88 @@
+"""Unit tests for repro.core.runs (global states, stable predicates)."""
+
+from repro.core.events import crash, failed, recv, send
+from repro.core.history import History
+from repro.core.messages import MessageMint
+from repro.core.runs import Run, run_of
+
+
+class TestPositions:
+    def test_positions_count(self, simple_exchange):
+        run = Run(simple_exchange)
+        assert list(run.positions) == [0, 1, 2, 3, 4]
+        assert run.final_position == 4
+
+    def test_initial_state_all_false(self, simple_exchange):
+        run = Run(simple_exchange)
+        assert not run.crash_holds(0, 0)
+        assert not run.failed_holds(1, 0, 0)
+
+
+class TestStability:
+    def test_crash_becomes_and_stays_true(self, simple_exchange):
+        run = Run(simple_exchange)
+        # crash(0) is event index 2 -> true from position 3 on.
+        assert not run.crash_holds(0, 2)
+        assert run.crash_holds(0, 3)
+        assert run.crash_holds(0, 4)
+
+    def test_failed_becomes_true_after_event(self, simple_exchange):
+        run = Run(simple_exchange)
+        assert not run.failed_holds(1, 0, 3)
+        assert run.failed_holds(1, 0, 4)
+
+    def test_send_recv_predicates(self, mints):
+        m = mints(0).mint()
+        run = run_of([send(0, 1, m), recv(1, 0, m)])
+        assert not run.sent_holds(m, 0)
+        assert run.sent_holds(m, 1)
+        assert not run.recv_holds(m, 1)
+        assert run.recv_holds(m, 2)
+
+    def test_default_position_is_final(self, simple_exchange):
+        run = Run(simple_exchange)
+        assert run.crash_holds(0)
+        assert run.failed_holds(1, 0)
+
+
+class TestFirstPositions:
+    def test_crash_position(self, simple_exchange):
+        assert Run(simple_exchange).crash_position(0) == 3
+
+    def test_failed_position(self, simple_exchange):
+        assert Run(simple_exchange).failed_position(1, 0) == 4
+
+    def test_missing_positions_none(self, simple_exchange):
+        run = Run(simple_exchange)
+        assert run.crash_position(1) is None
+        assert run.failed_position(0, 1) is None
+
+    def test_crashed_and_surviving(self, simple_exchange):
+        run = Run(simple_exchange)
+        assert run.crashed_processes() == frozenset({0})
+        assert run.surviving_processes() == frozenset({1})
+
+    def test_detections_in_order(self):
+        run = run_of([failed(1, 0), failed(2, 0)])
+        assert run.detections() == [(1, 0), (2, 0)]
+
+
+class TestMaterialization:
+    def test_state_at_with_channels(self, mints):
+        m = mints(0).mint("x")
+        run = run_of([send(0, 1, m), recv(1, 0, m)])
+        mid = run.state_at(1, with_channels=True)
+        assert mid.channels == {(0, 1): (m,)}
+        done = run.state_at(2, with_channels=True)
+        assert done.channels == {}
+
+    def test_state_predicates(self, simple_exchange):
+        run = Run(simple_exchange)
+        final = run.state_at(run.final_position)
+        assert final.crash_holds(0)
+        assert final.failed_holds(1, 0)
+        assert not final.failed_holds(0, 1)
+
+    def test_states_iterator_length(self, simple_exchange):
+        run = Run(simple_exchange)
+        assert len(list(run.states())) == 5

@@ -1,0 +1,89 @@
+"""Tests for the Appendix A.1 operational semantics."""
+
+import pytest
+
+from repro.core.events import crash, failed, internal, recv, send
+from repro.core.history import History
+from repro.core.messages import Message, MessageMint
+from repro.core.semantics import (
+    MachineState,
+    apply_event,
+    can_occur,
+    is_executable,
+    replay,
+)
+from repro.errors import InvalidHistoryError
+
+
+class TestCanOccur:
+    def test_send_in_initial_state(self):
+        state = MachineState.initial(2)
+        assert can_occur(state, send(0, 1, Message(0, 0))) is None
+
+    def test_recv_requires_matching_head(self):
+        state = MachineState.initial(2)
+        msg = Message(0, 0)
+        apply_event(state, send(0, 1, msg))
+        assert can_occur(state, recv(1, 0, msg)) is None
+        wrong = Message(0, 1)
+        assert "FIFO" in can_occur(state, recv(1, 0, wrong))
+
+    def test_recv_on_empty_channel(self):
+        state = MachineState.initial(2)
+        assert "empty" in can_occur(state, recv(1, 0, Message(0, 0)))
+
+    def test_crashed_process_frozen(self):
+        state = MachineState.initial(2)
+        apply_event(state, crash(0))
+        for event in (
+            send(0, 1, Message(0, 0)),
+            crash(0),
+            failed(0, 1),
+            internal(0, "x"),
+        ):
+            assert "crashed" in can_occur(state, event)
+
+    def test_duplicate_send_uid_rejected(self):
+        state = MachineState.initial(3)
+        msg = Message(0, 0)
+        apply_event(state, send(0, 1, msg))
+        assert "uniqueness" in can_occur(state, send(0, 2, msg))
+
+    def test_stable_failed_flag(self):
+        state = MachineState.initial(2)
+        apply_event(state, failed(0, 1))
+        assert "stable" in can_occur(state, failed(0, 1))
+
+    def test_out_of_universe(self):
+        state = MachineState.initial(2)
+        assert "universe" in can_occur(state, crash(5))
+        assert "universe" in can_occur(state, failed(0, 7))
+
+
+class TestReplay:
+    def test_valid_exchange_replays(self, simple_exchange):
+        final = replay(simple_exchange)
+        assert final.crashed == {0}
+        assert (1, 0) in final.failed
+
+    def test_channel_contents_tracked(self):
+        mint = MessageMint(0)
+        m1, m2 = mint.mint("a"), mint.mint("b")
+        state = replay(History([send(0, 1, m1), send(0, 1, m2)]))
+        assert [m.payload for m in state.channel(0, 1)] == ["a", "b"]
+
+    def test_invalid_history_raises_with_index(self):
+        h = History([crash(0), internal(0, "zombie")], n=1)
+        with pytest.raises(InvalidHistoryError) as exc:
+            replay(h)
+        assert "[1]" in exc.value.violations[0]
+
+    def test_snapshot_fingerprint(self):
+        a = replay(History([crash(0)], n=2))
+        b = replay(History([crash(0)], n=2))
+        assert a.snapshot() == b.snapshot()
+
+    def test_is_executable(self, simple_exchange, bad_pair_history):
+        assert is_executable(simple_exchange)
+        assert is_executable(bad_pair_history)  # bad pairs are legal runs
+        assert not is_executable(History([crash(0), crash(0)], n=1))

@@ -1,0 +1,105 @@
+"""Unit tests for the temporal logic (repro.core.temporal)."""
+
+from repro.core.events import crash, failed
+from repro.core.runs import run_of
+from repro.core.temporal import (
+    Always,
+    Eventually,
+    Implies,
+    Not,
+    TrueFormula,
+    atom,
+    conj,
+    disj,
+    satisfies,
+)
+
+RUN = run_of([crash(0), failed(1, 0)])
+
+CRASH0 = atom(lambda run, k: run.crash_holds(0, k), "CRASH_0")
+FAILED10 = atom(lambda run, k: run.failed_holds(1, 0, k), "FAILED_1(0)")
+
+
+class TestAtoms:
+    def test_atom_at_position(self):
+        assert not CRASH0.holds(RUN, 0)
+        assert CRASH0.holds(RUN, 1)
+
+    def test_true_formula(self):
+        assert TrueFormula().holds(RUN, 0)
+
+
+class TestConnectives:
+    def test_not(self):
+        assert Not(CRASH0).holds(RUN, 0)
+        assert not Not(CRASH0).holds(RUN, 2)
+
+    def test_and_via_operator(self):
+        both = CRASH0 & FAILED10
+        assert not both.holds(RUN, 1)
+        assert both.holds(RUN, 2)
+
+    def test_or_via_operator(self):
+        either = CRASH0 | FAILED10
+        assert not either.holds(RUN, 0)
+        assert either.holds(RUN, 1)
+
+    def test_invert_operator(self):
+        assert (~CRASH0).holds(RUN, 0)
+
+    def test_implies_vacuous(self):
+        assert Implies(FAILED10, CRASH0).holds(RUN, 0)
+
+    def test_implies_contrapositive(self):
+        # At position 2 both hold: implication true.
+        assert Implies(FAILED10, CRASH0).holds(RUN, 2)
+
+    def test_implies_method(self):
+        assert FAILED10.implies(CRASH0).holds(RUN, 0)
+
+
+class TestTemporalOperators:
+    def test_eventually_true_in_future(self):
+        assert Eventually(FAILED10).holds(RUN, 0)
+
+    def test_eventually_false_if_never(self):
+        never = atom(lambda run, k: False, "never")
+        assert not Eventually(never).holds(RUN, 0)
+
+    def test_eventually_from_later_position(self):
+        assert Eventually(CRASH0).holds(RUN, 2)
+
+    def test_always_of_stable_predicate_from_onset(self):
+        assert Always(CRASH0).holds(RUN, 1)
+        assert not Always(CRASH0).holds(RUN, 0)
+
+    def test_always_true_formula(self):
+        assert Always(TrueFormula()).holds(RUN, 0)
+
+    def test_nested_always_eventually(self):
+        # [] (CRASH_0 => <> FAILED_1(0)) holds for this run.
+        formula = Always(Implies(CRASH0, Eventually(FAILED10)))
+        assert formula.holds(RUN, 0)
+
+    def test_fs2_shape_fails_on_bad_pair(self):
+        bad = run_of([failed(1, 0), crash(0)])
+        failed_atom = atom(lambda run, k: run.failed_holds(1, 0, k), "F")
+        crash_atom = atom(lambda run, k: run.crash_holds(0, k), "C")
+        fs2 = Always(Implies(failed_atom, crash_atom))
+        assert not fs2.holds(bad, 0)
+
+
+class TestHelpers:
+    def test_conj_empty_is_true(self):
+        assert conj([]).holds(RUN, 0)
+
+    def test_disj_empty_is_false(self):
+        assert not disj([]).holds(RUN, 0)
+
+    def test_conj_and_disj_combine(self):
+        formula = Eventually(disj([CRASH0, FAILED10]) & conj([CRASH0]))
+        assert satisfies(RUN, formula)
+
+    def test_satisfies_is_position_zero(self):
+        assert satisfies(RUN, Eventually(CRASH0))
+        assert not satisfies(RUN, CRASH0)

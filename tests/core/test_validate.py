@@ -1,0 +1,108 @@
+"""Unit tests for repro.core.validate (well-formedness rules)."""
+
+import pytest
+
+from repro.core.events import crash, failed, internal, recv, send
+from repro.core.history import History
+from repro.core.messages import Message, MessageMint
+from repro.core.validate import check_valid, is_valid, validate_history
+from repro.errors import InvalidHistoryError
+
+
+class TestValidHistories:
+    def test_empty(self):
+        assert is_valid(History([], n=3))
+
+    def test_simple_exchange(self, simple_exchange):
+        assert validate_history(simple_exchange) == []
+
+    def test_check_valid_returns_history(self, simple_exchange):
+        assert check_valid(simple_exchange) is simple_exchange
+
+    def test_self_channel_allowed(self):
+        m = MessageMint(0).mint()
+        h = History([send(0, 0, m), recv(0, 0, m)], n=1)
+        assert is_valid(h)
+
+    def test_unreceived_messages_fine(self):
+        h = History([send(0, 1, MessageMint(0).mint())])
+        assert is_valid(h)
+
+
+class TestCrashRules:
+    def test_no_events_after_crash(self):
+        h = History([crash(0), internal(0, "zombie")], n=1)
+        violations = validate_history(h)
+        assert any("after crash" in v for v in violations)
+
+    def test_duplicate_crash(self):
+        h = History([crash(0), crash(0)], n=1)
+        violations = validate_history(h)
+        assert violations  # both "after crash" and "duplicate"
+
+    def test_crash_of_other_process_ok(self):
+        h = History([crash(0), internal(1, "alive")], n=2)
+        assert is_valid(h)
+
+
+class TestReceiveRules:
+    def test_recv_without_send(self):
+        m = Message(0, 0)
+        h = History([recv(1, 0, m)], n=2)
+        assert any("no matching send" in v for v in validate_history(h))
+
+    def test_fifo_violation_detected(self):
+        mint = MessageMint(0)
+        m1, m2 = mint.mint("a"), mint.mint("b")
+        h = History(
+            [send(0, 1, m1), send(0, 1, m2), recv(1, 0, m2), recv(1, 0, m1)]
+        )
+        assert any("FIFO" in v for v in validate_history(h))
+
+    def test_fifo_ok_in_order(self):
+        mint = MessageMint(0)
+        m1, m2 = mint.mint("a"), mint.mint("b")
+        h = History(
+            [send(0, 1, m1), send(0, 1, m2), recv(1, 0, m1), recv(1, 0, m2)]
+        )
+        assert is_valid(h)
+
+    def test_double_delivery(self):
+        m = MessageMint(0).mint()
+        h = History([send(0, 1, m), recv(1, 0, m), recv(1, 0, m)])
+        assert any("received twice" in v for v in validate_history(h))
+
+    def test_duplicate_send_uid(self):
+        m = Message(0, 0, "x")
+        h = History([send(0, 1, m), send(0, 2, m)], n=3)
+        assert any("sent twice" in v for v in validate_history(h))
+
+    def test_interleaved_channels_are_independent(self):
+        mint0, mint2 = MessageMint(0), MessageMint(2)
+        a, b = mint0.mint(), mint2.mint()
+        h = History(
+            [send(0, 1, a), send(2, 1, b), recv(1, 2, b), recv(1, 0, a)], n=3
+        )
+        assert is_valid(h)
+
+
+class TestFailedRules:
+    def test_duplicate_detection(self):
+        h = History([failed(1, 0), failed(1, 0)], n=2)
+        assert any("duplicate" in v for v in validate_history(h))
+
+    def test_distinct_detectors_fine(self):
+        h = History([failed(1, 0), failed(2, 0)], n=3)
+        assert is_valid(h)
+
+    def test_out_of_range_target(self):
+        h = History([failed(0, 9)], n=2)
+        assert any("out of range" in v for v in validate_history(h))
+
+
+class TestCheckValidRaises:
+    def test_raises_with_violations_attached(self):
+        h = History([crash(0), crash(0)], n=1)
+        with pytest.raises(InvalidHistoryError) as exc:
+            check_valid(h)
+        assert exc.value.violations

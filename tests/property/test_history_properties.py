@@ -1,0 +1,162 @@
+"""Property-based tests for histories and happens-before.
+
+A random-valid-history generator drives hypothesis over the structural
+invariants: happens-before is a partial order containing process order and
+send-before-receive; vector clocks agree with a brute-force transitive
+closure; projections are stable under validity-preserving commutation.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import crash, failed, recv, send
+from repro.core.history import History
+from repro.core.messages import MessageMint
+from repro.core.validate import is_valid
+
+
+def random_history(seed: int, n: int = 4, steps: int = 40) -> History:
+    """Generate a random *valid* history by simulating legal moves."""
+    rng = random.Random(seed)
+    mints = [MessageMint(i) for i in range(n)]
+    channels: dict[tuple[int, int], list] = {}
+    crashed: set[int] = set()
+    detected: set[tuple[int, int]] = set()
+    events = []
+    for _ in range(steps):
+        alive = [p for p in range(n) if p not in crashed]
+        if not alive:
+            break
+        choice = rng.random()
+        actor = rng.choice(alive)
+        if choice < 0.35:
+            dst = rng.randrange(n)
+            msg = mints[actor].mint(rng.randrange(1000))
+            channels.setdefault((actor, dst), []).append(msg)
+            events.append(send(actor, dst, msg))
+        elif choice < 0.70:
+            ready = [
+                (src, dst)
+                for (src, dst), queue in channels.items()
+                if queue and dst not in crashed
+            ]
+            if ready:
+                src, dst = rng.choice(ready)
+                msg = channels[(src, dst)].pop(0)
+                events.append(recv(dst, src, msg))
+        elif choice < 0.80:
+            crashed.add(actor)
+            events.append(crash(actor))
+        else:
+            target = rng.randrange(n)
+            if target != actor and (actor, target) not in detected:
+                detected.add((actor, target))
+                events.append(failed(actor, target))
+    return History(events, n)
+
+
+@st.composite
+def histories(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n = draw(st.integers(min_value=2, max_value=5))
+    steps = draw(st.integers(min_value=5, max_value=60))
+    return random_history(seed, n, steps)
+
+
+def brute_force_hb(history: History) -> set[tuple[int, int]]:
+    """Transitive closure of the generating relation, straight from the
+    Lamport definition — the oracle for the vector-clock implementation."""
+    size = len(history)
+    direct: set[tuple[int, int]] = {(i, i) for i in range(size)}
+    last_of: dict[int, int] = {}
+    recvs = history.recv_index
+    for idx, event in enumerate(history):
+        prev = last_of.get(event.proc)
+        if prev is not None:
+            direct.add((prev, idx))
+        last_of[event.proc] = idx
+    for uid, sidx in history.send_index.items():
+        ridx = recvs.get(uid)
+        if ridx is not None:
+            direct.add((sidx, ridx))
+    # Floyd-Warshall style closure (histories are small here).
+    closure = set(direct)
+    changed = True
+    while changed:
+        changed = False
+        for (a, b) in list(closure):
+            for (c, d) in list(closure):
+                if b == c and (a, d) not in closure:
+                    closure.add((a, d))
+                    changed = True
+    return closure
+
+
+@settings(max_examples=40, deadline=None)
+@given(histories())
+def test_generator_produces_valid_histories(history):
+    assert is_valid(history)
+
+
+@settings(max_examples=25, deadline=None)
+@given(histories())
+def test_vector_clocks_match_brute_force(history):
+    if len(history) > 25:
+        history = history[:25]
+    oracle = brute_force_hb(history)
+    for a in range(len(history)):
+        for b in range(len(history)):
+            assert history.happens_before(a, b) == ((a, b) in oracle)
+
+
+@settings(max_examples=40, deadline=None)
+@given(histories())
+def test_happens_before_is_partial_order(history):
+    size = min(len(history), 30)
+    for a in range(size):
+        assert history.happens_before(a, a)  # reflexive
+        for b in range(size):
+            if a != b and history.happens_before(a, b):
+                # antisymmetric
+                assert not history.happens_before(b, a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(histories())
+def test_happens_before_contains_process_order(history):
+    by_proc: dict[int, list[int]] = {}
+    for idx, event in enumerate(history):
+        by_proc.setdefault(event.proc, []).append(idx)
+    for indices in by_proc.values():
+        for earlier, later in zip(indices, indices[1:]):
+            assert history.happens_before(earlier, later)
+
+
+@settings(max_examples=40, deadline=None)
+@given(histories())
+def test_send_happens_before_matching_recv(history):
+    for uid, sidx in history.send_index.items():
+        ridx = history.recv_index.get(uid)
+        if ridx is not None:
+            assert history.happens_before(sidx, ridx)
+
+
+@settings(max_examples=30, deadline=None)
+@given(histories(), st.integers(min_value=0, max_value=1_000))
+def test_commuting_adjacent_unrelated_events_preserves_validity(history, pick):
+    """The core lemma behind Theorem 5's construction (Appendix A.2)."""
+    if len(history) < 2:
+        return
+    idx = pick % (len(history) - 1)
+    if history.happens_before(idx, idx + 1):
+        return  # related: not commutable
+    events = list(history.events)
+    events[idx], events[idx + 1] = events[idx + 1], events[idx]
+    swapped = history.with_events(events)
+    assert is_valid(swapped)
+    for proc in history.processes:
+        assert history.projection(proc) == swapped.projection(proc)

@@ -1,0 +1,75 @@
+"""Property-based conformance: the echo protocol under random schedules.
+
+Hypothesis drives random system sizes, failure bounds, fault plans, delay
+models, and adversarial shields; Figure 1's properties must hold for every
+generated run, and the lower-bound arithmetic must hold for every quorum
+the protocol records.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import check_sfs, is_acyclic, t_wise_intersecting
+from repro.core.bounds import max_tolerable_t, min_quorum_size
+from repro.core.indistinguishability import ensure_crashes
+from repro.protocols import SfsProcess
+from repro.sim import (
+    ExponentialDelay,
+    UniformDelay,
+    build_world,
+)
+from repro.sim.failures import apply_faults, random_fault_plan
+
+configs = st.tuples(
+    st.integers(min_value=5, max_value=14),   # n
+    st.integers(min_value=0, max_value=5000),  # seed
+    st.booleans(),                             # exponential vs uniform
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(configs)
+def test_random_schedules_conform_to_sfs(config):
+    n, seed, exponential = config
+    t = max(1, max_tolerable_t(n))
+    delay = ExponentialDelay(1.0) if exponential else UniformDelay(0.2, 2.0)
+    world = build_world(n, lambda: SfsProcess(t=t), delay, seed=seed)
+    plan = random_fault_plan(n, t, random.Random(seed + 999))
+    apply_faults(world, plan)
+    world.run_to_quiescence()
+    history = ensure_crashes(world.history())
+    assert check_sfs(history).ok
+    assert is_acyclic(history)
+
+
+@settings(max_examples=20, deadline=None)
+@given(configs)
+def test_quorums_always_legal_and_t_wise_intersecting(config):
+    n, seed, exponential = config
+    t = max(1, max_tolerable_t(n))
+    delay = ExponentialDelay(1.0) if exponential else UniformDelay(0.2, 2.0)
+    world = build_world(n, lambda: SfsProcess(t=t), delay, seed=seed)
+    plan = random_fault_plan(n, t, random.Random(seed + 31))
+    apply_faults(world, plan)
+    world.run_to_quiescence()
+    minimum = min_quorum_size(n, t)
+    records = world.trace.quorum_records
+    assert all(q.size >= minimum for q in records)
+    assert t_wise_intersecting(records, t)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=5000))
+def test_crashed_processes_take_no_steps(seed):
+    n, t = 9, 2
+    world = build_world(n, lambda: SfsProcess(t=t), seed=seed)
+    plan = random_fault_plan(n, t, random.Random(seed))
+    apply_faults(world, plan)
+    world.run_to_quiescence()
+    history = world.history()
+    for proc in history.crashed_processes():
+        indices = history.indices_of_process(proc)
+        crash_idx = history.crash_index[proc]
+        assert crash_idx == max(indices)

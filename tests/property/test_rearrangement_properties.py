@@ -1,0 +1,70 @@
+"""Property-based tests for the Theorem 5 engine.
+
+Every sFS-protocol run, under arbitrary random fault schedules and
+adversarial shielding, must admit a verified fail-stop witness; and when
+the primary (constraint-graph) engine succeeds, the paper's own
+commutation construction must succeed too, producing an equally valid
+witness.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.failure_models import check_fs2, check_sfs
+from repro.core.history import isomorphic
+from repro.core.indistinguishability import (
+    bad_pairs,
+    ensure_crashes,
+    fail_stop_witness,
+    fail_stop_witness_by_commutation,
+    verify_witness,
+)
+from repro.core.validate import is_valid
+
+from tests.conftest import run_sfs_world
+
+
+def sfs_history(seed: int, adversarial: bool):
+    faults = []
+    targets = [4, 5] if adversarial else [4]
+    for i, target in enumerate(targets):
+        faults.append(("suspicion", 1.0 + i, i, target))
+    shield = (targets[0], {targets[0]}) if adversarial else None
+    world = run_sfs_world(
+        n=9, t=2, seed=seed, faults=faults,
+        adversary_shield=shield, heal_at=30.0 if adversarial else None,
+    )
+    return ensure_crashes(world.history())
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=500), st.booleans())
+def test_protocol_runs_always_have_verified_witness(seed, adversarial):
+    history = sfs_history(seed, adversarial)
+    assert check_sfs(history).ok
+    witness = fail_stop_witness(history)
+    assert verify_witness(history, witness) == []
+    assert check_fs2(witness).ok
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(min_value=0, max_value=500))
+def test_commutation_agrees_with_constraint_graph(seed):
+    history = sfs_history(seed, adversarial=True)
+    primary = fail_stop_witness(history)
+    by_commutation = fail_stop_witness_by_commutation(history)
+    # Both are valid FS witnesses isomorphic to the original (they need
+    # not be identical orderings).
+    for witness in (primary, by_commutation):
+        assert is_valid(witness)
+        assert isomorphic(history, witness)
+        assert not bad_pairs(witness)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=500))
+def test_witness_idempotent_on_fs_runs(seed):
+    history = sfs_history(seed, adversarial=False)
+    witness = fail_stop_witness(history)
+    again = fail_stop_witness(witness)
+    assert verify_witness(witness, again) == []

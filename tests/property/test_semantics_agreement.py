@@ -1,0 +1,66 @@
+"""Property: the two independent validity judgements always agree.
+
+``validate_history`` (bookkeeping over the event list) and
+``semantics.replay`` (state-transition execution per Appendix A.1) were
+written independently; for every history — valid or mutated into
+invalidity — they must return the same verdict.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import crash, recv
+from repro.core.history import History
+from repro.core.messages import Message
+from repro.core.semantics import is_executable
+from repro.core.validate import is_valid
+
+from tests.property.test_history_properties import random_history
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=20_000),
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=5, max_value=60),
+)
+def test_generated_histories_judged_identically(seed, n, steps):
+    history = random_history(seed, n, steps)
+    assert is_valid(history)
+    assert is_executable(history)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=20_000),
+    st.integers(min_value=0, max_value=3),
+)
+def test_mutated_histories_judged_identically(seed, mutation):
+    history = random_history(seed, n=4, steps=40)
+    rng = random.Random(seed ^ 0xBEEF)
+    events = list(history.events)
+    if not events:
+        return
+    if mutation == 0:
+        # Duplicate a random event.
+        events.insert(rng.randrange(len(events)), rng.choice(events))
+    elif mutation == 1:
+        # Insert a bogus receive.
+        events.insert(
+            rng.randrange(len(events) + 1), recv(0, 1, Message(1, 987654))
+        )
+    elif mutation == 2:
+        # Insert a post-crash step for a crashed process, if any crashed.
+        crashed = [e.proc for e in events if isinstance(e, type(crash(0)))]
+        if not crashed:
+            return
+        events.append(crash(crashed[0]))
+    else:
+        # Swap two random events (may or may not stay valid).
+        i = rng.randrange(len(events))
+        j = rng.randrange(len(events))
+        events[i], events[j] = events[j], events[i]
+    mutated = History(events, history.n)
+    assert is_valid(mutated) == is_executable(mutated)

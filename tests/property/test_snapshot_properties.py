@@ -1,0 +1,48 @@
+"""Property-based tests: snapshot cuts are consistent under any schedule."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.snapshot import verify_consistent_cut
+from repro.sim import ExponentialDelay, UniformDelay, build_world
+
+from tests.apps.test_snapshot import ChattySnapshotProcess
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2000),
+    st.integers(min_value=4, max_value=8),
+    st.booleans(),
+    st.floats(min_value=0.5, max_value=6.0),
+)
+def test_cut_consistent_under_random_schedules(seed, n, exponential, when):
+    delay = ExponentialDelay(1.0) if exponential else UniformDelay(0.1, 3.0)
+    world = build_world(n, lambda: ChattySnapshotProcess(t=1), delay, seed=seed)
+    initiator = seed % n
+    world.scheduler.schedule_at(
+        when, lambda: world.process(initiator).initiate_snapshot(1)
+    )
+    world.run_to_quiescence()
+    assert verify_consistent_cut(world.history(), 1) == []
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2000),
+    st.integers(min_value=0, max_value=4),
+)
+def test_cut_consistent_with_failures(seed, victim):
+    n = 5
+    world = build_world(
+        n, lambda: ChattySnapshotProcess(t=1), UniformDelay(0.2, 2.0), seed=seed
+    )
+    observer = (victim + 1) % n
+    initiator = (victim + 2) % n
+    world.inject_crash(victim, at=1.0)
+    world.inject_suspicion(observer, victim, at=1.5)
+    world.scheduler.schedule_at(
+        3.0, lambda: world.process(initiator).initiate_snapshot(1)
+    )
+    world.run_to_quiescence()
+    assert verify_consistent_cut(world.history(), 1) == []

@@ -1,0 +1,77 @@
+"""Property-based tests for the quorum bounds (Theorem 7 / Corollary 8)."""
+
+from functools import reduce
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    feasible_fixed_quorum,
+    max_tolerable_t,
+    min_quorum_size,
+)
+from repro.core.quorum import QuorumRecord, counterexample_family, t_wise_intersecting
+
+nt_pairs = st.tuples(
+    st.integers(min_value=2, max_value=30), st.integers(min_value=2, max_value=8)
+).filter(lambda pair: pair[1] <= pair[0])
+
+
+@settings(max_examples=100, deadline=None)
+@given(nt_pairs)
+def test_min_quorum_is_least_integer_above_bound(pair):
+    n, t = pair
+    q = min_quorum_size(n, t)
+    assert q > n * (t - 1) / t
+    assert (q - 1) <= n * (t - 1) / t
+
+
+@settings(max_examples=100, deadline=None)
+@given(nt_pairs)
+def test_any_t_quorums_of_legal_size_intersect(pair):
+    """The pigeonhole heart of Theorem 7: t sets, each missing fewer than
+    n/t processes, cannot jointly miss everyone."""
+    n, t = pair
+    q = min_quorum_size(n, t)
+    # Worst case: make the t complements as disjoint as possible.
+    complements = []
+    cursor = 0
+    for _ in range(t):
+        size = n - q
+        complements.append({(cursor + j) % n for j in range(size)})
+        cursor += size
+    quorums = [frozenset(range(n)) - c for c in complements]
+    assert reduce(frozenset.intersection, quorums)
+
+
+@settings(max_examples=100, deadline=None)
+@given(nt_pairs)
+def test_counterexample_family_breaks_witness(pair):
+    n, t = pair
+    family = counterexample_family(n, t)
+    assert not reduce(frozenset.intersection, family)
+    records = [
+        QuorumRecord(i, (i + 1) % n, members)
+        for i, members in enumerate(family)
+    ]
+    assert not t_wise_intersecting(records, t)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=2, max_value=500))
+def test_corollary8_boundary(n):
+    t = max_tolerable_t(n)
+    assert t * t < n
+    assert (t + 1) * (t + 1) >= n
+    assert feasible_fixed_quorum(n, t)
+    assert not feasible_fixed_quorum(n, t + 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(nt_pairs)
+def test_quorum_plus_failures_fit_iff_feasible(pair):
+    """Corollary 8 restated: the n - t guaranteed-alive processes can fill
+    a minimum quorum exactly when n > t^2."""
+    n, t = pair
+    q = min_quorum_size(n, t)
+    assert (n - t >= q) == (n > t * t)

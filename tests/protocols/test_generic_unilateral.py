@@ -1,0 +1,135 @@
+"""Tests for the Section 4 skeleton and the Section 6 cheap model."""
+
+import pytest
+
+from repro.core import (
+    check_sfs2c,
+    check_sfs2d,
+    ensure_crashes,
+    find_cycle,
+    is_acyclic,
+    witness_property,
+)
+from repro.errors import ProtocolError
+from repro.protocols import GenericOneRoundProcess, UnilateralProcess
+from repro.sim import ConstantDelay, build_world
+
+
+class TestGenericOneRound:
+    def test_initiator_in_own_quorum(self):
+        world = build_world(5, lambda: GenericOneRoundProcess(quorum_size=3))
+        world.start()
+        world.process(0).suspect(2)
+        assert 0 in world.process(0).acks_for(2)
+
+    def test_quorum_of_one_detects_unilaterally(self):
+        world = build_world(5, lambda: GenericOneRoundProcess(quorum_size=1))
+        world.inject_suspicion(0, 2, at=1.0)
+        world.run_to_quiescence()
+        assert 2 in world.process(0).detected
+
+    def test_acks_flow_back_to_initiator_only(self):
+        world = build_world(
+            5, lambda: GenericOneRoundProcess(quorum_size=5), ConstantDelay(1.0)
+        )
+        world.inject_suspicion(0, 2, at=1.0)
+        world.run_to_quiescence()
+        # target 2 not notified (default), so acks from 1, 3, 4 + self.
+        assert world.process(0).acks_for(2) == frozenset({0, 1, 3, 4})
+        # Nobody else detected or suspected anything.
+        for pid in (1, 3, 4):
+            assert world.process(pid).suspected == set()
+
+    def test_target_not_notified_by_default(self):
+        world = build_world(4, lambda: GenericOneRoundProcess(quorum_size=2))
+        world.inject_suspicion(0, 3, at=1.0)
+        world.run_to_quiescence()
+        assert not world.process(3).crashed
+
+    def test_notify_target_crashes_target(self):
+        world = build_world(
+            4, lambda: GenericOneRoundProcess(quorum_size=2, notify_target=True)
+        )
+        world.inject_suspicion(0, 3, at=1.0)
+        world.run_to_quiescence()
+        assert world.process(3).crashed
+
+    def test_quorum_sized_validated(self):
+        with pytest.raises(ProtocolError):
+            GenericOneRoundProcess(quorum_size=0)
+
+    def test_quorum_records_match_acks(self):
+        world = build_world(5, lambda: GenericOneRoundProcess(quorum_size=4))
+        world.inject_suspicion(0, 2, at=1.0)
+        world.run_to_quiescence()
+        records = world.trace.quorum_records
+        assert len(records) == 1
+        assert records[0].detector == 0 and records[0].target == 2
+        assert records[0].size >= 4
+
+    def test_no_witness_property_across_disjoint_quorums(self):
+        """Even legal-sized quorums don't give the skeleton sFS2b."""
+        world = build_world(
+            6, lambda: GenericOneRoundProcess(quorum_size=2), ConstantDelay(1.0)
+        )
+        world.adversary.hold_suspicions_about(0, {1, 2})
+        world.adversary.hold_suspicions_about(3, {4, 5})
+        world.inject_suspicion(0, 3, at=1.0)
+        world.inject_suspicion(3, 0, at=1.0)
+        world.run_to_quiescence()
+        history = world.history()
+        assert find_cycle(history) is not None
+
+
+class TestUnilateral:
+    def test_detects_immediately(self):
+        world = build_world(4, lambda: UnilateralProcess())
+        world.start()
+        world.process(0).suspect(2)
+        assert 2 in world.process(0).detected
+
+    def test_quorum_is_self(self):
+        world = build_world(4, lambda: UnilateralProcess())
+        world.start()
+        world.process(0).suspect(2)
+        records = world.trace.quorum_records
+        assert records[0].members == frozenset({0})
+
+    def test_broadcast_crashes_target(self):
+        world = build_world(4, lambda: UnilateralProcess())
+        world.inject_suspicion(0, 2, at=1.0)
+        world.run_to_quiescence()
+        assert world.process(2).crashed
+
+    def test_receivers_adopt_detection(self):
+        world = build_world(4, lambda: UnilateralProcess())
+        world.inject_suspicion(0, 2, at=1.0)
+        world.run_to_quiescence()
+        for pid in (1, 3):
+            assert 2 in world.process(pid).detected
+
+    def test_sfs2c_and_sfs2d_hold(self):
+        world = build_world(5, lambda: UnilateralProcess(), seed=3)
+        world.inject_suspicion(0, 2, at=1.0)
+        world.inject_suspicion(3, 4, at=1.1)
+        world.run_to_quiescence()
+        history = world.history()
+        assert check_sfs2c(history).ok
+        assert check_sfs2d(history).ok
+
+    def test_mutual_suspicion_forms_cycle(self):
+        world = build_world(4, lambda: UnilateralProcess(), ConstantDelay(1.0))
+        world.inject_suspicion(0, 1, at=1.0)
+        world.inject_suspicion(1, 0, at=1.0)
+        world.run_to_quiescence()
+        history = ensure_crashes(world.history())
+        assert not is_acyclic(history)
+        cycle = find_cycle(history)
+        assert cycle is not None and set(sum(cycle, ())) == {0, 1}
+
+    def test_witness_property_fails_across_detections(self):
+        world = build_world(4, lambda: UnilateralProcess(), ConstantDelay(1.0))
+        world.inject_suspicion(0, 1, at=1.0)
+        world.inject_suspicion(2, 3, at=1.0)
+        world.run_to_quiescence()
+        assert not witness_property(world.trace.quorum_records)

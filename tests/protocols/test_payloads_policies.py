@@ -1,0 +1,57 @@
+"""Unit tests for protocol payloads and quorum policies."""
+
+from repro.core.bounds import min_quorum_size
+from repro.protocols import Ack, FixedQuorum, Susp, WaitForAll, is_protocol_payload
+
+
+class TestPayloads:
+    def test_susp_exposes_target(self):
+        assert Susp(3).suspicion_target == 3
+
+    def test_ack_exposes_target(self):
+        assert Ack(3).suspicion_target == 3
+
+    def test_protocol_payload_classifier(self):
+        assert is_protocol_payload(Susp(0))
+        assert is_protocol_payload(Ack(0))
+        assert not is_protocol_payload("app data")
+        assert not is_protocol_payload(None)
+
+    def test_hashable(self):
+        assert len({Susp(1), Susp(1), Susp(2), Ack(1)}) == 3
+
+
+class TestFixedQuorum:
+    def test_resolves_minimum_when_unsized(self):
+        policy = FixedQuorum(t=2)
+        assert policy.resolved_size(9) == min_quorum_size(9, 2)
+
+    def test_explicit_size_wins(self):
+        assert FixedQuorum(t=2, size=3).resolved_size(9) == 3
+
+    def test_satisfied_by_count(self):
+        policy = FixedQuorum(t=2, size=3)
+        assert not policy.satisfied(9, frozenset({0, 1}), frozenset())
+        assert policy.satisfied(9, frozenset({0, 1, 2}), frozenset())
+
+    def test_suspected_irrelevant(self):
+        policy = FixedQuorum(t=2, size=2)
+        assert policy.satisfied(9, frozenset({0, 1}), frozenset({5, 6, 7}))
+
+    def test_describe(self):
+        assert "fixed quorum" in FixedQuorum(t=2).describe(9)
+
+
+class TestWaitForAll:
+    def test_requires_every_unsuspected(self):
+        policy = WaitForAll()
+        everyone = frozenset(range(5))
+        assert policy.satisfied(5, everyone, frozenset())
+        assert not policy.satisfied(5, everyone - {3}, frozenset())
+
+    def test_suspected_excused(self):
+        policy = WaitForAll()
+        assert policy.satisfied(5, frozenset({0, 1, 2, 4}), frozenset({3}))
+
+    def test_describe(self):
+        assert "wait-for-all" in WaitForAll().describe(5)

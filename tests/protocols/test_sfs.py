@@ -1,0 +1,196 @@
+"""Unit and integration tests for the Section 5 echo protocol."""
+
+import pytest
+
+from repro.core import (
+    check_fs1,
+    check_sfs,
+    check_sfs2c,
+    check_sfs2d,
+    is_acyclic,
+    t_wise_intersecting,
+)
+from repro.core.bounds import min_quorum_size
+from repro.errors import BoundsError, ProtocolError
+from repro.protocols import FixedQuorum, SfsProcess, WaitForAll
+from repro.sim import ConstantDelay, build_world
+
+
+def sfs_world(n=9, t=2, seed=0, **kwargs):
+    return build_world(n, lambda: SfsProcess(t=t, **kwargs), seed=seed)
+
+
+class TestParameters:
+    def test_default_quorum_is_minimum_legal(self):
+        world = sfs_world(9, 2)
+        proc = world.process(0)
+        assert isinstance(proc.policy, FixedQuorum)
+        assert proc.policy.resolved_size(9) == min_quorum_size(9, 2)
+
+    def test_bounds_enforced_at_bind(self):
+        with pytest.raises(BoundsError):
+            build_world(9, lambda: SfsProcess(t=3))  # 9 <= 3^2
+
+    def test_bounds_can_be_disabled(self):
+        world = build_world(
+            9, lambda: SfsProcess(t=3, quorum_size=2, enforce_bounds=False)
+        )
+        assert world.process(0).policy.resolved_size(9) == 2
+
+    def test_explicit_policy_respected(self):
+        world = build_world(5, lambda: SfsProcess(t=1, policy=WaitForAll()))
+        assert isinstance(world.process(0).policy, WaitForAll)
+
+    def test_self_suspicion_rejected(self):
+        world = sfs_world()
+        with pytest.raises(ProtocolError):
+            world.process(0).suspect(0)
+
+
+class TestProtocolMechanics:
+    def test_suspicion_broadcasts_to_all_including_self(self):
+        world = sfs_world(5, 1, seed=1)
+        world.start()
+        world.process(0).suspect(3)
+        # 5 sends: peers 1,2,3,4 plus self.
+        assert world.network.protocol_messages_sent == 5
+
+    def test_own_echo_counts_toward_quorum(self):
+        world = sfs_world(5, 1, seed=1)
+        world.inject_suspicion(0, 3, at=1.0)
+        world.run_to_quiescence()
+        assert 0 in world.process(0).confirmations_for(3)
+
+    def test_target_crashes_on_own_name(self):
+        world = sfs_world(5, 1)
+        world.inject_suspicion(0, 3, at=1.0)
+        world.run_to_quiescence()
+        assert world.process(3).crashed
+
+    def test_everyone_detects_eventually(self):
+        world = sfs_world(9, 2)
+        world.inject_suspicion(0, 4, at=1.0)
+        world.run_to_quiescence()
+        for pid in range(9):
+            if pid == 4:
+                continue
+            assert 4 in world.process(pid).detected
+        assert check_fs1(world.history()).ok
+
+    def test_no_self_detection_ever(self):
+        world = sfs_world(9, 2)
+        world.inject_suspicion(0, 4, at=1.0)
+        world.inject_suspicion(4, 5, at=1.0)
+        world.run_to_quiescence()
+        assert check_sfs2c(world.history()).ok
+
+    def test_idempotent_suspicion(self):
+        world = sfs_world(5, 1, seed=1)
+        world.start()
+        world.process(0).suspect(3)
+        sent = world.network.protocol_messages_sent
+        world.process(0).suspect(3)
+        assert world.network.protocol_messages_sent == sent
+
+    def test_quorum_records_have_legal_size(self):
+        world = sfs_world(9, 2)
+        world.inject_suspicion(0, 4, at=1.0)
+        world.run_to_quiescence()
+        minimum = min_quorum_size(9, 2)
+        assert world.trace.quorum_records
+        assert all(q.size >= minimum for q in world.trace.quorum_records)
+        assert t_wise_intersecting(world.trace.quorum_records, 2)
+
+
+class TestDeferral:
+    """The "takes no other action" clause -> sFS2d."""
+
+    def test_app_message_deferred_during_round(self):
+        world = build_world(
+            5, lambda: SfsProcess(t=1), delay_model=ConstantDelay(1.0)
+        )
+        world.adversary.hold_suspicions_about(4, {4})
+
+        # 0 suspects 4, then sends app data to 1; FIFO puts "4 failed"
+        # ahead of the app message at 1.
+        def scenario():
+            world.process(0).suspect(4)
+            world.process(0).send_app(1, "work")
+
+        world.scheduler.schedule_at(1.0, scenario)
+        world.run(until=3.0)
+        receiver = world.process(1)
+        # Round for 4 is open at 1 (shield keeps 4 alive; quorum of
+        # min size 1... with t=1 quorum is 1, round completes instantly).
+        # Use deferred_count on a bigger t to exercise deferral below.
+        world.adversary.heal()
+        world.run_to_quiescence()
+        assert check_sfs2d(world.history()).ok
+
+    def test_deferred_consumed_after_detection(self):
+        world = build_world(
+            9, lambda: SfsProcess(t=2), delay_model=ConstantDelay(1.0)
+        )
+        got = []
+        world.process(1).on_app_message = (
+            lambda src, payload, msg: got.append(payload)
+        )
+
+        def scenario():
+            world.process(0).suspect(4)
+            world.process(0).send_app(1, "work")
+
+        world.scheduler.schedule_at(1.0, scenario)
+        world.run_to_quiescence()
+        assert got == ["work"]
+        history = world.history()
+        assert check_sfs2d(history).ok
+        # The recv of "work" must come after failed_1(4).
+        recv_idx = max(
+            idx for idx, e in enumerate(history)
+            if getattr(e, "msg", None) is not None
+            and e.msg.payload == "work" and e.proc == 1
+        )
+        failed_idx = history.failed_index[(1, 4)]
+        assert failed_idx < recv_idx
+
+    def test_app_payload_must_not_be_protocol_type(self):
+        from repro.protocols import Susp
+
+        world = sfs_world(5, 1)
+        world.start()
+        with pytest.raises(ProtocolError):
+            world.process(0).send_app(1, Susp(2))
+
+
+class TestWaitForAllPolicy:
+    def test_detection_completes_without_bounds(self):
+        world = build_world(
+            5, lambda: SfsProcess(t=3, policy=WaitForAll()), seed=2
+        )
+        world.inject_suspicion(0, 3, at=1.0)
+        world.run_to_quiescence()
+        assert 3 in world.process(0).detected
+
+    def test_concurrent_targets_unblock_each_other(self):
+        # Waiting on {all} - suspected: detecting one target shrinks the
+        # requirement for the other.
+        world = build_world(
+            5, lambda: SfsProcess(t=3, policy=WaitForAll()), seed=2
+        )
+        world.inject_suspicion(0, 3, at=1.0)
+        world.inject_suspicion(1, 4, at=1.0)
+        world.run_to_quiescence()
+        assert {3, 4} <= world.process(0).detected
+        assert is_acyclic(world.history())
+
+
+class TestFullConformance:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_sfs_on_mixed_scenarios(self, seed):
+        world = sfs_world(9, 2, seed=seed)
+        world.inject_crash(4, at=0.5)
+        world.inject_suspicion(0, 4, at=1.0)
+        world.inject_suspicion(3, 5, at=1.2)
+        world.run_to_quiescence()
+        assert check_sfs(world.history()).ok

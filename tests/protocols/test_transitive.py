@@ -1,0 +1,134 @@
+"""Tests for the transitivity probe (TransitiveSfsProcess, E11 helpers)."""
+
+import pytest
+
+from repro.core import check_sfs, ensure_crashes
+from repro.core.events import failed
+from repro.core.history import History
+from repro.errors import ProtocolError
+from repro.protocols import (
+    KSusp,
+    SfsProcess,
+    TransitiveSfsProcess,
+    transitivity_gaps,
+    transitivity_ratio,
+)
+from repro.sim import ConstantDelay, UniformDelay, build_world
+
+
+class TestKSusp:
+    def test_exposes_suspicion_target(self):
+        assert KSusp(3, frozenset({1})).suspicion_target == 3
+
+    def test_hashable(self):
+        a = KSusp(3, frozenset({1}))
+        b = KSusp(3, frozenset({1}))
+        assert len({a, b}) == 1
+
+
+class TestProtocolBehaviour:
+    def test_full_sfs_conformance(self):
+        world = build_world(9, lambda: TransitiveSfsProcess(t=2), seed=4)
+        world.inject_crash(4, at=0.5)
+        world.inject_suspicion(0, 4, at=1.0)
+        world.inject_suspicion(3, 5, at=6.0)
+        world.run_to_quiescence()
+        assert check_sfs(ensure_crashes(world.history())).ok
+
+    def test_knowledge_spreads_suspicions(self):
+        """A confirmation carrying known={j} makes the receiver suspect j."""
+        world = build_world(
+            9, lambda: TransitiveSfsProcess(t=2), ConstantDelay(1.0), seed=1
+        )
+        # First round: everyone detects 7.
+        world.inject_suspicion(0, 7, at=1.0)
+        world.run_to_quiescence()
+        # Second round: 0 suspects 8; its KSusp carries known={7}.
+        # A fresh observer that somehow missed 7 would adopt it - here we
+        # verify prerequisites are recorded.
+        world.inject_suspicion(0, 8, at=world.scheduler.now + 1.0)
+        world.run_to_quiescence()
+        proc = world.process(1)
+        assert isinstance(proc, TransitiveSfsProcess)
+        assert 7 in proc._prerequisites.get(8, set())
+        # Ordering held: failed(7) precedes failed(8) at every survivor.
+        h = world.history()
+        for p in range(9):
+            f7 = h.failed_index.get((p, 7))
+            f8 = h.failed_index.get((p, 8))
+            if f7 is not None and f8 is not None:
+                assert f7 < f8
+
+    def test_crashes_when_named_in_knowledge(self):
+        world = build_world(
+            5, lambda: TransitiveSfsProcess(t=3, enforce_bounds=False,
+                                            quorum_size=2),
+            ConstantDelay(1.0), seed=0,
+        )
+        world.start()
+        target = world.process(2)
+        # Deliver a KSusp claiming process 2 was already detected.
+        from repro.core.messages import Message
+
+        msg = Message(0, 999, KSusp(4, frozenset({2})))
+        target.deliver(0, msg, "protocol")
+        assert target.crashed
+
+    def test_self_suspicion_rejected(self):
+        world = build_world(5, lambda: TransitiveSfsProcess(t=1), seed=0)
+        world.start()
+        with pytest.raises(ProtocolError):
+            world.process(0).suspect(0)
+
+    def test_mutual_prerequisite_cycle_broken(self):
+        """Crossed knowledge cannot deadlock the drain loop."""
+        world = build_world(
+            6, lambda: TransitiveSfsProcess(t=4, enforce_bounds=False,
+                                            quorum_size=1),
+            ConstantDelay(1.0), seed=0,
+        )
+        world.start()
+        proc = world.process(0)
+        assert isinstance(proc, TransitiveSfsProcess)
+        from repro.core.messages import Message
+
+        # 4 is prerequisite of 5, and 5 of 4: both rounds ready (quorum 1
+        # after one confirmation each): drain must execute both anyway.
+        proc.deliver(1, Message(1, 500, KSusp(4, frozenset({5}))), "protocol")
+        proc.deliver(2, Message(2, 501, KSusp(5, frozenset({4}))), "protocol")
+        assert {4, 5} <= proc.detected
+
+
+class TestMeasurementHelpers:
+    def test_gaps_found(self):
+        # 0 fb 1 (1 detected 0), 1 fb 2, but 2 never detected 0.
+        h = History([failed(1, 0), failed(2, 1)], n=3)
+        assert transitivity_gaps(h) == [(0, 1, 2)]
+        assert transitivity_ratio(h) == 0.0
+
+    def test_closed_chain_no_gap(self):
+        h = History([failed(1, 0), failed(2, 1), failed(2, 0)], n=3)
+        assert transitivity_gaps(h) == []
+        assert transitivity_ratio(h) == 1.0
+
+    def test_vacuous_ratio(self):
+        assert transitivity_ratio(History([], n=3)) == 1.0
+
+    def test_two_cycles_not_counted_as_chains(self):
+        h = History([failed(0, 1), failed(1, 0)], n=2)
+        # i fb j fb i with i == k is excluded.
+        assert transitivity_gaps(h) == []
+
+
+class TestE11Finding:
+    def test_identical_behaviour_on_same_seeds(self):
+        """The headline negative result, in miniature."""
+        from repro.analysis.extensions import run_e11
+
+        rows = run_e11(seeds=range(6))
+        plain = next(r for r in rows if r.protocol == "sfs")
+        piggy = next(r for r in rows if r.protocol == "sfs+piggyback")
+        assert plain.inversions == piggy.inversions
+        assert plain.truncated_logs == piggy.truncated_logs
+        assert plain.sfs_conformant == plain.runs
+        assert piggy.sfs_conformant == piggy.runs

@@ -1,0 +1,88 @@
+"""Tests for the asyncio runtime (transport, nodes, cluster service).
+
+These run real wall-clock scenarios; durations are kept around a second.
+"""
+
+import asyncio
+
+from repro.analysis import analyze
+from repro.core.validate import is_valid
+from repro.detectors.base import HEARTBEAT
+from repro.runtime import LocalTransport, SfsNode, run_cluster
+from repro.sim.delays import ConstantDelay
+
+
+class TestTransport:
+    def test_fifo_per_channel(self):
+        async def scenario():
+            transport = LocalTransport(
+                2, ConstantDelay(1.0), time_scale=0.001
+            )
+            got = []
+            transport.set_deliver(
+                lambda src, dst, msg, system: got.append(msg.payload)
+            )
+            await transport.start()
+            for i in range(10):
+                transport.send(0, 1, i)
+            await asyncio.sleep(0.1)
+            await transport.stop()
+            return got
+
+        got = asyncio.run(scenario())
+        assert got == list(range(10))
+
+    def test_system_traffic_not_recorded(self):
+        async def scenario():
+            transport = LocalTransport(2, ConstantDelay(0.1), time_scale=0.001)
+            transport.set_deliver(lambda *a: None)
+            await transport.start()
+            transport.send(0, 1, HEARTBEAT, kind="system")
+            transport.send(0, 1, "app")
+            await asyncio.sleep(0.05)
+            await transport.stop()
+            return transport.trace.history()
+
+        history = asyncio.run(scenario())
+        assert len(history) == 1  # only the app send
+
+
+class TestCluster:
+    def test_real_crash_detected_and_conformant(self):
+        result = run_cluster(
+            n=5, duration=1.2, t=1, crash_at={2: 0.3},
+            heartbeat_interval=0.04, phi_threshold=6.0,
+        )
+        assert 2 in result.crashed
+        survivors = [i for i in range(5) if i != 2]
+        assert all(2 in result.detected[i] for i in survivors)
+        assert is_valid(result.history)
+        report = analyze(
+            result.history, result.quorum_records, t=1, pending_ok=True
+        )
+        assert report.is_simulated_fail_stop
+        assert report.indistinguishable_from_fail_stop
+
+    def test_injected_false_suspicion_crashes_target(self):
+        result = run_cluster(
+            n=4, duration=1.0, t=1,
+            suspect_at=[(0.2, 0, 3)],
+            phi_threshold=None,  # no monitor: only the injected suspicion
+            heartbeat_interval=0.05,
+        )
+        # sFS2a in real time: the falsely suspected node reads its own
+        # name and crashes.
+        assert 3 in result.crashed
+        assert 3 in result.false_suspicion_targets
+        report = analyze(
+            result.history, result.quorum_records, t=1, pending_ok=True
+        )
+        assert report.is_simulated_fail_stop
+
+    def test_healthy_cluster_quiet(self):
+        result = run_cluster(
+            n=3, duration=0.6, t=1, phi_threshold=50.0,
+            heartbeat_interval=0.03,
+        )
+        assert result.crashed == frozenset()
+        assert all(not d for d in result.detected.values())

@@ -1,0 +1,100 @@
+"""Unit tests for the adversary and fault plans."""
+
+import random
+
+import pytest
+
+from repro.protocols import SfsProcess, Susp
+from repro.sim import build_world
+from repro.sim.delays import ConstantDelay
+from repro.sim.failures import (
+    Fault,
+    apply_faults,
+    mutual_suspicion_plan,
+    random_fault_plan,
+)
+from repro.errors import SimulationError
+
+
+class TestAdversary:
+    def test_partition_blocks_both_directions(self):
+        world = build_world(4, lambda: SfsProcess(t=1), ConstantDelay(1.0))
+        world.adversary.partition({0, 1}, {2, 3})
+        world.inject_suspicion(0, 2, at=1.0)
+        world.run(until=20)
+        # 0 broadcasts "2 failed"; messages to 2,3 held; 2 never crashes.
+        assert not world.process(2).crashed
+        held = world.adversary.held_counts()
+        assert any(dst in (2, 3) for (_, dst) in held)
+
+    def test_heal_releases_everything(self):
+        world = build_world(4, lambda: SfsProcess(t=1), ConstantDelay(1.0))
+        world.adversary.partition({0, 1}, {2, 3})
+        world.inject_suspicion(0, 2, at=1.0)
+        world.run(until=20)
+        world.adversary.heal()
+        world.run_to_quiescence()
+        assert world.process(2).crashed
+        assert world.adversary.held_counts() == {}
+
+    def test_hold_suspicions_about_is_content_selective(self):
+        world = build_world(5, lambda: SfsProcess(t=2), ConstantDelay(1.0))
+        world.adversary.hold_suspicions_about(3, {3})
+        world.inject_suspicion(0, 3, at=1.0)  # about 3: shielded from 3
+        world.inject_suspicion(1, 4, at=1.0)  # about 4: unimpeded
+        world.run(until=50)
+        assert not world.process(3).crashed  # never saw its own name
+        assert world.process(4).crashed
+
+    def test_stop_matching_removes_rule(self):
+        world = build_world(3, lambda: SfsProcess(t=1), ConstantDelay(1.0))
+        rule = world.adversary.hold_matching(
+            lambda src, dst, msg: isinstance(msg.payload, Susp)
+        )
+        world.adversary.stop_matching(rule)
+        world.inject_suspicion(0, 2, at=1.0)
+        world.run_to_quiescence()
+        assert world.process(2).crashed  # nothing was held
+
+
+class TestFaultPlans:
+    def test_fault_validation(self):
+        with pytest.raises(SimulationError):
+            Fault("suspicion", 1.0, 0)  # missing target
+
+    def test_apply_faults(self):
+        world = build_world(5, lambda: SfsProcess(t=2))
+        apply_faults(
+            world,
+            [
+                Fault("crash", 1.0, 3),
+                Fault("suspicion", 2.0, 0, 3),
+            ],
+        )
+        world.run_to_quiescence()
+        assert world.process(3).crashed
+        assert 3 in world.process(0).detected
+
+    def test_random_plan_respects_t(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            plan = random_fault_plan(8, 3, rng)
+            victims = {f.proc for f in plan if f.kind == "crash"}
+            victims |= {f.target for f in plan if f.kind == "suspicion"}
+            assert len(victims) <= 3
+
+    def test_random_plan_sorted_by_time(self):
+        rng = random.Random(1)
+        plan = random_fault_plan(8, 3, rng)
+        times = [f.at for f in plan]
+        assert times == sorted(times)
+
+    def test_random_plan_rejects_bad_t(self):
+        with pytest.raises(SimulationError):
+            random_fault_plan(4, 9, random.Random(0))
+
+    def test_mutual_suspicion_plan(self):
+        plan = mutual_suspicion_plan([(0, 1), (2, 3)], at=1.0)
+        assert len(plan) == 4
+        kinds = {(f.proc, f.target) for f in plan}
+        assert kinds == {(0, 1), (1, 0), (2, 3), (3, 2)}

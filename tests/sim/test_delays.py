@@ -1,0 +1,73 @@
+"""Unit tests for the delay models."""
+
+import random
+
+import pytest
+
+from repro.sim.delays import (
+    ConstantDelay,
+    ExponentialDelay,
+    LogNormalDelay,
+    ParetoDelay,
+    PerChannelDelay,
+    UniformDelay,
+)
+
+MODELS = [
+    ConstantDelay(1.0),
+    UniformDelay(0.5, 1.5),
+    ExponentialDelay(1.0),
+    LogNormalDelay(1.0, 0.5),
+    ParetoDelay(0.5, 1.5),
+]
+
+
+class TestAllModels:
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+    def test_non_negative(self, model):
+        rng = random.Random(1)
+        assert all(model.sample(rng, 0, 1) >= 0 for _ in range(500))
+
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+    def test_deterministic_per_seed(self, model):
+        a = [model.sample(random.Random(7), 0, 1) for _ in range(5)]
+        b = [model.sample(random.Random(7), 0, 1) for _ in range(5)]
+        assert a == b
+
+
+class TestSpecifics:
+    def test_constant_is_constant(self):
+        rng = random.Random(0)
+        assert {ConstantDelay(2.5).sample(rng, 0, 1) for _ in range(10)} == {2.5}
+
+    def test_uniform_within_bounds(self):
+        rng = random.Random(0)
+        model = UniformDelay(1.0, 2.0)
+        samples = [model.sample(rng, 0, 1) for _ in range(200)]
+        assert all(1.0 <= s <= 2.0 for s in samples)
+
+    def test_pareto_has_minimum_scale(self):
+        rng = random.Random(0)
+        model = ParetoDelay(scale=0.5, alpha=2.0)
+        assert all(model.sample(rng, 0, 1) >= 0.5 for _ in range(200))
+
+    def test_pareto_heavy_tail(self):
+        rng = random.Random(0)
+        model = ParetoDelay(scale=0.5, alpha=1.2)
+        samples = [model.sample(rng, 0, 1) for _ in range(3000)]
+        assert max(samples) > 10 * sorted(samples)[len(samples) // 2]
+
+    def test_lognormal_median_roughly_right(self):
+        rng = random.Random(0)
+        model = LogNormalDelay(median=2.0, sigma=0.4)
+        samples = sorted(model.sample(rng, 0, 1) for _ in range(2000))
+        median = samples[len(samples) // 2]
+        assert 1.6 < median < 2.4
+
+    def test_per_channel_slowdown(self):
+        rng = random.Random(0)
+        model = PerChannelDelay(
+            ConstantDelay(1.0), slow_channels=(((0, 1), 10.0),)
+        )
+        assert model.sample(rng, 0, 1) == 10.0
+        assert model.sample(rng, 1, 0) == 1.0

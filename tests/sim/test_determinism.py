@@ -1,0 +1,68 @@
+"""Determinism guarantees: identical parameters, identical histories."""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols import SfsProcess, UnilateralProcess
+from repro.sim import (
+    ExponentialDelay,
+    LogNormalDelay,
+    ParetoDelay,
+    UniformDelay,
+    build_world,
+)
+
+
+def scenario(protocol, delay, seed):
+    factory = {
+        "sfs": lambda: SfsProcess(t=2),
+        "unilateral": lambda: UnilateralProcess(),
+    }[protocol]
+    world = build_world(8, factory, delay, seed=seed)
+    world.inject_crash(5, at=0.7)
+    world.inject_suspicion(0, 5, at=1.0)
+    world.inject_suspicion(2, 6, at=1.5)
+    world.run_to_quiescence()
+    return world
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from(["sfs", "unilateral"]),
+    st.sampled_from(["uniform", "exponential", "lognormal", "pareto"]),
+)
+def test_same_seed_same_history(seed, protocol, delay_name):
+    delay = {
+        "uniform": UniformDelay(0.2, 2.0),
+        "exponential": ExponentialDelay(1.0),
+        "lognormal": LogNormalDelay(1.0, 0.5),
+        "pareto": ParetoDelay(0.4, 1.7),
+    }[delay_name]
+    first = scenario(protocol, delay, seed)
+    second = scenario(protocol, delay, seed)
+    assert first.history() == second.history()
+    assert first.trace.quorum_records == second.trace.quorum_records
+    assert first.scheduler.now == second.scheduler.now
+
+
+def test_different_seeds_generally_differ():
+    timings = set()
+    for seed in range(6):
+        world = scenario("sfs", UniformDelay(0.2, 2.0), seed)
+        timings.add(world.scheduler.now)
+    assert len(timings) > 1
+
+
+def test_adversary_actions_are_deterministic_too():
+    def run(seed):
+        world = build_world(9, lambda: SfsProcess(t=2), seed=seed)
+        world.adversary.hold_suspicions_about(5, {5})
+        world.inject_suspicion(3, 5, at=1.0)
+        world.scheduler.schedule_at(20.0, world.adversary.heal)
+        world.run_to_quiescence()
+        return world.history()
+
+    assert run(11) == run(11)

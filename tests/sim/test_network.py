@@ -1,0 +1,140 @@
+"""Unit tests for the FIFO network with holds."""
+
+import random
+
+import pytest
+
+from repro.core.messages import MessageMint
+from repro.errors import SimulationError
+from repro.sim.delays import ConstantDelay, UniformDelay
+from repro.sim.network import Network
+from repro.sim.scheduler import Scheduler
+
+
+def make_net(n=3, delay=None, seed=0):
+    scheduler = Scheduler()
+    delivered = []
+    net = Network(
+        scheduler,
+        n,
+        delay or UniformDelay(0.1, 5.0),
+        random.Random(seed),
+        deliver=lambda src, dst, msg, system: delivered.append(
+            (src, dst, msg, system)
+        ),
+    )
+    return scheduler, net, delivered
+
+
+class TestFifo:
+    def test_fifo_per_channel_despite_random_delays(self):
+        scheduler, net, delivered = make_net()
+        mint = MessageMint(0)
+        msgs = [mint.mint(i) for i in range(20)]
+        for m in msgs:
+            net.send(0, 1, m)
+        scheduler.run()
+        assert [d[2] for d in delivered] == msgs
+
+    def test_channels_independent(self):
+        scheduler, net, delivered = make_net(delay=ConstantDelay(1.0))
+        m0, m2 = MessageMint(0).mint(), MessageMint(2).mint()
+        net.send(0, 1, m0)
+        net.send(2, 1, m2)
+        scheduler.run()
+        assert len(delivered) == 2
+
+    def test_self_channel(self):
+        scheduler, net, delivered = make_net()
+        m = MessageMint(1).mint()
+        net.send(1, 1, m)
+        scheduler.run()
+        assert delivered == [(1, 1, m, "app")]
+
+    def test_channel_clock_monotone(self):
+        # A very slow first message forces later fast ones to wait.
+        scheduler = Scheduler()
+        times = []
+        delays = iter([10.0, 0.1])
+
+        class TwoDelays:
+            def sample(self, rng, src, dst):
+                return next(delays)
+
+        net = Network(
+            scheduler, 2, TwoDelays(), random.Random(0),
+            deliver=lambda *a: times.append(scheduler.now),
+        )
+        mint = MessageMint(0)
+        net.send(0, 1, mint.mint())
+        net.send(0, 1, mint.mint())
+        scheduler.run()
+        assert times[0] <= times[1]
+
+
+class TestHolds:
+    def test_block_and_release(self):
+        scheduler, net, delivered = make_net()
+        net.block_channel(0, 1)
+        m = MessageMint(0).mint()
+        net.send(0, 1, m)
+        scheduler.run()
+        assert delivered == []
+        released = net.release_channel(0, 1)
+        assert released == 1
+        scheduler.run()
+        assert [d[2] for d in delivered] == [m]
+
+    def test_release_preserves_fifo(self):
+        scheduler, net, delivered = make_net()
+        net.block_channel(0, 1)
+        mint = MessageMint(0)
+        msgs = [mint.mint(i) for i in range(5)]
+        for m in msgs:
+            net.send(0, 1, m)
+        net.release_channel(0, 1)
+        scheduler.run()
+        assert [d[2] for d in delivered] == msgs
+
+    def test_predicate_triggers_block(self):
+        scheduler, net, delivered = make_net()
+        net.add_hold_predicate(lambda src, dst, msg: msg.payload == "bad")
+        mint = MessageMint(0)
+        net.send(0, 1, mint.mint("good"))
+        net.send(0, 1, mint.mint("bad"))
+        net.send(0, 1, mint.mint("after"))  # queues behind the held one
+        scheduler.run()
+        assert [d[2].payload for d in delivered] == ["good"]
+        net.release_all()
+        scheduler.run()
+        assert [d[2].payload for d in delivered] == ["good", "bad", "after"]
+
+    def test_release_all_counts(self):
+        scheduler, net, delivered = make_net()
+        net.block_channel(0, 1)
+        net.block_channel(1, 2)
+        net.send(0, 1, MessageMint(0).mint())
+        net.send(1, 2, MessageMint(1).mint())
+        assert net.release_all() == 2
+
+    def test_held_messages_introspection(self):
+        scheduler, net, _ = make_net()
+        net.block_channel(0, 1)
+        net.send(0, 1, MessageMint(0).mint())
+        assert net.held_messages() == {(0, 1): 1}
+
+
+class TestGuards:
+    def test_out_of_range_rejected(self):
+        _, net, _ = make_net(n=2)
+        with pytest.raises(SimulationError):
+            net.send(0, 5, MessageMint(0).mint())
+
+    def test_counters(self):
+        scheduler, net, _ = make_net()
+        net.send(0, 1, MessageMint(0).mint())
+        net.send(0, 1, MessageMint(0).mint("hb"), kind="system")
+        assert net.app_messages_sent == 1
+        assert net.system_messages_sent == 1
+        scheduler.run()
+        assert net.messages_delivered == 2

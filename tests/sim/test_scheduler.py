@@ -1,0 +1,133 @@
+"""Unit tests for the deterministic scheduler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.scheduler import Scheduler
+
+
+class TestOrdering:
+    def test_time_order(self):
+        s = Scheduler()
+        log = []
+        s.schedule(2.0, lambda: log.append("b"))
+        s.schedule(1.0, lambda: log.append("a"))
+        s.run()
+        assert log == ["a", "b"]
+
+    def test_ties_broken_by_schedule_order(self):
+        s = Scheduler()
+        log = []
+        for name in "abc":
+            s.schedule(1.0, lambda name=name: log.append(name))
+        s.run()
+        assert log == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        s = Scheduler()
+        seen = []
+        s.schedule(3.5, lambda: seen.append(s.now))
+        s.run()
+        assert seen == [3.5]
+        assert s.now == 3.5
+
+    def test_callbacks_can_schedule_more(self):
+        s = Scheduler()
+        log = []
+
+        def first():
+            log.append("first")
+            s.schedule(1.0, lambda: log.append("second"))
+
+        s.schedule(1.0, first)
+        s.run()
+        assert log == ["first", "second"]
+        assert s.now == 2.0
+
+
+class TestRunLimits:
+    def test_until_stops_clock(self):
+        s = Scheduler()
+        log = []
+        s.schedule(1.0, lambda: log.append(1))
+        s.schedule(5.0, lambda: log.append(5))
+        executed = s.run(until=2.0)
+        assert executed == 1 and log == [1]
+        assert s.now == 2.0
+        s.run()
+        assert log == [1, 5]
+
+    def test_max_events(self):
+        s = Scheduler()
+        for i in range(10):
+            s.schedule(float(i), lambda: None)
+        assert s.run(max_events=4) == 4
+        assert s.pending == 6
+
+    def test_processed_counter(self):
+        s = Scheduler()
+        s.schedule(1.0, lambda: None)
+        s.run()
+        assert s.processed == 1
+
+
+class TestCancellation:
+    def test_cancelled_not_run(self):
+        s = Scheduler()
+        log = []
+        handle = s.schedule(1.0, lambda: log.append("x"))
+        handle.cancel()
+        s.run()
+        assert log == []
+        assert handle.cancelled
+
+    def test_cancel_idempotent(self):
+        s = Scheduler()
+        handle = s.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert s.pending == 0
+
+    def test_when_property(self):
+        s = Scheduler()
+        assert s.schedule(2.5, lambda: None).when == 2.5
+
+
+class TestGuards:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Scheduler().schedule(-1.0, lambda: None)
+
+    def test_past_schedule_rejected(self):
+        s = Scheduler()
+        s.schedule(5.0, lambda: None)
+        s.run()
+        with pytest.raises(SimulationError):
+            s.schedule_at(1.0, lambda: None)
+
+
+class TestQuiescence:
+    def test_quiescence_ignores_periodic(self):
+        s = Scheduler()
+        log = []
+
+        def beat():
+            log.append("beat")
+            if len(log) < 100:
+                s.schedule(1.0, beat, periodic=True)
+
+        s.schedule(1.0, beat, periodic=True)
+        s.schedule(0.5, lambda: log.append("work"))
+        s.run_to_quiescence()
+        assert "work" in log
+        assert s.pending_nonperiodic() == 0
+
+    def test_quiescence_livelock_guard(self):
+        s = Scheduler()
+
+        def forever():
+            s.schedule(1.0, forever)
+
+        s.schedule(1.0, forever)
+        with pytest.raises(SimulationError):
+            s.run_to_quiescence(max_events=50)

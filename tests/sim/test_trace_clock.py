@@ -1,0 +1,107 @@
+"""Unit tests for trace recording and logical clocks."""
+
+from repro.core.events import CrashEvent, FailedEvent
+from repro.core.validate import is_valid
+from repro.sim.clock import LamportClock, VectorClock
+from repro.sim.trace import TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_records_in_order_with_times(self):
+        trace = TraceRecorder(2)
+        trace.record_crash(1.0, 0)
+        trace.record_failed(2.0, 1, 0)
+        timed = trace.timed_events()
+        assert [t.time for t in timed] == [1.0, 2.0]
+        assert isinstance(timed[0].event, CrashEvent)
+        assert isinstance(timed[1].event, FailedEvent)
+
+    def test_history_roundtrip(self):
+        trace = TraceRecorder(2)
+        trace.record_crash(1.0, 0)
+        trace.record_failed(2.0, 1, 0)
+        h = trace.history()
+        assert is_valid(h)
+        assert h.n == 2 and len(h) == 2
+
+    def test_internal_auto_sequencing(self):
+        trace = TraceRecorder(1)
+        a = trace.record_internal(0.0, 0, "step")
+        b = trace.record_internal(1.0, 0, "step")
+        assert a != b  # distinct seq numbers keep events unique
+
+    def test_quorum_records(self):
+        trace = TraceRecorder(3)
+        record = trace.record_quorum(0, 1, frozenset({0, 2}))
+        assert trace.quorum_records == [record]
+        assert record.size == 2
+
+    def test_time_queries(self):
+        trace = TraceRecorder(3)
+        trace.record_crash(5.0, 2)
+        trace.record_failed(7.0, 0, 2)
+        trace.record_failed(8.0, 1, 2)
+        assert trace.time_of_crash(2) == 5.0
+        assert trace.time_of_crash(0) is None
+        assert trace.time_of_detection(0, 2) == 7.0
+        assert trace.detection_times(2) == {0: 7.0, 1: 8.0}
+
+    def test_len(self):
+        trace = TraceRecorder(1)
+        assert len(trace) == 0
+        trace.record_crash(0.0, 0)
+        assert len(trace) == 1
+
+
+class TestLamportClock:
+    def test_tick_monotone(self):
+        clock = LamportClock()
+        assert clock.tick() == 1
+        assert clock.tick() == 2
+
+    def test_observe_jumps_past_received(self):
+        clock = LamportClock(3)
+        assert clock.observe(10) == 11
+
+    def test_observe_of_stale_still_advances(self):
+        clock = LamportClock(5)
+        assert clock.observe(1) == 6
+
+
+class TestVectorClock:
+    def test_tick_advances_owner(self):
+        clock = VectorClock(owner=1, n=3)
+        assert clock.tick() == (0, 1, 0)
+
+    def test_observe_joins_then_ticks(self):
+        clock = VectorClock(owner=0, n=3)
+        stamp = clock.observe((0, 5, 2))
+        assert stamp == (1, 5, 2)
+
+    def test_leq_and_concurrent(self):
+        assert VectorClock.leq((1, 0), (1, 1))
+        assert not VectorClock.leq((2, 0), (1, 1))
+        assert VectorClock.concurrent((1, 0), (0, 1))
+        assert not VectorClock.concurrent((1, 0), (1, 1))
+
+    def test_component_length_validated(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            VectorClock(owner=0, n=2, components=[0, 0, 0])
+
+    def test_matches_history_semantics(self):
+        """Online vector clocks agree with the offline happens-before."""
+        from repro.core.events import recv, send
+        from repro.core.history import History
+        from repro.core.messages import MessageMint
+
+        mint = MessageMint(0)
+        m = mint.mint()
+        h = History([send(0, 1, m), recv(1, 0, m)], n=2)
+        a = VectorClock(owner=0, n=2)
+        send_stamp = a.tick()
+        b = VectorClock(owner=1, n=2)
+        recv_stamp = b.observe(send_stamp)
+        assert VectorClock.leq(send_stamp, recv_stamp)
+        assert h.happens_before(0, 1)

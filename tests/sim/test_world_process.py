@@ -1,0 +1,161 @@
+"""Unit tests for World wiring and the SimProcess base class."""
+
+import pytest
+
+from repro.core.events import CrashEvent, RecvEvent, SendEvent
+from repro.errors import ProtocolError, SimulationError
+from repro.sim.delays import ConstantDelay
+from repro.sim.process import SimProcess
+from repro.sim.world import World, build_world
+
+
+class Echoer(SimProcess):
+    """Replies 'pong' to any 'ping'."""
+
+    def __init__(self):
+        super().__init__()
+        self.got = []
+
+    def on_message(self, src, payload, msg):
+        self.got.append((src, payload))
+        if payload == "ping":
+            self.send(src, "pong")
+
+
+class Starter(Echoer):
+    def on_start(self):
+        self.send(1, "ping")
+
+
+class TestWorldBasics:
+    def test_requires_processes(self):
+        with pytest.raises(SimulationError):
+            World([])
+
+    def test_bind_assigns_pids(self):
+        world = build_world(3, Echoer)
+        assert [p.pid for p in world.processes] == [0, 1, 2]
+        assert world.process(2).n == 3
+
+    def test_start_idempotent(self):
+        world = World([Starter(), Echoer()], ConstantDelay(1.0))
+        world.start()
+        world.start()
+        world.run_to_quiescence()
+        # exactly one ping/pong round
+        assert world.process(1).got == [(0, "ping")]
+        assert world.process(0).got == [(1, "pong")]
+
+    def test_history_records_send_recv(self):
+        world = World([Starter(), Echoer()], ConstantDelay(1.0))
+        world.run_to_quiescence()
+        kinds = [type(e) for e in world.history()]
+        assert kinds.count(SendEvent) == 2
+        assert kinds.count(RecvEvent) == 2
+
+    def test_alive_tracking(self):
+        world = build_world(3, Echoer)
+        world.inject_crash(1, at=1.0)
+        world.run_to_quiescence()
+        assert world.alive() == [0, 2]
+
+
+class TestCrashSemantics:
+    def test_crashed_process_sends_nothing(self):
+        world = World([Starter(), Echoer()], ConstantDelay(5.0))
+        world.inject_crash(0, at=0.0)
+        # Starter's on_start runs at world.start() (time 0) before the
+        # injected crash callback; so the ping is sent, but the pong reply
+        # never gets consumed by the crashed process.
+        world.run_to_quiescence()
+        assert world.process(0).got == []
+
+    def test_crashed_process_consumes_nothing(self):
+        world = World([Starter(), Echoer()], ConstantDelay(1.0))
+        world.inject_crash(1, at=0.5)  # before the ping arrives
+        world.run_to_quiescence()
+        assert world.process(1).got == []
+        history = world.history()
+        # ping sent but never received: no recv event for process 1.
+        assert not any(
+            isinstance(e, RecvEvent) and e.proc == 1 for e in history
+        )
+
+    def test_crash_event_recorded_once(self):
+        world = build_world(2, Echoer)
+        world.inject_crash(0, at=1.0)
+        world.inject_crash(0, at=2.0)
+        world.run_to_quiescence()
+        crashes = [e for e in world.history() if isinstance(e, CrashEvent)]
+        assert crashes == [CrashEvent(0)]
+
+    def test_timers_cancelled_on_crash(self):
+        fired = []
+
+        class TimerProc(SimProcess):
+            def on_start(self):
+                self.set_timer(5.0, lambda: fired.append(self.pid))
+
+        world = build_world(1, TimerProc)
+        world.inject_crash(0, at=1.0)
+        world.run_to_quiescence()
+        assert fired == []
+
+    def test_on_crash_hook(self):
+        hooks = []
+
+        class Hooked(SimProcess):
+            def on_crash(self):
+                hooks.append(self.pid)
+
+        world = build_world(2, Hooked)
+        world.inject_crash(1, at=1.0)
+        world.run_to_quiescence()
+        assert hooks == [1]
+
+
+class TestInjection:
+    def test_suspicion_requires_protocol(self):
+        world = build_world(2, Echoer)
+        world.inject_suspicion(0, 1, at=1.0)
+        with pytest.raises(ProtocolError):
+            world.run_to_quiescence()
+
+    def test_self_suspicion_rejected(self):
+        world = build_world(2, Echoer)
+        with pytest.raises(SimulationError):
+            world.inject_suspicion(0, 0, at=1.0)
+
+    def test_internal_events_recorded(self):
+        class Marker(SimProcess):
+            def on_start(self):
+                self.record_internal("mark")
+
+        world = build_world(1, Marker)
+        world.run_to_quiescence()
+        assert any(
+            getattr(e, "label", None) == "mark" for e in world.history()
+        )
+
+    def test_broadcast_excludes_self_by_default(self):
+        class Caster(SimProcess):
+            def on_start(self):
+                if self.pid == 0:
+                    self.broadcast("hello")
+
+        world = build_world(3, Caster, delay_model=ConstantDelay(1.0))
+        world.run_to_quiescence()
+        sends = [e for e in world.history() if isinstance(e, SendEvent)]
+        assert sorted(e.dst for e in sends) == [1, 2]
+
+    def test_determinism_same_seed(self):
+        def run(seed):
+            world = World([Starter(), Echoer(), Echoer()], seed=seed)
+            world.run_to_quiescence()
+            return world.history()
+
+        assert run(42) == run(42)
+        # Different seeds almost surely differ in delivery order/timing,
+        # but histories over the same events may coincide; just check
+        # the runs complete.
+        assert run(1) is not None

@@ -1,0 +1,51 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestDemo:
+    def test_demo_succeeds(self, capsys):
+        assert main(["demo", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "FS witness exists" in out
+
+    def test_demo_parameters(self, capsys):
+        assert main(["demo", "--n", "6", "--t", "2", "--seed", "1"]) == 0
+        assert "n=6 t=2" in capsys.readouterr().out
+
+
+class TestBounds:
+    def test_bounds_all_t(self, capsys):
+        assert main(["bounds", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "min_quorum" in out
+
+    def test_bounds_specific_t(self, capsys):
+        assert main(["bounds", "9", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "5" in out  # min quorum for (9, 2)
+
+
+class TestExperiment:
+    @pytest.mark.parametrize("eid", ["e3", "e4", "e6", "a1"])
+    def test_fast_experiments_run(self, eid, capsys):
+        assert main(["experiment", eid]) == 0
+        assert f"experiment {eid.upper()}" in capsys.readouterr().out
+
+    def test_experiment_ids_case_insensitive(self, capsys):
+        assert main(["experiment", "E3"]) == 0
+        assert "experiment E3" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "e99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestCycle:
+    def test_cycle_construction(self, capsys):
+        assert main(["cycle", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "CYCLE of length 3" in out
+        assert "no cycle" in out
