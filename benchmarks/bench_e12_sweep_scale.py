@@ -1,0 +1,87 @@
+"""E12 — engine scale: O(1) quiescence accounting and the sweep runner.
+
+Not a paper table; this guards the PR that rearchitected the simulation
+core. Three properties must hold:
+
+1. a quiescence-driven run on a large (n=64) cluster is cheap — the
+   scheduler's remaining-work check is an O(1) counter read, not a queue
+   scan (the seed engine was quadratic in queue depth here);
+2. cancelling a crashed process's far-future timers compacts the heap
+   eagerly instead of leaving the entries to rot until their due times;
+3. the multi-seed sweep runner produces **bit-identical** rows serially
+   and on a process pool, so parallelism is free determinism-wise.
+"""
+
+from repro.analysis.sweep import rows_digest, run_sweep, sweep_table
+from repro.protocols import SfsProcess
+from repro.sim import build_world
+from repro.sim.scheduler import _MIN_COMPACT_SIZE
+
+from conftest import attach_rows
+
+N = 64
+SWEEP_SEEDS = tuple(range(6))
+
+
+def _large_cluster_round(seed: int = 3):
+    """Four overlapping detection rounds on an n=64 cluster."""
+    world = build_world(N, lambda: SfsProcess(t=4), seed=seed)
+    for i in range(4):
+        world.inject_suspicion(i, (i + 1) % N, at=1.0 + 0.1 * i)
+    world.run_to_quiescence()
+    return world
+
+
+def test_bench_large_cluster_quiescence(benchmark):
+    """n=64 run_to_quiescence: linear in events, not events x queue."""
+    world = benchmark(_large_cluster_round)
+    assert world.scheduler.pending_nonperiodic() == 0
+    assert world.scheduler.processed > 10_000
+    assert len(world.history().detected_pairs()) > 0
+
+
+def test_bench_mass_cancellation_compaction(benchmark):
+    """Crashing heartbeat-heavy processes must shrink the heap eagerly."""
+
+    def run():
+        world = _large_cluster_round()
+        scheduler = world.scheduler
+        horizon = scheduler.now + 1000.0
+        handles = [
+            scheduler.schedule_at(horizon + i, lambda: None)
+            for i in range(5000)
+        ]
+        for handle in handles:
+            handle.cancel()
+        return scheduler
+
+    scheduler = benchmark(run)
+    # Compaction fired: of the 5000 cancelled entries only a sub-floor
+    # residual (heaps under the compaction minimum are left alone) may
+    # remain — the seed engine kept all 5000 until their due times.
+    assert len(scheduler._queue) - scheduler.pending < _MIN_COMPACT_SIZE
+
+
+def test_bench_sweep_serial(benchmark):
+    """The sweep runner itself, serial path, on a mid-size workload."""
+    rows = benchmark.pedantic(
+        lambda: run_sweep("e7", seeds=SWEEP_SEEDS),
+        rounds=1,
+        iterations=1,
+    )
+    attach_rows(benchmark, [rows_digest(rows)])
+    assert len(rows) == 2 * len(SWEEP_SEEDS)  # two protocols per seed
+
+
+def test_bench_sweep_parallel_identical(benchmark):
+    """Parallel sweep: same rows, same order, same digest as serial."""
+    serial = run_sweep("e7", seeds=SWEEP_SEEDS, jobs=1)
+    parallel = benchmark.pedantic(
+        lambda: run_sweep("e7", seeds=SWEEP_SEEDS, jobs=4),
+        rounds=1,
+        iterations=1,
+    )
+    print(sweep_table(parallel))
+    attach_rows(benchmark, [rows_digest(parallel)])
+    assert parallel == serial
+    assert rows_digest(parallel) == rows_digest(serial)

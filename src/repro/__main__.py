@@ -8,6 +8,9 @@ Commands:
   system of N processes (all t up to the feasibility edge, or just T).
 * ``experiment EID`` — run one experiment driver (e1..e11, a1) at reduced
   scale and print its table.
+* ``sweep EID`` — run a deterministic multi-seed sweep of one seeded
+  experiment, optionally on a process pool (``--jobs``); serial and
+  parallel runs print bit-identical rows and the same content digest.
 * ``cycle K`` — run the Theorem 6 adversarial construction for a k-cycle
   and print the impossibility certificate.
 """
@@ -15,7 +18,32 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import ast
 import sys
+
+
+def _parse_param(text: str) -> tuple[str, object]:
+    """Parse one ``--param name=value`` pair (value via literal_eval)."""
+    name, sep, raw = text.partition("=")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(
+            f"expected name=value, got {text!r}"
+        )
+    try:
+        value: object = ast.literal_eval(raw)
+    except (ValueError, SyntaxError):
+        value = raw
+    return name, value
+
+
+def _parse_seeds(text: str) -> list[int]:
+    """``20`` means seeds 0..19; ``3,5,8`` means exactly those seeds.
+
+    A single specific seed is the one-element list form: ``7,``.
+    """
+    if "," in text:
+        return [int(part) for part in text.split(",") if part.strip()]
+    return list(range(int(text)))
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -95,6 +123,51 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import inspect
+
+    from repro.analysis.sweep import (
+        rows_digest,
+        run_sweep,
+        sweep_driver,
+        sweep_table,
+    )
+    from repro.errors import ReproError, SimulationError
+
+    eid = args.eid.lower()
+    try:
+        driver = sweep_driver(eid)
+    except SimulationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    params = dict(args.param or [])
+    # Reject unknown parameter names up front, so a genuine TypeError
+    # inside a driver still surfaces as a traceback, not a usage error.
+    # 'seeds' is excluded: the sweep runner supplies it per case.
+    accepted = [
+        name for name in inspect.signature(driver).parameters
+        if name != "seeds"
+    ]
+    unknown = sorted(name for name in params if name not in accepted)
+    if unknown:
+        print(
+            f"sweep failed: {eid} does not accept parameter(s) "
+            f"{', '.join(unknown)} (it accepts: "
+            f"{', '.join(accepted)})",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        rows = run_sweep(eid, seeds=args.seeds, params=params, jobs=args.jobs)
+    except ReproError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"\n== sweep {eid.upper()} ({len(args.seeds)} seeds) ==")
+    print(sweep_table(rows))
+    print(f"rows={len(rows)} digest={rows_digest(rows)}")
+    return 0
+
+
 def _cmd_cycle(args: argparse.Namespace) -> int:
     from repro.analysis.experiments import run_e3_single
     from repro.core.bounds import min_quorum_size
@@ -139,6 +212,28 @@ def main(argv: list[str] | None = None) -> int:
     experiment = sub.add_parser("experiment", help="run one experiment")
     experiment.add_argument("eid", help="e1..e11 or a1")
     experiment.set_defaults(fn=_cmd_experiment)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="deterministic multi-seed sweep (serial or --jobs parallel)",
+    )
+    sweep.add_argument("eid", help="a seeded experiment (e1, e2, e5, ...)")
+    sweep.add_argument(
+        "--seeds",
+        type=_parse_seeds,
+        default=list(range(10)),
+        help="seed count (20 -> seeds 0..19) or comma list "
+             "(3,5,8; a single seed is '7,')",
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (<=1 runs serially; rows are identical)",
+    )
+    sweep.add_argument(
+        "--param", action="append", type=_parse_param, metavar="NAME=VALUE",
+        help="fixed driver parameter, repeatable (e.g. --param n=16)",
+    )
+    sweep.set_defaults(fn=_cmd_sweep)
 
     cycle = sub.add_parser("cycle", help="Theorem 6 k-cycle construction")
     cycle.add_argument("k", type=int)

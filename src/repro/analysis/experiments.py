@@ -6,7 +6,9 @@ measured, seeded, replayable experiment; the benchmarks in ``benchmarks/``
 wrap these drivers and print the tables recorded in ``EXPERIMENTS.md``.
 
 Every driver returns plain dataclass rows so callers can render or assert
-on them without re-running anything.
+on them without re-running anything. Drivers that take a ``seeds``
+sequence are registered in :data:`SEEDED_DRIVERS`, which the parallel
+sweep runner (:mod:`repro.analysis.sweep`) fans out one seed per task.
 """
 
 from __future__ import annotations
@@ -14,7 +16,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from functools import reduce
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.apps.election import ElectionProcess, max_concurrent_leaders
 from repro.apps.last_to_fail import (
@@ -726,3 +728,20 @@ def run_e10(
             )
         )
     return rows
+
+
+# ----------------------------------------------------------------------
+# Sweep wiring — drivers the parallel runner can fan out per seed
+# ----------------------------------------------------------------------
+
+SEEDED_DRIVERS: dict[str, Callable[..., object]] = {
+    "e1": run_e1,
+    "e2": run_e2,
+    "e5": run_e5,
+    "e7": run_e7,
+    "e8": run_e8,
+    "e9": run_e9,
+    "e10": run_e10,
+}
+"""Drivers accepting ``seeds=...``; consumed by :mod:`repro.analysis.sweep`
+(which adds the seeded extension drivers E11 and A1)."""

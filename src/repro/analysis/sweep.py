@@ -1,0 +1,227 @@
+"""Deterministic multi-seed / multi-config experiment sweeps.
+
+Related failure-detector studies chart behaviour across hundreds of seeds
+and cluster sizes; this module gives the reproduction the same capability
+without giving up its core guarantee, determinism. A sweep is *planned*
+as an explicit list of :class:`SweepCase` tasks — one per (parameter
+combination, seed) — and each case is executed independently with all
+randomness derived from its own seed. Because cases share no state,
+execution order cannot affect results, so the optional
+``multiprocessing`` executor produces **bit-identical rows** to the
+serial path: same cases, same per-case results, same collection order.
+
+Quick example::
+
+    from repro.analysis.sweep import run_sweep, rows_digest
+
+    rows = run_sweep("e1", seeds=range(20), jobs=4)
+    print(rows_digest(rows))  # equal to the jobs=1 digest, always
+
+The CLI front-end is ``python -m repro sweep`` (see :mod:`repro.__main__`);
+``examples/large_cluster_sweep.py`` drives an n>=64 configuration sweep
+and ``benchmarks/bench_e12_sweep_scale.py`` times both executors and
+asserts their equivalence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import multiprocessing
+import sys
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.analysis.experiments import SEEDED_DRIVERS
+from repro.analysis.extensions import run_a1, run_e11
+from repro.analysis.report import format_table
+from repro.errors import SimulationError
+
+
+def _drivers() -> dict[str, Callable[..., Any]]:
+    drivers: dict[str, Callable[..., Any]] = dict(SEEDED_DRIVERS)
+    drivers["e11"] = run_e11
+    drivers["a1"] = run_a1
+    return drivers
+
+
+def available_experiments() -> list[str]:
+    """Sweepable experiment ids (drivers that take a ``seeds`` argument)."""
+    return sorted(_drivers())
+
+
+def sweep_driver(experiment: str) -> Callable[..., Any]:
+    """The registered driver callable for a sweepable experiment id."""
+    try:
+        return _drivers()[experiment.lower()]
+    except KeyError:
+        raise SimulationError(
+            f"unknown sweepable experiment {experiment!r}; choose from "
+            f"{', '.join(available_experiments())}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class SweepCase:
+    """One unit of sweep work: a single experiment run on a single seed.
+
+    ``params`` is an insertion-ordered tuple of ``(name, value)`` keyword
+    arguments forwarded to the experiment driver (fixed parameters first,
+    then the grid combination).
+    """
+
+    experiment: str
+    seed: int
+    params: tuple[tuple[str, Any], ...] = ()
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One experiment row produced by one case, tagged with its origin."""
+
+    experiment: str
+    seed: int
+    params: tuple[tuple[str, Any], ...]
+    row: Any
+
+
+def plan_cases(
+    experiment: str,
+    seeds: Sequence[int],
+    params: Mapping[str, Any] | None = None,
+    grid: Mapping[str, Sequence[Any]] | None = None,
+) -> list[SweepCase]:
+    """Expand a sweep request into an explicit, ordered case list.
+
+    Order is grid-major then seed-minor and depends only on the inputs,
+    never on the executor — it *is* the row order of the final result.
+    """
+    experiment = experiment.lower()
+    sweep_driver(experiment)  # validate the id before planning
+    grid = grid or {}
+    fixed_keys = set(params or {})
+    if "seeds" in fixed_keys or "seeds" in grid:
+        raise SimulationError(
+            "'seeds' is supplied by the sweep runner itself "
+            "(one case per seed); pass seeds=... to run_sweep/plan_cases"
+        )
+    overlap = sorted(fixed_keys & set(grid))
+    if overlap:
+        raise SimulationError(
+            f"parameter(s) {', '.join(overlap)} appear in both params and "
+            "grid; each name may be fixed or swept, not both"
+        )
+    fixed = tuple((params or {}).items())
+    combos = [
+        tuple(zip(grid.keys(), values))
+        for values in itertools.product(*grid.values())
+    ] or [()]
+    return [
+        SweepCase(experiment=experiment, seed=seed, params=fixed + combo)
+        for combo in combos
+        for seed in seeds
+    ]
+
+
+def run_case(case: SweepCase) -> list[SweepRow]:
+    """Execute one case; all nondeterminism flows from ``case.seed``.
+
+    Must stay a module-level function: the parallel executor ships cases
+    to worker processes by pickling.
+    """
+    driver = sweep_driver(case.experiment)
+    result = driver(seeds=(case.seed,), **dict(case.params))
+    rows = result if isinstance(result, list) else [result]
+    return [
+        SweepRow(
+            experiment=case.experiment,
+            seed=case.seed,
+            params=case.params,
+            row=row,
+        )
+        for row in rows
+    ]
+
+
+def run_sweep(
+    experiment: str,
+    seeds: Sequence[int],
+    params: Mapping[str, Any] | None = None,
+    grid: Mapping[str, Sequence[Any]] | None = None,
+    jobs: int = 1,
+    chunksize: int | None = None,
+) -> list[SweepRow]:
+    """Run a sweep, serially (``jobs<=1``) or on a process pool.
+
+    Rows come back in planned-case order regardless of ``jobs``;
+    a parallel sweep is bit-identical to the serial one.
+    """
+    cases = plan_cases(experiment, seeds, params=params, grid=grid)
+    if jobs <= 1 or len(cases) <= 1:
+        per_case = [run_case(case) for case in cases]
+    else:
+        # Prefer fork only on Linux: it is cheap there, while macOS
+        # defaults to spawn for a reason (forked children can abort in
+        # system frameworks). Results are identical either way — every
+        # case derives all state from its own pickled seed/params.
+        ctx = multiprocessing.get_context(
+            "fork" if sys.platform == "linux" else None
+        )
+        chunk = chunksize or max(1, len(cases) // (4 * jobs))
+        with ctx.Pool(processes=jobs) as pool:
+            per_case = pool.map(run_case, cases, chunksize=chunk)
+    return [row for rows in per_case for row in rows]
+
+
+def rows_digest(rows: Sequence[SweepRow]) -> str:
+    """A stable content hash of a sweep result (order-sensitive).
+
+    Two sweeps agree bit-for-bit iff their digests match; the benchmark
+    and the CLI print it so serial/parallel equivalence is checkable from
+    the console output alone.
+
+    Contract: every registered driver returns frozen dataclass rows whose
+    fields are plain values (ints, floats, strings, tuples), so ``repr``
+    is a pure function of the row's contents. A driver row with an
+    identity-based or otherwise nondeterministic repr would break digest
+    stability across processes.
+    """
+    digest = hashlib.sha256()
+    for row in rows:
+        digest.update(
+            repr((row.experiment, row.seed, row.params, row.row)).encode()
+        )
+    return digest.hexdigest()
+
+
+def sweep_table(rows: Sequence[SweepRow]) -> str:
+    """Render sweep rows as a fixed-width ASCII table."""
+    if not rows:
+        return "(no rows)"
+    param_names: list[str] = []
+    for row in rows:
+        for name, _ in row.params:
+            if name not in param_names:
+                param_names.append(name)
+    first_inner = rows[0].row
+    inner_names = (
+        [f.name for f in fields(first_inner)]
+        if is_dataclass(first_inner)
+        else ["row"]
+    )
+    headers = ["seed", *param_names, *inner_names]
+    table_rows = []
+    for row in rows:
+        values = dict(row.params)
+        inner = row.row
+        inner_cells = (
+            [getattr(inner, name) for name in inner_names]
+            if is_dataclass(inner)
+            else [inner]
+        )
+        table_rows.append(
+            [row.seed]
+            + [values.get(name, "-") for name in param_names]
+            + inner_cells
+        )
+    return format_table(headers, table_rows)

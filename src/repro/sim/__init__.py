@@ -7,6 +7,12 @@ unbounded adversary-controllable delay (:class:`~repro.sim.network.Network`,
 (:class:`~repro.sim.process.SimProcess`), and a trace recorder that turns
 executions into :mod:`repro.core` histories.
 
+Built for scale: scheduler accounting is O(1) per event (incremental
+pending counters plus eager compaction of cancelled heap entries), the
+network delivery path short-circuits hold-rule scans when no adversary
+rules are installed, and large multi-seed workloads can be fanned out
+with :mod:`repro.analysis.sweep` (``python -m repro sweep``).
+
 Quick example::
 
     from repro.sim import World, build_world

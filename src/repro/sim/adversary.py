@@ -54,8 +54,16 @@ class Adversary:
                 self.hold_channel(b, a)
 
     def heal(self) -> int:
-        """Release everything held, by any rule; returns messages released."""
+        """Release everything held, by any rule; returns messages released.
+
+        Also removes every installed hold rule (content predicates), so
+        the network returns to unimpeded service. For a partial release
+        that keeps rules in force, use :meth:`release_channel` or
+        :meth:`Network.release_all <repro.sim.network.Network.release_all>`
+        directly.
+        """
         self._rules.clear()
+        self._network.clear_holds()
         return self._network.release_all()
 
     # ------------------------------------------------------------------

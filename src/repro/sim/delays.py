@@ -15,6 +15,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
+from functools import cached_property
 
 
 class DelayModel:
@@ -100,9 +101,15 @@ class PerChannelDelay(DelayModel):
     base: DelayModel
     slow_channels: tuple[tuple[tuple[int, int], float], ...] = ()
 
+    @cached_property
+    def _factors(self) -> dict[tuple[int, int], float]:
+        # First occurrence wins, matching the historical linear scan.
+        factors: dict[tuple[int, int], float] = {}
+        for channel, factor in self.slow_channels:
+            factors.setdefault(channel, factor)
+        return factors
+
     def sample(self, rng: random.Random, src: int, dst: int) -> float:
         delay = self.base.sample(rng, src, dst)
-        for (s, d), factor in self.slow_channels:
-            if (s, d) == (src, dst):
-                return delay * factor
-        return delay
+        factor = self._factors.get((src, dst))
+        return delay if factor is None else delay * factor

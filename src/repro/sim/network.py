@@ -114,7 +114,12 @@ class Network:
         state = self._state(src, dst)
         state.sent += 1
         self.sent_by_kind[kind] += 1
-        if state.blocked or self._matches_hold(src, dst, msg):
+        # Fast path: with no hold rules installed (the overwhelmingly
+        # common case in large sweeps) a send goes straight to delivery
+        # without scanning an empty predicate list per message.
+        if state.blocked or (
+            self._hold_predicates and self._matches_hold(src, dst, msg)
+        ):
             state.blocked = True
             state.held.append((msg, kind))
             return
@@ -171,10 +176,28 @@ class Network:
             self._schedule_delivery(src, dst, msg, kind)
         return len(held)
 
-    def release_all(self) -> int:
-        """Release every blocked channel; returns messages released."""
-        released = 0
+    def clear_holds(self) -> int:
+        """Remove every installed hold rule; returns how many were removed.
+
+        Dropping the rules is deliberately separate from
+        :meth:`release_all`: a partial release (delivering what is queued)
+        must not silently discard unrelated content-hold rules that should
+        keep applying to future traffic. :meth:`Adversary.heal
+        <repro.sim.adversary.Adversary.heal>` does both.
+        """
+        removed = len(self._hold_predicates)
         self._hold_predicates.clear()
+        return removed
+
+    def release_all(self) -> int:
+        """Release every blocked channel; returns messages released.
+
+        Installed hold predicates stay in force: traffic sent *after* the
+        release that matches a rule is held again. Call
+        :meth:`clear_holds` first (as ``Adversary.heal`` does) for a full
+        return to normal service.
+        """
+        released = 0
         for (src, dst), state in self._channels.items():
             if state.blocked or state.held:
                 released += self.release_channel(src, dst)

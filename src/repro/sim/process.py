@@ -28,6 +28,9 @@ from repro.sim.scheduler import TimerHandle
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.world import World
 
+_TIMER_PRUNE_FLOOR = 32
+"""Minimum tracked-timer count before pruning is considered."""
+
 
 class SimProcess:
     """Base class for simulated processes.
@@ -43,6 +46,7 @@ class SimProcess:
         self._world: "World | None" = None
         self._mint: MessageMint | None = None
         self._timers: list[TimerHandle] = []
+        self._timer_prune_at = _TIMER_PRUNE_FLOOR
 
     # ------------------------------------------------------------------
     # Wiring
@@ -145,7 +149,21 @@ class SimProcess:
 
         handle = self.world.scheduler.schedule(delay, guarded, periodic=periodic)
         self._timers.append(handle)
+        if len(self._timers) >= self._timer_prune_at:
+            self._prune_timers()
         return handle
+
+    def _prune_timers(self) -> None:
+        """Drop fired/cancelled handles so long runs don't leak memory.
+
+        The threshold doubles with the live-timer count, keeping the cost
+        amortised O(1) per ``set_timer`` even for processes that hold many
+        genuinely live timers.
+        """
+        self._timers = [h for h in self._timers if h.active]
+        self._timer_prune_at = max(
+            _TIMER_PRUNE_FLOOR, 2 * len(self._timers)
+        )
 
     def record_internal(self, label: Hashable) -> None:
         """Mark an application-level step in the history."""

@@ -10,6 +10,17 @@ Virtual time is a float with no relation to wall-clock time; "asynchrony"
 in the paper's sense is modelled by the *delay distributions* and the
 *adversary* (:mod:`repro.sim.adversary`), which may postpone a delivery
 arbitrarily far — including forever.
+
+Scaling notes (the engine is the bottleneck for every experiment):
+
+* ``pending`` / :meth:`Scheduler.pending_nonperiodic` are maintained as
+  incremental counters updated on schedule/step/cancel, so quiescence
+  detection (:meth:`Scheduler.run_to_quiescence`) costs O(1) per event
+  instead of a full queue scan.
+* Cancelled entries are compacted out of the heap eagerly once they
+  outnumber the live ones (the asyncio strategy), so a crash that cancels
+  thousands of far-future heartbeat timers does not leave them rotting in
+  the queue until their due times.
 """
 
 from __future__ import annotations
@@ -21,6 +32,9 @@ from typing import Any, Callable
 
 from repro.errors import SimulationError
 
+_MIN_COMPACT_SIZE = 32
+"""Heaps smaller than this are never compacted (rebuilds would dominate)."""
+
 
 @dataclass(order=True)
 class _Entry:
@@ -29,24 +43,43 @@ class _Entry:
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
     periodic: bool = field(default=False, compare=False)
+    finished: bool = field(default=False, compare=False)
 
 
 class TimerHandle:
     """Cancellation handle for a scheduled callback."""
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_entry", "_scheduler")
 
-    def __init__(self, entry: _Entry):
+    def __init__(self, entry: _Entry, scheduler: "Scheduler"):
         self._entry = entry
+        self._scheduler = scheduler
 
     def cancel(self) -> None:
-        """Prevent the callback from running (idempotent)."""
-        self._entry.cancelled = True
+        """Prevent the callback from running (idempotent).
+
+        Safe to call any number of times, before or after the callback has
+        fired, and before or after a heap compaction has physically removed
+        the entry — the scheduler's accounting is only adjusted on the
+        first effective cancellation.
+        """
+        entry = self._entry
+        if entry.cancelled:
+            return
+        entry.cancelled = True
+        if not entry.finished:
+            self._scheduler._on_cancel(entry)
 
     @property
     def cancelled(self) -> bool:
         """Whether :meth:`cancel` has been called."""
         return self._entry.cancelled
+
+    @property
+    def active(self) -> bool:
+        """Whether the callback is still queued (not fired, not cancelled)."""
+        entry = self._entry
+        return not entry.cancelled and not entry.finished
 
     @property
     def when(self) -> float:
@@ -66,6 +99,11 @@ class Scheduler:
         self._seq = itertools.count()
         self._now = 0.0
         self._processed = 0
+        # Incremental accounting: kept in lockstep with the heap so the
+        # quiescence loop never has to scan it.
+        self._pending = 0
+        self._pending_nonperiodic = 0
+        self._cancelled_in_heap = 0
 
     @property
     def now(self) -> float:
@@ -79,19 +117,17 @@ class Scheduler:
 
     @property
     def pending(self) -> int:
-        """Number of queued, uncancelled callbacks."""
-        return sum(1 for entry in self._queue if not entry.cancelled)
+        """Number of queued, uncancelled callbacks (O(1))."""
+        return self._pending
 
     def pending_nonperiodic(self) -> int:
-        """Queued, uncancelled callbacks not marked periodic.
+        """Queued, uncancelled callbacks not marked periodic (O(1)).
 
         Used for quiescence detection: a run with heartbeat emitters never
         drains completely, but it *is* quiescent once only periodic
         housekeeping remains.
         """
-        return sum(
-            1 for entry in self._queue if not entry.cancelled and not entry.periodic
-        )
+        return self._pending_nonperiodic
 
     def schedule(
         self,
@@ -117,14 +153,44 @@ class Scheduler:
             )
         entry = _Entry(time, next(self._seq), callback, periodic=periodic)
         heapq.heappush(self._queue, entry)
-        return TimerHandle(entry)
+        self._pending += 1
+        if not periodic:
+            self._pending_nonperiodic += 1
+        return TimerHandle(entry, self)
+
+    def _on_cancel(self, entry: _Entry) -> None:
+        """Accounting for a first-time cancellation of a queued entry."""
+        self._pending -= 1
+        if not entry.periodic:
+            self._pending_nonperiodic -= 1
+        self._cancelled_in_heap += 1
+        if (
+            len(self._queue) >= _MIN_COMPACT_SIZE
+            and self._cancelled_in_heap * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries.
+
+        Heap order is a function of the ``(time, seq)`` keys alone, so the
+        pop order — and therefore every simulated history — is unaffected.
+        """
+        self._queue = [entry for entry in self._queue if not entry.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_in_heap = 0
 
     def step(self) -> bool:
         """Execute the next callback. Returns False when nothing is queued."""
         while self._queue:
             entry = heapq.heappop(self._queue)
             if entry.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
+            entry.finished = True
+            self._pending -= 1
+            if not entry.periodic:
+                self._pending_nonperiodic -= 1
             self._now = entry.time
             self._processed += 1
             entry.callback()
@@ -166,13 +232,15 @@ class Scheduler:
     ) -> int:
         """Run until no (non-periodic) work remains.
 
-        Raises :class:`SimulationError` if ``max_events`` is exceeded,
-        which almost always indicates a livelock in a protocol under test.
+        The remaining-work check is an O(1) counter read, so the loop is
+        linear in the number of events executed. Raises
+        :class:`SimulationError` if ``max_events`` is exceeded, which
+        almost always indicates a livelock in a protocol under test.
         """
         executed = 0
         while True:
             remaining = (
-                self.pending_nonperiodic() if ignore_periodic else self.pending
+                self._pending_nonperiodic if ignore_periodic else self._pending
             )
             if remaining == 0:
                 return executed
@@ -188,4 +256,5 @@ class Scheduler:
     def _peek(self) -> _Entry | None:
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
+            self._cancelled_in_heap -= 1
         return self._queue[0] if self._queue else None

@@ -1,0 +1,103 @@
+"""Tests for the deterministic multi-seed sweep runner."""
+
+import pytest
+
+from repro.analysis.sweep import (
+    SweepCase,
+    available_experiments,
+    plan_cases,
+    rows_digest,
+    run_case,
+    run_sweep,
+    sweep_table,
+)
+from repro.errors import SimulationError
+
+
+class TestPlanning:
+    def test_plan_is_deterministic(self):
+        kwargs = dict(
+            seeds=range(3),
+            params={"n": 6},
+            grid={"quorum_sizes": [(3,), (4,)]},
+        )
+        assert plan_cases("e5", **kwargs) == plan_cases("e5", **kwargs)
+
+    def test_plan_order_grid_major_seed_minor(self):
+        cases = plan_cases(
+            "e7", seeds=[0, 1], grid={"n": [6, 9]}
+        )
+        assert [(dict(c.params)["n"], c.seed) for c in cases] == [
+            (6, 0), (6, 1), (9, 0), (9, 1)
+        ]
+
+    def test_fixed_params_precede_grid(self):
+        (case,) = plan_cases("e7", seeds=[4], params={"n": 6})
+        assert case == SweepCase(experiment="e7", seed=4, params=(("n", 6),))
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SimulationError):
+            plan_cases("e99", seeds=[0])
+
+    def test_seeds_param_reserved(self):
+        with pytest.raises(SimulationError, match="seeds"):
+            plan_cases("e7", seeds=[0], params={"seeds": (3,)})
+        with pytest.raises(SimulationError, match="seeds"):
+            plan_cases("e7", seeds=[0], grid={"seeds": [(3,)]})
+
+    def test_params_grid_overlap_rejected(self):
+        with pytest.raises(SimulationError, match="both params and grid"):
+            plan_cases("e7", seeds=[0], params={"n": 6}, grid={"n": [9]})
+
+    def test_available_experiments(self):
+        ids = available_experiments()
+        assert "e1" in ids and "e11" in ids and "a1" in ids
+        assert "e3" not in ids  # seedless drivers are not sweepable
+
+
+class TestExecution:
+    def test_run_case_tags_rows(self):
+        (case,) = plan_cases("e7", seeds=[2], params={"n": 6})
+        rows = run_case(case)
+        assert len(rows) == 2  # unilateral + sfs
+        assert all(r.seed == 2 and r.experiment == "e7" for r in rows)
+        assert all(r.row.runs == 1 for r in rows)
+
+    def test_serial_matches_parallel_bit_for_bit(self):
+        kwargs = dict(seeds=range(4), params={"n": 6})
+        serial = run_sweep("e7", jobs=1, **kwargs)
+        parallel = run_sweep("e7", jobs=2, **kwargs)
+        assert serial == parallel
+        assert rows_digest(serial) == rows_digest(parallel)
+
+    def test_digest_is_order_sensitive(self):
+        rows = run_sweep("e7", seeds=range(2), params={"n": 6})
+        assert rows_digest(rows) != rows_digest(list(reversed(rows)))
+
+    def test_grid_sweep_rows(self):
+        rows = run_sweep(
+            "e5",
+            seeds=range(2),
+            params={"n": 6, "t": 2},
+            grid={"quorum_sizes": [(3,), (4,)]},
+        )
+        # 2 grid combos x 2 seeds x 1 row per (single-size) sweep call.
+        assert len(rows) == 4
+        assert {dict(r.params)["quorum_sizes"] for r in rows} == {
+            (3,), (4,)
+        }
+
+    def test_single_row_drivers_normalised(self):
+        rows = run_sweep("e9", seeds=[1], params={"n": 6})
+        assert len(rows) == 1
+        assert rows[0].row.runs == 1
+
+
+class TestRendering:
+    def test_sweep_table_lists_params_and_fields(self):
+        rows = run_sweep("e7", seeds=range(2), params={"n": 6})
+        table = sweep_table(rows)
+        assert "seed" in table and "n" in table and "protocol" in table
+
+    def test_empty_table(self):
+        assert sweep_table([]) == "(no rows)"

@@ -56,6 +56,32 @@ def test_different_seeds_generally_differ():
     assert len(timings) > 1
 
 
+def test_mass_cancellation_does_not_perturb_histories():
+    """Crash-triggered timer cancellation (and the heap compaction it
+    causes) must leave the delivered event trace bit-identical."""
+
+    class TimerHeavy(SfsProcess):
+        def on_start(self):
+            super().on_start()
+            # The victim owns far more timers than the rest of the queue:
+            # its crash cancels a majority, tripping heap compaction.
+            if self.pid == 3:
+                for i in range(500):
+                    self.set_timer(500.0 + i, lambda: None)
+
+    def run(seed):
+        world = build_world(8, lambda: TimerHeavy(t=2), seed=seed)
+        world.inject_crash(3, at=2.0)
+        world.inject_suspicion(0, 3, at=2.5)
+        world.run_to_quiescence()
+        return world
+
+    first, second = run(5), run(5)
+    assert first.history() == second.history()
+    assert first.scheduler.now == second.scheduler.now
+    assert first.scheduler.processed == second.scheduler.processed
+
+
 def test_adversary_actions_are_deterministic_too():
     def run(seed):
         world = build_world(9, lambda: SfsProcess(t=2), seed=seed)

@@ -123,6 +123,46 @@ class TestHolds:
         net.send(0, 1, MessageMint(0).mint())
         assert net.held_messages() == {(0, 1): 1}
 
+    def test_release_all_keeps_hold_rules(self):
+        # A partial release delivers the queue but unrelated content-hold
+        # rules keep applying to future traffic.
+        scheduler, net, delivered = make_net()
+        net.add_hold_predicate(lambda src, dst, msg: msg.payload == "bad")
+        mint = MessageMint(0)
+        net.send(0, 1, mint.mint("bad"))
+        assert net.release_all() == 1
+        scheduler.run()
+        assert [d[2].payload for d in delivered] == ["bad"]
+        net.send(0, 2, mint.mint("bad"))  # fresh channel, rule still live
+        scheduler.run()
+        assert [d[2].payload for d in delivered] == ["bad"]
+        assert net.held_messages() == {(0, 2): 1}
+
+    def test_clear_holds_removes_rules(self):
+        scheduler, net, delivered = make_net()
+        net.add_hold_predicate(lambda src, dst, msg: msg.payload == "bad")
+        net.add_hold_predicate(lambda src, dst, msg: msg.payload == "worse")
+        assert net.clear_holds() == 2
+        assert net.clear_holds() == 0
+        net.send(0, 1, MessageMint(0).mint("bad"))
+        scheduler.run()
+        assert [d[2].payload for d in delivered] == ["bad"]
+
+    def test_adversary_heal_clears_rules_and_releases(self):
+        from repro.sim.adversary import Adversary
+
+        scheduler, net, delivered = make_net()
+        adversary = Adversary(net)
+        adversary.hold_matching(lambda src, dst, msg: msg.payload == "bad")
+        mint = MessageMint(0)
+        net.send(0, 1, mint.mint("bad"))
+        assert adversary.heal() == 1
+        scheduler.run()
+        assert [d[2].payload for d in delivered] == ["bad"]
+        net.send(0, 1, mint.mint("bad"))  # rule is gone after heal
+        scheduler.run()
+        assert [d[2].payload for d in delivered] == ["bad", "bad"]
+
 
 class TestGuards:
     def test_out_of_range_rejected(self):

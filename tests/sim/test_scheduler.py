@@ -1,9 +1,12 @@
 """Unit tests for the deterministic scheduler."""
 
+import heapq
+import random
+
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.scheduler import Scheduler
+from repro.sim.scheduler import Scheduler, _MIN_COMPACT_SIZE
 
 
 class TestOrdering:
@@ -131,3 +134,195 @@ class TestQuiescence:
         s.schedule(1.0, forever)
         with pytest.raises(SimulationError):
             s.run_to_quiescence(max_events=50)
+
+
+class TestCounters:
+    """pending / pending_nonperiodic are incremental, not scans."""
+
+    def test_counters_track_schedule_step_cancel(self):
+        s = Scheduler()
+        handles = [s.schedule(float(i + 1), lambda: None) for i in range(5)]
+        s.schedule(10.0, lambda: None, periodic=True)
+        assert s.pending == 6
+        assert s.pending_nonperiodic() == 5
+        handles[0].cancel()
+        assert s.pending == 5
+        assert s.pending_nonperiodic() == 4
+        s.step()  # runs the timer at t=2 (t=1 was cancelled)
+        assert s.now == 2.0
+        assert s.pending == 4
+        assert s.pending_nonperiodic() == 3
+
+    def test_cancel_after_fire_does_not_corrupt_counters(self):
+        s = Scheduler()
+        handle = s.schedule(1.0, lambda: None)
+        s.schedule(2.0, lambda: None)
+        s.step()
+        handle.cancel()  # already fired; must be a no-op for accounting
+        assert handle.cancelled
+        assert s.pending == 1
+        assert s.pending_nonperiodic() == 1
+
+    def test_active_property(self):
+        s = Scheduler()
+        fired = s.schedule(1.0, lambda: None)
+        cancelled = s.schedule(2.0, lambda: None)
+        queued = s.schedule(3.0, lambda: None)
+        s.step()
+        cancelled.cancel()
+        assert not fired.active
+        assert not cancelled.active
+        assert queued.active
+
+
+class TestCompaction:
+    """Cancelled entries are evicted eagerly, not at their due times."""
+
+    def test_mass_cancellation_shrinks_heap(self):
+        s = Scheduler()
+        keep = [s.schedule(float(i + 1), lambda: None) for i in range(10)]
+        doomed = [
+            s.schedule(1000.0 + i, lambda: None) for i in range(200)
+        ]
+        for handle in doomed:
+            handle.cancel()
+        assert s.pending == 10
+        # The far-future entries are physically gone, modulo a residual
+        # smaller than the compaction floor.
+        assert len(s._queue) - s.pending < _MIN_COMPACT_SIZE
+        assert all(h.active for h in keep)
+        assert s.run() == 10
+
+    def test_cancel_idempotent_under_compaction(self):
+        s = Scheduler()
+        live = [s.schedule(float(i + 1), lambda: None) for i in range(4)]
+        doomed = [s.schedule(100.0 + i, lambda: None) for i in range(100)]
+        for handle in doomed:
+            handle.cancel()
+        # Entries are out of the heap now; cancelling again must not
+        # touch the accounting (pending would go negative otherwise).
+        for handle in doomed:
+            handle.cancel()
+            handle.cancel()
+        assert s.pending == 4
+        assert s.pending_nonperiodic() == 4
+        assert s.run() == 4
+        assert s.pending == 0
+        del live
+
+    def test_tiny_heaps_not_compacted(self):
+        s = Scheduler()
+        handles = [s.schedule(float(i + 1), lambda: None) for i in range(6)]
+        for handle in handles[:5]:
+            handle.cancel()
+        # Below the floor nothing is rebuilt; correctness is unaffected.
+        assert s.pending == 1
+        assert s.run() == 1
+
+    def test_compaction_preserves_execution_order(self):
+        rng = random.Random(42)
+        s = Scheduler()
+        log = []
+        handles = []
+        for i in range(400):
+            due = rng.uniform(0.0, 100.0)
+            handles.append(
+                s.schedule(due, lambda i=i: log.append(i))
+            )
+        expected = sorted(
+            (h.when, i) for i, h in enumerate(handles)
+        )
+        victims = rng.sample(range(400), 300)
+        for v in victims:
+            handles[v].cancel()
+        surviving = [i for _, i in expected if i not in set(victims)]
+        s.run()
+        assert log == surviving
+
+
+class _ReferenceScheduler:
+    """The seed engine's O(n)-scan semantics, kept as an oracle."""
+
+    def __init__(self):
+        self._queue = []
+        self._seq = 0
+        self.now = 0.0
+
+    def schedule(self, delay, callback, periodic=False):
+        entry = [self.now + delay, self._seq, callback, False, periodic]
+        self._seq += 1
+        heapq.heappush(self._queue, entry)
+        return entry
+
+    def pending_nonperiodic(self):
+        return sum(1 for e in self._queue if not e[3] and not e[4])
+
+    def step(self):
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry[3]:
+                continue
+            self.now = entry[0]
+            entry[2]()
+            return True
+        return False
+
+    def run_to_quiescence(self):
+        executed = 0
+        while self.pending_nonperiodic():
+            if not self.step():
+                break
+            executed += 1
+        return executed
+
+
+class TestReferenceEquivalence:
+    """The O(1)-counter engine replays the seed engine's traces exactly.
+
+    A randomized workload (nested scheduling, periodic timers, mid-run
+    cancellations triggering compaction) is driven through both the
+    production scheduler and a reference implementation of the original
+    scan-based semantics; the executed-event traces must be identical.
+    """
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 123])
+    def test_identical_event_traces(self, seed):
+        def workload(sched, schedule, log):
+            rng = random.Random(seed)
+            handles = []
+
+            def make(tag):
+                def cb():
+                    log.append((tag, round(sched.now, 9)))
+                    if rng.random() < 0.4:
+                        handles.append(
+                            schedule(rng.uniform(0.1, 5.0), make(tag * 2 + 1))
+                        )
+                    if handles and rng.random() < 0.5:
+                        victim = handles[rng.randrange(len(handles))]
+                        cancel(victim)
+                return cb
+
+            def cancel(handle):
+                if isinstance(handle, list):
+                    handle[3] = True
+                else:
+                    handle.cancel()
+
+            for i in range(60):
+                handles.append(
+                    schedule(rng.uniform(0.0, 10.0), make(i))
+                )
+            for i in range(40):
+                cancel(handles[rng.randrange(len(handles))])
+            sched.run_to_quiescence()
+
+        new_log: list = []
+        new = Scheduler()
+        workload(new, new.schedule, new_log)
+
+        ref_log: list = []
+        ref = _ReferenceScheduler()
+        workload(ref, ref.schedule, ref_log)
+
+        assert new_log == ref_log

@@ -101,6 +101,41 @@ class TestCrashSemantics:
         world.run_to_quiescence()
         assert fired == []
 
+    def test_fired_timers_are_pruned(self):
+        # Regression: heartbeat-style processes used to append every
+        # handle forever, leaking memory on long runs.
+        beats = []
+
+        class Beater(SimProcess):
+            def on_start(self):
+                self._beat()
+
+            def _beat(self):
+                beats.append(self.now)
+                if len(beats) < 500:
+                    self.set_timer(1.0, self._beat, periodic=True)
+
+        world = build_world(1, Beater)
+        world.run(until=1000.0)
+        assert len(beats) == 500
+        proc = world.process(0)
+        assert len(proc._timers) < 64  # bounded, not ~500
+
+    def test_live_timers_survive_pruning(self):
+        fired = []
+
+        class ManyTimers(SimProcess):
+            def on_start(self):
+                # More live timers than the prune floor: none may be lost.
+                for i in range(100):
+                    self.set_timer(
+                        10.0 + i, lambda i=i: fired.append(i)
+                    )
+
+        world = build_world(1, ManyTimers)
+        world.run_to_quiescence()
+        assert fired == list(range(100))
+
     def test_on_crash_hook(self):
         hooks = []
 

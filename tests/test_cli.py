@@ -43,6 +43,51 @@ class TestExperiment:
         assert "unknown experiment" in capsys.readouterr().err
 
 
+class TestSweep:
+    def test_sweep_serial(self, capsys):
+        assert main(
+            ["sweep", "e7", "--seeds", "2", "--param", "n=6"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sweep E7" in out
+        assert "digest=" in out
+
+    def test_sweep_parallel_output_identical(self, capsys):
+        args = ["sweep", "e7", "--seeds", "2", "--param", "n=6"]
+        assert main(args) == 0
+        serial_out = capsys.readouterr().out
+        assert main(args + ["--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert serial_out == parallel_out
+
+    def test_sweep_seed_list(self, capsys):
+        assert main(
+            ["sweep", "e7", "--seeds", "3,5", "--param", "n=6"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "(2 seeds)" in out
+
+    def test_sweep_unknown_experiment(self, capsys):
+        assert main(["sweep", "e3"]) == 2
+        assert "unknown sweepable experiment" in capsys.readouterr().err
+
+    def test_sweep_bad_params_fail_cleanly(self, capsys):
+        assert main(
+            ["sweep", "e7", "--seeds", "1", "--param", "n=3",
+             "--param", "bogus=1"]
+        ) == 1
+        assert "sweep failed" in capsys.readouterr().err
+
+    def test_sweep_seeds_param_rejected_cleanly(self, capsys):
+        # 'seeds' is runner-supplied; passing it must be a usage error,
+        # not a TypeError traceback from inside the driver.
+        assert main(
+            ["sweep", "e7", "--seeds", "1", "--param", "seeds=3"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "sweep failed" in err and "seeds" in err
+
+
 class TestCycle:
     def test_cycle_construction(self, capsys):
         assert main(["cycle", "3"]) == 0
