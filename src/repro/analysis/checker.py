@@ -125,7 +125,8 @@ def analyze(
         pending_ok: treat unresolved liveness obligations as non-fatal.
     """
     judged = ensure_crashes(history) if complete else history
-    problems = list(validate_history(judged))
+    validation_problems = list(validate_history(judged))
+    problems = list(validation_problems)
 
     witness_exists = False
     witness_verified = False
@@ -145,8 +146,9 @@ def analyze(
         if t is not None:
             t_wise_w = t_wise_intersecting(list(quorums), t)
 
+    cycle = find_cycle(judged)
     return ConformanceReport(
-        valid=not validate_history(judged),
+        valid=not validation_problems,
         fs1=check_fs1(judged, pending_ok),
         fs2=check_fs2(judged),
         sfs2a=check_sfs2a(judged, pending_ok),
@@ -155,7 +157,7 @@ def analyze(
         sfs2d=check_sfs2d(judged),
         conditions=check_necessary_conditions(judged, pending_ok),
         bad_pair_count=len(bad_pairs(judged)),
-        cycle=tuple(find_cycle(judged)) if find_cycle(judged) else None,
+        cycle=tuple(cycle) if cycle else None,
         witness_exists=witness_exists,
         witness_verified=witness_verified,
         global_witness_property=global_w,

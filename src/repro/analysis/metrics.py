@@ -113,9 +113,15 @@ def detection_latency(
 
 
 def detections_by_detector(world: World) -> dict[int, int]:
-    """How many ``failed`` events each process executed."""
+    """How many ``failed`` events each process executed.
+
+    Counts every executed ``failed`` event — duplicates included, so a
+    malformed run that detects the same pair twice shows up here —
+    streaming over the recorded events without materializing a history
+    snapshot.
+    """
     counts: dict[int, int] = {}
-    for event in world.history():
+    for event in world.trace.iter_events():
         if isinstance(event, FailedEvent):
             counts[event.proc] = counts.get(event.proc, 0) + 1
     return counts

@@ -21,6 +21,16 @@ The CLI front-end is ``python -m repro sweep`` (see :mod:`repro.__main__`);
 ``examples/large_cluster_sweep.py`` drives an n>=64 configuration sweep
 and ``benchmarks/bench_e12_sweep_scale.py`` times both executors and
 asserts their equivalence.
+
+Performance model (methodology and measured numbers: docs/performance.md):
+planning is O(cases); execution is embarrassingly parallel with
+near-linear speedup until the per-case cost (one full simulated run,
+itself linear in events thanks to the O(1)-accounting scheduler, batched
+delivery bursts, and incremental trace recording) drops below
+per-process pickling overhead — tune ``chunksize`` for very cheap cases.
+Each worker run records its trace through
+:class:`~repro.core.history.HistoryBuilder`, so long-run cases stay
+linear in trace length rather than quadratic.
 """
 
 from __future__ import annotations

@@ -71,6 +71,7 @@ from repro.core.failure_models import (
 )
 from repro.core.history import (
     History,
+    HistoryBuilder,
     find_message_chains,
     isomorphic,
     messages_in_flight,
@@ -128,6 +129,7 @@ __all__ = [
     "make_messages",
     # histories / runs
     "History",
+    "HistoryBuilder",
     "isomorphic",
     "find_message_chains",
     "messages_in_flight",

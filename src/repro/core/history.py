@@ -17,6 +17,16 @@ which is the standard characterization, and is reflexive as required.
 
 Histories are immutable; rearrangement operations (used by the Theorem 5
 construction in :mod:`repro.core.indistinguishability`) return new histories.
+
+For *recording* — the long-run regime where events arrive one at a time and
+the indices/vector clocks must stay queryable throughout — immutability plus
+lazy caches is quadratic: every ``append`` returns a fresh ``History`` whose
+first index access rebuilds O(len) state. :class:`HistoryBuilder` is the
+appendable counterpart: it extends the send/recv/crash/failed indices, the
+per-process index lists, and the vector clocks in O(delta) per appended
+event (delta = number of processes, for the vector stamp) and snapshots to
+a fully cache-seeded :class:`History` without recomputing anything. See
+``benchmarks/bench_e13_longrun.py`` and ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -130,6 +140,36 @@ class History(Sequence[Event]):
     def with_events(self, events: Iterable[Event]) -> "History":
         """A new history over the same process universe."""
         return History(events, self._n)
+
+    @classmethod
+    def _precomputed(
+        cls,
+        events: tuple[Event, ...],
+        n: int,
+        *,
+        vectors: list[tuple[int, ...]],
+        send_index: dict[tuple[int, int], int],
+        recv_index: dict[tuple[int, int], int],
+        crash_index: dict[int, int],
+        failed_index: dict[tuple[int, int], int],
+        proc_indices: list[list[int]],
+    ) -> "History":
+        """A history whose derived caches are installed, not recomputed.
+
+        Used by :meth:`HistoryBuilder.snapshot`; the caller owns the passed
+        containers (the builder hands over private copies, never its live
+        state, so the history stays immutable).
+        """
+        history = cls.__new__(cls)
+        history._events = events
+        history._n = n
+        history._vectors = vectors
+        history._send_index = send_index
+        history._recv_index = recv_index
+        history._crash_index = crash_index
+        history._failed_index = failed_index
+        history._proc_indices = proc_indices
+        return history
 
     # ------------------------------------------------------------------
     # Derived indices (lazy)
@@ -280,6 +320,159 @@ class History(Sequence[Event]):
         """The subsequence of events of any process in ``procs`` (``=_Q``)."""
         wanted = set(procs)
         return tuple(e for e in self._events if e.proc in wanted)
+
+
+class HistoryBuilder:
+    """Incrementally builds a :class:`History`, O(delta) per appended event.
+
+    The builder maintains exactly the derived state a ``History`` computes
+    lazily — send/recv/crash/failed indices, per-process index lists, and
+    vector timestamps — but extends it *in place* as events are appended,
+    instead of invalidating and rebuilding O(len) state per append. That
+    turns long-run trace recording from O(len^2) into O(len * n_procs)
+    total (the vector stamp itself is inherently O(n_procs) per event).
+
+    :meth:`snapshot` produces an ordinary immutable ``History`` whose
+    caches are already populated; the builder copies its state into the
+    snapshot (an O(len) handoff, same order as ``History``'s own tuple
+    construction, but with no recomputation), so continuing to append
+    never mutates a snapshot taken earlier.
+
+    The invariant guarded by ``tests/core/test_history_builder.py``:
+    for every event sequence, ``HistoryBuilder(n).append(*seq).snapshot()``
+    is indistinguishable — events, indices, vectors, happens-before — from
+    ``History(seq, n)``.
+    """
+
+    __slots__ = (
+        "_n",
+        "_events",
+        "_vectors",
+        "_current",
+        "_send_vec",
+        "_send_index",
+        "_recv_index",
+        "_crash_index",
+        "_failed_index",
+        "_proc_indices",
+    )
+
+    def __init__(self, n: int, events: Iterable[Event] = ()):
+        if n < 1:
+            raise ValueError(f"need at least one process, got n={n}")
+        self._n = n
+        self._events: list[Event] = []
+        self._vectors: list[tuple[int, ...]] = []
+        self._current: list[tuple[int, ...]] = [tuple([0] * n)] * n
+        self._send_vec: dict[tuple[int, int], tuple[int, ...]] = {}
+        self._send_index: dict[tuple[int, int], int] = {}
+        self._recv_index: dict[tuple[int, int], int] = {}
+        self._crash_index: dict[int, int] = {}
+        self._failed_index: dict[tuple[int, int], int] = {}
+        self._proc_indices: list[list[int]] = [[] for _ in range(n)]
+        if events:
+            self.append(*events)
+
+    @classmethod
+    def from_history(cls, history: History) -> "HistoryBuilder":
+        """A builder primed with an existing history's events."""
+        return cls(history.n, history.events)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of processes in the system."""
+        return self._n
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        """Iterate the events appended so far without copying them.
+
+        Do not append while a consumer is mid-iteration; take a
+        :meth:`snapshot` for that.
+        """
+        return iter(self._events)
+
+    @property
+    def events(self) -> tuple[Event, ...]:
+        """The events appended so far, in order."""
+        return tuple(self._events)
+
+    def event_at(self, index: int) -> Event:
+        """The event at ``index`` (no O(len) tuple copy)."""
+        return self._events[index]
+
+    @property
+    def crash_index(self) -> dict[int, int]:
+        """Live view of process id -> crash event index (read-only use)."""
+        return self._crash_index
+
+    @property
+    def failed_index(self) -> dict[tuple[int, int], int]:
+        """Live view of (detector, target) -> failed event index."""
+        return self._failed_index
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+
+    def append(self, *events: Event) -> "HistoryBuilder":
+        """Extend the history and every derived structure in O(delta)."""
+        n = self._n
+        for event in events:
+            proc = event.proc
+            if not 0 <= proc < n:
+                raise ValueError(
+                    f"event process {proc} outside universe 0..{n - 1}: "
+                    f"{event!r}"
+                )
+            idx = len(self._events)
+            vec = list(self._current[proc])
+            if isinstance(event, RecvEvent):
+                origin = self._send_vec.get(event.msg.uid)
+                if origin is not None:
+                    for q in range(n):
+                        if origin[q] > vec[q]:
+                            vec[q] = origin[q]
+            vec[proc] += 1
+            stamped = tuple(vec)
+            self._current[proc] = stamped
+            self._events.append(event)
+            self._vectors.append(stamped)
+            self._proc_indices[proc].append(idx)
+            if isinstance(event, SendEvent):
+                self._send_vec[event.msg.uid] = stamped
+                self._send_index.setdefault(event.msg.uid, idx)
+            elif isinstance(event, RecvEvent):
+                self._recv_index.setdefault(event.msg.uid, idx)
+            elif isinstance(event, CrashEvent):
+                self._crash_index.setdefault(proc, idx)
+            elif isinstance(event, FailedEvent):
+                self._failed_index.setdefault((proc, event.target), idx)
+        return self
+
+    def snapshot(self) -> History:
+        """An immutable, fully cache-seeded ``History`` of the state so far.
+
+        O(len) for the container handoff — never recomputes indices or
+        vectors — and safe against later :meth:`append` calls (the
+        snapshot owns copies, not the builder's live containers).
+        """
+        return History._precomputed(
+            tuple(self._events),
+            self._n,
+            vectors=list(self._vectors),
+            send_index=dict(self._send_index),
+            recv_index=dict(self._recv_index),
+            crash_index=dict(self._crash_index),
+            failed_index=dict(self._failed_index),
+            proc_indices=[list(ix) for ix in self._proc_indices],
+        )
 
 
 def isomorphic(

@@ -29,11 +29,25 @@ Messages carry a *kind*:
 All kinds ride the same FIFO channels with the same delays and are held by
 the same adversary rules — the distinction is purely about which events
 the formal model sees.
+
+Delivery is *batched* by default: messages bound for the same channel at
+the same delivery tick share one scheduler entry (a burst) that drains
+them in send order, instead of one heap entry and one closure per message.
+Bursts form whenever the FIFO channel clock clamps successive dues
+together — a backlogged channel, a held channel being released, or a
+multi-send at one instant under near-constant delay — which is exactly the
+long-run/backpressure regime where heap pressure hurts. A burst is only
+joined when provably safe for determinism: the burst must be the most
+recently scheduled entry (nothing else has entered the scheduler since)
+and the newcomer must have the same due time and periodic class, so the
+batched path produces **bit-identical event traces** to the per-message
+path (``batch=False``, guarded by ``tests/sim/test_determinism.py``).
 """
 
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -59,6 +73,13 @@ class _ChannelState:
     blocked: bool = False
     sent: int = 0
     delivered: int = 0
+    # Pending delivery burst: the queue behind the channel's most recently
+    # scheduled delivery entry. Cleared (not emptied) when the entry fires,
+    # so idle channels never retain dead deques.
+    burst: "deque[tuple[Message, str]] | None" = None
+    burst_time: float = 0.0
+    burst_periodic: bool = False
+    burst_guard: int = -1  # scheduler.last_scheduled_seq at burst creation
 
 
 class Network:
@@ -71,16 +92,19 @@ class Network:
         delay_model: DelayModel | None = None,
         rng: random.Random | None = None,
         deliver: DeliverFn | None = None,
+        batch: bool = True,
     ):
         self._scheduler = scheduler
         self._n = n
         self._delay_model = delay_model or UniformDelay()
         self._rng = rng or random.Random(0)
         self._deliver_fn = deliver
+        self._batch = batch
         self._channels: dict[tuple[int, int], _ChannelState] = {}
         self._hold_predicates: list[HoldPredicate] = []
         self.sent_by_kind: dict[str, int] = {kind: 0 for kind in KINDS}
         self.messages_delivered = 0
+        self.delivery_entries = 0  # scheduler entries used for deliveries
 
     def set_deliver(self, deliver: DeliverFn) -> None:
         """Install the delivery callback (done by the World during wiring)."""
@@ -137,6 +161,47 @@ class Network:
             raise SimulationError(f"delay model produced negative delay {delay}")
         due = max(state.clock, self._scheduler.now + delay)
         state.clock = due
+        periodic = kind == "system"
+
+        if self._batch:
+            # Join the channel's pending burst when that is provably
+            # order-preserving: same due tick, same periodic class, and the
+            # burst entry is still the scheduler's most recent entry —
+            # nothing else has been scheduled since, so no third callback
+            # can hold a tie-breaking sequence number between the burst and
+            # this message. Equal-time entries run first-scheduled-first,
+            # hence the drained burst replays exactly the per-message order.
+            if (
+                state.burst is not None
+                and state.burst_time == due
+                and state.burst_periodic == periodic
+                and state.burst_guard == self._scheduler.last_scheduled_seq
+            ):
+                state.burst.append((msg, kind))
+                return
+            burst: deque[tuple[Message, str]] = deque(((msg, kind),))
+            state.burst = burst
+            state.burst_time = due
+            state.burst_periodic = periodic
+
+            def deliver_burst() -> None:
+                # Drop the queue from channel state *before* draining: a
+                # fired burst is never rejoined (reentrant sends during the
+                # drain open a fresh entry), and idle channels keep no
+                # empty deques around afterwards.
+                if state.burst is burst:
+                    state.burst = None
+                assert self._deliver_fn is not None
+                while burst:
+                    burst_msg, burst_kind = burst.popleft()
+                    state.delivered += 1
+                    self.messages_delivered += 1
+                    self._deliver_fn(src, dst, burst_msg, burst_kind)
+
+            self.delivery_entries += 1
+            self._scheduler.schedule_at(due, deliver_burst, periodic=periodic)
+            state.burst_guard = self._scheduler.last_scheduled_seq
+            return
 
         def deliver() -> None:
             state.delivered += 1
@@ -144,7 +209,8 @@ class Network:
             assert self._deliver_fn is not None
             self._deliver_fn(src, dst, msg, kind)
 
-        self._scheduler.schedule_at(due, deliver, periodic=kind == "system")
+        self.delivery_entries += 1
+        self._scheduler.schedule_at(due, deliver, periodic=periodic)
 
     # ------------------------------------------------------------------
     # Adversary interface (used via repro.sim.adversary)

@@ -104,6 +104,7 @@ class Scheduler:
         self._pending = 0
         self._pending_nonperiodic = 0
         self._cancelled_in_heap = 0
+        self._last_seq = -1
 
     @property
     def now(self) -> float:
@@ -119,6 +120,18 @@ class Scheduler:
     def pending(self) -> int:
         """Number of queued, uncancelled callbacks (O(1))."""
         return self._pending
+
+    @property
+    def last_scheduled_seq(self) -> int:
+        """Sequence number of the most recently scheduled entry (-1 if none).
+
+        Tie order at equal times is first-scheduled-first, so a consumer
+        that remembers this value can later prove "nothing else has been
+        scheduled in between" — the guard :class:`~repro.sim.network.Network`
+        uses to decide when joining a delivery burst cannot perturb the
+        global execution order.
+        """
+        return self._last_seq
 
     def pending_nonperiodic(self) -> int:
         """Queued, uncancelled callbacks not marked periodic (O(1)).
@@ -151,7 +164,9 @@ class Scheduler:
             raise SimulationError(
                 f"cannot schedule into the past: {time} < now {self._now}"
             )
-        entry = _Entry(time, next(self._seq), callback, periodic=periodic)
+        seq = next(self._seq)
+        self._last_seq = seq
+        entry = _Entry(time, seq, callback, periodic=periodic)
         heapq.heappush(self._queue, entry)
         self._pending += 1
         if not periodic:

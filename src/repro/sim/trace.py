@@ -6,6 +6,14 @@ the side. Everything the library proves or measures about a run — Figure 1
 conformance, failed-before cycles, the Theorem 5 witness, latency metrics —
 is computed from this recording, never from simulator internals.
 
+Recording rides on :class:`~repro.core.history.HistoryBuilder`, so the
+send/recv/crash/failed indices and vector clocks grow in O(delta) per event
+and :meth:`TraceRecorder.history` hands out a cache-seeded
+:class:`~repro.core.history.History` without any O(len) recomputation —
+the long-run regime (100k+ events) stays linear end to end
+(``benchmarks/bench_e13_longrun.py``). The time-of-event queries below are
+index lookups against the same incremental state, not scans.
+
 Quorum sets (Definition 5) are also recorded here, because they are
 protocol-level bookkeeping that the Witness Property checker (Theorem 6)
 needs but the pure event alphabet does not carry.
@@ -23,7 +31,7 @@ from repro.core.events import (
     RecvEvent,
     SendEvent,
 )
-from repro.core.history import History
+from repro.core.history import History, HistoryBuilder
 from repro.core.messages import Message
 from repro.core.quorum import QuorumRecord
 
@@ -41,7 +49,7 @@ class TraceRecorder:
 
     def __init__(self, n: int):
         self._n = n
-        self._events: list[Event] = []
+        self._builder = HistoryBuilder(n)
         self._times: list[float] = []
         self._quorums: list[QuorumRecord] = []
         self._internal_seq: dict[tuple[int, object], int] = {}
@@ -52,14 +60,14 @@ class TraceRecorder:
         return self._n
 
     def __len__(self) -> int:
-        return len(self._events)
+        return len(self._builder)
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
 
     def _record(self, time: float, event: Event) -> Event:
-        self._events.append(event)
+        self._builder.append(event)
         self._times.append(time)
         return event
 
@@ -99,13 +107,17 @@ class TraceRecorder:
     # ------------------------------------------------------------------
 
     def history(self) -> History:
-        """The recorded history, as formal-model data."""
-        return History(self._events, self._n)
+        """The recorded history, as formal-model data (caches pre-built)."""
+        return self._builder.snapshot()
+
+    def iter_events(self):
+        """Stream the recorded events without materializing a snapshot."""
+        return iter(self._builder)
 
     def timed_events(self) -> list[TimedEvent]:
         """Events paired with their virtual execution times."""
         return [
-            TimedEvent(t, e) for t, e in zip(self._times, self._events)
+            TimedEvent(t, e) for t, e in zip(self._times, self._builder.events)
         ]
 
     @property
@@ -114,27 +126,22 @@ class TraceRecorder:
         return list(self._quorums)
 
     def time_of_crash(self, proc: int) -> float | None:
-        """Virtual time of ``crash_proc``, or None."""
-        for t, e in zip(self._times, self._events):
-            if isinstance(e, CrashEvent) and e.proc == proc:
-                return t
-        return None
+        """Virtual time of ``crash_proc``, or None (O(1))."""
+        idx = self._builder.crash_index.get(proc)
+        return None if idx is None else self._times[idx]
 
     def time_of_detection(self, detector: int, target: int) -> float | None:
-        """Virtual time of ``failed_detector(target)``, or None."""
-        for t, e in zip(self._times, self._events):
-            if (
-                isinstance(e, FailedEvent)
-                and e.proc == detector
-                and e.target == target
-            ):
-                return t
-        return None
+        """Virtual time of ``failed_detector(target)``, or None (O(1))."""
+        idx = self._builder.failed_index.get((detector, target))
+        return None if idx is None else self._times[idx]
 
     def detection_times(self, target: int) -> dict[int, float]:
-        """Map detector -> time it executed ``failed(target)``."""
+        """Map detector -> time it executed ``failed(target)``.
+
+        O(detections) via the incremental failed index, not O(events).
+        """
         out: dict[int, float] = {}
-        for t, e in zip(self._times, self._events):
-            if isinstance(e, FailedEvent) and e.target == target:
-                out.setdefault(e.proc, t)
+        for (detector, tgt), idx in self._builder.failed_index.items():
+            if tgt == target:
+                out[detector] = self._times[idx]
         return out

@@ -30,6 +30,9 @@ class World:
         processes: the process automata, index = process id.
         delay_model: message-delay distribution (default mildly jittered).
         seed: RNG seed; all nondeterminism flows from here.
+        batch_delivery: share one scheduler entry per channel burst
+            (default). ``False`` forces the per-message delivery path;
+            both produce bit-identical histories.
     """
 
     def __init__(
@@ -37,6 +40,7 @@ class World:
         processes: Sequence[SimProcess],
         delay_model: DelayModel | None = None,
         seed: int = 0,
+        batch_delivery: bool = True,
     ):
         if not processes:
             raise SimulationError("need at least one process")
@@ -51,6 +55,7 @@ class World:
             delay_model or UniformDelay(),
             self.rng,
             deliver=self._on_deliver,
+            batch=batch_delivery,
         )
         self.adversary = Adversary(self.network)
         self._started = False
@@ -157,6 +162,12 @@ def build_world(
     factory: Callable[[], SimProcess],
     delay_model: DelayModel | None = None,
     seed: int = 0,
+    batch_delivery: bool = True,
 ) -> World:
     """Build a world of ``n`` identical processes from a factory."""
-    return World([factory() for _ in range(n)], delay_model, seed)
+    return World(
+        [factory() for _ in range(n)],
+        delay_model,
+        seed,
+        batch_delivery=batch_delivery,
+    )

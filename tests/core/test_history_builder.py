@@ -1,0 +1,176 @@
+"""HistoryBuilder: incremental state must equal from-scratch History state.
+
+The builder exists so long-run trace recording is O(delta) per event; its
+whole correctness contract is *equivalence* — every index, vector clock,
+and derived query must match what an immutable ``History`` computes from
+scratch over the same events. The property test below drives that over
+random event sequences including crash/failed events (and duplicates of
+both, which exercise the ``setdefault`` first-occurrence rule).
+"""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import (
+    CrashEvent,
+    FailedEvent,
+    InternalEvent,
+    RecvEvent,
+    SendEvent,
+)
+from repro.core.history import History, HistoryBuilder
+from repro.core.messages import MessageMint
+
+
+@st.composite
+def event_sequences(draw):
+    """(n, events): a random mix of all five event kinds.
+
+    Receives consume previously sent messages (possibly out of FIFO order —
+    the indices and vector clocks are defined regardless), and crash/failed
+    events may repeat, exercising first-occurrence index semantics.
+    """
+    n = draw(st.integers(min_value=2, max_value=5))
+    length = draw(st.integers(min_value=0, max_value=60))
+    mints = [MessageMint(p) for p in range(n)]
+    in_flight: list[tuple[int, int, object]] = []
+    events = []
+    for _ in range(length):
+        kind = draw(
+            st.sampled_from(["send", "send", "recv", "crash", "failed", "internal"])
+        )
+        proc = draw(st.integers(min_value=0, max_value=n - 1))
+        if kind == "recv" and not in_flight:
+            kind = "send"
+        if kind == "send":
+            dst = draw(st.integers(min_value=0, max_value=n - 1))
+            msg = mints[proc].mint(draw(st.integers(min_value=0, max_value=3)))
+            in_flight.append((proc, dst, msg))
+            events.append(SendEvent(proc, dst, msg))
+        elif kind == "recv":
+            pick = draw(st.integers(min_value=0, max_value=len(in_flight) - 1))
+            src, dst, msg = in_flight.pop(pick)
+            events.append(RecvEvent(dst, src, msg))
+        elif kind == "crash":
+            events.append(CrashEvent(proc))
+        elif kind == "failed":
+            target = draw(st.integers(min_value=0, max_value=n - 1))
+            events.append(FailedEvent(proc, target))
+        else:
+            events.append(
+                InternalEvent(proc, "step", draw(st.integers(min_value=0, max_value=5)))
+            )
+    return n, events
+
+
+def assert_equivalent(snapshot: History, reference: History) -> None:
+    assert snapshot == reference
+    assert snapshot.n == reference.n
+    assert snapshot.vectors == reference.vectors
+    assert snapshot.send_index == reference.send_index
+    assert snapshot.recv_index == reference.recv_index
+    assert snapshot.crash_index == reference.crash_index
+    assert snapshot.failed_index == reference.failed_index
+    for proc in range(reference.n):
+        assert snapshot.indices_of_process(proc) == reference.indices_of_process(
+            proc
+        )
+    assert snapshot.detected_pairs() == reference.detected_pairs()
+    assert snapshot.crashed_processes() == reference.crashed_processes()
+
+
+@settings(max_examples=80, deadline=None)
+@given(event_sequences())
+def test_builder_equals_from_scratch_history(case):
+    n, events = case
+    built = HistoryBuilder(n).append(*events).snapshot()
+    assert_equivalent(built, History(events, n))
+
+
+@settings(max_examples=25, deadline=None)
+@given(event_sequences())
+def test_happens_before_agrees(case):
+    n, events = case
+    built = HistoryBuilder(n).append(*events).snapshot()
+    reference = History(events, n)
+    for a in range(len(events)):
+        for b in range(len(events)):
+            assert built.happens_before(a, b) == reference.happens_before(a, b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(event_sequences())
+def test_intermediate_snapshots_equal_prefix_histories(case):
+    """Every prefix snapshot equals the from-scratch prefix history."""
+    n, events = case
+    builder = HistoryBuilder(n)
+    checkpoints = []
+    for i, event in enumerate(events):
+        builder.append(event)
+        if i % 7 == 0:
+            checkpoints.append((i + 1, builder.snapshot()))
+    for length, snap in checkpoints:
+        assert_equivalent(snap, History(events[:length], n))
+
+
+class TestSnapshotIsolation:
+    def test_later_appends_do_not_mutate_earlier_snapshots(self):
+        mint = MessageMint(0)
+        builder = HistoryBuilder(3)
+        first_msg = mint.mint("a")
+        builder.append(SendEvent(0, 1, first_msg))
+        early = builder.snapshot()
+        early_vectors = list(early.vectors)
+        builder.append(
+            RecvEvent(1, 0, first_msg),
+            CrashEvent(2),
+            FailedEvent(0, 2),
+        )
+        assert len(early) == 1
+        assert early.vectors == early_vectors
+        assert early.crash_index == {}
+        assert early.failed_index == {}
+        assert early.recv_index == {}
+        assert early.indices_of_process(1) == []
+
+    def test_snapshot_then_append_then_snapshot(self):
+        mint = MessageMint(1)
+        builder = HistoryBuilder(2)
+        builder.append(SendEvent(1, 0, mint.mint()))
+        one = builder.snapshot()
+        builder.append(CrashEvent(0))
+        two = builder.snapshot()
+        assert len(one) == 1 and len(two) == 2
+        assert two[:1] == one
+
+
+class TestBuilderBasics:
+    def test_from_history_round_trip(self):
+        msg = MessageMint(0).mint("x")
+        history = History([SendEvent(0, 1, msg), RecvEvent(1, 0, msg)], 4)
+        rebuilt = HistoryBuilder.from_history(history).snapshot()
+        assert_equivalent(rebuilt, history)
+
+    def test_constructor_accepts_seed_events(self):
+        events = [CrashEvent(0), FailedEvent(1, 0)]
+        assert HistoryBuilder(2, events).snapshot() == History(events, 2)
+
+    def test_len_and_event_at(self):
+        builder = HistoryBuilder(2, [CrashEvent(1)])
+        assert len(builder) == 1
+        assert builder.event_at(0) == CrashEvent(1)
+        assert builder.events == (CrashEvent(1),)
+
+    def test_requires_positive_universe(self):
+        with pytest.raises(ValueError):
+            HistoryBuilder(0)
+
+    def test_rejects_out_of_universe_process(self):
+        with pytest.raises(ValueError):
+            HistoryBuilder(2).append(CrashEvent(5))
+
+    def test_append_chains(self):
+        builder = HistoryBuilder(2)
+        assert builder.append(CrashEvent(0)) is builder

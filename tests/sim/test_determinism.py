@@ -15,12 +15,22 @@ from repro.sim import (
 )
 
 
-def scenario(protocol, delay, seed):
+DELAY_MODELS = {
+    "uniform": lambda: UniformDelay(0.2, 2.0),
+    "exponential": lambda: ExponentialDelay(1.0),
+    "lognormal": lambda: LogNormalDelay(1.0, 0.5),
+    "pareto": lambda: ParetoDelay(0.4, 1.7),
+}
+
+
+def scenario(protocol, delay, seed, batch_delivery=True):
     factory = {
         "sfs": lambda: SfsProcess(t=2),
         "unilateral": lambda: UnilateralProcess(),
     }[protocol]
-    world = build_world(8, factory, delay, seed=seed)
+    world = build_world(
+        8, factory, delay, seed=seed, batch_delivery=batch_delivery
+    )
     world.inject_crash(5, at=0.7)
     world.inject_suspicion(0, 5, at=1.0)
     world.inject_suspicion(2, 6, at=1.5)
@@ -35,17 +45,62 @@ def scenario(protocol, delay, seed):
     st.sampled_from(["uniform", "exponential", "lognormal", "pareto"]),
 )
 def test_same_seed_same_history(seed, protocol, delay_name):
-    delay = {
-        "uniform": UniformDelay(0.2, 2.0),
-        "exponential": ExponentialDelay(1.0),
-        "lognormal": LogNormalDelay(1.0, 0.5),
-        "pareto": ParetoDelay(0.4, 1.7),
-    }[delay_name]
+    delay = DELAY_MODELS[delay_name]()
     first = scenario(protocol, delay, seed)
     second = scenario(protocol, delay, seed)
     assert first.history() == second.history()
     assert first.trace.quorum_records == second.trace.quorum_records
     assert first.scheduler.now == second.scheduler.now
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from(["sfs", "unilateral"]),
+    st.sampled_from(["uniform", "exponential", "lognormal", "pareto"]),
+)
+def test_batched_delivery_bit_identical_to_per_message(
+    seed, protocol, delay_name
+):
+    """The burst-scheduling fast path must not be observable in the model:
+    batched and per-message delivery produce the same history, the same
+    quorum records, and the same final virtual clock."""
+    batched = scenario(protocol, DELAY_MODELS[delay_name](), seed)
+    per_message = scenario(
+        protocol, DELAY_MODELS[delay_name](), seed, batch_delivery=False
+    )
+    assert batched.history() == per_message.history()
+    assert batched.trace.quorum_records == per_message.trace.quorum_records
+    assert batched.scheduler.now == per_message.scheduler.now
+    assert (
+        batched.network.messages_delivered
+        == per_message.network.messages_delivered
+    )
+
+
+def test_batched_delivery_identical_through_hold_and_release():
+    """Held-channel release is the burst-heavy regime; the replayed queue
+    must still interleave exactly like the per-message path."""
+
+    def run(batch_delivery):
+        world = build_world(
+            9,
+            lambda: SfsProcess(t=2),
+            UniformDelay(0.2, 2.0),
+            seed=11,
+            batch_delivery=batch_delivery,
+        )
+        world.adversary.hold_suspicions_about(5, {5})
+        world.inject_suspicion(3, 5, at=1.0)
+        world.inject_crash(7, at=0.4)
+        world.inject_suspicion(1, 7, at=0.9)
+        world.scheduler.schedule_at(20.0, world.adversary.heal)
+        world.run_to_quiescence()
+        return world
+
+    batched, per_message = run(True), run(False)
+    assert batched.history() == per_message.history()
+    assert batched.scheduler.now == per_message.scheduler.now
 
 
 def test_different_seeds_generally_differ():

@@ -11,7 +11,7 @@ from repro.sim.network import Network
 from repro.sim.scheduler import Scheduler
 
 
-def make_net(n=3, delay=None, seed=0):
+def make_net(n=3, delay=None, seed=0, batch=True):
     scheduler = Scheduler()
     delivered = []
     net = Network(
@@ -22,6 +22,7 @@ def make_net(n=3, delay=None, seed=0):
         deliver=lambda src, dst, msg, system: delivered.append(
             (src, dst, msg, system)
         ),
+        batch=batch,
     )
     return scheduler, net, delivered
 
@@ -162,6 +163,115 @@ class TestHolds:
         net.send(0, 1, mint.mint("bad"))  # rule is gone after heal
         scheduler.run()
         assert [d[2].payload for d in delivered] == ["bad", "bad"]
+
+
+class TestBatchedDelivery:
+    def test_backlogged_channel_shares_one_entry(self):
+        # All sends happen at now=0 with a constant delay, so every due
+        # clamps to the channel clock: one scheduler entry, M messages.
+        scheduler, net, delivered = make_net(delay=ConstantDelay(1.0))
+        mint = MessageMint(0)
+        msgs = [mint.mint(i) for i in range(100)]
+        for m in msgs:
+            net.send(0, 1, m)
+        assert net.delivery_entries == 1
+        scheduler.run()
+        assert [d[2] for d in delivered] == msgs
+        assert net.messages_delivered == 100
+
+    def test_batched_order_identical_to_per_message(self):
+        def run(batch):
+            scheduler, net, delivered = make_net(
+                delay=UniformDelay(0.1, 5.0), seed=7, batch=batch
+            )
+            mint = MessageMint(0)
+            net.block_channel(0, 1)
+            for i in range(200):
+                net.send(0, 1, mint.mint(i))
+            net.release_channel(0, 1)
+            scheduler.run()
+            return net, [d[2] for d in delivered]
+
+        batched_net, batched = run(True)
+        per_message_net, per_message = run(False)
+        assert batched == per_message
+        assert batched_net.delivery_entries < per_message_net.delivery_entries
+
+    def test_interleaved_channels_never_merge(self):
+        # Alternating channels break the "most recently scheduled" guard,
+        # so batching must fall back to per-message entries — and stay
+        # correct.
+        scheduler, net, delivered = make_net(delay=ConstantDelay(1.0))
+        mint = MessageMint(0)
+        for i in range(10):
+            net.send(0, 1, mint.mint(("a", i)))
+            net.send(0, 2, mint.mint(("b", i)))
+        scheduler.run()
+        to_1 = [d[2].payload for d in delivered if d[1] == 1]
+        to_2 = [d[2].payload for d in delivered if d[1] == 2]
+        assert to_1 == [("a", i) for i in range(10)]
+        assert to_2 == [("b", i) for i in range(10)]
+
+    def test_kind_boundary_starts_new_entry(self):
+        # A system (periodic) message may not ride a non-periodic burst:
+        # quiescence accounting depends on the entry's periodic class.
+        scheduler, net, delivered = make_net(delay=ConstantDelay(1.0))
+        mint = MessageMint(0)
+        net.send(0, 1, mint.mint("app"))
+        net.send(0, 1, mint.mint("hb"), kind="system")
+        net.send(0, 1, mint.mint("app2"))
+        assert net.delivery_entries == 3
+        assert scheduler.pending_nonperiodic() == 2
+        scheduler.run()
+        assert [d[2].payload for d in delivered] == ["app", "hb", "app2"]
+
+    def test_reentrant_send_during_drain_opens_fresh_entry(self):
+        # A delivery that immediately sends on the same channel (possible
+        # with zero delay) must not inject into the burst being drained.
+        scheduler = Scheduler()
+        delivered = []
+        net = Network(scheduler, 2, ConstantDelay(0.0), random.Random(0))
+        mint = MessageMint(0)
+
+        def deliver(src, dst, msg, kind):
+            delivered.append(msg.payload)
+            if msg.payload == "first":
+                net.send(0, 1, mint.mint("reaction"))
+
+        net.set_deliver(deliver)
+        net.send(0, 1, mint.mint("first"))
+        net.send(0, 1, mint.mint("second"))
+        scheduler.run()
+        assert delivered == ["first", "second", "reaction"]
+        assert net.delivery_entries == 2
+
+    def test_fired_bursts_are_pruned_from_channel_state(self):
+        # Regression (mirrors the SimProcess._timers leak fix): once a
+        # burst entry fires, the channel keeps no reference to its deque,
+        # so thousands of idle channels cost nothing after their traffic.
+        scheduler, net, _ = make_net(delay=ConstantDelay(1.0))
+        mint = MessageMint(0)
+        for dst in range(3):
+            for i in range(50):
+                net.send(0, dst, mint.mint(i))
+        assert any(
+            state.burst is not None for state in net._channels.values()
+        )
+        scheduler.run()
+        assert all(state.burst is None for state in net._channels.values())
+
+    def test_release_after_block_batches_the_backlog(self):
+        scheduler, net, delivered = make_net(delay=ConstantDelay(2.0))
+        mint = MessageMint(1)
+        net.block_channel(1, 2)
+        msgs = [mint.mint(i) for i in range(500)]
+        for m in msgs:
+            net.send(1, 2, m)
+        assert net.delivery_entries == 0
+        assert net.release_channel(1, 2) == 500
+        assert net.delivery_entries == 1
+        scheduler.run()
+        assert [d[2] for d in delivered] == msgs
 
 
 class TestGuards:

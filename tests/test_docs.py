@@ -1,0 +1,22 @@
+"""The CI docs job, runnable locally: links resolve, examples import."""
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def test_docs_check_passes():
+    result = subprocess.run(
+        [sys.executable, os.path.join(REPO_ROOT, "tools", "check_docs.py")],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_docs_suite_exists():
+    for path in ("README.md", "docs/architecture.md", "docs/performance.md"):
+        assert os.path.exists(os.path.join(REPO_ROOT, path)), path

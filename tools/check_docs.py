@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Documentation health checks (run by the CI ``docs`` job).
+
+Two checks, stdlib only:
+
+1. **Link resolution** — every relative markdown link in ``README.md`` and
+   ``docs/*.md`` must point at a file or directory that exists (external
+   ``http(s)``/``mailto`` targets and pure ``#anchors`` are skipped; a
+   ``path#anchor`` target is checked for the path part).
+2. **Example imports** — every ``examples/*.py`` must import cleanly with
+   ``src`` on the path. All examples are ``__main__``-guarded, so importing
+   runs no scenario; this catches bit-rotted imports the moment an API
+   moves.
+
+Exit status 0 when everything passes; 1 with a per-problem report
+otherwise. Run from anywhere: paths resolve relative to the repo root.
+
+Usage::
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# [text](target) — excluding images' leading "!" is unnecessary: image
+# targets must resolve too. Inline code spans are stripped first.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_CODE_SPAN = re.compile(r"`[^`]*`")
+_FENCE = re.compile(r"^(```|~~~)")
+
+
+def doc_files() -> list[str]:
+    """README.md plus every markdown file under docs/, repo-relative."""
+    files = []
+    readme = os.path.join(REPO_ROOT, "README.md")
+    if os.path.exists(readme):
+        files.append(readme)
+    docs_dir = os.path.join(REPO_ROOT, "docs")
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs_dir, name))
+    return files
+
+
+def check_links(path: str) -> list[str]:
+    """Problems for every unresolvable relative link in one markdown file."""
+    problems = []
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if _FENCE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in _LINK.findall(_CODE_SPAN.sub("", line)):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), target.split("#", 1)[0])
+                )
+                if not os.path.exists(resolved):
+                    rel = os.path.relpath(path, REPO_ROOT)
+                    problems.append(
+                        f"{rel}:{lineno}: broken link -> {target}"
+                    )
+    return problems
+
+
+def check_examples() -> list[str]:
+    """Problems for every example module that fails to import."""
+    problems = []
+    examples_dir = os.path.join(REPO_ROOT, "examples")
+    if not os.path.isdir(examples_dir):
+        return ["examples/ directory is missing"]
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    for name in sorted(os.listdir(examples_dir)):
+        if not name.endswith(".py"):
+            continue
+        module_path = os.path.join(examples_dir, name)
+        script = (
+            "import importlib.util, sys; "
+            f"spec = importlib.util.spec_from_file_location("
+            f"{name[:-3]!r}, {module_path!r}); "
+            "module = importlib.util.module_from_spec(spec); "
+            "spec.loader.exec_module(module)"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        if result.returncode != 0:
+            tail = result.stderr.strip().splitlines()[-1:]
+            problems.append(
+                f"examples/{name}: import failed"
+                + (f" ({tail[0]})" if tail else "")
+            )
+    return problems
+
+
+def main() -> int:
+    problems: list[str] = []
+    files = doc_files()
+    if not any(f.endswith("README.md") for f in files):
+        problems.append("README.md is missing")
+    for path in files:
+        problems.extend(check_links(path))
+    problems.extend(check_examples())
+    if problems:
+        print(f"docs check: {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  ! {problem}")
+        return 1
+    checked = ", ".join(os.path.relpath(f, REPO_ROOT) for f in files)
+    print(f"docs check: OK ({checked}; all examples import)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
