@@ -1,0 +1,165 @@
+"""E14 — streaming conformance monitors: overhead and early-stop payoff.
+
+Guards the analyze-on-append PR. Three properties must hold:
+
+1. **O(1) amortized per-event overhead** — attaching a full
+   :class:`~repro.analysis.monitors.MonitorSet` to a
+   ``HistoryBuilder`` recording costs a flat amount per event: the
+   per-event overhead measured at 100k events is within a small factor
+   of the overhead at 10k events (a linear-in-history monitor would be
+   ~10x worse at the larger scale).
+
+2. **Early-stop sweeps are faster** — on the violation-heavy E14
+   adversary workload (failed-before cycle closes within the first ~100
+   events of a multi-thousand-event run), ``early_stop`` sweeps abort at
+   the violation and finish measurably faster than full-run sweeps, while
+   reporting the *same* violating event index.
+
+3. **Determinism survives both modes** — serial and parallel executors
+   produce bit-identical rows (equal SHA-256 digest) with and without
+   early stopping.
+"""
+
+import time
+
+from repro.analysis.monitors import MonitorSet
+from repro.analysis.sweep import rows_digest, run_sweep
+from repro.core.history import HistoryBuilder
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from bench_e13_longrun import _event_stream  # noqa: E402 - shared generator
+from conftest import attach_rows  # noqa: E402
+
+N_PROCS = 8
+SMALL = 10_000
+LARGE = 100_000
+# A linear-in-history monitor would be ~10x worse per event at LARGE;
+# flat means "well under that". Generous bound for noisy CI runners.
+FLATNESS_BOUND = 3.0
+SWEEP_SEEDS = range(6)
+SWEEP_N = 8
+
+
+def _record(events, monitored: bool):
+    builder = HistoryBuilder(N_PROCS)
+    if monitored:
+        builder.attach_observer(MonitorSet(N_PROCS).observe)
+    start = time.perf_counter()
+    for event in events:
+        builder.append(event)
+    return time.perf_counter() - start
+
+
+def _per_event_overhead(count: int, seed: int) -> float:
+    """Monitor overhead per event at the given scale (seconds/event)."""
+    events = _event_stream(count, N_PROCS, seed=seed)
+    bare = min(_record(events, monitored=False) for _ in range(2))
+    monitored = min(_record(events, monitored=True) for _ in range(2))
+    return max(monitored - bare, 1e-12) / count
+
+
+def test_bench_monitor_overhead_is_flat(benchmark):
+    """Per-event monitor cost at 100k events ~= cost at 10k events."""
+    small = _per_event_overhead(SMALL, seed=13)
+    large = _per_event_overhead(LARGE, seed=13)
+    benchmark.pedantic(
+        lambda: _record(
+            _event_stream(SMALL, N_PROCS, seed=13), monitored=True
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    ratio = large / small
+    attach_rows(
+        benchmark,
+        [
+            f"per-event overhead: {SMALL} ev -> {small * 1e6:.2f}us, "
+            f"{LARGE} ev -> {large * 1e6:.2f}us (ratio {ratio:.2f}, "
+            f"bound {FLATNESS_BOUND})"
+        ],
+    )
+    assert ratio < FLATNESS_BOUND, (
+        f"monitor overhead grew {ratio:.2f}x from {SMALL} to {LARGE} "
+        "events — per-event cost is no longer O(1) amortized"
+    )
+
+
+def test_bench_early_stop_sweep_speedup(benchmark):
+    """Early-stop sweeps beat full sweeps on violation-heavy cases."""
+    kwargs = dict(seeds=SWEEP_SEEDS, params={"n": SWEEP_N})
+
+    start = time.perf_counter()
+    full = run_sweep("e14", **kwargs)
+    full_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    early = benchmark.pedantic(
+        lambda: run_sweep("e14", early_stop=True, **kwargs),
+        rounds=1,
+        iterations=1,
+    )
+    early_elapsed = time.perf_counter() - start
+
+    # Same violations found at the same event indices, far fewer events.
+    assert [r.row.violation_event_index for r in early] == [
+        r.row.violation_event_index for r in full
+    ]
+    assert all(r.row.violated for r in early)
+    full_events = sum(r.row.events_recorded for r in full)
+    early_events = sum(r.row.events_recorded for r in early)
+    assert early_events * 10 <= full_events, (
+        f"early stop only trimmed {full_events} -> {early_events} events"
+    )
+    speedup = full_elapsed / max(early_elapsed, 1e-9)
+    attach_rows(
+        benchmark,
+        [
+            f"cases={len(full)} events full={full_events} "
+            f"early={early_events} "
+            f"wall full={full_elapsed:.3f}s early={early_elapsed:.3f}s "
+            f"speedup={speedup:.1f}x"
+        ],
+    )
+    assert early_elapsed < full_elapsed, (
+        "early-stop sweep was not faster than the full sweep"
+    )
+
+
+def test_bench_digest_equality_both_modes(benchmark):
+    """Serial == parallel rows, with and without early stopping."""
+    kwargs = dict(seeds=SWEEP_SEEDS, params={"n": SWEEP_N})
+
+    def both_modes():
+        digests = {}
+        for early_stop in (False, True):
+            serial = run_sweep(
+                "e14", jobs=1, early_stop=early_stop, **kwargs
+            )
+            parallel = run_sweep(
+                "e14", jobs=2, early_stop=early_stop, **kwargs
+            )
+            assert serial == parallel
+            digests[early_stop] = (
+                rows_digest(serial),
+                rows_digest(parallel),
+            )
+        return digests
+
+    digests = benchmark.pedantic(both_modes, rounds=1, iterations=1)
+    for early_stop, (serial_digest, parallel_digest) in digests.items():
+        assert serial_digest == parallel_digest, (
+            f"serial/parallel digest mismatch (early_stop={early_stop})"
+        )
+    # The two modes legitimately differ (rows carry the mode tag).
+    assert digests[False][0] != digests[True][0]
+    attach_rows(
+        benchmark,
+        [
+            f"full digest={digests[False][0][:16]}... "
+            f"early digest={digests[True][0][:16]}... "
+            "serial==parallel in both modes"
+        ],
+    )

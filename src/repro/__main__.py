@@ -11,6 +11,12 @@ Commands:
 * ``sweep EID`` — run a deterministic multi-seed sweep of one seeded
   experiment, optionally on a process pool (``--jobs``); serial and
   parallel runs print bit-identical rows and the same content digest.
+  ``--early-stop`` aborts each case at its first streaming-monitor
+  violation (supported drivers only, e.g. e14).
+* ``monitor EID`` — run one monitored scenario with streaming
+  analyze-on-append conformance monitors, printing each safety
+  violation live at the event where its verdict locks; ``--stop``
+  halts the world there instead of running on.
 * ``cycle K`` — run the Theorem 6 adversarial construction for a k-cycle
   and print the impossibility certificate.
 """
@@ -158,14 +164,64 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         return 1
     try:
-        rows = run_sweep(eid, seeds=args.seeds, params=params, jobs=args.jobs)
+        rows = run_sweep(
+            eid,
+            seeds=args.seeds,
+            params=params,
+            jobs=args.jobs,
+            early_stop=args.early_stop,
+        )
     except ReproError as exc:
         print(f"sweep failed: {exc}", file=sys.stderr)
         return 1
-    print(f"\n== sweep {eid.upper()} ({len(args.seeds)} seeds) ==")
+    mode = " early-stop" if args.early_stop else ""
+    print(f"\n== sweep {eid.upper()} ({len(args.seeds)} seeds{mode}) ==")
     print(sweep_table(rows))
     print(f"rows={len(rows)} digest={rows_digest(rows)}")
     return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.analysis.extensions import build_monitor_world
+    from repro.errors import ReproError, SimulationError
+
+    try:
+        world = build_monitor_world(args.eid, n=args.n, seed=args.seed)
+    except SimulationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except ReproError as exc:  # e.g. BoundsError from a bad --n
+        print(f"monitor failed: {exc}", file=sys.stderr)
+        return 1
+    monitors = world.attach_monitor(stop_on_violation=args.stop)
+    trace = world.trace
+    printed = 0
+
+    def stream(idx: int, event: object, vector: object) -> None:
+        nonlocal printed
+        del vector
+        if args.verbose:
+            print(f"[event {idx:>6}] t={trace.time_of_index(idx):8.3f}  "
+                  f"{event!r}")
+        log = monitors.violation_log
+        while printed < len(log):
+            vidx, name = log[printed]
+            printed += 1
+            print(f"[event {vidx:>6}] t={trace.time_of_index(vidx):8.3f}  "
+                  f"!! {name} VIOLATED by {trace.event_at(vidx)!r}")
+
+    trace.attach_observer(stream)
+    try:
+        world.run_to_quiescence(max_events=args.max_events)
+    except ReproError as exc:  # e.g. livelock past --max-events
+        print(f"monitor failed: {exc}", file=sys.stderr)
+        return 1
+    halted = world.scheduler.stop_requested
+    print(f"\n== monitor {args.eid.lower()} seed={args.seed}: "
+          f"{monitors.events_seen} events"
+          f"{' (halted at first violation)' if halted else ''} ==")
+    print(monitors.summary())
+    return 0 if monitors.ok_so_far else 1
 
 
 def _cmd_cycle(args: argparse.Namespace) -> int:
@@ -233,7 +289,33 @@ def main(argv: list[str] | None = None) -> int:
         "--param", action="append", type=_parse_param, metavar="NAME=VALUE",
         help="fixed driver parameter, repeatable (e.g. --param n=16)",
     )
+    sweep.add_argument(
+        "--early-stop", action="store_true",
+        help="abort each case at its first streaming-monitor violation "
+             "(drivers with an early_stop keyword only, e.g. e14)",
+    )
     sweep.set_defaults(fn=_cmd_sweep)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="run a scenario with streaming conformance monitors attached",
+    )
+    monitor.add_argument("eid", help="monitored scenario: demo, cycle, e14")
+    monitor.add_argument("--seed", type=int, default=0)
+    monitor.add_argument(
+        "--n", type=int, default=None,
+        help="cluster size (scenario default when omitted)",
+    )
+    monitor.add_argument(
+        "--stop", action="store_true",
+        help="halt the world at the first halt-relevant violation",
+    )
+    monitor.add_argument(
+        "--verbose", action="store_true",
+        help="print every recorded event, not just violations",
+    )
+    monitor.add_argument("--max-events", type=int, default=1_000_000)
+    monitor.set_defaults(fn=_cmd_monitor)
 
     cycle = sub.add_parser("cycle", help="Theorem 6 k-cycle construction")
     cycle.add_argument("k", type=int)

@@ -5,6 +5,14 @@ FS1/FS2, sFS2a-d, Conditions 1-3, failed-before acyclicity, the Witness
 Property, and the Theorem 5 witness construction — into a single
 :class:`ConformanceReport` that tests, benchmarks, and examples can print
 or assert on.
+
+Since the streaming-monitor refactor, ``analyze()`` *is* a replay: the
+(completed) history is driven event-by-event through a
+:class:`~repro.analysis.monitors.MonitorSet`, and the per-property
+results are read off the monitors — the same objects a live
+``World.attach_monitor`` feeds during simulation. Only the whole-history
+constructions (the Theorem 5 witness and the quorum Witness Property)
+remain batch computations, assembled by :func:`report_from_monitors`.
 """
 
 from __future__ import annotations
@@ -12,20 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.core.failed_before import find_cycle
-from repro.core.failure_models import (
-    CheckResult,
-    check_fs1,
-    check_fs2,
-    check_necessary_conditions,
-    check_sfs2a,
-    check_sfs2b,
-    check_sfs2c,
-    check_sfs2d,
-)
+from repro.analysis.monitors import MonitorSet
+from repro.core.failure_models import CheckResult
 from repro.core.history import History
 from repro.core.indistinguishability import (
-    bad_pairs,
     ensure_crashes,
     fail_stop_witness,
     verify_witness,
@@ -35,7 +33,6 @@ from repro.core.quorum import (
     t_wise_intersecting,
     witness_property,
 )
-from repro.core.validate import validate_history
 from repro.errors import CannotRearrangeError
 
 
@@ -125,15 +122,34 @@ def analyze(
         pending_ok: treat unresolved liveness obligations as non-fatal.
     """
     judged = ensure_crashes(history) if complete else history
-    validation_problems = list(validate_history(judged))
+    monitors = MonitorSet(judged.n, pending_ok=pending_ok)
+    monitors.replay(judged)
+    return report_from_monitors(monitors, judged, quorums=quorums, t=t)
+
+
+def report_from_monitors(
+    monitors: MonitorSet,
+    history: History,
+    quorums: Sequence[QuorumRecord] | None = None,
+    t: int | None = None,
+) -> ConformanceReport:
+    """Assemble a :class:`ConformanceReport` from streamed monitors.
+
+    ``monitors`` must have observed exactly the events of ``history`` (a
+    live ``World.attach_monitor`` set after the run, or a fresh
+    :meth:`~repro.analysis.monitors.MonitorSet.replay`). The history is
+    still needed for the whole-run constructions no monitor can do
+    incrementally: the Theorem 5 witness and its verification.
+    """
+    validation_problems = monitors.validity.violations
     problems = list(validation_problems)
 
     witness_exists = False
     witness_verified = False
     try:
-        witness = fail_stop_witness(judged)
+        witness = fail_stop_witness(history)
         witness_exists = True
-        witness_problems = verify_witness(judged, witness)
+        witness_problems = verify_witness(history, witness)
         witness_verified = not witness_problems
         problems.extend(witness_problems)
     except CannotRearrangeError:
@@ -146,18 +162,17 @@ def analyze(
         if t is not None:
             t_wise_w = t_wise_intersecting(list(quorums), t)
 
-    cycle = find_cycle(judged)
     return ConformanceReport(
         valid=not validation_problems,
-        fs1=check_fs1(judged, pending_ok),
-        fs2=check_fs2(judged),
-        sfs2a=check_sfs2a(judged, pending_ok),
-        sfs2b=check_sfs2b(judged),
-        sfs2c=check_sfs2c(judged),
-        sfs2d=check_sfs2d(judged),
-        conditions=check_necessary_conditions(judged, pending_ok),
-        bad_pair_count=len(bad_pairs(judged)),
-        cycle=tuple(cycle) if cycle else None,
+        fs1=monitors.fs1.result(),
+        fs2=monitors.fs2.result(),
+        sfs2a=monitors.sfs2a.result(),
+        sfs2b=monitors.sfs2b.result(),
+        sfs2c=monitors.sfs2c.result(),
+        sfs2d=monitors.sfs2d.result(),
+        conditions=monitors.conditions.result(),
+        bad_pair_count=monitors.bad_pairs.count,
+        cycle=monitors.cycle,
         witness_exists=witness_exists,
         witness_verified=witness_verified,
         global_witness_property=global_w,

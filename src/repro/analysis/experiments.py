@@ -23,14 +23,8 @@ from repro.apps.last_to_fail import (
     recover_last_to_fail,
     verdict_is_correct,
 )
-from repro.core.bounds import (
-    bounds_table,
-    feasible_fixed_quorum,
-    max_tolerable_t,
-    min_quorum_size,
-)
+from repro.core.bounds import bounds_table, min_quorum_size
 from repro.core.failed_before import find_cycle, is_acyclic
-from repro.core.history import History
 from repro.core.indistinguishability import (
     bad_pairs,
     ensure_crashes,

@@ -1,4 +1,5 @@
-"""Extension experiments: E11 (transitivity probe) and A1 (deferral ablation).
+"""Extension experiments: E11 (transitivity probe), A1 (deferral ablation),
+and E14 (streaming monitors under a violation-heavy adversary).
 
 E11 quantifies Section 6's closing discussion: how far does detection-
 knowledge piggybacking push the failed-before relation towards
@@ -9,6 +10,14 @@ A1 is the design-choice ablation DESIGN.md calls out: remove the
 application-message deferral ("takes no other action" clause) and show
 that sFS2d genuinely breaks — the mechanism is load-bearing, not
 ceremonial.
+
+E14 exercises the analyze-on-append path end to end: a unilateral
+(Section 6 cheap-model) cluster with continuous application chatter is
+driven into a failed-before cycle early in a long run; streaming monitors
+catch the sFS2b violation at its event index, and ``early_stop`` aborts
+the case there instead of simulating tens of thousands of post-violation
+events. This is the driver the early-stopping sweep mode and
+``benchmarks/bench_e14_streaming.py`` measure.
 """
 
 from __future__ import annotations
@@ -19,10 +28,11 @@ from typing import Sequence
 
 from repro.core.failure_models import check_sfs, check_sfs2d
 from repro.core.indistinguishability import ensure_crashes
+from repro.errors import SimulationError
 from repro.protocols.sfs import SfsProcess
 from repro.protocols.transitive import TransitiveSfsProcess
+from repro.protocols.unilateral import UnilateralProcess
 from repro.sim.delays import UniformDelay
-from repro.sim.failures import apply_faults, random_fault_plan
 from repro.sim.world import build_world
 
 
@@ -212,3 +222,160 @@ def run_a1(
             A1Row(defer_app=defer, runs=len(seeds), sfs2d_violations=violations)
         )
     return rows
+
+# ----------------------------------------------------------------------
+# E14 — streaming monitors catch violations mid-run; early stop pays
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class E14Row:
+    """One monitored run of the violation-heavy adversary scenario."""
+
+    n: int
+    work_items: int
+    early_stop: bool
+    events_recorded: int
+    violation_event_index: int | None
+    violating_monitor: str | None
+
+    @property
+    def violated(self) -> bool:
+        """Whether a halt-relevant safety monitor tripped."""
+        return self.violation_event_index is not None
+
+
+class _ChattyUnilateral(UnilateralProcess):
+    """Section 6 cheap-model detector plus continuous application chatter.
+
+    The chatter is what makes early stopping worth measuring: the
+    failed-before cycle closes within the first few dozen events, while
+    the application keeps the run going for thousands more.
+    """
+
+    work_items = 120
+
+    def on_start(self) -> None:
+        super().on_start()
+        self._work_seq = 0
+        self.set_timer(0.5, self._tick, periodic=True)
+
+    def _tick(self) -> None:
+        if self.crashed:
+            return
+        self._work_seq += 1
+        self.broadcast_app(("work", self.pid, self._work_seq))
+        if self._work_seq < self.work_items:
+            self.set_timer(0.5, self._tick, periodic=True)
+
+
+def run_e14(
+    n: int = 8,
+    work_items: int = 120,
+    suspicion_ring: int = 2,
+    seeds: Sequence[int] = tuple(range(10)),
+    early_stop: bool = False,
+) -> list[E14Row]:
+    """Monitored unilateral runs; mutual suspicion closes an sFS2b cycle.
+
+    The first ``suspicion_ring`` processes suspect each other in a ring at
+    t=1.0 — under the unilateral protocol that yields a failed-before
+    cycle (sFS2b violation) almost immediately, while the remaining
+    processes churn out ``work_items`` application broadcasts each. With
+    ``early_stop`` the attached :class:`~repro.analysis.monitors.MonitorSet`
+    halts the world at the violating event; without it the run goes to
+    quiescence and the monitors merely tag the violation index. Both
+    modes are pure functions of the seed, so sweep rows stay bit-identical
+    across serial and parallel executors.
+    """
+    if not 2 <= suspicion_ring <= n:
+        raise ValueError(
+            f"need 2 <= suspicion_ring <= n, got {suspicion_ring} (n={n})"
+        )
+
+    def factory() -> _ChattyUnilateral:
+        proc = _ChattyUnilateral()
+        proc.work_items = work_items
+        return proc
+
+    rows: list[E14Row] = []
+    for seed in seeds:
+        world = build_world(
+            n, factory, delay_model=UniformDelay(0.2, 2.0), seed=seed
+        )
+        monitors = world.attach_monitor(stop_on_violation=early_stop)
+        for i in range(suspicion_ring):
+            world.inject_suspicion(i, (i + 1) % suspicion_ring, at=1.0)
+        world.run_to_quiescence(max_events=2_000_000)
+        violation = monitors.first_violation
+        rows.append(
+            E14Row(
+                n=n,
+                work_items=work_items,
+                early_stop=early_stop,
+                events_recorded=len(world.trace),
+                violation_event_index=(
+                    violation[0] if violation else None
+                ),
+                violating_monitor=violation[1] if violation else None,
+            )
+        )
+    return rows
+
+# ----------------------------------------------------------------------
+# Monitored scenarios for `python -m repro monitor`
+# ----------------------------------------------------------------------
+
+
+def _monitor_world_demo(n: int, seed: int):
+    """The quickstart sFS scenario: one crash, conformant throughout."""
+    world = build_world(n or 9, lambda: SfsProcess(t=2), seed=seed)
+    world.inject_crash((n or 9) - 2, at=0.5)
+    world.inject_suspicion(0, (n or 9) - 2, at=1.0)
+    return world
+
+
+def _monitor_world_cycle(n: int, seed: int):
+    """Unilateral mutual suspicion: the quickest sFS2b violation."""
+    world = build_world(
+        n or 6,
+        lambda: UnilateralProcess(),
+        delay_model=UniformDelay(0.2, 2.0),
+        seed=seed,
+    )
+    world.inject_suspicion(0, 1, at=1.0)
+    world.inject_suspicion(1, 0, at=1.0)
+    return world
+
+
+def _monitor_world_e14(n: int, seed: int):
+    """The violation-heavy E14 workload: early cycle, long chatty tail."""
+    world = build_world(
+        n or 8,
+        _ChattyUnilateral,
+        delay_model=UniformDelay(0.2, 2.0),
+        seed=seed,
+    )
+    world.inject_suspicion(0, 1, at=1.0)
+    world.inject_suspicion(1, 0, at=1.0)
+    return world
+
+
+MONITOR_SCENARIOS = {
+    "demo": _monitor_world_demo,
+    "cycle": _monitor_world_cycle,
+    "e14": _monitor_world_e14,
+}
+"""Scenario builders for the streaming-monitor CLI, by id."""
+
+
+def build_monitor_world(eid: str, n: int | None = None, seed: int = 0):
+    """Construct the (not yet run) world for a monitored scenario."""
+    try:
+        builder = MONITOR_SCENARIOS[eid.lower()]
+    except KeyError:
+        raise SimulationError(
+            f"unknown monitored scenario {eid!r}; choose from "
+            f"{', '.join(sorted(MONITOR_SCENARIOS))}"
+        ) from None
+    return builder(n or 0, seed)

@@ -1,0 +1,468 @@
+"""Streaming conformance monitors: analyze-on-append for every paper property.
+
+The batch pipeline (:func:`repro.analysis.checker.analyze`) judges a run
+after it has finished; the monitors here judge it *while it happens*. Each
+paper property — FS1, FS2, sFS2a-d, Conditions 1-3, failed-before
+acyclicity, well-formedness — is wrapped as a monitor that consumes one
+event at a time in O(1)-O(n) amortized per event (never O(history)), and a
+:class:`MonitorSet` aggregates them into a live conformance verdict.
+
+The monitors do not reimplement the properties: they feed the *same*
+transition state machines (:mod:`repro.core.failure_models`,
+:mod:`repro.core.validate`, :mod:`repro.core.failed_before`) that the
+batch ``check_*`` functions fold histories through, so streaming and batch
+verdicts agree by construction — the property suite replays random runs
+both ways and asserts the resulting reports are equal.
+
+Safety properties are prefix-monotone: once violated, a monitor's verdict
+is locked and the event index is recorded, which is what
+``World.attach_monitor(..., stop_on_violation=True)`` and the sweep
+runner's ``early_stop`` mode key off (a violation visible at event 50
+aborts a 100k-event case on the spot). Liveness properties (FS1, sFS2a)
+cannot be falsified mid-run; their monitors expose the count of open
+obligations instead and render verdicts only at :meth:`finalize` time.
+
+Wiring options:
+
+* **streaming** — ``world.attach_monitor(MonitorSet(world.n))`` rides
+  :meth:`repro.core.history.HistoryBuilder.append` via the observer hook,
+  zero extra passes over the trace;
+* **replay** — :meth:`MonitorSet.replay` drives a finished
+  :class:`~repro.core.history.History` through the same code path, which
+  is exactly how ``analyze()`` is implemented now.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.events import CrashEvent, Event, FailedEvent
+from repro.core.failure_models import (
+    CheckResult,
+    Condition3State,
+    FS1State,
+    FS2State,
+    PropertyState,
+    SFS2aState,
+    SFS2bState,
+    SFS2cState,
+    SFS2dState,
+    cycle_violations,
+)
+from repro.core.history import History
+from repro.core.validate import ValidationState
+
+
+class PropertyMonitor:
+    """One paper property, judged incrementally.
+
+    Thin verdict plumbing around a core transition state machine: the
+    monitor forwards events, exposes the live verdict (``ok``), the lock-in
+    index for safety properties (``first_violation_index``), and renders a
+    batch-identical :class:`CheckResult` on demand.
+    """
+
+    __slots__ = ("_state",)
+
+    #: CheckResult name; matches the batch checker's.
+    name = "?"
+
+    def __init__(self, state: PropertyState):
+        self._state = state
+
+    @property
+    def safety(self) -> bool:
+        """Whether the property locks its verdict mid-run.
+
+        Single-sourced from the transition machine's ``safety`` flag
+        (:class:`~repro.core.failure_models.PropertyState`), so a monitor
+        cannot drift from its state machine's classification. States
+        outside that hierarchy (e.g. ``ValidationState``) default to
+        safety, which is what a prefix-falsifiable scan is.
+        """
+        return getattr(self._state, "safety", True)
+
+    def observe(
+        self, idx: int, event: Event, vector: tuple[int, ...] | None = None
+    ) -> None:
+        """Advance the monitor by one appended event."""
+        self._state.observe(idx, event, vector)
+
+    @property
+    def state(self) -> PropertyState:
+        """The underlying transition state machine (shareable, read-only)."""
+        return self._state
+
+    @property
+    def first_violation_index(self) -> int | None:
+        """Event index where the verdict locked (safety only), or None."""
+        return self._state.first_violation_index
+
+    @property
+    def ok(self) -> bool:
+        """Live verdict: no locked violation on the prefix so far.
+
+        For liveness monitors this is always True mid-run (see
+        :meth:`pending_obligations` on the FS1/sFS2a monitors for the
+        open-obligation view); the finalized verdict is
+        ``self.result().ok``.
+        """
+        return self.first_violation_index is None
+
+    def result(self) -> CheckResult:
+        """The property's :class:`CheckResult` for the prefix seen so far."""
+        violations = self._state.finalize()
+        return CheckResult(self.name, not violations, tuple(violations))
+
+
+class FS1Monitor(PropertyMonitor):
+    """FS1 — completeness of detection (liveness)."""
+
+    __slots__ = ("_pending_ok",)
+    name = "FS1"
+
+    def __init__(self, n: int, pending_ok: bool = False):
+        super().__init__(FS1State(n))
+        self._pending_ok = pending_ok
+
+    def pending_obligations(self) -> int:
+        """Crashes not yet detected by every surviving process."""
+        return self._state.pending_obligations()
+
+    def result(self) -> CheckResult:
+        violations = self._state.finalize(self._pending_ok)
+        return CheckResult(self.name, not violations, tuple(violations))
+
+
+class FS2Monitor(PropertyMonitor):
+    """FS2 — no false detections (safety, locks at the detection)."""
+
+    __slots__ = ()
+    name = "FS2"
+
+    def __init__(self):
+        super().__init__(FS2State())
+
+
+class SFS2aMonitor(PropertyMonitor):
+    """sFS2a — detected processes eventually crash (liveness)."""
+
+    __slots__ = ("_pending_ok",)
+    name = "sFS2a"
+
+    def __init__(self, pending_ok: bool = False):
+        super().__init__(SFS2aState())
+        self._pending_ok = pending_ok
+
+    def pending_obligations(self) -> int:
+        """Detections whose target has not crashed yet."""
+        return self._state.pending_obligations()
+
+    def result(self) -> CheckResult:
+        violations = self._state.finalize(self._pending_ok)
+        return CheckResult(self.name, not violations, tuple(violations))
+
+
+class SFS2bMonitor(PropertyMonitor):
+    """sFS2b — failed-before acyclicity (safety, locks at cycle closure)."""
+
+    __slots__ = ()
+    name = "sFS2b"
+
+    def __init__(self):
+        super().__init__(SFS2bState())
+
+    @property
+    def cycle(self) -> list[tuple[int, int]] | None:
+        """The locked-in failed-before cycle, or None while acyclic."""
+        return self._state.cycle
+
+
+class SFS2cMonitor(PropertyMonitor):
+    """sFS2c — no self-detection (safety, immediate)."""
+
+    __slots__ = ()
+    name = "sFS2c"
+
+    def __init__(self):
+        super().__init__(SFS2cState())
+
+
+class SFS2dMonitor(PropertyMonitor):
+    """sFS2d — detections propagate ahead of messages (safety, at recv)."""
+
+    __slots__ = ()
+    name = "sFS2d"
+
+    def __init__(self):
+        super().__init__(SFS2dState())
+
+
+class ConditionsMonitor(PropertyMonitor):
+    """Conditions 1-3 of Theorem 2, aggregated (Section 3.2).
+
+    Condition 1 is identical in force to sFS2a and Condition 2 to sFS2b,
+    so the composite can *share* those monitors' state machines instead
+    of re-running them per event — :class:`MonitorSet` passes its own in
+    (``cond1``/``cond2``), halving the detection-event work on the hot
+    streaming path. Standing alone (no shared states) it constructs and
+    feeds its own, staying usable as a self-contained monitor. The
+    safety verdict locks on the earlier of a cycle closure (Condition 2)
+    or a causally-tainted post-detection event (Condition 3); Condition 1
+    is liveness and only judged at result time.
+    """
+
+    __slots__ = ("_cond1", "_cond2", "_owns_states", "_pending_ok")
+    name = "Conditions1-3"
+
+    def __init__(
+        self,
+        pending_ok: bool = False,
+        cond1: SFS2aState | None = None,
+        cond2: SFS2bState | None = None,
+    ):
+        super().__init__(Condition3State())
+        # Either both states are shared (and fed by their owners) or both
+        # are private (and fed here); mixing would skew event feeds.
+        if (cond1 is None) != (cond2 is None):
+            raise ValueError("share both cond1 and cond2 states, or neither")
+        self._owns_states = cond1 is None
+        self._cond1 = cond1 if cond1 is not None else SFS2aState()
+        self._cond2 = cond2 if cond2 is not None else SFS2bState()
+        self._pending_ok = pending_ok
+
+    def observe(
+        self, idx: int, event: Event, vector: tuple[int, ...] | None = None
+    ) -> None:
+        if self._owns_states:
+            self._cond1.observe(idx, event, vector)
+            self._cond2.observe(idx, event, vector)
+        self._state.observe(idx, event, vector)
+
+    @property
+    def first_violation_index(self) -> int | None:
+        candidates = [
+            i
+            for i in (
+                self._cond2.first_violation_index,
+                self._state.first_violation_index,
+            )
+            if i is not None
+        ]
+        return min(candidates) if candidates else None
+
+    def result(self) -> CheckResult:
+        violations = (
+            self._cond1.finalize(self._pending_ok)
+            + self._cond2.finalize()
+            + self._state.finalize()
+        )
+        return CheckResult(self.name, not violations, tuple(violations))
+
+
+class WellFormednessMonitor(PropertyMonitor):
+    """Definitions 1, 6, 7 — validity of the history (safety)."""
+
+    __slots__ = ()
+    name = "valid"
+
+    def __init__(self, n: int):
+        super().__init__(ValidationState(n))
+
+    @property
+    def violations(self) -> list[str]:
+        """The well-formedness violations found so far, in scan order."""
+        return list(self._state.violations)
+
+    def result(self) -> CheckResult:
+        violations = self._state.violations
+        return CheckResult(self.name, not violations, tuple(violations))
+
+
+class BadPairCounter:
+    """Streaming count of Definition 8 *bad pairs*.
+
+    A pair is bad when ``failed_j(i)`` precedes ``crash_i``; the count
+    equals ``len(bad_pairs(history))`` on the same prefix (pairs whose
+    crash never arrives are not counted, matching the batch helper).
+    """
+
+    __slots__ = ("_pending", "_seen", "_crashed", "count")
+    name = "bad-pairs"
+    safety = False
+    first_violation_index = None
+
+    def __init__(self):
+        self._pending: dict[int, int] = {}
+        self._seen: set[tuple[int, int]] = set()
+        self._crashed: set[int] = set()
+        self.count = 0
+
+    def observe(
+        self, idx: int, event: Event, vector: tuple[int, ...] | None = None
+    ) -> None:
+        if isinstance(event, FailedEvent):
+            key = (event.proc, event.target)
+            if key in self._seen:
+                return
+            self._seen.add(key)
+            if event.target not in self._crashed:
+                self._pending[event.target] = (
+                    self._pending.get(event.target, 0) + 1
+                )
+        elif isinstance(event, CrashEvent):
+            if event.proc not in self._crashed:
+                self._crashed.add(event.proc)
+                self.count += self._pending.pop(event.proc, 0)
+
+
+#: Safety monitors whose lock-in aborts an early-stopping run. FS2 is
+#: deliberately *not* in the default: under simulated fail-stop a
+#: detection legitimately precedes its crash, so FS2 trips on every sFS
+#: run — callers monitoring for strict FS can opt it in via ``halt_on``.
+DEFAULT_HALT_ON = ("valid", "sFS2b", "sFS2c", "sFS2d", "Conditions1-3")
+
+
+class MonitorSet:
+    """All paper-property monitors over one event stream, plus aggregation.
+
+    Feed it events via :meth:`observe` (the signature matches the
+    :class:`~repro.core.history.HistoryBuilder` observer hook) or replay a
+    finished history with :meth:`replay`; read the live verdict from
+    ``ok_so_far`` / ``first_violation`` and the batch-identical
+    per-property results from :meth:`check_results`.
+
+    Args:
+        n: number of processes in the system.
+        pending_ok: forwarded to the liveness monitors (FS1, sFS2a,
+            Condition 1) — treat open obligations as not-yet-violations
+            when rendering results.
+        halt_on: names of the monitors whose violation counts as "the run
+            is non-conformant, stop caring" for ``first_violation`` /
+            ``ok_so_far`` (default :data:`DEFAULT_HALT_ON`).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        pending_ok: bool = False,
+        halt_on: Iterable[str] = DEFAULT_HALT_ON,
+    ):
+        self.n = n
+        self.pending_ok = pending_ok
+        self.validity = WellFormednessMonitor(n)
+        self.fs1 = FS1Monitor(n, pending_ok)
+        self.fs2 = FS2Monitor()
+        self.sfs2a = SFS2aMonitor(pending_ok)
+        self.sfs2b = SFS2bMonitor()
+        self.sfs2c = SFS2cMonitor()
+        self.sfs2d = SFS2dMonitor()
+        # Conditions 1/2 share the sFS2a/sFS2b machines (identical in
+        # force), so detection events are processed once, not twice.
+        self.conditions = ConditionsMonitor(
+            pending_ok, cond1=self.sfs2a.state, cond2=self.sfs2b.state
+        )
+        self.bad_pairs = BadPairCounter()
+        self.monitors: tuple = (
+            self.validity,
+            self.fs1,
+            self.fs2,
+            self.sfs2a,
+            self.sfs2b,
+            self.sfs2c,
+            self.sfs2d,
+            self.conditions,
+        )
+        self._halt_on = tuple(halt_on)
+        self._safety = tuple(
+            m for m in self.monitors if m.safety and m.name in self._halt_on
+        )
+        self._tripped: set[str] = set()
+        #: Every safety lock-in observed, as ``(event_index, monitor name)``
+        #: in discovery order (which is event-index order).
+        self.violation_log: list[tuple[int, str]] = []
+        self.events_seen = 0
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+
+    def observe(
+        self, idx: int, event: Event, vector: tuple[int, ...] | None = None
+    ) -> None:
+        """Advance every monitor by one event (HistoryBuilder-hook shape)."""
+        for monitor in self.monitors:
+            monitor.observe(idx, event, vector)
+        self.bad_pairs.observe(idx, event, vector)
+        self.events_seen += 1
+        for monitor in self._safety:
+            if (
+                monitor.name not in self._tripped
+                and monitor.first_violation_index is not None
+            ):
+                self._tripped.add(monitor.name)
+                self.violation_log.append(
+                    (monitor.first_violation_index, monitor.name)
+                )
+
+    def replay(self, history: History) -> "MonitorSet":
+        """Drive a finished history through the same streaming path."""
+        for idx, (event, vector) in enumerate(zip(history, history.vectors)):
+            self.observe(idx, event, vector)
+        return self
+
+    # ------------------------------------------------------------------
+    # Live verdict
+    # ------------------------------------------------------------------
+
+    @property
+    def first_violation(self) -> tuple[int, str] | None:
+        """Earliest halt-relevant violation ``(event index, monitor name)``."""
+        return self.violation_log[0] if self.violation_log else None
+
+    @property
+    def ok_so_far(self) -> bool:
+        """No halt-relevant safety monitor has tripped yet."""
+        return not self.violation_log
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    @property
+    def cycle(self) -> tuple[tuple[int, int], ...] | None:
+        """The failed-before cycle (report form), or None while acyclic."""
+        cycle = self.sfs2b.cycle
+        return tuple(cycle) if cycle else None
+
+    def check_results(self) -> dict[str, CheckResult]:
+        """Batch-identical per-property results for the prefix seen so far."""
+        return {
+            monitor.name: monitor.result() for monitor in self.monitors
+        }
+
+    def summary(self) -> str:
+        """A compact live-verdict rendering for streaming output.
+
+        Locked safety violations render as ``VIOLATED`` with their event
+        index; liveness properties whose obligations are still open (and
+        composites failing only on a liveness component) render as
+        ``pending`` — a finite prefix cannot falsify them.
+        """
+        lines = []
+        for monitor in self.monitors:
+            result = monitor.result()
+            locked = monitor.first_violation_index
+            if result.ok:
+                mark = "ok"
+            elif locked is not None:
+                mark = f"VIOLATED (locked at event [{locked}])"
+            else:
+                open_count = getattr(monitor, "pending_obligations", None)
+                tail = f" ({open_count()} open)" if open_count else ""
+                mark = f"pending{tail}"
+            lines.append(f"{monitor.name:<14} {mark}")
+        lines.append(f"{'bad pairs':<14} {self.bad_pairs.count}")
+        if self.cycle is not None:
+            lines.extend(cycle_violations(list(self.cycle)))
+        return "\n".join(lines)

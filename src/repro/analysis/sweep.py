@@ -42,8 +42,10 @@ import sys
 from dataclasses import dataclass, fields, is_dataclass
 from typing import Any, Callable, Mapping, Sequence
 
+import inspect
+
 from repro.analysis.experiments import SEEDED_DRIVERS
-from repro.analysis.extensions import run_a1, run_e11
+from repro.analysis.extensions import run_a1, run_e11, run_e14
 from repro.analysis.report import format_table
 from repro.errors import SimulationError
 
@@ -52,6 +54,7 @@ def _drivers() -> dict[str, Callable[..., Any]]:
     drivers: dict[str, Callable[..., Any]] = dict(SEEDED_DRIVERS)
     drivers["e11"] = run_e11
     drivers["a1"] = run_a1
+    drivers["e14"] = run_e14
     return drivers
 
 
@@ -77,12 +80,16 @@ class SweepCase:
 
     ``params`` is an insertion-ordered tuple of ``(name, value)`` keyword
     arguments forwarded to the experiment driver (fixed parameters first,
-    then the grid combination).
+    then the grid combination). ``early_stop`` asks the driver to abort
+    the case at the first streaming-monitor violation (only drivers that
+    accept an ``early_stop`` keyword support it; others are rejected at
+    execution time).
     """
 
     experiment: str
     seed: int
     params: tuple[tuple[str, Any], ...] = ()
+    early_stop: bool = False
 
 
 @dataclass(frozen=True)
@@ -100,6 +107,7 @@ def plan_cases(
     seeds: Sequence[int],
     params: Mapping[str, Any] | None = None,
     grid: Mapping[str, Sequence[Any]] | None = None,
+    early_stop: bool = False,
 ) -> list[SweepCase]:
     """Expand a sweep request into an explicit, ordered case list.
 
@@ -107,13 +115,23 @@ def plan_cases(
     never on the executor — it *is* the row order of the final result.
     """
     experiment = experiment.lower()
-    sweep_driver(experiment)  # validate the id before planning
+    driver = sweep_driver(experiment)  # validate the id before planning
     grid = grid or {}
     fixed_keys = set(params or {})
     if "seeds" in fixed_keys or "seeds" in grid:
         raise SimulationError(
             "'seeds' is supplied by the sweep runner itself "
             "(one case per seed); pass seeds=... to run_sweep/plan_cases"
+        )
+    if "early_stop" in fixed_keys or "early_stop" in grid:
+        raise SimulationError(
+            "'early_stop' is a sweep execution mode, not a driver "
+            "parameter; pass early_stop=True to run_sweep/plan_cases"
+        )
+    if early_stop and not _supports_early_stop(driver):
+        raise SimulationError(
+            f"experiment {experiment!r} does not support early_stop (its "
+            "driver takes no 'early_stop' keyword); run it in full mode"
         )
     overlap = sorted(fixed_keys & set(grid))
     if overlap:
@@ -127,20 +145,42 @@ def plan_cases(
         for values in itertools.product(*grid.values())
     ] or [()]
     return [
-        SweepCase(experiment=experiment, seed=seed, params=fixed + combo)
+        SweepCase(
+            experiment=experiment,
+            seed=seed,
+            params=fixed + combo,
+            early_stop=early_stop,
+        )
         for combo in combos
         for seed in seeds
     ]
 
 
+def _supports_early_stop(driver: Callable[..., Any]) -> bool:
+    """Whether a driver accepts the ``early_stop`` keyword."""
+    return "early_stop" in inspect.signature(driver).parameters
+
+
 def run_case(case: SweepCase) -> list[SweepRow]:
     """Execute one case; all nondeterminism flows from ``case.seed``.
+
+    With ``case.early_stop`` the driver is asked to abort the run at the
+    first streaming-monitor violation and tag its row with the violating
+    event index (drivers without an ``early_stop`` keyword are rejected).
 
     Must stay a module-level function: the parallel executor ships cases
     to worker processes by pickling.
     """
     driver = sweep_driver(case.experiment)
-    result = driver(seeds=(case.seed,), **dict(case.params))
+    kwargs = dict(case.params)
+    if case.early_stop:
+        if not _supports_early_stop(driver):
+            raise SimulationError(
+                f"experiment {case.experiment!r} does not support "
+                "early_stop (its driver takes no 'early_stop' keyword)"
+            )
+        kwargs["early_stop"] = True
+    result = driver(seeds=(case.seed,), **kwargs)
     rows = result if isinstance(result, list) else [result]
     return [
         SweepRow(
@@ -160,13 +200,18 @@ def run_sweep(
     grid: Mapping[str, Sequence[Any]] | None = None,
     jobs: int = 1,
     chunksize: int | None = None,
+    early_stop: bool = False,
 ) -> list[SweepRow]:
     """Run a sweep, serially (``jobs<=1``) or on a process pool.
 
     Rows come back in planned-case order regardless of ``jobs``;
-    a parallel sweep is bit-identical to the serial one.
+    a parallel sweep is bit-identical to the serial one — in full mode
+    and in ``early_stop`` mode alike (a case's abort point is a pure
+    function of its seed, never of the executor).
     """
-    cases = plan_cases(experiment, seeds, params=params, grid=grid)
+    cases = plan_cases(
+        experiment, seeds, params=params, grid=grid, early_stop=early_stop
+    )
     if jobs <= 1 or len(cases) <= 1:
         per_case = [run_case(case) for case in cases]
     else:
@@ -205,7 +250,14 @@ def rows_digest(rows: Sequence[SweepRow]) -> str:
 
 
 def sweep_table(rows: Sequence[SweepRow]) -> str:
-    """Render sweep rows as a fixed-width ASCII table."""
+    """Render sweep rows as a fixed-width ASCII table.
+
+    Inner column names are the *union* of the field names across all rows
+    (first-seen order), not just the first row's — so a sweep whose driver
+    returns different dataclasses for different parameter combinations
+    still renders aligned, with ``-`` in the cells a row does not define.
+    Non-dataclass rows land in a trailing ``row`` column.
+    """
     if not rows:
         return "(no rows)"
     param_names: list[str] = []
@@ -213,22 +265,28 @@ def sweep_table(rows: Sequence[SweepRow]) -> str:
         for name, _ in row.params:
             if name not in param_names:
                 param_names.append(name)
-    first_inner = rows[0].row
-    inner_names = (
-        [f.name for f in fields(first_inner)]
-        if is_dataclass(first_inner)
-        else ["row"]
-    )
+    inner_names: list[str] = []
+    any_plain = False
+    for row in rows:
+        if is_dataclass(row.row) and not isinstance(row.row, type):
+            for f in fields(row.row):
+                if f.name not in inner_names:
+                    inner_names.append(f.name)
+        else:
+            any_plain = True
+    if any_plain and "row" not in inner_names:
+        inner_names.append("row")
     headers = ["seed", *param_names, *inner_names]
     table_rows = []
     for row in rows:
         values = dict(row.params)
         inner = row.row
-        inner_cells = (
-            [getattr(inner, name) for name in inner_names]
-            if is_dataclass(inner)
-            else [inner]
-        )
+        if is_dataclass(inner) and not isinstance(inner, type):
+            inner_cells = [getattr(inner, name, "-") for name in inner_names]
+        else:
+            inner_cells = [
+                inner if name == "row" else "-" for name in inner_names
+            ]
         table_rows.append(
             [row.seed]
             + [values.get(name, "-") for name in param_names]

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable
 
-from repro.core.events import CrashEvent, FailedEvent, RecvEvent, SendEvent
+from repro.core.events import CrashEvent, FailedEvent, SendEvent
 from repro.core.history import History
 from repro.core.messages import Message
 from repro.protocols.sfs import SfsProcess

@@ -9,6 +9,18 @@ when cycles occur.
 
 The relation is represented as a :class:`networkx.DiGraph` whose edge
 ``(i, j)`` means "i failed before j".
+
+Two evaluation regimes share one transition core:
+
+* **batch** — :func:`find_cycle` folds a finished history's detection pairs
+  through a :class:`FailedBeforeTracker`;
+* **streaming** — the same tracker rides event appends one detection at a
+  time (see :mod:`repro.analysis.monitors`), locking onto the *first* cycle
+  the relation acquires, which by construction is the cycle the batch fold
+  reports for any extension of the same prefix.
+
+:func:`is_acyclic` deliberately stays on the independent networkx path so
+the property suite can cross-validate the tracker against it.
 """
 
 from __future__ import annotations
@@ -16,6 +28,83 @@ from __future__ import annotations
 import networkx as nx
 
 from repro.core.history import History
+
+
+class FailedBeforeTracker:
+    """Incrementally maintained failed-before relation with cycle lock-in.
+
+    Edges arrive one at a time via :meth:`add` as detections are observed;
+    the tracker answers "is the relation still acyclic?" after every edge.
+    Because edges are never removed, acyclicity is prefix-monotone: the
+    first cycle found is *the* verdict for every longer prefix, so the
+    tracker freezes it (``cycle``) and skips all further search work.
+
+    Cost model: an edge insertion into a still-acyclic relation runs one
+    DFS over the process-level relation — O(V + E) with V, E bounded by
+    the number of processes and ordered detection pairs (<= n^2), never by
+    the history length. Once a cycle is locked every further call is O(1),
+    so monitoring a long run costs O(1) amortized per event.
+    """
+
+    __slots__ = ("_succ", "_edges", "_cycle")
+
+    def __init__(self) -> None:
+        self._succ: dict[int, list[int]] = {}
+        self._edges: set[tuple[int, int]] = set()
+        self._cycle: list[tuple[int, int]] | None = None
+
+    @property
+    def cycle(self) -> list[tuple[int, int]] | None:
+        """The first cycle the relation acquired (edge list), or None."""
+        return None if self._cycle is None else list(self._cycle)
+
+    @property
+    def acyclic(self) -> bool:
+        """Whether the relation is (still) acyclic."""
+        return self._cycle is None
+
+    def add(self, i: int, j: int) -> None:
+        """Record *i failed before j* (i.e. ``failed_j(i)`` occurred)."""
+        if (i, j) in self._edges:
+            return
+        self._edges.add((i, j))
+        self._succ.setdefault(i, []).append(j)
+        if self._cycle is not None:
+            return  # verdict already locked; nothing can un-cycle it
+        path = self._path(j, i)
+        if path is not None:
+            self._cycle = [(i, j)] + path
+
+    def _path(self, start: int, goal: int) -> list[tuple[int, int]] | None:
+        """A DFS path ``start -> goal`` as an edge list, or None.
+
+        Deterministic: successors are explored in edge-insertion order, so
+        batch folds and streaming appends of the same detection sequence
+        lock onto the identical cycle.
+        """
+        if start == goal:
+            return []
+        stack: list[tuple[int, int]] = [(start, 0)]
+        visited = {start}
+        while stack:
+            node, child_pos = stack[-1]
+            children = self._succ.get(node, [])
+            if child_pos >= len(children):
+                stack.pop()
+                continue
+            stack[-1] = (node, child_pos + 1)
+            child = children[child_pos]
+            if child == goal:
+                edges = [
+                    (stack[k][0], stack[k + 1][0])
+                    for k in range(len(stack) - 1)
+                ]
+                edges.append((node, child))
+                return edges
+            if child not in visited:
+                visited.add(child)
+                stack.append((child, 0))
+        return None
 
 
 def failed_before_pairs(history: History) -> list[tuple[int, int]]:
@@ -48,12 +137,17 @@ def find_cycle(history: History) -> list[tuple[int, int]] | None:
     Returns the cycle as a list of edges ``(i, j)`` meaning *i failed
     before j*; useful as a human-readable certificate that a run is
     distinguishable from fail-stop (Theorem 2, Condition 2).
+
+    A thin fold over :class:`FailedBeforeTracker`, so the batch answer is
+    — by construction — the cycle a streaming monitor locks onto while
+    observing the same detections one event at a time. Cross-validated
+    against the independent networkx path (:func:`is_acyclic`) in the
+    property suite.
     """
-    graph = failed_before_graph(history)
-    try:
-        return [edge[:2] for edge in nx.find_cycle(graph)]
-    except nx.NetworkXNoCycle:
-        return None
+    tracker = FailedBeforeTracker()
+    for i, j in failed_before_pairs(history):
+        tracker.add(i, j)
+    return tracker.cycle
 
 
 def is_transitive(history: History) -> bool:

@@ -8,6 +8,22 @@ The temporal-logic formulas in :mod:`repro.core.predicates` express the same
 properties declaratively; the test suite cross-validates the two on both
 hand-written and simulator-generated histories.
 
+Single source of truth: every property is implemented once, as an
+*incremental transition state machine* (``FS1State``, ``FS2State``, ...)
+that consumes one event at a time. The batch ``check_*`` functions below
+are thin folds of a history through the corresponding state machine, and
+the streaming monitors of :mod:`repro.analysis.monitors` feed the very
+same machines as events are appended — so an analyze-on-append verdict
+and a post-hoc batch verdict cannot disagree, by construction.
+
+Safety properties (FS2, sFS2b-d, Condition 3) are *prefix-monotone*: once
+a state machine has seen a violating event its verdict is locked, and every
+machine records the event index at which that happened
+(``first_violation_index``) — the hook early-stopping sweeps key off.
+Liveness properties (FS1, sFS2a / Condition 1) cannot be falsified by a
+finite prefix; their machines track the open obligations instead and only
+judge them at :meth:`finalize` time.
+
 Finite-prefix caveats:
 
 * FS1 and sFS2a are *liveness* properties; on a finite prefix they are
@@ -22,8 +38,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.events import FailedEvent, RecvEvent, SendEvent
-from repro.core.failed_before import find_cycle
+from repro.core.events import (
+    CrashEvent,
+    Event,
+    FailedEvent,
+    RecvEvent,
+    SendEvent,
+)
+from repro.core.failed_before import FailedBeforeTracker, find_cycle
 from repro.core.history import History
 
 
@@ -48,6 +70,402 @@ def _result(name: str, violations: list[str]) -> CheckResult:
 
 
 # ----------------------------------------------------------------------
+# Incremental transition state machines (one per property)
+# ----------------------------------------------------------------------
+
+
+class PropertyState:
+    """Base for per-property transition machines.
+
+    ``observe(idx, event, vector)`` advances the machine by one event;
+    ``vector`` is the event's vector timestamp and may be ``None`` for
+    machines that do not reason about happens-before. ``finalize``
+    renders the violation strings for the prefix consumed so far — it is
+    a pure read (streaming callers may finalize repeatedly as the run
+    grows).
+    """
+
+    __slots__ = ("first_violation_index",)
+
+    #: True for properties a finite prefix can falsify (verdict monotone).
+    safety = True
+
+    def __init__(self) -> None:
+        self.first_violation_index: int | None = None
+
+    def _flag(self, idx: int) -> None:
+        if self.first_violation_index is None:
+            self.first_violation_index = idx
+
+    def observe(
+        self, idx: int, event: Event, vector: tuple[int, ...] | None = None
+    ) -> None:
+        raise NotImplementedError
+
+    def finalize(self) -> list[str]:
+        raise NotImplementedError
+
+
+class FS1State(PropertyState):
+    """FS1 — every crash eventually detected by every surviving process.
+
+    Liveness: nothing observable mid-run is ever a violation; the open
+    obligations (crashed ``i`` not yet detected by live ``j``) are judged
+    only when the prefix is declared finished.
+    """
+
+    __slots__ = ("_n", "_crashes", "_detected")
+
+    safety = False
+
+    def __init__(self, n: int) -> None:
+        super().__init__()
+        self._n = n
+        self._crashes: dict[int, int] = {}
+        self._detected: set[tuple[int, int]] = set()
+
+    def observe(
+        self, idx: int, event: Event, vector: tuple[int, ...] | None = None
+    ) -> None:
+        if isinstance(event, CrashEvent):
+            self._crashes.setdefault(event.proc, idx)
+        elif isinstance(event, FailedEvent):
+            self._detected.add((event.proc, event.target))
+
+    def _open_obligations(self):
+        """(crashed, surviving-non-detector) pairs, in crash/pid order."""
+        return (
+            (i, j)
+            for i in self._crashes
+            for j in range(self._n)
+            if j != i and j not in self._crashes
+            and (j, i) not in self._detected
+        )
+
+    def pending_obligations(self) -> int:
+        """Open (crashed, surviving-non-detector) obligations right now."""
+        return sum(1 for _ in self._open_obligations())
+
+    def finalize(self, pending_ok: bool = False) -> list[str]:
+        if pending_ok:
+            return []
+        return [
+            f"FS1: crash_{i} never detected by surviving process {j}"
+            for i, j in self._open_obligations()
+        ]
+
+
+class FS2State(PropertyState):
+    """FS2 — no false detections: ``crash_i`` precedes every ``failed_j(i)``.
+
+    Safety, judged at the detection event: a detection of a not-yet-crashed
+    process violates FS2 no matter what follows (the crash either never
+    comes or comes later — both forbidden), so the verdict locks there.
+    The rendered strings distinguish the two continuations at finalize
+    time.
+    """
+
+    __slots__ = ("_crashes", "_seen", "_bad")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._crashes: dict[int, int] = {}
+        self._seen: set[tuple[int, int]] = set()
+        self._bad: list[tuple[int, int, int]] = []  # (fidx, detector, target)
+
+    def observe(
+        self, idx: int, event: Event, vector: tuple[int, ...] | None = None
+    ) -> None:
+        if isinstance(event, CrashEvent):
+            self._crashes.setdefault(event.proc, idx)
+        elif isinstance(event, FailedEvent):
+            key = (event.proc, event.target)
+            if key in self._seen:
+                return
+            self._seen.add(key)
+            if event.target not in self._crashes:
+                self._bad.append((idx, event.proc, event.target))
+                self._flag(idx)
+
+    def finalize(self) -> list[str]:
+        violations: list[str] = []
+        for fidx, detector, target in self._bad:
+            cidx = self._crashes.get(target)
+            if cidx is None:
+                violations.append(
+                    f"FS2: failed_{detector}({target}) at [{fidx}] but "
+                    f"crash_{target} never occurs"
+                )
+            else:
+                violations.append(
+                    f"FS2: failed_{detector}({target}) at [{fidx}] precedes "
+                    f"crash_{target} at [{cidx}]"
+                )
+        return violations
+
+
+class SFS2aState(PropertyState):
+    """sFS2a — every detected process eventually crashes (liveness)."""
+
+    __slots__ = ("_crashed", "_records")
+
+    safety = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._crashed: set[int] = set()
+        self._records: dict[tuple[int, int], int] = {}
+
+    def observe(
+        self, idx: int, event: Event, vector: tuple[int, ...] | None = None
+    ) -> None:
+        if isinstance(event, CrashEvent):
+            self._crashed.add(event.proc)
+        elif isinstance(event, FailedEvent):
+            self._records.setdefault((event.proc, event.target), idx)
+
+    def _open_obligations(self):
+        """((detector, target), fidx) for detections still awaiting a crash."""
+        return (
+            (pair, fidx)
+            for pair, fidx in self._records.items()
+            if pair[1] not in self._crashed
+        )
+
+    def pending_obligations(self) -> int:
+        """Detections whose target has not crashed yet."""
+        return sum(1 for _ in self._open_obligations())
+
+    def finalize(self, pending_ok: bool = False) -> list[str]:
+        if pending_ok:
+            return []
+        return [
+            f"sFS2a: failed_{detector}({target}) at [{fidx}] but "
+            f"crash_{target} never occurs in the prefix"
+            for (detector, target), fidx in self._open_obligations()
+        ]
+
+
+class SFS2bState(PropertyState):
+    """sFS2b — the failed-before relation stays acyclic.
+
+    Rides :class:`~repro.core.failed_before.FailedBeforeTracker`; the
+    verdict locks at the detection event that closes the first cycle.
+    """
+
+    __slots__ = ("_tracker", "_seen")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._tracker = FailedBeforeTracker()
+        self._seen: set[tuple[int, int]] = set()
+
+    def observe(
+        self, idx: int, event: Event, vector: tuple[int, ...] | None = None
+    ) -> None:
+        if not isinstance(event, FailedEvent):
+            return
+        key = (event.proc, event.target)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self._tracker.add(event.target, event.proc)
+        if not self._tracker.acyclic:
+            self._flag(idx)
+
+    @property
+    def cycle(self) -> list[tuple[int, int]] | None:
+        """The locked-in failed-before cycle, or None while acyclic."""
+        return self._tracker.cycle
+
+    def finalize(self) -> list[str]:
+        return cycle_violations(self._tracker.cycle)
+
+
+def cycle_violations(cycle: list[tuple[int, int]] | None) -> list[str]:
+    """Render a failed-before cycle as sFS2b violation strings."""
+    if cycle is None:
+        return []
+    rendered = " , ".join(f"{i} failed-before {j}" for i, j in cycle)
+    return [f"sFS2b: failed-before cycle: {rendered}"]
+
+
+class SFS2cState(PropertyState):
+    """sFS2c — no process detects its own failure (safety, immediate)."""
+
+    __slots__ = ("_seen", "_violations")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._seen: set[tuple[int, int]] = set()
+        self._violations: list[str] = []
+
+    def observe(
+        self, idx: int, event: Event, vector: tuple[int, ...] | None = None
+    ) -> None:
+        if not isinstance(event, FailedEvent):
+            return
+        key = (event.proc, event.target)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        if event.proc == event.target:
+            self._violations.append(
+                f"sFS2c: self-detection failed_{event.proc}"
+                f"({event.target}) at [{idx}]"
+            )
+            self._flag(idx)
+
+    def finalize(self) -> list[str]:
+        return list(self._violations)
+
+
+class SFS2dState(PropertyState):
+    """sFS2d — detections propagate ahead of subsequent messages.
+
+    Safety, judged at the *receive*: if the sender had executed
+    ``failed(j)`` before sending, the receiver must already have detected
+    ``j`` when it consumes the message — otherwise no continuation can
+    mend the run, and the verdict locks at the receive's index.
+    """
+
+    __slots__ = (
+        "_sends",
+        "_received",
+        "_detections_by_proc",
+        "_failed_index",
+        "_seen",
+        "_records",
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        # uid -> (sidx, src, dst, msg); first send of each uid.
+        self._sends: dict[tuple[int, int], tuple[int, int, int, object]] = {}
+        self._received: set[tuple[int, int]] = set()
+        self._detections_by_proc: dict[int, list[tuple[int, int]]] = {}
+        self._failed_index: dict[tuple[int, int], int] = {}
+        self._seen: set[tuple[int, int]] = set()
+        # (sidx, fidx, ridx, sender, target, receiver, msg)
+        self._records: list[tuple[int, int, int, int, int, int, object]] = []
+
+    def observe(
+        self, idx: int, event: Event, vector: tuple[int, ...] | None = None
+    ) -> None:
+        if isinstance(event, SendEvent):
+            self._sends.setdefault(
+                event.msg.uid, (idx, event.proc, event.dst, event.msg)
+            )
+        elif isinstance(event, FailedEvent):
+            key = (event.proc, event.target)
+            if key in self._seen:
+                return
+            self._seen.add(key)
+            self._failed_index[key] = idx
+            self._detections_by_proc.setdefault(event.proc, []).append(
+                (idx, event.target)
+            )
+        elif isinstance(event, RecvEvent):
+            uid = event.msg.uid
+            if uid in self._received:
+                return
+            self._received.add(uid)
+            send = self._sends.get(uid)
+            if send is None:
+                return  # receive without a send: well-formedness's problem
+            sidx, sender, receiver, msg = send
+            for fidx, target in self._detections_by_proc.get(sender, ()):
+                if fidx > sidx:
+                    break  # detections sorted by index; rest are later
+                if (receiver, target) not in self._failed_index:
+                    self._records.append(
+                        (sidx, fidx, idx, sender, target, receiver, msg)
+                    )
+                    self._flag(idx)
+
+    def finalize(self) -> list[str]:
+        violations: list[str] = []
+        for sidx, fidx, ridx, i, j, k, msg in sorted(self._records):
+            k_fidx = self._failed_index.get((k, j))
+            if k_fidx is None:
+                tail = f"failed_{k}({j}) never occurs"
+            else:
+                tail = f"failed_{k}({j}) only occurs at [{k_fidx}]"
+            violations.append(
+                f"sFS2d: send_{i}({k}, {msg!r}) at [{sidx}] "
+                f"follows failed_{i}({j}) at [{fidx}], but the receive "
+                f"at [{ridx}] is not preceded by the detection: {tail}"
+            )
+        return violations
+
+
+class Condition3State(PropertyState):
+    """Condition 3 — no event of ``j`` causally follows ``failed_i(j)``.
+
+    Needs vector timestamps: at each event of ``j`` it compares the
+    event's vector against the stamp of every earlier detection targeting
+    ``j`` — O(detections targeting j) per event, bounded by ``n`` since
+    only the first detection per ordered pair counts.
+    """
+
+    __slots__ = ("_detections", "_seen", "_records")
+
+    def __init__(self) -> None:
+        super().__init__()
+        # target -> [(fidx, detector, detection-vector)], first pair only.
+        self._detections: dict[
+            int, list[tuple[int, int, tuple[int, ...]]]
+        ] = {}
+        self._seen: set[tuple[int, int]] = set()
+        # (fidx, eidx, detector, target, event)
+        self._records: list[tuple[int, int, int, int, Event]] = []
+
+    def observe(
+        self, idx: int, event: Event, vector: tuple[int, ...] | None = None
+    ) -> None:
+        if vector is None:
+            raise ValueError(
+                "Condition3State needs the event's vector timestamp; feed "
+                "it via MonitorSet/HistoryBuilder observers or "
+                "History.vectors"
+            )
+        for fidx, detector, dvec in self._detections.get(event.proc, ()):
+            if vector[detector] >= dvec[detector]:
+                self._records.append(
+                    (fidx, idx, detector, event.proc, event)
+                )
+                self._flag(idx)
+        if isinstance(event, FailedEvent):
+            key = (event.proc, event.target)
+            if key not in self._seen:
+                self._seen.add(key)
+                self._detections.setdefault(event.target, []).append(
+                    (idx, event.proc, vector)
+                )
+
+    def finalize(self) -> list[str]:
+        return [
+            f"Condition3: failed_{detector}({target}) at [{fidx}] "
+            f"happens-before event {event!r} of process "
+            f"{target} at [{eidx}]"
+            for fidx, eidx, detector, target, event in sorted(
+                self._records, key=lambda r: (r[0], r[1])
+            )
+        ]
+
+
+def _fold(state: PropertyState, history: History, vectors: bool = False):
+    """Drive a transition machine over a finished history."""
+    if vectors:
+        for idx, (event, vec) in enumerate(zip(history, history.vectors)):
+            state.observe(idx, event, vec)
+    else:
+        for idx, event in enumerate(history):
+            state.observe(idx, event)
+    return state
+
+
+# ----------------------------------------------------------------------
 # Fail-stop (Section 3.1)
 # ----------------------------------------------------------------------
 
@@ -60,43 +478,14 @@ def check_fs1(history: History, pending_ok: bool = False) -> CheckResult:
     With ``pending_ok`` the check is vacuously satisfied (used for
     prefixes cut before the detection machinery has quiesced).
     """
-    violations: list[str] = []
-    if pending_ok:
-        return _result("FS1", violations)
-    crash_index = history.crash_index
-    failed_index = history.failed_index
-    for i in crash_index:
-        for j in history.processes:
-            if j == i:
-                continue
-            if j in crash_index:
-                continue  # CRASH_j discharges the obligation
-            if (j, i) not in failed_index:
-                violations.append(
-                    f"FS1: crash_{i} never detected by surviving process {j}"
-                )
-    return _result("FS1", violations)
+    state = _fold(FS1State(history.n), history)
+    return _result("FS1", state.finalize(pending_ok))
 
 
 def check_fs2(history: History) -> CheckResult:
     """FS2: no false detections — ``crash_i`` precedes every ``failed_j(i)``."""
-    violations: list[str] = []
-    crash_index = history.crash_index
-    for (detector, target), fidx in sorted(
-        history.failed_index.items(), key=lambda kv: kv[1]
-    ):
-        cidx = crash_index.get(target)
-        if cidx is None:
-            violations.append(
-                f"FS2: failed_{detector}({target}) at [{fidx}] but "
-                f"crash_{target} never occurs"
-            )
-        elif cidx > fidx:
-            violations.append(
-                f"FS2: failed_{detector}({target}) at [{fidx}] precedes "
-                f"crash_{target} at [{cidx}]"
-            )
-    return _result("FS2", violations)
+    state = _fold(FS2State(), history)
+    return _result("FS2", state.finalize())
 
 
 def check_fs(history: History, pending_ok: bool = False) -> CheckResult:
@@ -116,38 +505,19 @@ def check_sfs2a(history: History, pending_ok: bool = False) -> CheckResult:
 
     Unlike FS2, the crash may come *after* the detection.
     """
-    violations: list[str] = []
-    crash_index = history.crash_index
-    for (detector, target), fidx in history.failed_index.items():
-        if target not in crash_index:
-            if pending_ok:
-                continue
-            violations.append(
-                f"sFS2a: failed_{detector}({target}) at [{fidx}] but "
-                f"crash_{target} never occurs in the prefix"
-            )
-    return _result("sFS2a", violations)
+    state = _fold(SFS2aState(), history)
+    return _result("sFS2a", state.finalize(pending_ok))
 
 
 def check_sfs2b(history: History) -> CheckResult:
     """sFS2b: the failed-before relation is acyclic."""
-    cycle = find_cycle(history)
-    violations: list[str] = []
-    if cycle is not None:
-        rendered = " , ".join(f"{i} failed-before {j}" for i, j in cycle)
-        violations.append(f"sFS2b: failed-before cycle: {rendered}")
-    return _result("sFS2b", violations)
+    return _result("sFS2b", cycle_violations(find_cycle(history)))
 
 
 def check_sfs2c(history: History) -> CheckResult:
     """sFS2c: no process ever detects its own failure."""
-    violations: list[str] = []
-    for (detector, target), fidx in history.failed_index.items():
-        if detector == target:
-            violations.append(
-                f"sFS2c: self-detection failed_{detector}({target}) at [{fidx}]"
-            )
-    return _result("sFS2c", violations)
+    state = _fold(SFS2cState(), history)
+    return _result("sFS2c", state.finalize())
 
 
 def check_sfs2d(history: History) -> CheckResult:
@@ -158,40 +528,8 @@ def check_sfs2d(history: History) -> CheckResult:
     crashes instead, it simply never receives *m*, which also satisfies
     the property — there is then no receive event to check.)
     """
-    violations: list[str] = []
-    recv_index = history.recv_index
-    failed_index = history.failed_index
-    # Detections by each process, ordered by index, for quick "which
-    # detections precede this send" queries.
-    detections_by_proc: dict[int, list[tuple[int, int]]] = {}
-    for (detector, target), fidx in failed_index.items():
-        detections_by_proc.setdefault(detector, []).append((fidx, target))
-    for proc in detections_by_proc:
-        detections_by_proc[proc].sort()
-
-    for uid, sidx in history.send_index.items():
-        send_event = history[sidx]
-        assert isinstance(send_event, SendEvent)
-        i, k = send_event.proc, send_event.dst
-        ridx = recv_index.get(uid)
-        if ridx is None:
-            continue  # never received: nothing to check
-        for fidx, j in detections_by_proc.get(i, ()):
-            if fidx > sidx:
-                break  # detections sorted by index; rest are later
-            # i had detected j before sending m; k must detect j first.
-            k_fidx = failed_index.get((k, j))
-            if k_fidx is None or k_fidx > ridx:
-                if k_fidx is None:
-                    tail = f"failed_{k}({j}) never occurs"
-                else:
-                    tail = f"failed_{k}({j}) only occurs at [{k_fidx}]"
-                violations.append(
-                    f"sFS2d: send_{i}({k}, {send_event.msg!r}) at [{sidx}] "
-                    f"follows failed_{i}({j}) at [{fidx}], but the receive "
-                    f"at [{ridx}] is not preceded by the detection: {tail}"
-                )
-    return _result("sFS2d", violations)
+    state = _fold(SFS2dState(), history)
+    return _result("sFS2d", state.finalize())
 
 
 def check_sfs(history: History, pending_ok: bool = False) -> CheckResult:
@@ -235,18 +573,8 @@ def check_condition3(history: History) -> CheckResult:
     event ``failed_i(j)`` and every later event ``e`` of process ``j``,
     require ``not (failed_i(j) -> e)``.
     """
-    violations: list[str] = []
-    for (detector, target), fidx in history.failed_index.items():
-        for eidx in history.indices_of_process(target):
-            if eidx <= fidx:
-                continue
-            if history.happens_before(fidx, eidx):
-                violations.append(
-                    f"Condition3: failed_{detector}({target}) at [{fidx}] "
-                    f"happens-before event {history[eidx]!r} of process "
-                    f"{target} at [{eidx}]"
-                )
-    return _result("Condition3", violations)
+    state = _fold(Condition3State(), history, vectors=True)
+    return _result("Condition3", state.finalize())
 
 
 def check_necessary_conditions(

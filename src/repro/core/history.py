@@ -355,6 +355,7 @@ class HistoryBuilder:
         "_crash_index",
         "_failed_index",
         "_proc_indices",
+        "_observers",
     )
 
     def __init__(self, n: int, events: Iterable[Event] = ()):
@@ -370,6 +371,7 @@ class HistoryBuilder:
         self._crash_index: dict[int, int] = {}
         self._failed_index: dict[tuple[int, int], int] = {}
         self._proc_indices: list[list[int]] = [[] for _ in range(n)]
+        self._observers: list = []
         if events:
             self.append(*events)
 
@@ -421,6 +423,17 @@ class HistoryBuilder:
     # Building
     # ------------------------------------------------------------------
 
+    def attach_observer(self, observer) -> None:
+        """Call ``observer(index, event, vector)`` after every append.
+
+        The hook is how analyze-on-append monitors ride the builder with
+        zero extra passes: the observer sees each event exactly once, at
+        the moment it is appended, together with its index and freshly
+        stamped vector timestamp. Observers run in attachment order and
+        must not append to the builder themselves.
+        """
+        self._observers.append(observer)
+
     def append(self, *events: Event) -> "HistoryBuilder":
         """Extend the history and every derived structure in O(delta)."""
         n = self._n
@@ -454,6 +467,9 @@ class HistoryBuilder:
                 self._crash_index.setdefault(proc, idx)
             elif isinstance(event, FailedEvent):
                 self._failed_index.setdefault((proc, event.target), idx)
+            if self._observers:
+                for observer in self._observers:
+                    observer(idx, event, stamped)
         return self
 
     def snapshot(self) -> History:

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import heapq
 
-from repro.core.events import CrashEvent, Event, FailedEvent, RecvEvent, SendEvent
+from repro.core.events import CrashEvent, Event
 from repro.core.history import History, isomorphic
 from repro.errors import CannotRearrangeError
 

@@ -5,9 +5,13 @@ system model: processes take no steps after crashing, receives match earlier
 sends on the same FIFO channel in FIFO order, messages are unique, and the
 stable booleans ``crash_i`` / ``failed_i(j)`` flip at most once.
 
-:func:`validate_history` returns a list of human-readable violations (empty
-for a valid history); :func:`check_valid` raises
-:class:`~repro.errors.InvalidHistoryError` instead.
+The scan is implemented once, as the incremental :class:`ValidationState`
+machine (validity is prefix-monotone: an invalid prefix can never become
+valid again), so the batch :func:`validate_history` and the streaming
+well-formedness monitor of :mod:`repro.analysis.monitors` share one
+transition function. :func:`validate_history` returns a list of
+human-readable violations (empty for a valid history); :func:`check_valid`
+raises :class:`~repro.errors.InvalidHistoryError` instead.
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ from collections import defaultdict, deque
 
 from repro.core.events import (
     CrashEvent,
+    Event,
     FailedEvent,
     RecvEvent,
     SendEvent,
@@ -24,89 +29,136 @@ from repro.core.history import History
 from repro.errors import InvalidHistoryError
 
 
-def validate_history(history: History) -> list[str]:
-    """Return every well-formedness violation in ``history`` (empty if ok)."""
-    violations: list[str] = []
-    n = history.n
-    crashed: set[int] = set()
-    detected: set[tuple[int, int]] = set()
-    sent_uids: set[tuple[int, int]] = set()
-    received_uids: set[tuple[int, int]] = set()
-    # Per-channel FIFO queues of message uids in flight.
-    channels: dict[tuple[int, int], deque] = defaultdict(deque)
+class ValidationState:
+    """Incremental well-formedness scan, O(1) amortized per event."""
 
-    for idx, event in enumerate(history):
+    __slots__ = (
+        "_n",
+        "_crashed",
+        "_detected",
+        "_sent_uids",
+        "_received_uids",
+        "_channels",
+        "violations",
+        "first_violation_index",
+    )
+
+    def __init__(self, n: int) -> None:
+        self._n = n
+        self._crashed: set[int] = set()
+        self._detected: set[tuple[int, int]] = set()
+        self._sent_uids: set[tuple[int, int]] = set()
+        self._received_uids: set[tuple[int, int]] = set()
+        # Per-channel FIFO queues of message uids in flight.
+        self._channels: dict[tuple[int, int], deque] = defaultdict(deque)
+        self.violations: list[str] = []
+        self.first_violation_index: int | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the prefix seen so far is well-formed."""
+        return not self.violations
+
+    def _report(self, idx: int, text: str) -> None:
+        self.violations.append(text)
+        if self.first_violation_index is None:
+            self.first_violation_index = idx
+
+    def observe(
+        self, idx: int, event: Event, vector: tuple[int, ...] | None = None
+    ) -> None:
+        """Advance the scan by one event (``vector`` accepted, unused)."""
+        n = self._n
         proc = event.proc
         if not (0 <= proc < n):
-            violations.append(f"[{idx}] {event!r}: process id out of range 0..{n-1}")
-            continue
-        if proc in crashed:
-            violations.append(
-                f"[{idx}] {event!r}: event of process {proc} after crash_{proc}"
+            self._report(
+                idx, f"[{idx}] {event!r}: process id out of range 0..{n-1}"
+            )
+            return
+        if proc in self._crashed:
+            self._report(
+                idx,
+                f"[{idx}] {event!r}: event of process {proc} "
+                f"after crash_{proc}",
             )
             # Keep scanning; later diagnostics are still useful.
         if isinstance(event, SendEvent):
             if not (0 <= event.dst < n):
-                violations.append(
-                    f"[{idx}] {event!r}: destination out of range 0..{n-1}"
+                self._report(
+                    idx,
+                    f"[{idx}] {event!r}: destination out of range 0..{n-1}",
                 )
-                continue
-            if event.msg.uid in sent_uids:
-                violations.append(
-                    f"[{idx}] {event!r}: message {event.msg.uid} sent twice"
+                return
+            if event.msg.uid in self._sent_uids:
+                self._report(
+                    idx,
+                    f"[{idx}] {event!r}: message {event.msg.uid} sent twice",
                 )
-            sent_uids.add(event.msg.uid)
-            channels[(proc, event.dst)].append(event.msg.uid)
+            self._sent_uids.add(event.msg.uid)
+            self._channels[(proc, event.dst)].append(event.msg.uid)
         elif isinstance(event, RecvEvent):
             if not (0 <= event.src < n):
-                violations.append(
-                    f"[{idx}] {event!r}: source out of range 0..{n-1}"
+                self._report(
+                    idx, f"[{idx}] {event!r}: source out of range 0..{n-1}"
                 )
-                continue
+                return
             uid = event.msg.uid
-            if uid in received_uids:
-                violations.append(f"[{idx}] {event!r}: message {uid} received twice")
-                continue
-            queue = channels[(event.src, proc)]
-            if not queue:
-                violations.append(
-                    f"[{idx}] {event!r}: receive with empty channel "
-                    f"C_{{{event.src},{proc}}} (no matching send)"
+            if uid in self._received_uids:
+                self._report(
+                    idx, f"[{idx}] {event!r}: message {uid} received twice"
                 )
-                continue
+                return
+            queue = self._channels[(event.src, proc)]
+            if not queue:
+                self._report(
+                    idx,
+                    f"[{idx}] {event!r}: receive with empty channel "
+                    f"C_{{{event.src},{proc}}} (no matching send)",
+                )
+                return
             head = queue[0]
             if head != uid:
-                violations.append(
+                self._report(
+                    idx,
                     f"[{idx}] {event!r}: FIFO violation on channel "
-                    f"C_{{{event.src},{proc}}} — head is {head}, received {uid}"
+                    f"C_{{{event.src},{proc}}} — head is {head}, "
+                    f"received {uid}",
                 )
                 # Remove it anyway if present, to localize the error.
                 try:
                     queue.remove(uid)
                 except ValueError:
-                    continue
+                    return
             else:
                 queue.popleft()
-            received_uids.add(uid)
+            self._received_uids.add(uid)
         elif isinstance(event, CrashEvent):
-            if proc in crashed:
-                violations.append(f"[{idx}] {event!r}: duplicate crash event")
-            crashed.add(proc)
+            if proc in self._crashed:
+                self._report(idx, f"[{idx}] {event!r}: duplicate crash event")
+            self._crashed.add(proc)
         elif isinstance(event, FailedEvent):
             if not (0 <= event.target < n):
-                violations.append(
-                    f"[{idx}] {event!r}: target out of range 0..{n-1}"
+                self._report(
+                    idx, f"[{idx}] {event!r}: target out of range 0..{n-1}"
                 )
-                continue
+                return
             key = (proc, event.target)
-            if key in detected:
-                violations.append(
+            if key in self._detected:
+                self._report(
+                    idx,
                     f"[{idx}] {event!r}: duplicate failure detection "
-                    f"failed_{proc}({event.target})"
+                    f"failed_{proc}({event.target})",
                 )
-            detected.add(key)
+            self._detected.add(key)
         # InternalEvent needs no extra checks beyond the crash guard above.
-    return violations
+
+
+def validate_history(history: History) -> list[str]:
+    """Return every well-formedness violation in ``history`` (empty if ok)."""
+    state = ValidationState(history.n)
+    for idx, event in enumerate(history):
+        state.observe(idx, event)
+    return state.violations
 
 
 def is_valid(history: History) -> bool:

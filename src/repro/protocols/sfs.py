@@ -34,7 +34,6 @@ quorum sizes to show the Theorem 7 bound is tight (experiment E5).
 
 from __future__ import annotations
 
-from typing import Hashable
 
 from repro.core.bounds import check_protocol_parameters
 from repro.core.messages import Message

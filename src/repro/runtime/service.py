@@ -26,7 +26,7 @@ class ClusterResult:
     """Everything a runtime scenario produced."""
 
     history: History
-    quorum_records: list[QuorumRecord]
+    quorum_records: tuple[QuorumRecord, ...]
     detected: dict[int, frozenset[int]]
     crashed: frozenset[int]
     duration: float

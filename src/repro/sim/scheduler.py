@@ -28,7 +28,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Callable
 
 from repro.errors import SimulationError
 
@@ -105,6 +105,7 @@ class Scheduler:
         self._pending_nonperiodic = 0
         self._cancelled_in_heap = 0
         self._last_seq = -1
+        self._stop_requested = False
 
     @property
     def now(self) -> float:
@@ -132,6 +133,27 @@ class Scheduler:
         global execution order.
         """
         return self._last_seq
+
+    @property
+    def stop_requested(self) -> bool:
+        """Whether a mid-run halt has been requested (and not cleared)."""
+        return self._stop_requested
+
+    def request_stop(self) -> None:
+        """Halt :meth:`run` / :meth:`run_to_quiescence` before the next step.
+
+        Safe to call from inside a running callback (the streaming-monitor
+        use: a conformance violation observed while recording an event
+        aborts the run right after that event completes). The flag is
+        sticky until :meth:`clear_stop`; the queue itself is untouched, so
+        a cleared scheduler resumes exactly where it halted — determinism
+        is unaffected because stopping never reorders entries.
+        """
+        self._stop_requested = True
+
+    def clear_stop(self) -> None:
+        """Re-arm a scheduler halted by :meth:`request_stop`."""
+        self._stop_requested = False
 
     def pending_nonperiodic(self) -> int:
         """Queued, uncancelled callbacks not marked periodic (O(1)).
@@ -229,6 +251,8 @@ class Scheduler:
         """
         executed = 0
         while self._queue:
+            if self._stop_requested:
+                break
             if max_events is not None and executed >= max_events:
                 break
             upcoming = self._peek()
@@ -254,6 +278,8 @@ class Scheduler:
         """
         executed = 0
         while True:
+            if self._stop_requested:
+                return executed
             remaining = (
                 self._pending_nonperiodic if ignore_periodic else self._pending
             )

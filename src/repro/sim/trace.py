@@ -52,7 +52,18 @@ class TraceRecorder:
         self._builder = HistoryBuilder(n)
         self._times: list[float] = []
         self._quorums: list[QuorumRecord] = []
+        self._quorums_view: tuple[QuorumRecord, ...] | None = ()
         self._internal_seq: dict[tuple[int, object], int] = {}
+
+    def attach_observer(self, observer) -> None:
+        """Stream ``(index, event, vector)`` to ``observer`` per recording.
+
+        Passes straight through to the underlying
+        :meth:`~repro.core.history.HistoryBuilder.attach_observer`, so
+        analyze-on-append monitors see every recorded event exactly once,
+        with zero extra passes over the trace.
+        """
+        self._builder.attach_observer(observer)
 
     @property
     def n(self) -> int:
@@ -67,8 +78,10 @@ class TraceRecorder:
     # ------------------------------------------------------------------
 
     def _record(self, time: float, event: Event) -> Event:
-        self._builder.append(event)
+        # Time first: builder observers fire inside append and may ask
+        # for the virtual time of the event they are being shown.
         self._times.append(time)
+        self._builder.append(event)
         return event
 
     def record_send(self, time: float, src: int, dst: int, msg: Message) -> Event:
@@ -100,6 +113,7 @@ class TraceRecorder:
         """The quorum set behind a ``failed_detector(target)`` execution."""
         record = QuorumRecord(detector, target, members)
         self._quorums.append(record)
+        self._quorums_view = None  # invalidate the cached read-only view
         return record
 
     # ------------------------------------------------------------------
@@ -121,9 +135,24 @@ class TraceRecorder:
         ]
 
     @property
-    def quorum_records(self) -> list[QuorumRecord]:
-        """All recorded quorum sets, in detection order."""
-        return list(self._quorums)
+    def quorum_records(self) -> tuple[QuorumRecord, ...]:
+        """All recorded quorum sets, in detection order (read-only view).
+
+        A cached tuple, rebuilt only after a new quorum is recorded — so
+        repeated access (hot in ``collect_metrics`` and checker calls) is
+        O(1), not an O(n) list copy per read as it used to be.
+        """
+        if self._quorums_view is None:
+            self._quorums_view = tuple(self._quorums)
+        return self._quorums_view
+
+    def time_of_index(self, index: int) -> float:
+        """Virtual time at which the event at ``index`` was recorded."""
+        return self._times[index]
+
+    def event_at(self, index: int) -> Event:
+        """The recorded event at ``index`` (O(1), no snapshot)."""
+        return self._builder.event_at(index)
 
     def time_of_crash(self, proc: int) -> float | None:
         """Virtual time of ``crash_proc``, or None (O(1))."""

@@ -59,6 +59,7 @@ class World:
         )
         self.adversary = Adversary(self.network)
         self._started = False
+        self.monitors = None  # set by attach_monitor
         for pid, proc in enumerate(self._processes):
             proc.bind(self, pid)
 
@@ -106,6 +107,50 @@ class World:
         """
         self.start()
         return self.scheduler.run_to_quiescence(max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # Streaming conformance monitors
+    # ------------------------------------------------------------------
+
+    def attach_monitor(
+        self,
+        monitors=None,
+        *,
+        stop_on_violation: bool = False,
+    ):
+        """Ride conformance monitors on the trace as it is recorded.
+
+        The monitor set observes every recorded event at append time —
+        no extra passes, no history snapshots — so its verdict is live
+        throughout the run. With ``stop_on_violation`` the world halts the
+        scheduler as soon as a halt-relevant safety monitor trips (see
+        :data:`repro.analysis.monitors.DEFAULT_HALT_ON`); the violating
+        event index is then ``world.monitors.first_violation``.
+
+        Args:
+            monitors: a :class:`~repro.analysis.monitors.MonitorSet`
+                (defaults to a fresh one over this world's processes).
+            stop_on_violation: request a scheduler stop at the first
+                halt-relevant violation.
+
+        Returns:
+            The attached monitor set (also kept as ``world.monitors``).
+        """
+        from repro.analysis.monitors import MonitorSet
+
+        if monitors is None:
+            monitors = MonitorSet(self.n)
+        self.monitors = monitors
+        self.trace.attach_observer(monitors.observe)
+        if stop_on_violation:
+
+            def halt_check(idx, event, vector) -> None:
+                del idx, event, vector
+                if not monitors.ok_so_far:
+                    self.scheduler.request_stop()
+
+            self.trace.attach_observer(halt_check)
+        return monitors
 
     # ------------------------------------------------------------------
     # Transmission plumbing (used by SimProcess)

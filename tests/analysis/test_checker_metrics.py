@@ -97,3 +97,49 @@ class TestMetrics:
         world.run_to_quiescence()
         metrics = collect_metrics(world)
         assert math.isnan(metrics.messages_per_detection)
+
+
+class TestAnalyzeIncomplete:
+    """Direct coverage of analyze(complete=False) and pending_ok paths."""
+
+    def _detected_not_crashed(self):
+        # A detection whose crash has not happened yet (a cut-short run).
+        return History([failed(1, 0)], n=2)
+
+    def test_complete_true_appends_promised_crash(self):
+        report = analyze(self._detected_not_crashed())
+        # ensure_crashes discharges the sFS2a obligation before judging.
+        assert report.sfs2a.ok
+        assert report.bad_pair_count == 1  # the appended crash follows
+        assert not report.fs2.ok
+
+    def test_complete_false_judges_raw_prefix(self):
+        report = analyze(self._detected_not_crashed(), complete=False)
+        assert not report.sfs2a.ok
+        assert any("never occurs" in v for v in report.sfs2a.violations)
+        assert not report.conditions.ok  # Condition 1 fails identically
+        assert report.bad_pair_count == 0  # no crash event, no bad pair
+        assert not report.fs2.ok
+        assert any("never occurs" in v for v in report.fs2.violations)
+
+    def test_complete_false_pending_ok_suspends_liveness(self):
+        report = analyze(
+            self._detected_not_crashed(), complete=False, pending_ok=True
+        )
+        assert report.sfs2a.ok          # obligation open, not violated
+        assert report.conditions.ok     # Condition 1 follows sFS2a
+        assert report.fs1.ok            # vacuous under pending_ok
+        assert not report.fs2.ok        # safety is never suspended
+
+    def test_pending_ok_fs1_with_undetected_crash(self):
+        h = History([crash(0)], n=3)
+        strict = analyze(h, complete=False)
+        relaxed = analyze(h, complete=False, pending_ok=True)
+        assert not strict.fs1.ok
+        assert sum("FS1" in v for v in strict.fs1.violations) == 2
+        assert relaxed.fs1.ok
+
+    def test_complete_false_on_already_complete_run_is_identical(self):
+        world = finished_world()
+        history = world.history()
+        assert analyze(history, complete=False) == analyze(history)

@@ -1,0 +1,188 @@
+"""Unit tests for the streaming conformance monitors (analyze-on-append)."""
+
+import pytest
+
+from repro.analysis.checker import analyze, report_from_monitors
+from repro.analysis.extensions import build_monitor_world, run_e14
+from repro.analysis.monitors import (
+    DEFAULT_HALT_ON,
+    BadPairCounter,
+    MonitorSet,
+)
+from repro.core.events import crash, failed, recv, send
+from repro.core.history import History
+from repro.core.messages import MessageMint
+from repro.errors import SimulationError
+from repro.protocols import SfsProcess, UnilateralProcess
+from repro.sim import build_world
+
+
+def replay(events, n):
+    history = History(events, n)
+    return MonitorSet(n).replay(history), history
+
+
+class TestMonitorVerdicts:
+    def test_clean_run_all_ok(self):
+        monitors, _ = replay([crash(0), failed(1, 0)], n=2)
+        assert monitors.ok_so_far
+        assert monitors.first_violation is None
+        assert all(r.ok for r in monitors.check_results().values())
+
+    def test_fs2_locks_at_detection_event(self):
+        monitors, _ = replay([failed(1, 0), crash(0)], n=2)
+        assert monitors.fs2.first_violation_index == 0
+        assert not monitors.fs2.ok
+        assert monitors.bad_pairs.count == 1
+        # FS2 is not halt-relevant by default: sFS legitimately trips it.
+        assert monitors.ok_so_far
+        assert "FS2" not in DEFAULT_HALT_ON
+
+    def test_cycle_locks_sfs2b_and_halts(self):
+        monitors, _ = replay(
+            [failed(1, 0), failed(0, 1), crash(0), crash(1)], n=2
+        )
+        assert monitors.sfs2b.first_violation_index == 1
+        assert monitors.sfs2b.cycle == [(1, 0), (0, 1)]
+        assert monitors.first_violation == (1, "sFS2b")
+        assert not monitors.ok_so_far
+
+    def test_self_detection_locks_sfs2c(self):
+        monitors, _ = replay([failed(0, 0)], n=1)
+        assert monitors.sfs2c.first_violation_index == 0
+        # A self-detection is also a failed-before self-loop, so sFS2b
+        # (fed first) trips at the same event; both are in the log.
+        assert monitors.first_violation == (0, "sFS2b")
+        assert (0, "sFS2c") in monitors.violation_log
+
+    def test_sfs2d_locks_at_receive(self):
+        m = MessageMint(0).mint("app")
+        monitors, _ = replay(
+            [failed(0, 2), send(0, 1, m), recv(1, 0, m), crash(2)], n=3
+        )
+        assert monitors.sfs2d.first_violation_index == 2
+        assert monitors.first_violation == (2, "sFS2d")
+
+    def test_invalid_history_locks_validity(self):
+        monitors, _ = replay([crash(0), crash(0)], n=1)
+        assert monitors.validity.first_violation_index == 1
+        assert monitors.first_violation == (1, "valid")
+
+    def test_liveness_monitors_never_lock_midrun(self):
+        monitors, _ = replay([crash(0)], n=3)
+        assert monitors.fs1.first_violation_index is None
+        assert monitors.fs1.ok  # live verdict: not falsifiable yet
+        assert monitors.fs1.pending_obligations() == 2
+        assert not monitors.fs1.result().ok  # finalized verdict
+        assert MonitorSet(3, pending_ok=True).replay(
+            History([crash(0)], n=3)
+        ).fs1.result().ok
+
+    def test_sfs2a_pending_obligations(self):
+        monitors, _ = replay([failed(1, 0)], n=2)
+        assert monitors.sfs2a.pending_obligations() == 1
+        assert monitors.sfs2a.first_violation_index is None
+
+    def test_halt_on_opt_in_fs2(self):
+        events = [failed(1, 0), crash(0)]
+        strict = MonitorSet(2, halt_on=("FS2",)).replay(
+            History(events, n=2)
+        )
+        assert strict.first_violation == (0, "FS2")
+
+    def test_summary_renders_lock_indices(self):
+        monitors, _ = replay(
+            [failed(1, 0), failed(0, 1), crash(0), crash(1)], n=2
+        )
+        text = monitors.summary()
+        assert "sFS2b" in text and "locked at event [1]" in text
+        assert "failed-before cycle" in text
+
+    def test_bad_pair_counter_requires_crash(self):
+        counter = BadPairCounter()
+        for idx, event in enumerate([failed(1, 0), failed(2, 0)]):
+            counter.observe(idx, event)
+        assert counter.count == 0  # no crash recorded: not (yet) bad pairs
+        counter.observe(2, crash(0))
+        assert counter.count == 2
+
+
+class TestReportFromMonitors:
+    def test_matches_analyze_on_simulated_run(self):
+        world = build_world(6, lambda: SfsProcess(t=2), seed=3)
+        monitors = world.attach_monitor()
+        world.inject_crash(4, at=0.5)
+        world.inject_suspicion(0, 4, at=1.0)
+        world.run_to_quiescence()
+        history = world.history()
+        streamed = report_from_monitors(
+            monitors, history, quorums=world.trace.quorum_records, t=2
+        )
+        batch = analyze(
+            history, world.trace.quorum_records, t=2, complete=False
+        )
+        assert streamed == batch
+        assert streamed.is_simulated_fail_stop
+
+
+class TestWorldAttachMonitor:
+    def _cycle_world(self, stop):
+        world = build_world(4, lambda: UnilateralProcess(), seed=1)
+        monitors = world.attach_monitor(stop_on_violation=stop)
+        world.inject_suspicion(0, 1, at=1.0)
+        world.inject_suspicion(1, 0, at=1.0)
+        world.run_to_quiescence()
+        return world, monitors
+
+    def test_streaming_matches_replay_index(self):
+        world, monitors = self._cycle_world(stop=False)
+        assert monitors.first_violation is not None
+        replayed = MonitorSet(world.n).replay(world.history())
+        assert replayed.first_violation == monitors.first_violation
+        assert world.monitors is monitors
+
+    def test_stop_on_violation_halts_scheduler(self):
+        full_world, full_monitors = self._cycle_world(stop=False)
+        world, monitors = self._cycle_world(stop=True)
+        assert world.scheduler.stop_requested
+        assert monitors.first_violation == full_monitors.first_violation
+        assert len(world.trace) < len(full_world.trace)
+        # The halted prefix is exactly the full run's prefix (stopping
+        # never reorders anything).
+        full_events = full_world.history().events
+        halted_events = world.history().events
+        assert full_events[: len(halted_events)] == halted_events
+
+
+class TestRunE14:
+    def test_early_stop_agrees_and_saves_events(self):
+        (full,) = run_e14(seeds=(5,))
+        (early,) = run_e14(seeds=(5,), early_stop=True)
+        assert full.violated and early.violated
+        assert full.violating_monitor == "sFS2b"
+        assert (
+            early.violation_event_index == full.violation_event_index
+        )
+        assert early.events_recorded < full.events_recorded
+
+    def test_suspicion_ring_validated(self):
+        with pytest.raises(ValueError):
+            run_e14(n=4, suspicion_ring=1, seeds=(0,))
+
+
+class TestMonitorScenarios:
+    def test_demo_scenario_is_conformant(self):
+        world = build_monitor_world("demo", seed=3)
+        monitors = world.attach_monitor()
+        world.run_to_quiescence()
+        assert monitors.ok_so_far
+
+    def test_cycle_scenario_violates(self):
+        world = build_monitor_world("cycle", seed=1)
+        monitors = world.attach_monitor()
+        world.run_to_quiescence()
+        assert monitors.first_violation is not None
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SimulationError, match="unknown monitored"):
+            build_monitor_world("e99")

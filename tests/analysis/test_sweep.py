@@ -4,6 +4,7 @@ import pytest
 
 from repro.analysis.sweep import (
     SweepCase,
+    SweepRow,
     available_experiments,
     plan_cases,
     rows_digest,
@@ -101,3 +102,87 @@ class TestRendering:
 
     def test_empty_table(self):
         assert sweep_table([]) == "(no rows)"
+
+
+class TestEarlyStop:
+    def test_early_stop_cases_planned(self):
+        cases = plan_cases("e14", seeds=[0, 1], early_stop=True)
+        assert all(c.early_stop for c in cases)
+
+    def test_early_stop_rejected_for_unsupported_driver(self):
+        with pytest.raises(SimulationError, match="early_stop"):
+            plan_cases("e7", seeds=[0], early_stop=True)
+
+    def test_early_stop_not_a_driver_param(self):
+        with pytest.raises(SimulationError, match="execution mode"):
+            plan_cases("e14", seeds=[0], params={"early_stop": True})
+
+    def test_run_case_rejects_unsupported_early_stop(self):
+        case = SweepCase(experiment="e7", seed=0, early_stop=True)
+        with pytest.raises(SimulationError, match="early_stop"):
+            run_case(case)
+
+    def test_early_stop_rows_tag_violation_index(self):
+        rows = run_sweep(
+            "e14", seeds=range(2), params={"n": 6}, early_stop=True
+        )
+        assert all(r.row.violation_event_index is not None for r in rows)
+        assert all(r.row.early_stop for r in rows)
+
+    def test_early_stop_serial_parallel_bit_identical(self):
+        kwargs = dict(seeds=range(3), params={"n": 6}, early_stop=True)
+        serial = run_sweep("e14", jobs=1, **kwargs)
+        parallel = run_sweep("e14", jobs=2, **kwargs)
+        assert serial == parallel
+        assert rows_digest(serial) == rows_digest(parallel)
+
+    def test_early_stop_agrees_with_full_mode_on_index(self):
+        kwargs = dict(seeds=[4], params={"n": 6})
+        (full,) = run_sweep("e14", **kwargs)
+        (early,) = run_sweep("e14", early_stop=True, **kwargs)
+        assert (
+            early.row.violation_event_index
+            == full.row.violation_event_index
+        )
+        assert early.row.events_recorded <= full.row.events_recorded
+
+
+class TestMixedRowRendering:
+    def test_union_of_field_names_across_mixed_rows(self):
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class RowA:
+            alpha: int
+            shared: int
+
+        @dataclass(frozen=True)
+        class RowB:
+            shared: int
+            beta: str
+
+        rows = [
+            SweepRow("x", 0, (("p", 1),), RowA(alpha=1, shared=2)),
+            SweepRow("x", 1, (("p", 2),), RowB(shared=3, beta="b")),
+        ]
+        table = sweep_table(rows)
+        header = table.splitlines()[0]
+        for name in ("alpha", "shared", "beta"):
+            assert name in header
+        assert "-" in table  # missing cells padded, not misaligned
+
+    def test_mixed_dataclass_and_plain_rows(self):
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class RowA:
+            alpha: int
+
+        rows = [
+            SweepRow("x", 0, (), RowA(alpha=1)),
+            SweepRow("x", 1, (), 42),
+        ]
+        table = sweep_table(rows)
+        header = table.splitlines()[0]
+        assert "alpha" in header and "row" in header
+        assert "42" in table

@@ -1,6 +1,5 @@
 """Tests for Chandy-Lamport snapshots over the sFS substrate."""
 
-import pytest
 
 from repro.apps.snapshot import (
     Marker,

@@ -84,3 +84,78 @@ class TestLastFailedCandidates:
     def test_non_crashed_not_candidates(self):
         h = History([failed(1, 0), crash(0)], n=2)
         assert last_failed_candidates(h) == frozenset()
+
+
+class TestFailedBeforeTracker:
+    """The incremental relation the streaming monitors ride."""
+
+    def _tracker(self):
+        from repro.core.failed_before import FailedBeforeTracker
+
+        return FailedBeforeTracker()
+
+    def test_stays_acyclic_on_chains(self):
+        tracker = self._tracker()
+        tracker.add(0, 1)
+        tracker.add(1, 2)
+        assert tracker.acyclic and tracker.cycle is None
+
+    def test_locks_first_cycle(self):
+        tracker = self._tracker()
+        tracker.add(0, 1)
+        tracker.add(1, 0)
+        first = tracker.cycle
+        assert first is not None and len(first) == 2
+        # Later edges — even ones closing other cycles — never move it.
+        tracker.add(2, 3)
+        tracker.add(3, 2)
+        assert tracker.cycle == first
+        assert not tracker.acyclic
+
+    def test_duplicate_edges_ignored(self):
+        tracker = self._tracker()
+        tracker.add(0, 1)
+        tracker.add(0, 1)
+        assert tracker.acyclic
+
+    def test_self_loop_is_a_cycle(self):
+        tracker = self._tracker()
+        tracker.add(2, 2)
+        assert tracker.cycle == [(2, 2)]
+
+    def test_matches_networkx_acyclicity_on_random_relations(self):
+        import random
+
+        import networkx as nx
+
+        for seed in range(40):
+            rng = random.Random(seed)
+            tracker = self._tracker()
+            graph = nx.DiGraph()
+            n = rng.randrange(2, 7)
+            graph.add_nodes_from(range(n))
+            for _ in range(rng.randrange(1, 12)):
+                i, j = rng.randrange(n), rng.randrange(n)
+                tracker.add(i, j)
+                graph.add_edge(i, j)
+                assert tracker.acyclic == nx.is_directed_acyclic_graph(
+                    graph
+                ), f"disagreement at seed {seed}"
+                if not tracker.acyclic:
+                    # The locked cycle really is a cycle in the relation.
+                    cycle = tracker.cycle
+                    assert all(graph.has_edge(a, b) for a, b in cycle)
+                    assert all(
+                        cycle[k][1] == cycle[(k + 1) % len(cycle)][0]
+                        for k in range(len(cycle))
+                    )
+
+    def test_find_cycle_is_tracker_fold(self):
+        from repro.core.failed_before import find_cycle
+        from repro.core.events import failed
+        from repro.core.history import History
+
+        h = History([failed(0, 1), failed(1, 2), failed(2, 0)], n=3)
+        cycle = find_cycle(h)
+        assert cycle is not None
+        assert {edge for edge in cycle} == {(1, 0), (0, 2), (2, 1)}

@@ -1,6 +1,5 @@
 """Unit tests for repro.core.history: happens-before, projections, indices."""
 
-import pytest
 
 from repro.core.events import crash, failed, internal, recv, send
 from repro.core.history import (

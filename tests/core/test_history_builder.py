@@ -174,3 +174,38 @@ class TestBuilderBasics:
     def test_append_chains(self):
         builder = HistoryBuilder(2)
         assert builder.append(CrashEvent(0)) is builder
+
+
+class TestObservers:
+    def test_observer_sees_every_append_with_index_and_vector(self):
+        from repro.core.events import crash, failed, send
+        from repro.core.history import History, HistoryBuilder
+        from repro.core.messages import MessageMint
+
+        events = [
+            send(0, 1, MessageMint(0).mint("x")),
+            crash(1),
+            failed(0, 1),
+        ]
+        seen = []
+        builder = HistoryBuilder(2)
+        builder.attach_observer(
+            lambda idx, event, vector: seen.append((idx, event, vector))
+        )
+        builder.append(*events)
+        assert [idx for idx, _, _ in seen] == [0, 1, 2]
+        assert [e for _, e, _ in seen] == events
+        # Vectors handed to the observer are the canonical stamps.
+        reference = History(events, 2)
+        assert [v for _, _, v in seen] == reference.vectors
+
+    def test_multiple_observers_run_in_attachment_order(self):
+        from repro.core.events import crash
+        from repro.core.history import HistoryBuilder
+
+        order = []
+        builder = HistoryBuilder(1)
+        builder.attach_observer(lambda *a: order.append("first"))
+        builder.attach_observer(lambda *a: order.append("second"))
+        builder.append(crash(0))
+        assert order == ["first", "second"]

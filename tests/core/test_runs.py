@@ -1,8 +1,6 @@
 """Unit tests for repro.core.runs (global states, stable predicates)."""
 
-from repro.core.events import crash, failed, recv, send
-from repro.core.history import History
-from repro.core.messages import MessageMint
+from repro.core.events import failed, recv, send
 from repro.core.runs import Run, run_of
 
 

@@ -1,0 +1,226 @@
+"""Property-based equivalence of streaming monitors and batch analysis.
+
+Three families of invariants over random valid histories:
+
+* **stream == batch** — feeding events one at a time through a
+  :class:`MonitorSet` riding a ``HistoryBuilder`` observer (incremental
+  vector clocks, O(delta) state) produces a ``ConformanceReport`` equal
+  to ``analyze()`` on the snapshot of the same events;
+* **monitors == legacy** — the monitor verdicts agree with independent
+  re-implementations of the original batch checkers (kept here as the
+  oracle: index scans over the finished history, networkx acyclicity),
+  so the fold refactor cannot have drifted from the paper's definitions;
+* **prefix monotonicity** — where the paper's property is safety, a
+  violated verdict never un-violates on any longer prefix, and the
+  locked ``first_violation_index`` never moves.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import networkx as nx
+
+from repro.analysis.checker import analyze, report_from_monitors
+from repro.analysis.monitors import MonitorSet
+from repro.core.history import HistoryBuilder
+from repro.core.indistinguishability import bad_pairs, ensure_crashes
+
+from tests.property.test_history_properties import random_history
+
+
+@st.composite
+def histories(draw, completed: bool = False):
+    seed = draw(st.integers(min_value=0, max_value=20_000))
+    n = draw(st.integers(min_value=2, max_value=6))
+    steps = draw(st.integers(min_value=5, max_value=80))
+    history = random_history(seed, n, steps)
+    return ensure_crashes(history) if completed else history
+
+
+# ----------------------------------------------------------------------
+# Legacy batch checkers (the pre-streaming implementations), as oracles
+# ----------------------------------------------------------------------
+
+
+def legacy_fs1(history) -> bool:
+    crash_index = history.crash_index
+    failed_index = history.failed_index
+    for i in crash_index:
+        for j in history.processes:
+            if j == i or j in crash_index:
+                continue
+            if (j, i) not in failed_index:
+                return False
+    return True
+
+
+def legacy_fs2(history) -> bool:
+    crash_index = history.crash_index
+    for (_, target), fidx in history.failed_index.items():
+        cidx = crash_index.get(target)
+        if cidx is None or cidx > fidx:
+            return False
+    return True
+
+
+def legacy_sfs2a(history) -> bool:
+    crash_index = history.crash_index
+    return all(
+        target in crash_index for (_, target) in history.failed_index
+    )
+
+
+def legacy_sfs2b(history) -> bool:
+    graph = nx.DiGraph()
+    graph.add_nodes_from(history.processes)
+    for (detector, target), _ in sorted(
+        history.failed_index.items(), key=lambda kv: kv[1]
+    ):
+        graph.add_edge(target, detector)
+    return nx.is_directed_acyclic_graph(graph)
+
+
+def legacy_sfs2c(history) -> bool:
+    return all(
+        detector != target for (detector, target) in history.failed_index
+    )
+
+
+def legacy_sfs2d(history) -> bool:
+    recv_index = history.recv_index
+    failed_index = history.failed_index
+    detections_by_proc: dict[int, list[tuple[int, int]]] = {}
+    for (detector, target), fidx in failed_index.items():
+        detections_by_proc.setdefault(detector, []).append((fidx, target))
+    for proc in detections_by_proc:
+        detections_by_proc[proc].sort()
+    for uid, sidx in history.send_index.items():
+        send_event = history[sidx]
+        i, k = send_event.proc, send_event.dst
+        ridx = recv_index.get(uid)
+        if ridx is None:
+            continue
+        for fidx, j in detections_by_proc.get(i, ()):
+            if fidx > sidx:
+                break
+            k_fidx = failed_index.get((k, j))
+            if k_fidx is None or k_fidx > ridx:
+                return False
+    return True
+
+
+def legacy_condition3(history) -> bool:
+    for (_, target), fidx in history.failed_index.items():
+        for eidx in history.indices_of_process(target):
+            if eidx <= fidx:
+                continue
+            if history.happens_before(fidx, eidx):
+                return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# stream == batch
+# ----------------------------------------------------------------------
+
+
+def stream_through_builder(history) -> MonitorSet:
+    """Monitors riding HistoryBuilder.append, one event at a time."""
+    builder = HistoryBuilder(history.n)
+    monitors = MonitorSet(history.n)
+    builder.attach_observer(monitors.observe)
+    for event in history:
+        builder.append(event)
+    return monitors
+
+
+@settings(max_examples=50, deadline=None)
+@given(histories(completed=True))
+def test_streamed_report_equals_batch_analyze(history):
+    monitors = stream_through_builder(history)
+    streamed = report_from_monitors(monitors, history)
+    batch = analyze(history, complete=False)
+    assert streamed == batch
+
+
+@settings(max_examples=30, deadline=None)
+@given(histories(completed=False))
+def test_streamed_report_equals_batch_on_raw_prefixes(history):
+    # Uncompleted prefixes too: analyze(complete=False) must agree with
+    # the streaming path on exactly the recorded events.
+    monitors = stream_through_builder(history)
+    streamed = report_from_monitors(monitors, history)
+    batch = analyze(history, complete=False)
+    assert streamed == batch
+
+
+@settings(max_examples=30, deadline=None)
+@given(histories(completed=True))
+def test_streamed_pending_ok_report_equals_batch(history):
+    monitors = MonitorSet(history.n, pending_ok=True).replay(history)
+    streamed = report_from_monitors(monitors, history)
+    batch = analyze(history, complete=False, pending_ok=True)
+    assert streamed == batch
+
+
+# ----------------------------------------------------------------------
+# monitors == legacy oracles
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(histories(completed=True))
+def test_monitor_verdicts_match_legacy_checkers(history):
+    monitors = MonitorSet(history.n).replay(history)
+    assert monitors.fs1.result().ok == legacy_fs1(history)
+    assert monitors.fs2.result().ok == legacy_fs2(history)
+    assert monitors.sfs2a.result().ok == legacy_sfs2a(history)
+    assert monitors.sfs2b.result().ok == legacy_sfs2b(history)
+    assert monitors.sfs2c.result().ok == legacy_sfs2c(history)
+    assert monitors.sfs2d.result().ok == legacy_sfs2d(history)
+    conditions_ok = (
+        legacy_sfs2a(history)
+        and legacy_sfs2b(history)
+        and legacy_condition3(history)
+    )
+    assert monitors.conditions.result().ok == conditions_ok
+    assert monitors.bad_pairs.count == len(bad_pairs(history))
+
+
+# ----------------------------------------------------------------------
+# Prefix monotonicity of safety verdicts
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(histories(completed=True))
+def test_safety_verdicts_are_prefix_monotone(history):
+    builder = HistoryBuilder(history.n)
+    monitors = MonitorSet(history.n)
+    builder.attach_observer(monitors.observe)
+    safety = [
+        monitors.validity,
+        monitors.fs2,
+        monitors.sfs2b,
+        monitors.sfs2c,
+        monitors.sfs2d,
+        monitors.conditions,
+    ]
+    violated_at: dict[str, int] = {}
+    for event in history:
+        builder.append(event)
+        for monitor in safety:
+            locked = monitor.first_violation_index
+            if monitor.name in violated_at:
+                # A violated safety check never un-violates, and its
+                # lock-in index never moves.
+                assert locked == violated_at[monitor.name]
+                assert not monitor.ok
+            elif locked is not None:
+                violated_at[monitor.name] = locked
+    # The violation log is in event-index order and contains each
+    # monitor at most once.
+    log_names = [name for _, name in monitors.violation_log]
+    assert len(log_names) == len(set(log_names))
+    indices = [idx for idx, _ in monitors.violation_log]
+    assert indices == sorted(indices)

@@ -119,7 +119,6 @@ class TestDeferral:
 
         world.scheduler.schedule_at(1.0, scenario)
         world.run(until=3.0)
-        receiver = world.process(1)
         # Round for 4 is open at 1 (shield keeps 4 alive; quorum of
         # min size 1... with t=1 quorum is 1, round completes instantly).
         # Use deferred_count on a bigger t to exercise deferral below.

@@ -13,7 +13,7 @@ from repro.protocols import (
     transitivity_gaps,
     transitivity_ratio,
 )
-from repro.sim import ConstantDelay, UniformDelay, build_world
+from repro.sim import ConstantDelay, build_world
 
 
 class TestKSusp:

@@ -8,7 +8,7 @@ import asyncio
 from repro.analysis import analyze
 from repro.core.validate import is_valid
 from repro.detectors.base import HEARTBEAT
-from repro.runtime import LocalTransport, SfsNode, run_cluster
+from repro.runtime import LocalTransport, run_cluster
 from repro.sim.delays import ConstantDelay
 
 

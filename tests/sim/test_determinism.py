@@ -1,6 +1,5 @@
 """Determinism guarantees: identical parameters, identical histories."""
 
-import pytest
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

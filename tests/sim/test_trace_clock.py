@@ -32,9 +32,19 @@ class TestTraceRecorder:
 
     def test_quorum_records(self):
         trace = TraceRecorder(3)
+        assert trace.quorum_records == ()
         record = trace.record_quorum(0, 1, frozenset({0, 2}))
-        assert trace.quorum_records == [record]
+        assert trace.quorum_records == (record,)
         assert record.size == 2
+
+    def test_quorum_records_view_is_cached_and_stable(self):
+        trace = TraceRecorder(3)
+        first = trace.record_quorum(0, 1, frozenset({0, 2}))
+        view = trace.quorum_records
+        assert trace.quorum_records is view  # O(1) repeat access, no copy
+        second = trace.record_quorum(2, 1, frozenset({1, 2}))
+        assert view == (first,)  # earlier views never mutate
+        assert trace.quorum_records == (first, second)
 
     def test_time_queries(self):
         trace = TraceRecorder(3)

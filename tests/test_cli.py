@@ -94,3 +94,62 @@ class TestCycle:
         out = capsys.readouterr().out
         assert "CYCLE of length 3" in out
         assert "no cycle" in out
+
+
+class TestMonitor:
+    def test_monitor_demo_conformant(self, capsys):
+        assert main(["monitor", "demo", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "monitor demo" in out
+        assert "sFS2b" in out
+
+    def test_monitor_cycle_reports_violation(self, capsys):
+        assert main(["monitor", "cycle", "--seed", "1"]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out
+        assert "failed-before cycle" in out
+
+    def test_monitor_stop_halts_early(self, capsys):
+        assert main(["monitor", "e14", "--seed", "0", "--stop"]) == 1
+        out = capsys.readouterr().out
+        assert "halted at first violation" in out
+
+    def test_monitor_verbose_streams_events(self, capsys):
+        assert main(
+            ["monitor", "cycle", "--seed", "1", "--verbose", "--stop"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "[event " in out
+
+    def test_monitor_unknown_scenario(self, capsys):
+        assert main(["monitor", "nope"]) == 2
+        assert "unknown monitored" in capsys.readouterr().err
+
+    def test_monitor_bad_params_fail_cleanly(self, capsys):
+        # n=4 violates Corollary 8 for the demo scenario's t=2: a clean
+        # one-line error, not a BoundsError traceback.
+        assert main(["monitor", "demo", "--n", "4"]) == 1
+        assert "monitor failed" in capsys.readouterr().err
+
+    def test_monitor_livelock_fails_cleanly(self, capsys):
+        assert main(["monitor", "e14", "--max-events", "10"]) == 1
+        assert "monitor failed" in capsys.readouterr().err
+
+
+class TestSweepEarlyStop:
+    def test_sweep_early_stop_runs(self, capsys):
+        assert main(
+            ["sweep", "e14", "--seeds", "2", "--param", "n=6",
+             "--early-stop"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "early-stop" in out
+        assert "violation_event_index" in out
+
+    def test_sweep_early_stop_unsupported_driver(self, capsys):
+        assert main(
+            ["sweep", "e7", "--seeds", "1", "--param", "n=6",
+             "--early-stop"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "early_stop" in err
