@@ -9,10 +9,17 @@ Commands:
 * ``experiment EID`` — run one experiment driver (e1..e11, a1) at reduced
   scale and print its table.
 * ``sweep EID`` — run a deterministic multi-seed sweep of one seeded
-  experiment, optionally on a process pool (``--jobs``); serial and
-  parallel runs print bit-identical rows and the same content digest.
+  experiment, optionally on a process pool (``--jobs``) or fully
+  in-process with recycled scheduler storage (``--backend inproc``); all
+  backends print bit-identical rows and the same content digest.
   ``--early-stop`` aborts each case at its first streaming-monitor
   violation (supported drivers only, e.g. e14).
+* ``fuzz`` — generate seeded adversarial scenarios (topology, faults,
+  adversary schedules, detectors, protocols) and run them through the
+  sharded multi-world engine with streaming monitors, flagging any
+  scenario whose streaming and batch verdicts disagree or that violates
+  a property its configuration must satisfy. Fully reproducible: the
+  same ``--seed``/``--count`` print the same digest.
 * ``monitor EID`` — run one monitored scenario with streaming
   analyze-on-append conformance monitors, printing each safety
   violation live at the event where its verdict locks; ``--stop``
@@ -170,6 +177,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             params=params,
             jobs=args.jobs,
             early_stop=args.early_stop,
+            backend=args.backend,
         )
     except ReproError as exc:
         print(f"sweep failed: {exc}", file=sys.stderr)
@@ -222,6 +230,46 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
           f"{' (halted at first violation)' if halted else ''} ==")
     print(monitors.summary())
     return 0 if monitors.ok_so_far else 1
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.analysis.fuzz import DEFAULT_CONFIG, FuzzConfig, run_fuzz
+    from repro.errors import ReproError
+    from repro.sim.multiworld import ShardedRunner
+
+    try:
+        config = FuzzConfig(
+            min_n=args.min_n,
+            max_n=args.max_n,
+            protocols=(
+                tuple(args.protocols.split(","))
+                if args.protocols
+                else DEFAULT_CONFIG.protocols
+            ),
+            detectors=(
+                tuple(args.detectors.split(","))
+                if args.detectors
+                else DEFAULT_CONFIG.detectors
+            ),
+        )
+        runner = ShardedRunner(
+            stepping=args.stepping, quantum=args.quantum, window=args.window
+        )
+        report = run_fuzz(
+            seed=args.seed, count=args.count, config=config, runner=runner
+        )
+    except ReproError as exc:
+        print(f"fuzz failed: {exc}", file=sys.stderr)
+        return 2
+    print(f"== fuzz seed={args.seed} count={args.count} "
+          f"({args.stepping}) ==")
+    print(report.summary())
+    stats = runner.stats
+    print(f"engine: {stats.events} scheduler events, "
+          f"{stats.entries_reused} heap entries recycled, "
+          f"peak {stats.peak_live_shards} live shards")
+    print(f"digest={report.digest()}")
+    return 1 if report.findings else 0
 
 
 def _cmd_cycle(args: argparse.Namespace) -> int:
@@ -294,6 +342,12 @@ def main(argv: list[str] | None = None) -> int:
         help="abort each case at its first streaming-monitor violation "
              "(drivers with an early_stop keyword only, e.g. e14)",
     )
+    sweep.add_argument(
+        "--backend", choices=("serial", "parallel", "inproc"), default=None,
+        help="execution backend (default: parallel when --jobs > 1, else "
+             "serial); inproc skips process spawn and recycles scheduler "
+             "storage between cases — all three are bit-identical",
+    )
     sweep.set_defaults(fn=_cmd_sweep)
 
     monitor = sub.add_parser(
@@ -316,6 +370,39 @@ def main(argv: list[str] | None = None) -> int:
     )
     monitor.add_argument("--max-events", type=int, default=1_000_000)
     monitor.set_defaults(fn=_cmd_monitor)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="run generated adversarial scenarios through the sharded "
+             "multi-world engine with streaming monitors attached",
+    )
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--count", type=int, default=200,
+                      help="number of scenarios to generate and run")
+    fuzz.add_argument("--min-n", type=int, default=3)
+    fuzz.add_argument("--max-n", type=int, default=12)
+    fuzz.add_argument(
+        "--protocols", default=None,
+        help="comma list drawn from sfs,transitive,generic,unilateral "
+             "(default: all)",
+    )
+    fuzz.add_argument(
+        "--detectors", default=None,
+        help="comma list drawn from none,heartbeat,phi (default: all)",
+    )
+    fuzz.add_argument(
+        "--stepping", choices=("round_robin", "sequential"),
+        default="round_robin",
+        help="shard stepping policy (results are identical either way)",
+    )
+    fuzz.add_argument("--quantum", type=int, default=512,
+                      help="events per shard per round-robin turn")
+    fuzz.add_argument(
+        "--window", type=int, default=64,
+        help="max worlds alive at once under round-robin (bounds peak "
+             "memory; results are identical for any window)",
+    )
+    fuzz.set_defaults(fn=_cmd_fuzz)
 
     cycle = sub.add_parser("cycle", help="Theorem 6 k-cycle construction")
     cycle.add_argument("k", type=int)

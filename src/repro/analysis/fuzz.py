@@ -1,0 +1,547 @@
+"""Deterministic scenario fuzzing over the sharded multi-world engine.
+
+The paper's claims are quantified over *all* admissible runs; hand-written
+scenarios (``experiments.py``) explore a sliver of that space. This module
+generates whole families of adversarial scenarios — topology size, failure
+sets and timing, adversary delay/partition schedules, detector choice and
+parameters, protocol choice, application chatter — from nothing but a
+``(seed, index, config)`` triple, runs them through
+:class:`~repro.sim.multiworld.ShardedRunner` with streaming conformance
+monitors attached, and flags every scenario where
+
+* the **streaming** verdict disagrees with a **batch** replay of the same
+  history (the differential oracle: two implementations of every paper
+  property judged against each other), or
+* a property the configuration *should* satisfy is violated (the model
+  oracle: e.g. a bounds-enforced Section 5 run must never trip sFS2b-d,
+  per Theorem 5 — see :func:`expected_clean` for the per-configuration
+  contract).
+
+Everything is a pure function of the inputs: the same
+``python -m repro fuzz --seed S --count N`` invocation replays the same
+scenarios, the same runs, and the same report digest, byte for byte —
+which is what makes a fuzz finding *shareable* (the scenario's repr is
+the reproducer).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+from repro.analysis.monitors import MonitorSet
+from repro.core.bounds import max_tolerable_t
+from repro.detectors.heartbeat import HeartbeatDriver
+from repro.detectors.phi_accrual import PhiAccrualDriver
+from repro.errors import SimulationError
+from repro.protocols.generic import GenericOneRoundProcess
+from repro.protocols.sfs import SfsProcess
+from repro.protocols.transitive import TransitiveSfsProcess
+from repro.protocols.unilateral import UnilateralProcess
+from repro.sim.delays import (
+    ConstantDelay,
+    DelayModel,
+    ExponentialDelay,
+    LogNormalDelay,
+    ParetoDelay,
+    UniformDelay,
+)
+from repro.sim.failures import Fault, apply_faults, random_fault_plan
+from repro.sim.multiworld import ShardSpec, ShardedRunner
+from repro.sim.world import World
+
+PROTOCOLS = ("sfs", "transitive", "generic", "unilateral")
+"""Fuzzable protocol ids (Section 5, its piggybacked variant, the
+Section 4 skeleton, and the Section 6 cheap model)."""
+
+DELAY_FAMILIES = ("constant", "uniform", "exponential", "lognormal", "pareto")
+"""Fuzzable delay-model families (see :mod:`repro.sim.delays`)."""
+
+DETECTORS = ("none", "heartbeat", "phi")
+"""Fuzzable suspicion sources; ``"none"`` means injected suspicions only."""
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Bounds of the scenario space one fuzz run draws from.
+
+    The config is part of the reproducer: :func:`generate_scenario` is a
+    pure function of ``(seed, index, config)``, so changing any field
+    changes the scenarios (and the report digest) deterministically.
+
+    ``detector_rate`` exists because detector-driven scenarios are run to
+    a virtual-time horizon under continuous heartbeat traffic — an order
+    of magnitude more events than injected-fault scenarios — so they are
+    sampled, not drawn uniformly.
+    """
+
+    min_n: int = 3
+    max_n: int = 12
+    protocols: tuple[str, ...] = PROTOCOLS
+    delays: tuple[str, ...] = DELAY_FAMILIES
+    detectors: tuple[str, ...] = DETECTORS
+    detector_rate: float = 0.2
+    adversary_rate: float = 0.4
+    partition_rate: float = 0.15
+    fault_horizon: float = 8.0
+    detector_horizon: float = 30.0
+    max_chatter: int = 12
+
+    def __post_init__(self) -> None:
+        # min_n >= 2: a 1-process system can suspect no one, and it is
+        # the only n where max_tolerable_t(n) < 1 would break the
+        # Corollary 8 invariant (n > t^2) the model oracle relies on.
+        if not 2 <= self.min_n <= self.max_n:
+            raise SimulationError(
+                f"need 2 <= min_n <= max_n, got {self.min_n}..{self.max_n}"
+            )
+        for name, pool in (
+            ("protocols", PROTOCOLS),
+            ("delays", DELAY_FAMILIES),
+            ("detectors", DETECTORS),
+        ):
+            unknown = sorted(set(getattr(self, name)) - set(pool))
+            if unknown:
+                raise SimulationError(
+                    f"unknown {name} in FuzzConfig: {', '.join(map(str, unknown))}"
+                )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully materialised fuzz scenario (every choice already made).
+
+    All fields are plain values with content-stable ``repr``, so a
+    scenario is its own reproducer and hashes identically across
+    processes: paste the repr back in, or re-derive it from
+    ``(seed, index, config)``.
+    """
+
+    index: int
+    seed: int  # world RNG seed (derived, not the fuzz seed)
+    n: int
+    protocol: str
+    t: int
+    quorum_size: int | None
+    delay: tuple[str, tuple[float, ...]]
+    detector: tuple[str, tuple[float, ...]]
+    faults: tuple[Fault, ...]
+    holds: tuple[tuple[int, tuple[int, ...]], ...]
+    partition: tuple[tuple[int, ...], tuple[int, ...]] | None
+    heal_at: float | None
+    chatter: tuple[tuple[float, int, int, int], ...]
+    horizon: float | None
+
+
+# ----------------------------------------------------------------------
+# Generation
+# ----------------------------------------------------------------------
+
+
+def _round(value: float) -> float:
+    """Clip generator floats to a short, repr-friendly precision."""
+    return round(value, 4)
+
+
+def generate_scenario(seed: int, index: int, config: FuzzConfig) -> Scenario:
+    """The ``index``-th scenario of fuzz run ``seed`` under ``config``.
+
+    Derivation is via ``random.Random(f"{seed}:{index}")`` — string
+    seeding hashes with SHA-512, so the stream is stable across processes
+    and interpreter restarts (unlike ``hash()``-based derivations).
+    """
+    rng = random.Random(f"repro-fuzz:{seed}:{index}")
+    n = rng.randint(config.min_n, config.max_n)
+    protocol = rng.choice(config.protocols)
+    if protocol in ("sfs", "transitive"):
+        # Bounds-enforced Section 5 deployments: Theorem 5 applies, so
+        # the oracle below may demand full sFS conformance. n >= 2
+        # guarantees max_tolerable_t(n) >= 1, keeping n > t^2.
+        t = rng.randint(1, max_tolerable_t(n))
+        quorum_size = None
+    elif protocol == "generic":
+        t = rng.randint(1, max(1, n // 2))
+        quorum_size = rng.randint(1, n)  # probe illegal sizes on purpose
+    else:  # unilateral
+        t = rng.randint(1, max(1, n // 2))
+        quorum_size = None
+
+    family = rng.choice(config.delays)
+    if family == "constant":
+        delay_params: tuple[float, ...] = (_round(rng.uniform(0.1, 1.5)),)
+    elif family == "uniform":
+        low = _round(rng.uniform(0.05, 1.0))
+        delay_params = (low, _round(low + rng.uniform(0.1, 2.0)))
+    elif family == "exponential":
+        delay_params = (_round(rng.uniform(0.3, 1.5)),)
+    elif family == "lognormal":
+        delay_params = (
+            _round(rng.uniform(0.4, 1.5)),
+            _round(rng.uniform(0.2, 0.8)),
+        )
+    else:  # pareto
+        delay_params = (
+            _round(rng.uniform(0.2, 0.8)),
+            _round(rng.uniform(1.3, 2.5)),
+        )
+
+    detector = ("none", ())
+    choices = tuple(d for d in config.detectors if d != "none")
+    if choices and rng.random() < config.detector_rate:
+        kind = rng.choice(choices)
+        interval = _round(rng.uniform(0.5, 2.0))
+        if kind == "heartbeat":
+            detector = (
+                "heartbeat",
+                (interval, _round(interval * rng.uniform(3.0, 10.0))),
+            )
+        else:
+            detector = ("phi", (interval, _round(rng.uniform(2.0, 8.0))))
+
+    faults = tuple(
+        random_fault_plan(n, t, rng, horizon=config.fault_horizon)
+    )
+
+    holds: tuple[tuple[int, tuple[int, ...]], ...] = ()
+    if rng.random() < config.adversary_rate:
+        targets = sorted(
+            {f.target if f.target is not None else f.proc for f in faults}
+        ) or [rng.randrange(n)]
+        picked = rng.sample(targets, k=min(len(targets), rng.randint(1, 2)))
+        hold_list = []
+        for target in picked:
+            others = [p for p in range(n) if p != target]
+            shield = {target} | set(
+                rng.sample(others, k=rng.randint(0, max(0, (n - 1) // 3)))
+            )
+            hold_list.append((target, tuple(sorted(shield))))
+        holds = tuple(hold_list)
+
+    partition = None
+    if n >= 2 and rng.random() < config.partition_rate:
+        cut = rng.randint(1, n - 1)
+        members = list(range(n))
+        rng.shuffle(members)
+        partition = (
+            tuple(sorted(members[:cut])),
+            tuple(sorted(members[cut:])),
+        )
+
+    heal_at = (
+        _round(rng.uniform(10.0, 20.0)) if holds or partition else None
+    )
+
+    chatter = tuple(
+        sorted(
+            (
+                _round(rng.uniform(0.1, config.fault_horizon + 4.0)),
+                rng.randrange(n),
+                rng.randrange(n),
+                tag,
+            )
+            for tag in range(rng.randint(0, config.max_chatter))
+        )
+    )
+
+    return Scenario(
+        index=index,
+        seed=rng.getrandbits(32),
+        n=n,
+        protocol=protocol,
+        t=t,
+        quorum_size=quorum_size,
+        delay=(family, delay_params),
+        detector=detector,
+        faults=faults,
+        holds=holds,
+        partition=partition,
+        heal_at=heal_at,
+        chatter=chatter,
+        horizon=(
+            config.detector_horizon if detector[0] != "none" else None
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Materialisation
+# ----------------------------------------------------------------------
+
+_DELAY_BUILDERS = {
+    "constant": lambda p: ConstantDelay(*p),
+    "uniform": lambda p: UniformDelay(*p),
+    "exponential": lambda p: ExponentialDelay(*p),
+    "lognormal": lambda p: LogNormalDelay(*p),
+    "pareto": lambda p: ParetoDelay(*p),
+}
+
+
+def _delay_model(scenario: Scenario) -> DelayModel:
+    family, params = scenario.delay
+    return _DELAY_BUILDERS[family](params)
+
+
+def _make_process(scenario: Scenario):
+    kind, params = scenario.detector
+    detector = None
+    if kind == "heartbeat":
+        detector = HeartbeatDriver(interval=params[0], timeout=params[1])
+    elif kind == "phi":
+        detector = PhiAccrualDriver(interval=params[0], threshold=params[1])
+    if scenario.protocol == "sfs":
+        return SfsProcess(t=scenario.t, detector=detector)
+    if scenario.protocol == "transitive":
+        return TransitiveSfsProcess(t=scenario.t, detector=detector)
+    if scenario.protocol == "generic":
+        assert scenario.quorum_size is not None
+        return GenericOneRoundProcess(
+            quorum_size=scenario.quorum_size, detector=detector
+        )
+    return UnilateralProcess(detector=detector)
+
+
+def build_scenario_world(scenario: Scenario) -> World:
+    """A ready-to-run world for one scenario, monitors already attached.
+
+    The attached :class:`~repro.analysis.monitors.MonitorSet` (reachable
+    as ``world.monitors``) streams over every recorded event; it is *not*
+    set to stop on violation — the fuzzer wants the complete history so
+    the batch replay judges exactly the same run.
+    """
+    world = World(
+        [_make_process(scenario) for _ in range(scenario.n)],
+        _delay_model(scenario),
+        seed=scenario.seed,
+    )
+    world.attach_monitor(MonitorSet(scenario.n, pending_ok=True))
+    apply_faults(world, list(scenario.faults))
+    for target, shield in scenario.holds:
+        world.adversary.hold_suspicions_about(target, frozenset(shield))
+    if scenario.partition is not None:
+        side_a, side_b = scenario.partition
+        world.adversary.partition(side_a, side_b)
+    if scenario.heal_at is not None:
+        world.scheduler.schedule_at(scenario.heal_at, world.adversary.heal)
+    for at, src, dst, tag in scenario.chatter:
+        proc = world.process(src)
+
+        def send_chatter(p=proc, d=dst, g=tag) -> None:
+            p.send(d, ("fuzz", p.pid, g))
+
+        world.scheduler.schedule_at(at, send_chatter)
+    return world
+
+
+# ----------------------------------------------------------------------
+# Oracles
+# ----------------------------------------------------------------------
+
+
+def expected_clean(scenario: Scenario) -> tuple[str, ...]:
+    """Halt-relevant monitors this configuration must never trip.
+
+    * Every simulated run must record a **well-formed** history and never
+      self-detect (``valid``, ``sFS2c``) — these are structural.
+    * A bounds-enforced Section 5 deployment (``sfs``/``transitive``)
+      satisfies all of sFS (Theorem 5) **provided the failure bound
+      holds**: with injected faults the plan respects ``t`` by
+      construction, but a live detector can manufacture arbitrarily many
+      erroneous suspicions, so detector scenarios only keep the
+      structural and FIFO-propagation guarantees.
+    * The unilateral (Section 6) model keeps sFS2d (the broadcast
+      precedes any later message on every FIFO channel) but not sFS2b.
+    * The Section 4 skeleton (``generic``) promises neither: it exists to
+      probe illegal quorum sizes, where cycles are the *point*.
+    """
+    base = ("valid", "sFS2c")
+    if scenario.protocol in ("sfs", "transitive"):
+        if scenario.detector[0] == "none":
+            return base + ("sFS2b", "sFS2d", "Conditions1-3")
+        return base + ("sFS2d",)
+    if scenario.protocol == "unilateral":
+        return base + ("sFS2d",)
+    return base
+
+
+def judge_world(scenario: Scenario, world: World) -> "FuzzOutcome":
+    """Differential + model oracle for one completed scenario run."""
+    monitors = world.monitors
+    assert monitors is not None
+    history = world.history()
+    findings: list[str] = []
+
+    replay = MonitorSet(scenario.n, pending_ok=True).replay(history)
+    if replay.violation_log != monitors.violation_log:
+        findings.append(
+            "stream/batch divergence: violation logs differ "
+            f"(stream={monitors.violation_log!r}, "
+            f"batch={replay.violation_log!r})"
+        )
+    stream_results = monitors.check_results()
+    batch_results = replay.check_results()
+    if stream_results != batch_results:
+        diff = sorted(
+            name
+            for name in stream_results
+            if stream_results[name] != batch_results.get(name)
+        )
+        findings.append(
+            f"stream/batch divergence: check results differ on "
+            f"{', '.join(diff)}"
+        )
+    if replay.bad_pairs.count != monitors.bad_pairs.count:
+        findings.append(
+            "stream/batch divergence: bad-pair counts differ "
+            f"({monitors.bad_pairs.count} != {replay.bad_pairs.count})"
+        )
+
+    tripped = {name for _, name in monitors.violation_log}
+    for name in expected_clean(scenario):
+        if name in tripped:
+            locked = next(
+                idx for idx, mon in monitors.violation_log if mon == name
+            )
+            findings.append(
+                f"model violation: {name} tripped at event {locked} in a "
+                f"{scenario.protocol} scenario that must satisfy it"
+            )
+
+    return FuzzOutcome(
+        index=scenario.index,
+        scenario=scenario,
+        events=len(world.trace),
+        violations=tuple(monitors.violation_log),
+        findings=tuple(findings),
+    )
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FuzzOutcome:
+    """One scenario's verdicts: what tripped, and what that means."""
+
+    index: int
+    scenario: Scenario
+    events: int
+    violations: tuple[tuple[int, str], ...]
+    findings: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the scenario produced no finding (violations that the
+        configuration legitimately allows do not count)."""
+        return not self.findings
+
+
+@dataclass(frozen=True)
+class FuzzReport:
+    """The full, digest-stable result of one fuzz run."""
+
+    seed: int
+    count: int
+    outcomes: tuple[FuzzOutcome, ...]
+
+    @property
+    def findings(self) -> tuple[tuple[int, str], ...]:
+        """Every finding across the run, as ``(scenario index, text)``."""
+        return tuple(
+            (outcome.index, finding)
+            for outcome in self.outcomes
+            for finding in outcome.findings
+        )
+
+    @property
+    def events(self) -> int:
+        """Total events recorded across all scenarios."""
+        return sum(outcome.events for outcome in self.outcomes)
+
+    def digest(self) -> str:
+        """Content hash of the entire run; replays must reproduce it."""
+        digest = hashlib.sha256()
+        digest.update(repr((self.seed, self.count)).encode())
+        for outcome in self.outcomes:
+            digest.update(repr(outcome).encode())
+        return digest.hexdigest()
+
+    def summary(self) -> str:
+        """A compact human-readable rendering for the CLI."""
+        by_protocol: dict[str, int] = {}
+        tripped: dict[str, int] = {}
+        for outcome in self.outcomes:
+            by_protocol[outcome.scenario.protocol] = (
+                by_protocol.get(outcome.scenario.protocol, 0) + 1
+            )
+            for _, name in outcome.violations:
+                tripped[name] = tripped.get(name, 0) + 1
+        lines = [
+            f"scenarios: {self.count}  events: {self.events}",
+            "protocols: "
+            + ", ".join(
+                f"{name}={count}" for name, count in sorted(by_protocol.items())
+            ),
+            "violations observed (legitimate ones included): "
+            + (
+                ", ".join(
+                    f"{name}={count}" for name, count in sorted(tripped.items())
+                )
+                or "none"
+            ),
+            f"findings: {len(self.findings)}",
+        ]
+        for index, finding in self.findings:
+            lines.append(f"  ! scenario {index}: {finding}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Driving
+# ----------------------------------------------------------------------
+
+DEFAULT_CONFIG = FuzzConfig()
+"""The scenario space ``python -m repro fuzz`` draws from by default."""
+
+
+def run_fuzz(
+    seed: int,
+    count: int,
+    config: FuzzConfig = DEFAULT_CONFIG,
+    stepping: str = "round_robin",
+    quantum: int = 512,
+    window: int | None = 64,
+    runner: ShardedRunner | None = None,
+) -> FuzzReport:
+    """Generate and judge ``count`` scenarios; pure in ``(seed, config)``.
+
+    Scenarios run as shards of a
+    :class:`~repro.sim.multiworld.ShardedRunner` (pass ``runner`` to
+    control stepping or to read back :class:`~repro.sim.multiworld.RunnerStats`
+    afterwards); the report is identical whatever the stepping policy,
+    quantum, or window — shards share no state.
+    """
+    if count < 0:
+        raise SimulationError(f"count must be >= 0, got {count}")
+    scenarios = [
+        generate_scenario(seed, index, config) for index in range(count)
+    ]
+    if runner is None:
+        runner = ShardedRunner(
+            stepping=stepping, quantum=quantum, window=window
+        )
+    specs = [
+        ShardSpec(
+            key=scenario,
+            build=(lambda s=scenario: build_scenario_world(s)),
+            horizon=scenario.horizon,
+            max_events=500_000,
+        )
+        for scenario in scenarios
+    ]
+    outcomes = runner.run(
+        specs, collect=lambda spec, world: judge_world(spec.key, world)
+    )
+    return FuzzReport(seed=seed, count=count, outcomes=tuple(outcomes))

@@ -6,9 +6,11 @@ without giving up its core guarantee, determinism. A sweep is *planned*
 as an explicit list of :class:`SweepCase` tasks — one per (parameter
 combination, seed) — and each case is executed independently with all
 randomness derived from its own seed. Because cases share no state,
-execution order cannot affect results, so the optional
-``multiprocessing`` executor produces **bit-identical rows** to the
-serial path: same cases, same per-case results, same collection order.
+execution order cannot affect results, so every backend — the serial
+loop, the ``multiprocessing`` pool, and the in-process ``inproc``
+executor that recycles scheduler storage between cases — produces
+**bit-identical rows**: same cases, same per-case results, same
+collection order.
 
 Quick example::
 
@@ -193,6 +195,50 @@ def run_case(case: SweepCase) -> list[SweepRow]:
     ]
 
 
+SWEEP_BACKENDS = ("serial", "parallel", "inproc")
+"""Valid ``backend`` arguments for :func:`run_sweep`."""
+
+
+def _run_cases_serial(cases: Sequence[SweepCase]) -> list[list[SweepRow]]:
+    return [run_case(case) for case in cases]
+
+
+def _run_cases_inproc(cases: Sequence[SweepCase]) -> list[list[SweepRow]]:
+    """Execute every case in this process, recycling scheduler storage.
+
+    Rides the multi-world engine's storage pool
+    (:class:`~repro.sim.scheduler.SchedulerStoragePool`): each case's
+    worlds — however deep inside the experiment driver they are built —
+    draw recycled heap entries, and the pool reclaims them when the case
+    finishes. No subprocess is spawned and nothing is pickled, which for
+    small sweeps is the dominant cost of the ``parallel`` backend.
+    """
+    from repro.sim.scheduler import shared_scheduler_storage
+
+    per_case: list[list[SweepRow]] = []
+    with shared_scheduler_storage() as pool:
+        for case in cases:
+            per_case.append(run_case(case))
+            pool.reclaim()
+    return per_case
+
+
+def _run_cases_parallel(
+    cases: Sequence[SweepCase], jobs: int, chunksize: int | None
+) -> list[list[SweepRow]]:
+    # Prefer fork only on Linux: it is cheap there, while macOS
+    # defaults to spawn for a reason (forked children can abort in
+    # system frameworks). Results are identical either way — every
+    # case derives all state from its own pickled seed/params.
+    ctx = multiprocessing.get_context(
+        "fork" if sys.platform == "linux" else None
+    )
+    jobs = max(jobs, 1)
+    chunk = chunksize or max(1, len(cases) // (4 * jobs))
+    with ctx.Pool(processes=jobs) as pool:
+        return pool.map(run_case, cases, chunksize=chunk)
+
+
 def run_sweep(
     experiment: str,
     seeds: Sequence[int],
@@ -201,30 +247,45 @@ def run_sweep(
     jobs: int = 1,
     chunksize: int | None = None,
     early_stop: bool = False,
+    backend: str | None = None,
 ) -> list[SweepRow]:
-    """Run a sweep, serially (``jobs<=1``) or on a process pool.
+    """Run a sweep on one of three bit-identical execution backends.
 
-    Rows come back in planned-case order regardless of ``jobs``;
-    a parallel sweep is bit-identical to the serial one — in full mode
-    and in ``early_stop`` mode alike (a case's abort point is a pure
-    function of its seed, never of the executor).
+    * ``"serial"`` — one case after another in this process.
+    * ``"parallel"`` — a ``multiprocessing`` pool of ``jobs`` workers.
+    * ``"inproc"`` — one case after another in this process, with
+      scheduler heap storage recycled between cases via the multi-world
+      engine's pool; preferable to ``parallel`` whenever per-case cost is
+      small enough that process spawn/pickle overhead dominates (measured
+      crossover: ``benchmarks/bench_e15_multiworld.py``).
+
+    ``backend=None`` (the default) keeps the historical behaviour:
+    ``parallel`` when ``jobs > 1``, else ``serial``.
+
+    Rows come back in planned-case order regardless of backend, and the
+    three backends produce **bit-identical rows** — in full mode and in
+    ``early_stop`` mode alike (a case's abort point is a pure function of
+    its seed, never of the executor).
     """
+    if backend is None:
+        backend = "parallel" if jobs > 1 else "serial"
+    if backend not in SWEEP_BACKENDS:
+        raise SimulationError(
+            f"unknown sweep backend {backend!r}; choose from "
+            f"{', '.join(SWEEP_BACKENDS)}"
+        )
     cases = plan_cases(
         experiment, seeds, params=params, grid=grid, early_stop=early_stop
     )
-    if jobs <= 1 or len(cases) <= 1:
-        per_case = [run_case(case) for case in cases]
+    # jobs <= 1 keeps the historical fast path even under an explicit
+    # backend="parallel": a one-worker pool is pure spawn/pickle overhead
+    # for bit-identical rows.
+    if backend == "parallel" and len(cases) > 1 and jobs > 1:
+        per_case = _run_cases_parallel(cases, jobs, chunksize)
+    elif backend == "inproc":
+        per_case = _run_cases_inproc(cases)
     else:
-        # Prefer fork only on Linux: it is cheap there, while macOS
-        # defaults to spawn for a reason (forked children can abort in
-        # system frameworks). Results are identical either way — every
-        # case derives all state from its own pickled seed/params.
-        ctx = multiprocessing.get_context(
-            "fork" if sys.platform == "linux" else None
-        )
-        chunk = chunksize or max(1, len(cases) // (4 * jobs))
-        with ctx.Pool(processes=jobs) as pool:
-            per_case = pool.map(run_case, cases, chunksize=chunk)
+        per_case = _run_cases_serial(cases)
     return [row for rows in per_case for row in rows]
 
 

@@ -41,15 +41,26 @@ from repro.sim.failures import (
     mutual_suspicion_plan,
     random_fault_plan,
 )
+from repro.sim.multiworld import RunnerStats, ShardSpec, ShardedRunner
 from repro.sim.network import Network
 from repro.sim.process import SimProcess
-from repro.sim.scheduler import Scheduler, TimerHandle
+from repro.sim.scheduler import (
+    Scheduler,
+    SchedulerStoragePool,
+    TimerHandle,
+    shared_scheduler_storage,
+)
 from repro.sim.trace import TimedEvent, TraceRecorder
 from repro.sim.world import World, build_world
 
 __all__ = [
     "Scheduler",
+    "SchedulerStoragePool",
+    "shared_scheduler_storage",
     "TimerHandle",
+    "ShardSpec",
+    "ShardedRunner",
+    "RunnerStats",
     "Network",
     "Adversary",
     "SimProcess",

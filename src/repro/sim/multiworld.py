@@ -1,0 +1,262 @@
+"""In-process sharded multi-world simulation.
+
+One :class:`~repro.sim.world.World` is one simulated system; scaling the
+*number of scenarios* explored per second is a different axis from scaling
+one system, and it is the axis the paper's quantification ("every
+admissible run") actually cares about. A :class:`ShardedRunner` constructs
+and steps many independent worlds — *shards* — inside a single process,
+amortising allocation across them via the scheduler storage pool
+(:class:`~repro.sim.scheduler.SchedulerStoragePool`) and skipping the
+process-spawn/pickling overhead a subprocess pool pays per task.
+
+Shards share **no mutable simulation state**: each world derives all
+nondeterminism from its own seed, so stepping policy cannot affect
+results. The runner exploits that freedom two ways:
+
+* ``stepping="sequential"`` — run each shard to completion in spec order,
+  recycling its scheduler storage into the next shard. Maximum locality,
+  minimum peak memory.
+* ``stepping="round_robin"`` — interleave shards in fixed event quanta
+  within a bounded window of live shards. Keeps many worlds in flight,
+  which is the shape an analyze-while-simulating consumer (streaming
+  monitor dashboards, the fuzzer's progress accounting) wants.
+
+Both policies produce **bit-identical per-shard results** (guarded by
+``tests/sim/test_multiworld.py``); the fuzzer
+(:mod:`repro.analysis.fuzz`) and the benchmark
+(``benchmarks/bench_e15_multiworld.py``) ride whichever fits.
+
+Completion semantics per shard mirror the two ways scenarios are driven:
+with ``horizon=None`` a shard runs to quiescence (injected-fault
+scenarios); with a ``horizon`` it runs until virtual time reaches it
+(detector-driven scenarios, whose heartbeat timers never drain). A shard
+whose monitors requested a scheduler stop
+(``World.attach_monitor(stop_on_violation=True)``) completes at the stop,
+exactly like a standalone run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, Sequence, TypeVar
+
+from repro.errors import SimulationError
+from repro.sim.scheduler import SchedulerStoragePool, shared_scheduler_storage
+from repro.sim.world import World
+
+R = TypeVar("R")
+
+STEPPING_POLICIES = ("sequential", "round_robin")
+"""Valid ``stepping`` arguments for :class:`ShardedRunner`."""
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard: how to build its world and when it is finished.
+
+    Args:
+        key: caller's identifier for the shard (a seed, a scenario, ...);
+            passed through to the collect callback untouched.
+        build: zero-argument world factory. Called under the runner's
+            storage pool, so the world's scheduler draws recycled heap
+            entries; must perform all scenario wiring (fault injection,
+            adversary rules, monitor attachment) before returning.
+        horizon: run until virtual time reaches this value; ``None``
+            (default) runs to quiescence instead (non-periodic queue
+            empty), which is the right completion notion for
+            injected-fault scenarios.
+        max_events: per-shard livelock valve; exceeding it raises
+            :class:`~repro.errors.SimulationError` naming the shard.
+    """
+
+    key: object
+    build: Callable[[], World]
+    horizon: float | None = None
+    max_events: int = 1_000_000
+
+
+@dataclass
+class _LiveShard:
+    index: int
+    spec: ShardSpec
+    world: World
+    events: int = 0
+    done: bool = False
+
+
+@dataclass
+class RunnerStats:
+    """What one :meth:`ShardedRunner.run` did, for benchmarks and logs."""
+
+    shards: int = 0
+    events: int = 0
+    entries_reused: int = 0
+    entries_recycled: int = 0
+    peak_live_shards: int = 0
+
+
+class ShardedRunner(Generic[R]):
+    """Steps many independent worlds inside one process.
+
+    Args:
+        stepping: ``"sequential"`` or ``"round_robin"`` (see module
+            docstring). Results are bit-identical either way.
+        quantum: events granted to a shard per round-robin turn.
+        window: maximum shards alive at once under round-robin (default:
+            all of them). Completed shards free their scheduler storage
+            into the pool before the next shard in the window starts.
+        reuse_storage: share one
+            :class:`~repro.sim.scheduler.SchedulerStoragePool` across all
+            shards (default). Disable to measure what the pooling buys.
+    """
+
+    def __init__(
+        self,
+        stepping: str = "sequential",
+        quantum: int = 512,
+        window: int | None = None,
+        reuse_storage: bool = True,
+    ):
+        if stepping not in STEPPING_POLICIES:
+            raise SimulationError(
+                f"unknown stepping policy {stepping!r}; choose from "
+                f"{', '.join(STEPPING_POLICIES)}"
+            )
+        if quantum < 1:
+            raise SimulationError(f"quantum must be >= 1, got {quantum}")
+        if window is not None and window < 1:
+            raise SimulationError(f"window must be >= 1, got {window}")
+        self.stepping = stepping
+        self.quantum = quantum
+        self.window = window
+        self.reuse_storage = reuse_storage
+        self.stats = RunnerStats()
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        specs: Sequence[ShardSpec],
+        collect: Callable[[ShardSpec, World], R],
+    ) -> list[R]:
+        """Build, run, and collect every shard; results in spec order.
+
+        ``collect(spec, world)`` is called once per shard, right after it
+        completes and before its scheduler storage is recycled — extract
+        everything you need from the world there (its history, monitors,
+        metrics); holding the world itself beyond the callback keeps the
+        released scheduler alive but useless.
+        """
+        self.stats = RunnerStats(shards=len(specs))
+        pool = SchedulerStoragePool() if self.reuse_storage else None
+        results: list[R | None] = [None] * len(specs)
+        if self.stepping == "sequential":
+            self._run_sequential(specs, collect, results, pool)
+        else:
+            self._run_round_robin(specs, collect, results, pool)
+        if pool is not None:
+            self.stats.entries_reused = pool.entries_reused
+            self.stats.entries_recycled = pool.entries_recycled
+        return results  # type: ignore[return-value]
+
+    def _build(self, spec: ShardSpec, index: int) -> _LiveShard:
+        world = spec.build()
+        world.start()
+        return _LiveShard(index=index, spec=spec, world=world)
+
+    def _finish(
+        self,
+        shard: _LiveShard,
+        collect: Callable[[ShardSpec, World], R],
+        results: list[R | None],
+        pool: SchedulerStoragePool | None,
+    ) -> None:
+        results[shard.index] = collect(shard.spec, shard.world)
+        if pool is not None:
+            shard.world.release_storage()
+
+    def _run_sequential(self, specs, collect, results, pool) -> None:
+        self.stats.peak_live_shards = 1 if specs else 0
+        for index, spec in enumerate(specs):
+            with _maybe_pool(pool):
+                shard = self._build(spec, index)
+            while not shard.done:
+                self._advance(shard, self.quantum)
+            self._finish(shard, collect, results, pool)
+
+    def _run_round_robin(self, specs, collect, results, pool) -> None:
+        pending = list(enumerate(specs))
+        pending.reverse()  # pop() from the front of the spec order
+        live: list[_LiveShard] = []
+        window = self.window or len(specs) or 1
+        while pending or live:
+            while pending and len(live) < window:
+                index, spec = pending.pop()
+                with _maybe_pool(pool):
+                    live.append(self._build(spec, index))
+            self.stats.peak_live_shards = max(
+                self.stats.peak_live_shards, len(live)
+            )
+            still_live: list[_LiveShard] = []
+            for shard in live:
+                self._advance(shard, self.quantum)
+                if shard.done:
+                    self._finish(shard, collect, results, pool)
+                else:
+                    still_live.append(shard)
+            live = still_live
+
+    # ------------------------------------------------------------------
+    # One shard, one quantum
+    # ------------------------------------------------------------------
+
+    def _advance(self, shard: _LiveShard, quantum: int) -> None:
+        """Execute up to ``quantum`` events; flags ``shard.done``."""
+        spec = shard.spec
+        scheduler = shard.world.scheduler
+        if spec.horizon is not None:
+            executed = scheduler.run(until=spec.horizon, max_events=quantum)
+            # run() breaking before the quantum was spent means it ran out
+            # of work admissible before the horizon (or a monitor halt).
+            shard.done = executed < quantum or scheduler.stop_requested
+        else:
+            executed = 0
+            while executed < quantum:
+                if (
+                    scheduler.stop_requested
+                    or scheduler.pending_nonperiodic() == 0
+                    or not scheduler.step()
+                ):
+                    shard.done = True
+                    break
+                executed += 1
+        shard.events += executed
+        self.stats.events += executed
+        if shard.events > spec.max_events and not shard.done:
+            raise SimulationError(
+                f"shard {spec.key!r} exceeded {spec.max_events} events "
+                "without completing; likely a livelock in the scenario"
+            )
+
+
+class _maybe_pool:
+    """Context manager: activate ``pool`` if given, else do nothing."""
+
+    __slots__ = ("_pool", "_ctx")
+
+    def __init__(self, pool: SchedulerStoragePool | None):
+        self._pool = pool
+        self._ctx = None
+
+    def __enter__(self):
+        if self._pool is not None:
+            self._ctx = shared_scheduler_storage(self._pool)
+            self._ctx.__enter__()
+        return self._pool
+
+    def __exit__(self, *exc) -> None:
+        if self._ctx is not None:
+            self._ctx.__exit__(*exc)
+            self._ctx = None

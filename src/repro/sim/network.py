@@ -183,6 +183,9 @@ class Network:
             state.burst = burst
             state.burst_time = due
             state.burst_periodic = periodic
+            # Filled right after scheduling: the burst entry's own seq,
+            # needed to requeue an interrupted drain at the same priority.
+            burst_seq: list[int] = []
 
             def deliver_burst() -> None:
                 # Drop the queue from channel state *before* draining: a
@@ -192,8 +195,29 @@ class Network:
                 if state.burst is burst:
                     state.burst = None
                 assert self._deliver_fn is not None
+                delivered_any = False
                 while burst:
+                    if delivered_any and self._scheduler.stop_requested:
+                        # A delivery in this burst tripped a streaming
+                        # monitor (Scheduler.request_stop fired mid-drain).
+                        # Requeue the remainder — at the burst entry's own
+                        # (time, seq) priority, not a fresh seq — instead
+                        # of draining past the stop: the halted trace is
+                        # then bit-identical to the per-message path, which
+                        # stops between entries, and a cleared scheduler
+                        # resumes the leftovers *ahead of* any same-tick
+                        # entry scheduled after the burst formed, exactly
+                        # where the per-message entries would have sat.
+                        # (Matching per-message semantics, each firing
+                        # still delivers one message before checking.)
+                        self.delivery_entries += 1
+                        self._scheduler.reschedule_interrupted(
+                            due, burst_seq[0], deliver_burst,
+                            periodic=periodic,
+                        )
+                        return
                     burst_msg, burst_kind = burst.popleft()
+                    delivered_any = True
                     state.delivered += 1
                     self.messages_delivered += 1
                     self._deliver_fn(src, dst, burst_msg, burst_kind)
@@ -201,6 +225,7 @@ class Network:
             self.delivery_entries += 1
             self._scheduler.schedule_at(due, deliver_burst, periodic=periodic)
             state.burst_guard = self._scheduler.last_scheduled_seq
+            burst_seq.append(state.burst_guard)
             return
 
         def deliver() -> None:

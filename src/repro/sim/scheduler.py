@@ -21,14 +21,24 @@ Scaling notes (the engine is the bottleneck for every experiment):
   outnumber the live ones (the asyncio strategy), so a crash that cancels
   thousands of far-future heartbeat timers does not leave them rotting in
   the queue until their due times.
+* Short-lived schedulers (one per shard in a multi-world run, see
+  :mod:`repro.sim.multiworld`) can share a :class:`SchedulerStoragePool`:
+  finished shards return their heap list and queued ``_Entry`` objects to
+  the pool instead of leaving them to the garbage collector, and the next
+  shard's scheduler draws from the pool instead of allocating. The pool is
+  ambient — activate it with :func:`shared_scheduler_storage` and every
+  :class:`Scheduler` constructed inside the ``with`` block participates —
+  and invisible to the model: recycled entries are reinitialised field by
+  field, so pooled and unpooled runs are bit-identical.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterator
 
 from repro.errors import SimulationError
 
@@ -44,6 +54,129 @@ class _Entry:
     cancelled: bool = field(default=False, compare=False)
     periodic: bool = field(default=False, compare=False)
     finished: bool = field(default=False, compare=False)
+
+
+def _noop() -> None:  # placeholder callback for recycled entries
+    """Never runs; parks recycled entries without retaining closures."""
+
+
+class SchedulerStoragePool:
+    """Recycles scheduler heap storage across many short-lived runs.
+
+    A multi-world engine builds and discards one :class:`Scheduler` per
+    shard; each discard strands a heap list plus every still-queued
+    ``_Entry`` (periodic heartbeats, cancelled timers) for the garbage
+    collector, and each build re-allocates them. The pool closes that
+    loop: :meth:`Scheduler.release_storage` pushes a finished scheduler's
+    entries and heap list here, and schedulers constructed while the pool
+    is active (see :func:`shared_scheduler_storage`) draw entries from it
+    instead of allocating.
+
+    Recycling is **end-of-life only**: entries go back to the pool when
+    their whole scheduler is finished, never while any
+    :class:`TimerHandle` of a live run could still observe them — which is
+    what keeps pooled execution bit-identical to unpooled execution.
+
+    ``max_entries`` bounds the free list so one entry-heavy shard cannot
+    pin unbounded memory for the rest of a long fuzz run.
+    """
+
+    def __init__(self, max_entries: int = 65_536):
+        self._max_entries = max_entries
+        self._entries: list[_Entry] = []
+        self._lists: list[list[_Entry]] = []
+        self._schedulers: dict[int, "Scheduler"] = {}
+        #: Entries handed out from the free list instead of allocated.
+        self.entries_reused = 0
+        #: Entries accepted back by :meth:`recycle`.
+        self.entries_recycled = 0
+
+    # -- acquisition (called by Scheduler) ------------------------------
+
+    def adopt(self, scheduler: "Scheduler") -> list[_Entry]:
+        """Register a newborn scheduler; returns its heap list to use."""
+        self._schedulers[id(scheduler)] = scheduler
+        return self._lists.pop() if self._lists else []
+
+    def discard(self, scheduler: "Scheduler") -> None:
+        """Forget an adopted scheduler (it released its storage itself)."""
+        self._schedulers.pop(id(scheduler), None)
+
+    def acquire_entry(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        periodic: bool,
+    ) -> _Entry:
+        """A ready-to-queue entry, recycled when the free list allows."""
+        if self._entries:
+            self.entries_reused += 1
+            entry = self._entries.pop()
+            entry.time = time
+            entry.seq = seq
+            entry.callback = callback
+            entry.cancelled = False
+            entry.periodic = periodic
+            entry.finished = False
+            return entry
+        return _Entry(time, seq, callback, periodic=periodic)
+
+    # -- release --------------------------------------------------------
+
+    def recycle(self, queue: list[_Entry]) -> int:
+        """Take back a dead scheduler's queue; returns entries recycled."""
+        recycled = 0
+        for entry in queue:
+            if len(self._entries) >= self._max_entries:
+                break
+            entry.callback = _noop  # drop closure refs (worlds, messages)
+            self._entries.append(entry)
+            recycled += 1
+        self.entries_recycled += recycled
+        queue.clear()
+        self._lists.append(queue)
+        return recycled
+
+    def reclaim(self) -> int:
+        """Release storage of every scheduler adopted since the last call.
+
+        The between-shards (or between-sweep-cases) sweep: any scheduler
+        created under the active pool — including ones buried inside a
+        driver's short-lived worlds — hands its heap back. Returns the
+        number of entries recycled.
+        """
+        recycled = 0
+        for scheduler in list(self._schedulers.values()):
+            recycled += scheduler.release_storage()
+        self._schedulers.clear()
+        return recycled
+
+
+_ACTIVE_POOL: SchedulerStoragePool | None = None
+
+
+@contextmanager
+def shared_scheduler_storage(
+    pool: SchedulerStoragePool | None = None,
+) -> Iterator[SchedulerStoragePool]:
+    """Activate a storage pool for every Scheduler built in this block.
+
+    The ambient form exists because worlds are usually constructed deep
+    inside experiment drivers that know nothing about pooling; the
+    sharded runner and the ``inproc`` sweep backend wrap each shard/case
+    in this context and call :meth:`SchedulerStoragePool.reclaim` when it
+    finishes. Nesting restores the previous pool on exit.
+    """
+    global _ACTIVE_POOL
+    if pool is None:
+        pool = SchedulerStoragePool()
+    previous = _ACTIVE_POOL
+    _ACTIVE_POOL = pool
+    try:
+        yield pool
+    finally:
+        _ACTIVE_POOL = previous
 
 
 class TimerHandle:
@@ -95,7 +228,10 @@ class Scheduler:
     """
 
     def __init__(self) -> None:
-        self._queue: list[_Entry] = []
+        self._pool = _ACTIVE_POOL
+        self._queue: list[_Entry] = (
+            self._pool.adopt(self) if self._pool is not None else []
+        )
         self._seq = itertools.count()
         self._now = 0.0
         self._processed = 0
@@ -188,12 +324,48 @@ class Scheduler:
             )
         seq = next(self._seq)
         self._last_seq = seq
-        entry = _Entry(time, seq, callback, periodic=periodic)
+        if self._pool is not None:
+            entry = self._pool.acquire_entry(time, seq, callback, periodic)
+        else:
+            entry = _Entry(time, seq, callback, periodic=periodic)
         heapq.heappush(self._queue, entry)
         self._pending += 1
         if not periodic:
             self._pending_nonperiodic += 1
         return TimerHandle(entry, self)
+
+    def reschedule_interrupted(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        periodic: bool = False,
+    ) -> None:
+        """Requeue work an interrupted callback did not finish, at its
+        original ``(time, seq)`` priority.
+
+        Restricted use — the batched-delivery resume path: a burst whose
+        drain was cut short by :meth:`request_stop` must re-enter the
+        queue at the *fired entry's own* key, because equal-time order is
+        first-scheduled-first and the undelivered remainder has to stay
+        ahead of every entry scheduled after the burst formed (that is
+        what keeps a resumed batched run bit-identical to the per-message
+        path). ``seq`` must be the seq of an entry that has already been
+        popped; ``last_scheduled_seq`` is deliberately not advanced, so
+        no later send can join a resumed burst's slot.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot reschedule into the past: {time} < now {self._now}"
+            )
+        if self._pool is not None:
+            entry = self._pool.acquire_entry(time, seq, callback, periodic)
+        else:
+            entry = _Entry(time, seq, callback, periodic=periodic)
+        heapq.heappush(self._queue, entry)
+        self._pending += 1
+        if not periodic:
+            self._pending_nonperiodic += 1
 
     def _on_cancel(self, entry: _Entry) -> None:
         """Accounting for a first-time cancellation of a queued entry."""
@@ -299,3 +471,24 @@ class Scheduler:
             heapq.heappop(self._queue)
             self._cancelled_in_heap -= 1
         return self._queue[0] if self._queue else None
+
+    def release_storage(self) -> int:
+        """Hand the heap and its queued entries back to the storage pool.
+
+        End-of-life only: the scheduler must be finished (its world
+        collected, no callback ever to run again) — whatever is still
+        queued, typically periodic heartbeats and cancelled timers, is
+        dropped and recycled. A no-op returning 0 when the scheduler was
+        built outside any :func:`shared_scheduler_storage` block. Safe to
+        call more than once.
+        """
+        if self._pool is None:
+            return 0
+        pool, self._pool = self._pool, None  # release once, then detach
+        residual = pool.recycle(self._queue)
+        pool.discard(self)
+        self._queue = []
+        self._pending = 0
+        self._pending_nonperiodic = 0
+        self._cancelled_in_heap = 0
+        return residual

@@ -201,6 +201,22 @@ class World:
         """Processes that have not crashed."""
         return [p.pid for p in self._processes if not p.crashed]
 
+    # ------------------------------------------------------------------
+    # End of life
+    # ------------------------------------------------------------------
+
+    def release_storage(self) -> int:
+        """Return scheduler heap storage to the ambient pool, if any.
+
+        Called by :class:`~repro.sim.multiworld.ShardedRunner` after a
+        shard's results are collected: when this world was built inside a
+        :func:`~repro.sim.scheduler.shared_scheduler_storage` block, the
+        scheduler's heap list and queued entries are recycled into the
+        next shard instead of being garbage. The world must not be run
+        again afterwards. Returns the number of entries recycled.
+        """
+        return self.scheduler.release_storage()
+
 
 def build_world(
     n: int,

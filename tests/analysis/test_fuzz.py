@@ -1,0 +1,182 @@
+"""Tests for the deterministic scenario fuzzer."""
+
+import pytest
+
+from repro.analysis.checker import analyze
+from repro.analysis.fuzz import (
+    DEFAULT_CONFIG,
+    FuzzConfig,
+    Scenario,
+    build_scenario_world,
+    expected_clean,
+    generate_scenario,
+    judge_world,
+    run_fuzz,
+)
+from repro.errors import SimulationError
+from repro.sim.multiworld import ShardedRunner
+
+
+class TestGeneration:
+    def test_pure_function_of_inputs(self):
+        for index in range(20):
+            a = generate_scenario(3, index, DEFAULT_CONFIG)
+            b = generate_scenario(3, index, DEFAULT_CONFIG)
+            assert a == b
+            assert repr(a) == repr(b)
+
+    def test_different_seeds_differ(self):
+        a = [generate_scenario(0, i, DEFAULT_CONFIG) for i in range(10)]
+        b = [generate_scenario(1, i, DEFAULT_CONFIG) for i in range(10)]
+        assert a != b
+
+    def test_config_is_part_of_the_derivation(self):
+        small = FuzzConfig(min_n=3, max_n=4)
+        wide = FuzzConfig(min_n=3, max_n=12)
+        assert [
+            generate_scenario(0, i, small) for i in range(10)
+        ] != [generate_scenario(0, i, wide) for i in range(10)]
+
+    def test_respects_configured_bounds(self):
+        config = FuzzConfig(
+            min_n=4, max_n=6, protocols=("sfs",), detectors=("none",)
+        )
+        for index in range(25):
+            scenario = generate_scenario(5, index, config)
+            assert 4 <= scenario.n <= 6
+            assert scenario.protocol == "sfs"
+            assert scenario.detector == ("none", ())
+            assert scenario.horizon is None
+            assert scenario.n > scenario.t * scenario.t  # Corollary 8
+
+    def test_detector_scenarios_get_a_horizon(self):
+        config = FuzzConfig(detector_rate=1.0, detectors=("heartbeat",))
+        scenario = generate_scenario(0, 0, config)
+        assert scenario.detector[0] == "heartbeat"
+        assert scenario.horizon == config.detector_horizon
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(SimulationError, match="min_n"):
+            FuzzConfig(min_n=9, max_n=3)
+        # n=1 would break the Corollary 8 invariant (n > t^2) the model
+        # oracle relies on for sfs/transitive scenarios.
+        with pytest.raises(SimulationError, match="min_n"):
+            FuzzConfig(min_n=1, max_n=4)
+        with pytest.raises(SimulationError, match="protocols"):
+            FuzzConfig(protocols=("sfs", "paxos"))
+        with pytest.raises(SimulationError, match="detectors"):
+            FuzzConfig(detectors=("gossip",))
+
+
+class TestOracles:
+    def test_expected_clean_per_protocol(self):
+        def scenario_for(protocol, detector=("none", ())):
+            return Scenario(
+                index=0, seed=0, n=6, protocol=protocol, t=1,
+                quorum_size=3 if protocol == "generic" else None,
+                delay=("constant", (1.0,)), detector=detector, faults=(),
+                holds=(), partition=None, heal_at=None, chatter=(),
+                horizon=None,
+            )
+
+        assert set(expected_clean(scenario_for("sfs"))) == {
+            "valid", "sFS2c", "sFS2b", "sFS2d", "Conditions1-3"
+        }
+        # A live detector can exceed the failure bound t, so only the
+        # structural and FIFO-propagation guarantees remain.
+        assert set(
+            expected_clean(scenario_for("sfs", ("phi", (1.0, 2.0))))
+        ) == {"valid", "sFS2c", "sFS2d"}
+        assert set(expected_clean(scenario_for("unilateral"))) == {
+            "valid", "sFS2c", "sFS2d"
+        }
+        assert set(expected_clean(scenario_for("generic"))) == {
+            "valid", "sFS2c"
+        }
+
+    def test_judge_flags_expected_property_violation(self):
+        # A unilateral mutual-suspicion scenario trips sFS2b — legal for
+        # unilateral. Relabel it as sfs and the oracle must object.
+        config = FuzzConfig(protocols=("unilateral",), detectors=("none",))
+        scenario = None
+        for index in range(100):
+            candidate = generate_scenario(2, index, config)
+            world = build_scenario_world(candidate)
+            world.run_to_quiescence(max_events=500_000)
+            if any(n == "sFS2b" for _, n in world.monitors.violation_log):
+                scenario = candidate
+                break
+        assert scenario is not None, "no cycle-producing scenario found"
+        world = build_scenario_world(scenario)
+        world.run_to_quiescence(max_events=500_000)
+        outcome = judge_world(scenario, world)
+        assert outcome.ok  # legitimate for unilateral
+
+        relabelled = Scenario(
+            **{**scenario.__dict__, "protocol": "sfs"}
+        )
+        bad = judge_world(relabelled, world)
+        assert any("model violation: sFS2b" in f for f in bad.findings)
+
+    def test_streaming_agrees_with_batch_analyze(self):
+        """The fuzzer's differential oracle, cross-checked against the
+        one-call analyze() pipeline on the same histories."""
+        for index in range(15):
+            scenario = generate_scenario(4, index, DEFAULT_CONFIG)
+            world = build_scenario_world(scenario)
+            if scenario.horizon is not None:
+                world.run(until=scenario.horizon)
+            else:
+                world.run_to_quiescence(max_events=500_000)
+            outcome = judge_world(scenario, world)
+            assert outcome.ok, outcome.findings
+            report = analyze(
+                world.history(), complete=False, pending_ok=True
+            )
+            monitor_results = world.monitors.check_results()
+            assert report.sfs2b == monitor_results["sFS2b"]
+            assert report.sfs2c == monitor_results["sFS2c"]
+            assert report.sfs2d == monitor_results["sFS2d"]
+
+
+class TestRunFuzz:
+    def test_replays_identically(self):
+        first = run_fuzz(seed=11, count=30)
+        second = run_fuzz(seed=11, count=30)
+        assert first == second
+        assert first.digest() == second.digest()
+
+    def test_stepping_policy_invisible(self):
+        round_robin = run_fuzz(seed=5, count=25)
+        sequential = run_fuzz(
+            seed=5, count=25,
+            runner=ShardedRunner(stepping="sequential"),
+        )
+        tiny_quanta = run_fuzz(
+            seed=5, count=25,
+            runner=ShardedRunner(stepping="round_robin", quantum=3, window=2),
+        )
+        assert round_robin.digest() == sequential.digest()
+        assert round_robin.digest() == tiny_quanta.digest()
+
+    def test_no_findings_across_the_default_space(self):
+        report = run_fuzz(seed=0, count=120)
+        assert report.findings == ()
+        assert report.count == 120
+        # The space is actually adversarial: some scenarios must trip
+        # *legitimate* violations (unilateral cycles etc).
+        assert any(outcome.violations for outcome in report.outcomes)
+
+    def test_summary_mentions_findings_count(self):
+        report = run_fuzz(seed=0, count=5)
+        assert "findings: 0" in report.summary()
+        assert "scenarios: 5" in report.summary()
+
+    def test_zero_count(self):
+        report = run_fuzz(seed=0, count=0)
+        assert report.outcomes == ()
+        assert report.findings == ()
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(SimulationError, match="count"):
+            run_fuzz(seed=0, count=-1)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.analysis.sweep import (
+    SWEEP_BACKENDS,
     SweepCase,
     SweepRow,
     available_experiments,
@@ -145,6 +146,52 @@ class TestEarlyStop:
             == full.row.violation_event_index
         )
         assert early.row.events_recorded <= full.row.events_recorded
+
+
+class TestBackends:
+    def test_known_backends(self):
+        assert SWEEP_BACKENDS == ("serial", "parallel", "inproc")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SimulationError, match="backend"):
+            run_sweep("e7", seeds=[0], backend="gpu")
+
+    def test_default_backend_follows_jobs(self):
+        # backend=None must keep the historical jobs semantics: the rows
+        # are what the explicit backends produce.
+        kwargs = dict(seeds=range(2), params={"n": 6})
+        assert run_sweep("e7", **kwargs) == run_sweep(
+            "e7", backend="serial", **kwargs
+        )
+
+    def test_inproc_bit_identical_to_serial(self):
+        kwargs = dict(seeds=range(4), params={"n": 6})
+        serial = run_sweep("e7", backend="serial", **kwargs)
+        inproc = run_sweep("e7", backend="inproc", **kwargs)
+        assert serial == inproc
+        assert rows_digest(serial) == rows_digest(inproc)
+
+    def test_inproc_bit_identical_to_parallel(self):
+        kwargs = dict(seeds=range(4), params={"n": 6})
+        parallel = run_sweep("e7", backend="parallel", jobs=2, **kwargs)
+        inproc = run_sweep("e7", backend="inproc", **kwargs)
+        assert rows_digest(parallel) == rows_digest(inproc)
+
+    def test_inproc_early_stop_identical(self):
+        kwargs = dict(seeds=range(3), params={"n": 6}, early_stop=True)
+        serial = run_sweep("e14", **kwargs)
+        inproc = run_sweep("e14", backend="inproc", **kwargs)
+        assert serial == inproc
+
+    def test_inproc_grid_sweep(self):
+        kwargs = dict(
+            seeds=range(2),
+            params={"n": 6, "t": 2},
+            grid={"quorum_sizes": [(3,), (4,)]},
+        )
+        assert run_sweep("e5", **kwargs) == run_sweep(
+            "e5", backend="inproc", **kwargs
+        )
 
 
 class TestMixedRowRendering:

@@ -1,0 +1,180 @@
+"""Direct unit tests for runtime/transport.py edge cases.
+
+The asyncio transport was previously exercised only through the cluster
+integration tests; these pin down its contract in isolation: lifecycle
+errors, per-channel FIFO under adverse delay draws, trace visibility
+rules, and the ``run_for`` helper's cancellation behaviour.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime.transport import LocalTransport, run_for
+from repro.sim.delays import ConstantDelay, DelayModel
+
+
+class _DecreasingDelay(DelayModel):
+    """First message slow, later ones fast — the FIFO stress shape."""
+
+    def __init__(self, start=5.0, step=2.0):
+        self._next = start
+        self._step = step
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        value = self._next
+        self._next = max(0.0, self._next - self._step)
+        return value
+
+
+def _collecting_transport(n=2, delay=None, **kwargs):
+    transport = LocalTransport(
+        n, delay or ConstantDelay(0.5), time_scale=0.001, **kwargs
+    )
+    got = []
+    transport.set_deliver(
+        lambda src, dst, msg, kind: got.append((src, dst, msg.payload, kind))
+    )
+    return transport, got
+
+
+class TestLifecycle:
+    def test_send_before_start_raises(self):
+        transport, _ = _collecting_transport()
+        with pytest.raises(SimulationError, match="not started"):
+            transport.send(0, 1, "early")
+
+    def test_start_is_idempotent(self):
+        async def scenario():
+            transport, got = _collecting_transport()
+            await transport.start()
+            await transport.start()  # second call must not double pumps
+            transport.send(0, 1, "x")
+            await asyncio.sleep(0.05)
+            await transport.stop()
+            return got
+
+        got = asyncio.run(scenario())
+        assert got == [(0, 1, "x", "app")]
+
+    def test_stop_then_restart_delivers_again(self):
+        async def scenario():
+            transport, got = _collecting_transport()
+            await transport.start()
+            transport.send(0, 1, "first")
+            await asyncio.sleep(0.05)
+            await transport.stop()
+            await transport.start()
+            transport.send(0, 1, "second")
+            await asyncio.sleep(0.05)
+            await transport.stop()
+            return [payload for _, _, payload, _ in got]
+
+        assert asyncio.run(scenario()) == ["first", "second"]
+
+    def test_now_is_monotonic_nonnegative(self):
+        transport, _ = _collecting_transport()
+        first = transport.now()
+        second = transport.now()
+        assert 0.0 <= first <= second
+
+
+class TestFifoAndDelays:
+    def test_fifo_despite_decreasing_delays(self):
+        """A slow first message must still beat fast later ones: later
+        sends wait *behind* it on the channel pump."""
+
+        async def scenario():
+            transport, got = _collecting_transport(
+                delay=_DecreasingDelay(start=20.0, step=6.0)
+            )
+            await transport.start()
+            for i in range(4):
+                transport.send(0, 1, i)
+            await asyncio.sleep(0.2)
+            await transport.stop()
+            return [payload for _, _, payload, _ in got]
+
+        assert asyncio.run(scenario()) == [0, 1, 2, 3]
+
+    def test_channels_are_independent(self):
+        async def scenario():
+            transport, got = _collecting_transport(n=3)
+            await transport.start()
+            transport.send(0, 1, "a")
+            transport.send(0, 2, "b")
+            transport.send(2, 1, "c")
+            await asyncio.sleep(0.05)
+            await transport.stop()
+            return got
+
+        got = asyncio.run(scenario())
+        assert {(src, dst) for src, dst, _, _ in got} == {
+            (0, 1), (0, 2), (2, 1)
+        }
+
+    def test_negative_delay_clamped(self):
+        class Negative(DelayModel):
+            def sample(self, rng, src, dst):
+                return -1.0
+
+        async def scenario():
+            transport, got = _collecting_transport(delay=Negative())
+            await transport.start()
+            transport.send(0, 1, "x")
+            await asyncio.sleep(0.02)
+            await transport.stop()
+            return got
+
+        assert asyncio.run(scenario()) == [(0, 1, "x", "app")]
+
+
+class TestTraceVisibility:
+    def test_only_app_sends_recorded(self):
+        async def scenario():
+            transport, _ = _collecting_transport()
+            await transport.start()
+            transport.send(0, 1, "app-payload")
+            transport.send(0, 1, "susp", kind="protocol")
+            transport.send(0, 1, "beat", kind="system")
+            await asyncio.sleep(0.02)
+            await transport.stop()
+            return transport.trace.history()
+
+        history = asyncio.run(scenario())
+        assert len(history) == 1
+        assert history[0].msg.payload == "app-payload"
+
+    def test_messages_minted_per_source(self):
+        async def scenario():
+            transport, _ = _collecting_transport(n=3)
+            await transport.start()
+            a = transport.send(0, 1, "x")
+            b = transport.send(0, 2, "y")
+            c = transport.send(1, 2, "z")
+            await transport.stop()
+            return a, b, c
+
+        a, b, c = asyncio.run(scenario())
+        assert a.sender == 0 and b.sender == 0 and c.sender == 1
+        assert a != b  # distinct mint ids from one source
+
+
+class TestRunFor:
+    def test_cancels_background_awaitables(self):
+        cancelled = []
+
+        async def background():
+            try:
+                await asyncio.sleep(60.0)
+            except asyncio.CancelledError:
+                cancelled.append(True)
+                raise
+
+        async def scenario():
+            await run_for(0.02, background())
+
+        asyncio.run(scenario())
+        assert cancelled == [True]

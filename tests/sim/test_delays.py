@@ -71,3 +71,75 @@ class TestSpecifics:
         )
         assert model.sample(rng, 0, 1) == 10.0
         assert model.sample(rng, 1, 0) == 1.0
+
+
+class TestEdgeCases:
+    def test_constant_zero_delay(self):
+        rng = random.Random(0)
+        assert ConstantDelay(0.0).sample(rng, 0, 1) == 0.0
+
+    def test_uniform_degenerate_interval(self):
+        rng = random.Random(0)
+        model = UniformDelay(1.25, 1.25)
+        assert {model.sample(rng, 0, 1) for _ in range(20)} == {1.25}
+
+    def test_base_model_is_abstract(self):
+        import pytest
+
+        from repro.sim.delays import DelayModel
+
+        with pytest.raises(NotImplementedError):
+            DelayModel().sample(random.Random(0), 0, 1)
+
+    def test_per_channel_directionality(self):
+        """Only the exact (src, dst) direction is slowed."""
+        rng = random.Random(0)
+        model = PerChannelDelay(
+            ConstantDelay(2.0), slow_channels=(((3, 4), 5.0),)
+        )
+        assert model.sample(rng, 3, 4) == 10.0
+        assert model.sample(rng, 4, 3) == 2.0
+        assert model.sample(rng, 3, 3) == 2.0
+
+    def test_per_channel_first_occurrence_wins(self):
+        """Duplicate channel entries keep the historical linear-scan
+        semantics: the first listed factor applies."""
+        rng = random.Random(0)
+        model = PerChannelDelay(
+            ConstantDelay(1.0),
+            slow_channels=(((0, 1), 3.0), ((0, 1), 7.0)),
+        )
+        assert model.sample(rng, 0, 1) == 3.0
+
+    def test_per_channel_empty_mapping_passthrough(self):
+        rng = random.Random(0)
+        model = PerChannelDelay(ConstantDelay(1.5))
+        assert model.sample(rng, 0, 1) == 1.5
+
+    def test_per_channel_consumes_base_rng_stream(self):
+        """The wrapper must sample the base exactly once per call, so a
+        wrapped and an unwrapped model stay in RNG lockstep — that is
+        what lets experiments swap PerChannelDelay in without changing
+        unaffected channels' draws."""
+        wrapped = PerChannelDelay(
+            UniformDelay(0.5, 1.5), slow_channels=(((9, 9), 4.0),)
+        )
+        plain = UniformDelay(0.5, 1.5)
+        a, b = random.Random(3), random.Random(3)
+        for _ in range(10):
+            assert wrapped.sample(a, 0, 1) == plain.sample(b, 0, 1)
+
+    def test_exponential_mean_roughly_right(self):
+        rng = random.Random(0)
+        model = ExponentialDelay(2.0)
+        samples = [model.sample(rng, 0, 1) for _ in range(4000)]
+        assert 1.8 < sum(samples) / len(samples) < 2.2
+
+    def test_models_ignore_channel_identity(self):
+        """Sampling is a function of the rng stream alone; src/dst do not
+        perturb the draw (adversarial asymmetry belongs to
+        PerChannelDelay or the Adversary, not the base models)."""
+        for model in MODELS:
+            assert model.sample(random.Random(5), 0, 1) == model.sample(
+                random.Random(5), 7, 3
+            )

@@ -1,0 +1,169 @@
+"""Regression: Scheduler.request_stop landing mid-burst (PR 2 x PR 3).
+
+Batched channel delivery shares one scheduler entry per burst; streaming
+monitors request a scheduler stop from *inside* a delivery callback. The
+interaction: a stop requested while a burst is draining must not let the
+rest of the burst deliver past the stop — the halted trace has to be
+bit-identical to the per-message path, which halts between entries, and a
+cleared scheduler must resume the leftover deliveries in FIFO order.
+"""
+
+from repro.analysis.sweep import rows_digest, run_sweep
+from repro.sim import World, build_world
+from repro.sim.delays import ConstantDelay, UniformDelay
+from repro.sim.process import SimProcess
+
+
+class _Burster(SimProcess):
+    """Sends one 6-message burst on channel (0, 1) at t=0."""
+
+    def on_start(self):
+        if self.pid == 0:
+            for i in range(6):
+                self.send(1, ("m", i))
+
+
+def _run_burst_world(batch, stop_at_recv=3):
+    world = World(
+        [_Burster(), _Burster()], ConstantDelay(1.0), seed=0,
+        batch_delivery=batch,
+    )
+
+    def observer(idx, event, vector):
+        del event, vector
+        if idx == 6 + (stop_at_recv - 1):  # 6 sends, then the Nth recv
+            world.scheduler.request_stop()
+
+    world.trace.attach_observer(observer)
+    world.run_to_quiescence()
+    return world
+
+
+class TestStopMidBurst:
+    def test_burst_shares_one_entry(self):
+        world = _run_burst_world(batch=True, stop_at_recv=7)  # never stops
+        # All six messages rode a single delivery entry (the burst).
+        assert world.network.delivery_entries == 1
+        assert world.network.messages_delivered == 6
+
+    def test_halted_trace_identical_to_per_message(self):
+        batched = _run_burst_world(batch=True)
+        per_message = _run_burst_world(batch=False)
+        assert batched.history() == per_message.history()
+        assert len(batched.trace) == 9  # 6 sends + 3 recvs, not 12
+        assert batched.scheduler.stop_requested
+
+    def test_resume_delivers_remainder_in_fifo_order(self):
+        batched = _run_burst_world(batch=True)
+        per_message = _run_burst_world(batch=False)
+        for world in (batched, per_message):
+            world.scheduler.clear_stop()
+            world.run_to_quiescence()
+        assert batched.history() == per_message.history()
+        assert len(batched.trace) == 12
+        payload_order = [
+            event.msg.payload
+            for event in batched.history()
+            if type(event).__name__ == "RecvEvent"
+        ]
+        assert payload_order == [("m", i) for i in range(6)]
+
+    def test_repeated_stops_inside_one_burst(self):
+        """Every single delivery can trip the stop; each resume must hand
+        over exactly one more message, mirroring per-message stepping."""
+        world = World(
+            [_Burster(), _Burster()], ConstantDelay(1.0), seed=0,
+            batch_delivery=True,
+        )
+        world.trace.attach_observer(
+            lambda idx, e, v: world.scheduler.request_stop() if idx >= 6 else None
+        )
+        world.run_to_quiescence()
+        seen = [len(world.trace)]
+        while world.scheduler.pending_nonperiodic():
+            world.scheduler.clear_stop()
+            world.run_to_quiescence()
+            seen.append(len(world.trace))
+        assert seen == [7, 8, 9, 10, 11, 12]
+
+
+class TestCrossChannelResumeOrder:
+    """The remainder must resume at the burst entry's original priority:
+    a same-tick entry from *another* channel, scheduled after the burst
+    formed, has to stay behind the undelivered remainder — exactly where
+    the per-message entries would have sat."""
+
+    class _TwoSenders(SimProcess):
+        def on_start(self):
+            if self.pid == 0:
+                for i in range(3):
+                    self.send(1, ("a", i))
+            elif self.pid == 2:
+                self.send(1, ("c", 0))
+
+    def _run(self, batch):
+        world = World(
+            [self._TwoSenders() for _ in range(3)], ConstantDelay(1.0),
+            seed=0, batch_delivery=batch,
+        )
+
+        def observer(idx, event, vector):
+            del event, vector
+            if idx == 4:  # 4 sends, then the first recv
+                world.scheduler.request_stop()
+
+        world.trace.attach_observer(observer)
+        world.run_to_quiescence()
+        return world
+
+    def test_halt_and_resume_identical_across_batch_modes(self):
+        batched, per_message = self._run(True), self._run(False)
+        assert batched.history() == per_message.history()
+        for world in (batched, per_message):
+            world.scheduler.clear_stop()
+            world.run_to_quiescence()
+        assert batched.history() == per_message.history()
+        recv_order = [
+            event.msg.payload
+            for event in batched.history()
+            if type(event).__name__ == "RecvEvent"
+        ]
+        # The interrupted burst's remainder beats the other channel's
+        # same-tick delivery, as in the per-message schedule.
+        assert recv_order == [("a", 0), ("a", 1), ("a", 2), ("c", 0)]
+
+
+class TestMonitorHaltUnderBatching:
+    """The real PR 3 consumer: stop_on_violation monitors over bursts."""
+
+    def test_violation_halt_identical_across_batch_modes(self):
+        from repro.analysis.extensions import _ChattyUnilateral
+
+        def run(batch, seed):
+            world = build_world(
+                6,
+                _ChattyUnilateral,
+                delay_model=UniformDelay(0.2, 2.0),
+                seed=seed,
+                batch_delivery=batch,
+            )
+            monitors = world.attach_monitor(stop_on_violation=True)
+            world.inject_suspicion(0, 1, at=1.0)
+            world.inject_suspicion(1, 0, at=1.0)
+            world.run_to_quiescence(max_events=2_000_000)
+            return world, monitors
+
+        for seed in range(6):
+            batched, bmon = run(True, seed)
+            per_message, umon = run(False, seed)
+            assert batched.history() == per_message.history(), seed
+            assert bmon.first_violation == umon.first_violation, seed
+            assert bmon.events_seen == umon.events_seen, seed
+
+    def test_early_stop_sweep_digest_stable_across_batching_consumers(self):
+        """End to end: early-stop sweep rows keep their digest across
+        backends (each case runs batched worlds that may halt mid-burst)."""
+        kwargs = dict(seeds=range(3), params={"n": 6}, early_stop=True)
+        serial = run_sweep("e14", **kwargs)
+        inproc = run_sweep("e14", backend="inproc", **kwargs)
+        assert rows_digest(serial) == rows_digest(inproc)

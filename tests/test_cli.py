@@ -88,6 +88,61 @@ class TestSweep:
         assert "sweep failed" in err and "seeds" in err
 
 
+class TestSweepBackend:
+    def test_backend_inproc_output_identical_to_serial(self, capsys):
+        args = ["sweep", "e7", "--seeds", "2", "--param", "n=6"]
+        assert main(args) == 0
+        serial_out = capsys.readouterr().out
+        assert main(args + ["--backend", "inproc"]) == 0
+        inproc_out = capsys.readouterr().out
+        assert serial_out == inproc_out
+
+    def test_backend_validated_by_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "e7", "--seeds", "1", "--backend", "gpu"])
+
+
+class TestFuzz:
+    def test_fuzz_runs_and_prints_digest(self, capsys):
+        assert main(["fuzz", "--seed", "3", "--count", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "scenarios: 10" in out
+        assert "digest=" in out
+        assert "findings: 0" in out
+
+    def test_fuzz_replays_identically(self, capsys):
+        args = ["fuzz", "--seed", "5", "--count", "8"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert first == capsys.readouterr().out
+
+    def test_fuzz_stepping_invisible_in_report(self, capsys):
+        args = ["fuzz", "--seed", "5", "--count", "8"]
+        assert main(args) == 0
+        round_robin = capsys.readouterr().out
+        assert main(args + ["--stepping", "sequential"]) == 0
+        sequential = capsys.readouterr().out
+        digest = [l for l in round_robin.splitlines() if "digest=" in l]
+        assert digest == [
+            l for l in sequential.splitlines() if "digest=" in l
+        ]
+
+    def test_fuzz_restricted_protocols(self, capsys):
+        assert main(
+            ["fuzz", "--seed", "0", "--count", "6",
+             "--protocols", "unilateral", "--detectors", "none"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "unilateral=6" in out
+
+    def test_fuzz_bad_config_fails_cleanly(self, capsys):
+        assert main(
+            ["fuzz", "--count", "1", "--protocols", "paxos"]
+        ) == 2
+        assert "fuzz failed" in capsys.readouterr().err
+
+
 class TestCycle:
     def test_cycle_construction(self, capsys):
         assert main(["cycle", "3"]) == 0
