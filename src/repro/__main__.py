@@ -13,7 +13,8 @@ Commands:
   in-process with recycled scheduler storage (``--backend inproc``); all
   backends print bit-identical rows and the same content digest.
   ``--early-stop`` aborts each case at its first streaming-monitor
-  violation (supported drivers only, e.g. e14).
+  violation (supported drivers only, e.g. e14); ``--list`` prints the
+  registered sweepable experiments.
 * ``fuzz`` — generate seeded adversarial scenarios (topology, faults,
   adversary schedules, detectors, protocols) and run them through the
   sharded multi-world engine with streaming monitors, flagging any
@@ -26,6 +27,16 @@ Commands:
   halts the world there instead of running on.
 * ``cycle K`` — run the Theorem 6 adversarial construction for a k-cycle
   and print the impossibility certificate.
+
+``sweep``, ``fuzz``, and ``monitor`` all execute through the unified
+execution layer (:mod:`repro.exec`) and share its flags: ``--backend``
+picks the executor (results are bit-identical on all of them),
+``--journal PATH`` checkpoints every completed case to a JSONL file as
+it lands, and ``--resume`` restores journaled cases instead of
+re-running them — a killed run resumed at any case boundary prints the
+same digest as an uninterrupted one. ``sweep``/``fuzz`` additionally
+take ``--stream`` to print each result live, in deterministic order, as
+the finished prefix grows.
 """
 
 from __future__ import annotations
@@ -57,6 +68,29 @@ def _parse_seeds(text: str) -> list[int]:
     if "," in text:
         return [int(part) for part in text.split(",") if part.strip()]
     return list(range(int(text)))
+
+
+def _add_exec_flags(
+    parser: "argparse.ArgumentParser",
+    backends: tuple[str, ...] = ("serial", "parallel", "inproc"),
+    backend_help: str = "execution backend; results are bit-identical "
+    "on every backend",
+) -> None:
+    """The execution-layer flags shared by sweep, fuzz, and monitor."""
+    parser.add_argument(
+        "--backend", choices=backends, default=None, help=backend_help
+    )
+    parser.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help="checkpoint every completed case to this JSONL file as it "
+             "finishes; a killed run can be resumed from it",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="restore cases already recorded in --journal instead of "
+             "re-running them (the final digest is bit-identical to an "
+             "uninterrupted run)",
+    )
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -136,10 +170,34 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+class _StreamSink:
+    """A :class:`repro.exec.ResultSink` printing results as they land.
+
+    The execution core guarantees in-order delivery of the finished
+    prefix, so these lines are final the moment they print — no later
+    completion can reorder or retract them.
+    """
+
+    def __init__(self, render) -> None:
+        self._render = render
+        self.total = 0
+
+    def open(self, total: int) -> None:
+        self.total = total
+
+    def emit(self, index: int, job, result) -> None:
+        for line in self._render(index, self.total, job, result):
+            print(line, flush=True)
+
+    def close(self) -> None:
+        pass
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import inspect
 
     from repro.analysis.sweep import (
+        available_experiments,
         rows_digest,
         run_sweep,
         sweep_driver,
@@ -147,6 +205,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     from repro.errors import ReproError, SimulationError
 
+    if args.list:
+        for eid in available_experiments():
+            driver = sweep_driver(eid)
+            doc = (driver.__doc__ or "").strip().splitlines()
+            first = doc[0] if doc else ""
+            print(f"{eid:<5} {driver.__module__}:{driver.__qualname__}"
+                  f"  — {first}")
+        return 0
+    if args.eid is None:
+        print("sweep: an experiment id is required (or --list to see "
+              "them)", file=sys.stderr)
+        return 2
     eid = args.eid.lower()
     try:
         driver = sweep_driver(eid)
@@ -170,6 +240,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    sink = None
+    if args.stream:
+        sink = _StreamSink(
+            lambda index, total, job, case_rows: [
+                f"[case {index + 1}/{total}] seed={job.seed} {row.row!r}"
+                for row in case_rows
+            ]
+        )
     try:
         rows = run_sweep(
             eid,
@@ -178,6 +256,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             early_stop=args.early_stop,
             backend=args.backend,
+            journal=args.journal,
+            resume=args.resume,
+            sink=sink,
         )
     except ReproError as exc:
         print(f"sweep failed: {exc}", file=sys.stderr)
@@ -190,46 +271,84 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_monitor(args: argparse.Namespace) -> int:
-    from repro.analysis.extensions import build_monitor_world
-    from repro.errors import ReproError, SimulationError
+    from repro.analysis.extensions import (
+        MONITOR_JOB_KIND,
+        MONITOR_SCENARIOS,
+        run_monitor_case,
+    )
+    from repro.errors import ReproError
+    from repro.exec import JobSpec, make_executor, run_jobs
 
-    try:
-        world = build_monitor_world(args.eid, n=args.n, seed=args.seed)
-    except SimulationError as exc:
-        print(str(exc), file=sys.stderr)
+    eid = args.eid.lower()
+    if eid not in MONITOR_SCENARIOS:
+        print(f"unknown monitored scenario {args.eid!r}; choose from "
+              f"{', '.join(sorted(MONITOR_SCENARIOS))}", file=sys.stderr)
         return 2
-    except ReproError as exc:  # e.g. BoundsError from a bad --n
-        print(f"monitor failed: {exc}", file=sys.stderr)
-        return 1
-    monitors = world.attach_monitor(stop_on_violation=args.stop)
-    trace = world.trace
+
+    # Live printing happens from *inside* the run via a trace observer,
+    # so the monitor's executors are the in-process ones; a run restored
+    # from the journal instead re-renders its recorded violation lines.
     printed = 0
+    ran = False
 
-    def stream(idx: int, event: object, vector: object) -> None:
-        nonlocal printed
-        del vector
-        if args.verbose:
-            print(f"[event {idx:>6}] t={trace.time_of_index(idx):8.3f}  "
-                  f"{event!r}")
-        log = monitors.violation_log
-        while printed < len(log):
-            vidx, name = log[printed]
-            printed += 1
-            print(f"[event {vidx:>6}] t={trace.time_of_index(vidx):8.3f}  "
-                  f"!! {name} VIOLATED by {trace.event_at(vidx)!r}")
+    def observer_factory(trace, monitors):
+        def stream(idx: int, event: object, vector: object) -> None:
+            nonlocal printed
+            del vector
+            if args.verbose:
+                print(f"[event {idx:>6}] "
+                      f"t={trace.time_of_index(idx):8.3f}  {event!r}")
+            log = monitors.violation_log
+            while printed < len(log):
+                vidx, name = log[printed]
+                printed += 1
+                print(f"[event {vidx:>6}] "
+                      f"t={trace.time_of_index(vidx):8.3f}  "
+                      f"!! {name} VIOLATED by {trace.event_at(vidx)!r}")
+        return stream
 
-    trace.attach_observer(stream)
+    def live_run(job: JobSpec):
+        nonlocal ran
+        ran = True
+        return run_monitor_case(
+            eid,
+            n=args.n,
+            seed=args.seed,
+            stop=args.stop,
+            max_events=args.max_events,
+            observer_factory=observer_factory,
+        )
+
+    job = JobSpec(
+        kind=MONITOR_JOB_KIND,
+        spec_id=eid,
+        seed=args.seed,
+        params=(
+            ("n", args.n),
+            ("stop", args.stop),
+            ("max_events", args.max_events),
+        ),
+    )
     try:
-        world.run_to_quiescence(max_events=args.max_events)
-    except ReproError as exc:  # e.g. livelock past --max-events
+        executor = make_executor(args.backend or "serial", run=live_run)
+        (result,) = run_jobs(
+            [job],
+            executor=executor,
+            journal=args.journal,
+            resume=args.resume,
+        )
+    except ReproError as exc:  # bad --n bounds, livelock, journal mismatch
         print(f"monitor failed: {exc}", file=sys.stderr)
         return 1
-    halted = world.scheduler.stop_requested
-    print(f"\n== monitor {args.eid.lower()} seed={args.seed}: "
-          f"{monitors.events_seen} events"
-          f"{' (halted at first violation)' if halted else ''} ==")
-    print(monitors.summary())
-    return 0 if monitors.ok_so_far else 1
+    if not ran:  # journaled: re-render the recorded violation lines
+        for vidx, at, name, event in result.violations:
+            print(f"[event {vidx:>6}] t={at:8.3f}  "
+                  f"!! {name} VIOLATED by {event}")
+    print(f"\n== monitor {eid} seed={args.seed}: "
+          f"{result.events} events"
+          f"{' (halted at first violation)' if result.halted else ''} ==")
+    print(result.summary)
+    return 0 if result.ok else 1
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -237,6 +356,41 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
     from repro.sim.multiworld import ShardedRunner
 
+    backend = args.backend or "inproc"
+    # The stepping controls configure the sharded multi-world engine;
+    # silently dropping them would imply they applied. Parser defaults
+    # are None sentinels, so presence — not value — is what's detected.
+    given = [
+        flag
+        for value, flag in (
+            (args.stepping, "--stepping"),
+            (args.quantum, "--quantum"),
+            (args.window, "--window"),
+        )
+        if value is not None
+    ]
+    if backend != "inproc" and given:
+        print(
+            f"fuzz failed: {', '.join(given)} only apply to "
+            f"--backend inproc (the sharded engine), not {backend!r}",
+            file=sys.stderr,
+        )
+        return 2
+    stepping = args.stepping if args.stepping is not None else "round_robin"
+    quantum = args.quantum if args.quantum is not None else 512
+    window = args.window if args.window is not None else 64
+    sink = None
+    if args.stream:
+        def render(index, total, job, outcome):
+            flag = "  !! FINDING" if outcome.findings else ""
+            return [
+                f"[scenario {index + 1}/{total}] "
+                f"n={outcome.scenario.n} "
+                f"protocol={outcome.scenario.protocol} "
+                f"events={outcome.events} "
+                f"violations={len(outcome.violations)}{flag}"
+            ]
+        sink = _StreamSink(render)
     try:
         config = FuzzConfig(
             min_n=args.min_n,
@@ -252,22 +406,40 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                 else DEFAULT_CONFIG.detectors
             ),
         )
-        runner = ShardedRunner(
-            stepping=args.stepping, quantum=args.quantum, window=args.window
-        )
+        runner = None
+        if backend == "inproc":
+            runner = ShardedRunner(
+                stepping=stepping, quantum=quantum, window=window
+            )
         report = run_fuzz(
-            seed=args.seed, count=args.count, config=config, runner=runner
+            seed=args.seed, count=args.count, config=config, runner=runner,
+            backend=backend, jobs=args.jobs,
+            journal=args.journal, resume=args.resume, sink=sink,
         )
     except ReproError as exc:
         print(f"fuzz failed: {exc}", file=sys.stderr)
         return 2
+    mode = stepping if backend == "inproc" else backend
     print(f"== fuzz seed={args.seed} count={args.count} "
-          f"({args.stepping}) ==")
+          f"({mode}) ==")
     print(report.summary())
-    stats = runner.stats
-    print(f"engine: {stats.events} scheduler events, "
-          f"{stats.entries_reused} heap entries recycled, "
-          f"peak {stats.peak_live_shards} live shards")
+    if runner is not None:
+        # The runner only saw scenarios that actually executed; the
+        # rest (if any) were restored from the journal — say so rather
+        # than print engine zeros that read as "ran and did nothing".
+        stats = runner.stats
+        restored = report.count - stats.shards
+        if stats.shards:
+            note = (
+                f" ({restored} of {report.count} scenarios restored "
+                "from journal)" if restored else ""
+            )
+            print(f"engine: {stats.events} scheduler events, "
+                  f"{stats.entries_reused} heap entries recycled, "
+                  f"peak {stats.peak_live_shards} live shards{note}")
+        elif restored:
+            print(f"engine: idle — all {report.count} scenarios "
+                  "restored from journal")
     print(f"digest={report.digest()}")
     return 1 if report.findings else 0
 
@@ -321,7 +493,14 @@ def main(argv: list[str] | None = None) -> int:
         "sweep",
         help="deterministic multi-seed sweep (serial or --jobs parallel)",
     )
-    sweep.add_argument("eid", help="a seeded experiment (e1, e2, e5, ...)")
+    sweep.add_argument(
+        "eid", nargs="?", default=None,
+        help="a seeded experiment (e1, e2, e5, ...; see --list)",
+    )
+    sweep.add_argument(
+        "--list", action="store_true",
+        help="print the registered sweepable experiments and exit",
+    )
     sweep.add_argument(
         "--seeds",
         type=_parse_seeds,
@@ -343,10 +522,16 @@ def main(argv: list[str] | None = None) -> int:
              "(drivers with an early_stop keyword only, e.g. e14)",
     )
     sweep.add_argument(
-        "--backend", choices=("serial", "parallel", "inproc"), default=None,
-        help="execution backend (default: parallel when --jobs > 1, else "
-             "serial); inproc skips process spawn and recycles scheduler "
-             "storage between cases — all three are bit-identical",
+        "--stream", action="store_true",
+        help="print each case's rows live, in planned order, as the "
+             "finished prefix grows",
+    )
+    _add_exec_flags(
+        sweep,
+        backend_help="execution backend (default: parallel when "
+                     "--jobs > 1, else serial); inproc skips process "
+                     "spawn and recycles scheduler storage between "
+                     "cases — all three are bit-identical",
     )
     sweep.set_defaults(fn=_cmd_sweep)
 
@@ -369,6 +554,12 @@ def main(argv: list[str] | None = None) -> int:
         help="print every recorded event, not just violations",
     )
     monitor.add_argument("--max-events", type=int, default=1_000_000)
+    _add_exec_flags(
+        monitor,
+        backends=("serial", "inproc"),
+        backend_help="execution backend (in-process only: live violation "
+                     "printing streams from inside the run)",
+    )
     monitor.set_defaults(fn=_cmd_monitor)
 
     fuzz = sub.add_parser(
@@ -390,17 +581,41 @@ def main(argv: list[str] | None = None) -> int:
         "--detectors", default=None,
         help="comma list drawn from none,heartbeat,phi (default: all)",
     )
+    # Stepping controls default to None sentinels so the backend guard
+    # in _cmd_fuzz detects presence, not value; the effective defaults
+    # (round_robin / 512 / 64) are resolved there, in one place.
     fuzz.add_argument(
         "--stepping", choices=("round_robin", "sequential"),
-        default="round_robin",
-        help="shard stepping policy (results are identical either way)",
+        default=None,
+        help="shard stepping policy, --backend inproc only (default: "
+             "round_robin; results are identical either way)",
     )
-    fuzz.add_argument("--quantum", type=int, default=512,
-                      help="events per shard per round-robin turn")
     fuzz.add_argument(
-        "--window", type=int, default=64,
-        help="max worlds alive at once under round-robin (bounds peak "
-             "memory; results are identical for any window)",
+        "--quantum", type=int, default=None,
+        help="events per shard per round-robin turn, --backend inproc "
+             "only (default: 512)",
+    )
+    fuzz.add_argument(
+        "--window", type=int, default=None,
+        help="max worlds alive at once under round-robin, --backend "
+             "inproc only (default: 64; bounds peak memory; results "
+             "are identical for any window)",
+    )
+    fuzz.add_argument(
+        "--jobs", type=int, default=2,
+        help="worker processes for --backend parallel",
+    )
+    fuzz.add_argument(
+        "--stream", action="store_true",
+        help="print each scenario's outcome live, in index order, as "
+             "the finished prefix grows",
+    )
+    _add_exec_flags(
+        fuzz,
+        backend_help="execution backend (default: inproc, the sharded "
+                     "multi-world engine; serial runs scenarios whole, "
+                     "parallel fans them to --jobs workers — digests "
+                     "are bit-identical on all three)",
     )
     fuzz.set_defaults(fn=_cmd_fuzz)
 

@@ -13,6 +13,7 @@ sweep runner (:mod:`repro.analysis.sweep`) fans out one seed per task.
 
 from __future__ import annotations
 
+import inspect
 import random
 from dataclasses import dataclass
 from functools import reduce
@@ -49,6 +50,50 @@ from repro.sim.world import World, build_world
 
 
 # ----------------------------------------------------------------------
+# Sweep registration — one decorator, used by every seeded driver
+# ----------------------------------------------------------------------
+
+SEEDED_DRIVERS: dict[str, Callable[..., object]] = {}
+"""Registry of drivers accepting ``seeds=...``, keyed by experiment id.
+
+Populated by the :func:`seeded_driver` decorator — here for E1-E10 and in
+:mod:`repro.analysis.extensions` for E11/A1/E14 — and consumed by the
+sweep planner (:mod:`repro.analysis.sweep`), which fans registered
+drivers out one seed per job through :mod:`repro.exec`. Never write to
+this dict directly; decorate the driver instead, so every registration
+carries the same contract.
+"""
+
+
+def seeded_driver(eid: str) -> Callable[[Callable[..., object]], Callable[..., object]]:
+    """Register an experiment driver as sweepable under id ``eid``.
+
+    The decorated driver must accept a ``seeds`` sequence keyword and
+    return one frozen dataclass row (or a list of them) whose fields are
+    plain values — the contract the sweep digest relies on. Registration
+    is the *only* way into :data:`SEEDED_DRIVERS`; duplicate ids are a
+    programming error and rejected loudly.
+    """
+
+    def register(driver: Callable[..., object]) -> Callable[..., object]:
+        key = eid.lower()
+        if key in SEEDED_DRIVERS:
+            raise ValueError(
+                f"experiment id {key!r} is already registered "
+                f"(to {SEEDED_DRIVERS[key].__qualname__})"
+            )
+        if "seeds" not in inspect.signature(driver).parameters:
+            raise ValueError(
+                f"driver {driver.__qualname__} cannot be registered as "
+                f"{key!r}: sweepable drivers must accept a 'seeds' keyword"
+            )
+        SEEDED_DRIVERS[key] = driver
+        return driver
+
+    return register
+
+
+# ----------------------------------------------------------------------
 # E1 — Theorem 1: timeouts cannot implement FS2 in an asynchronous net
 # ----------------------------------------------------------------------
 
@@ -69,6 +114,7 @@ class E1Row:
         return self.runs_with_false_suspicion / self.runs
 
 
+@seeded_driver("e1")
 def run_e1(
     n: int = 8,
     seeds: Sequence[int] = tuple(range(20)),
@@ -167,6 +213,7 @@ def _sfs_world_with_faults(
     return world
 
 
+@seeded_driver("e2")
 def run_e2(
     configs: Sequence[tuple[int, int]] = ((4, 1), (6, 2), (9, 2), (12, 3)),
     seeds: Sequence[int] = tuple(range(25)),
@@ -349,6 +396,7 @@ class E5Row:
         return self.runs_with_cycle / self.runs
 
 
+@seeded_driver("e5")
 def run_e5(
     n: int = 12,
     t: int = 3,
@@ -478,6 +526,7 @@ class E7Row:
         return self.runs_with_cycle / self.runs
 
 
+@seeded_driver("e7")
 def run_e7(
     n: int = 6, seeds: Sequence[int] = tuple(range(60))
 ) -> list[E7Row]:
@@ -567,6 +616,7 @@ def _total_failure_world(protocol_name: str, n: int, seed: int) -> World:
     return world
 
 
+@seeded_driver("e8")
 def run_e8(
     n: int = 5, seeds: Sequence[int] = tuple(range(30))
 ) -> list[E8Row]:
@@ -611,6 +661,7 @@ class E9Row:
     max_witness_leaders: int
 
 
+@seeded_driver("e9")
 def run_e9(
     n: int = 6, seeds: Sequence[int] = tuple(range(30))
 ) -> E9Row:
@@ -669,6 +720,7 @@ class E10Row:
     mean_detection_delay: float | None
 
 
+@seeded_driver("e10")
 def run_e10(
     n: int = 6,
     thresholds: Sequence[float] = (0.5, 1.0, 2.0, 4.0, 8.0),
@@ -724,18 +776,3 @@ def run_e10(
     return rows
 
 
-# ----------------------------------------------------------------------
-# Sweep wiring — drivers the parallel runner can fan out per seed
-# ----------------------------------------------------------------------
-
-SEEDED_DRIVERS: dict[str, Callable[..., object]] = {
-    "e1": run_e1,
-    "e2": run_e2,
-    "e5": run_e5,
-    "e7": run_e7,
-    "e8": run_e8,
-    "e9": run_e9,
-    "e10": run_e10,
-}
-"""Drivers accepting ``seeds=...``; consumed by :mod:`repro.analysis.sweep`
-(which adds the seeded extension drivers E11 and A1)."""

@@ -32,6 +32,7 @@ from repro.errors import SimulationError
 from repro.protocols.sfs import SfsProcess
 from repro.protocols.transitive import TransitiveSfsProcess
 from repro.protocols.unilateral import UnilateralProcess
+from repro.analysis.experiments import seeded_driver
 from repro.sim.delays import UniformDelay
 from repro.sim.world import build_world
 
@@ -106,6 +107,7 @@ def _truncated_log(factory, seed: int) -> tuple[bool, bool]:
     return truncated_inversion, check_sfs(history, pending_ok=True).ok
 
 
+@seeded_driver("e11")
 def run_e11(
     seeds: Sequence[int] = tuple(range(40)),
 ) -> list[E11Row]:
@@ -164,6 +166,7 @@ class A1Row:
         return self.sfs2d_violations / self.runs
 
 
+@seeded_driver("a1")
 def run_a1(
     n: int = 9, t: int = 2, seeds: Sequence[int] = tuple(range(20))
 ) -> list[A1Row]:
@@ -269,6 +272,7 @@ class _ChattyUnilateral(UnilateralProcess):
             self.set_timer(0.5, self._tick, periodic=True)
 
 
+@seeded_driver("e14")
 def run_e14(
     n: int = 8,
     work_items: int = 120,
@@ -379,3 +383,80 @@ def build_monitor_world(eid: str, n: int | None = None, seed: int = 0):
             f"{', '.join(sorted(MONITOR_SCENARIOS))}"
         ) from None
     return builder(n or 0, seed)
+
+
+MONITOR_JOB_KIND = "repro.analysis.extensions:run_monitor_job"
+"""Entrypoint string monitored-run jobs carry (see :mod:`repro.exec.job`)."""
+
+
+@dataclass(frozen=True)
+class MonitorRunResult:
+    """Everything a monitored run produced, as journalable plain data.
+
+    ``violations`` holds ``(event index, virtual time, monitor name,
+    event repr)`` per locked safety violation — enough to re-render the
+    CLI's live violation lines from a resumed journal without
+    re-simulating. ``summary`` is the
+    :meth:`~repro.analysis.monitors.MonitorSet.summary` text of the
+    finished run.
+    """
+
+    eid: str
+    seed: int
+    events: int
+    halted: bool
+    ok: bool
+    violations: tuple[tuple[int, float, str, str], ...]
+    summary: str
+
+
+def run_monitor_case(
+    eid: str,
+    n: int | None = None,
+    seed: int = 0,
+    stop: bool = False,
+    max_events: int = 1_000_000,
+    observer_factory=None,
+) -> MonitorRunResult:
+    """Run one monitored scenario to completion and package the verdicts.
+
+    ``observer_factory(trace, monitors)``, when given, returns a trace
+    observer ``(idx, event, vector) -> None`` attached before the run —
+    the hook the CLI uses for live event/violation printing. The returned
+    result is a pure function of ``(eid, n, seed, stop, max_events)``;
+    the observer can watch but not steer.
+    """
+    world = build_monitor_world(eid, n=n, seed=seed)
+    monitors = world.attach_monitor(stop_on_violation=stop)
+    trace = world.trace
+    if observer_factory is not None:
+        trace.attach_observer(observer_factory(trace, monitors))
+    world.run_to_quiescence(max_events=max_events)
+    violations = tuple(
+        (idx, trace.time_of_index(idx), name, repr(trace.event_at(idx)))
+        for idx, name in monitors.violation_log
+    )
+    return MonitorRunResult(
+        eid=eid.lower(),
+        seed=seed,
+        events=monitors.events_seen,
+        halted=world.scheduler.stop_requested,
+        ok=monitors.ok_so_far,
+        violations=violations,
+        summary=monitors.summary(),
+    )
+
+
+def run_monitor_job(job) -> MonitorRunResult:
+    """Execution-layer entrypoint: a monitored run from its job form.
+
+    ``job.spec_id`` is the scenario id; ``n``/``stop``/``max_events``
+    ride in params. Module-level so any executor can resolve it by name.
+    """
+    return run_monitor_case(
+        job.spec_id,
+        n=job.param("n"),
+        seed=job.seed,
+        stop=bool(job.param("stop", False)),
+        max_events=job.param("max_events", 1_000_000),
+    )

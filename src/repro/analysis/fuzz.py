@@ -30,11 +30,22 @@ import hashlib
 import random
 from dataclasses import dataclass
 
+from pathlib import Path
+
 from repro.analysis.monitors import MonitorSet
 from repro.core.bounds import max_tolerable_t
 from repro.detectors.heartbeat import HeartbeatDriver
 from repro.detectors.phi_accrual import PhiAccrualDriver
 from repro.errors import SimulationError
+from repro.exec import (
+    EXEC_BACKENDS,
+    InprocExecutor,
+    JobSpec,
+    ResultSink,
+    effective_backend,
+    make_executor,
+    run_jobs,
+)
 from repro.protocols.generic import GenericOneRoundProcess
 from repro.protocols.sfs import SfsProcess
 from repro.protocols.transitive import TransitiveSfsProcess
@@ -505,6 +516,70 @@ class FuzzReport:
 DEFAULT_CONFIG = FuzzConfig()
 """The scenario space ``python -m repro fuzz`` draws from by default."""
 
+FUZZ_JOB_KIND = "repro.analysis.fuzz:run_fuzz_job"
+"""Entrypoint string fuzz jobs carry (see :mod:`repro.exec.job`)."""
+
+FUZZ_MAX_EVENTS = 500_000
+"""Per-scenario livelock valve, identical on every backend."""
+
+
+def scenario_job(seed: int, index: int, config: FuzzConfig) -> JobSpec:
+    """The ``index``-th scenario of fuzz run ``seed``, as a frozen job.
+
+    The config rides in ``params`` (a frozen dataclass with
+    content-stable repr), so the job — like the scenario — is its own
+    reproducer.
+    """
+    return JobSpec(
+        kind=FUZZ_JOB_KIND,
+        spec_id="fuzz",
+        seed=seed,
+        params=(("index", index), ("config", config)),
+    )
+
+
+def job_scenario(job: JobSpec) -> Scenario:
+    """Materialise the scenario a fuzz job describes."""
+    return generate_scenario(job.seed, job.param("index"), job.param("config"))
+
+
+def run_fuzz_job(job: JobSpec) -> FuzzOutcome:
+    """Execution-layer entrypoint: run and judge one scenario, whole.
+
+    This is the serial/parallel form. It runs the scenario as a
+    one-shard :class:`~repro.sim.multiworld.ShardedRunner` pass so that
+    completion and livelock-valve semantics are the shard form's *by
+    construction* — not merely equivalent, the same code — keeping every
+    backend bit-identical even at the valve boundary. Module-level so
+    the parallel executor can resolve it by name in worker processes.
+    """
+    spec, collect = _fuzz_job_shard(job)
+    (outcome,) = ShardedRunner(stepping="sequential").run(
+        [spec], collect=collect
+    )
+    return outcome
+
+
+def _fuzz_job_shard(job: JobSpec):
+    """Shard form: lets the ``inproc`` executor step scenarios through
+    :class:`~repro.sim.multiworld.ShardedRunner` (see
+    :func:`repro.exec.job.shard_form`)."""
+    scenario = job_scenario(job)
+    spec = ShardSpec(
+        key=scenario,
+        build=(lambda: build_scenario_world(scenario)),
+        horizon=scenario.horizon,
+        max_events=FUZZ_MAX_EVENTS,
+    )
+    return spec, (lambda spec, world: judge_world(spec.key, world))
+
+
+run_fuzz_job.to_shard = _fuzz_job_shard
+
+FUZZ_BACKENDS = EXEC_BACKENDS
+"""Valid ``backend`` arguments for :func:`run_fuzz` — the execution
+layer's registered executors, by reference (one registry, no copies)."""
+
 
 def run_fuzz(
     seed: int,
@@ -514,34 +589,54 @@ def run_fuzz(
     quantum: int = 512,
     window: int | None = 64,
     runner: ShardedRunner | None = None,
+    backend: str | None = None,
+    jobs: int = 1,
+    chunksize: int | None = None,
+    journal: str | Path | None = None,
+    resume: bool = False,
+    sink: ResultSink | None = None,
 ) -> FuzzReport:
     """Generate and judge ``count`` scenarios; pure in ``(seed, config)``.
 
-    Scenarios run as shards of a
-    :class:`~repro.sim.multiworld.ShardedRunner` (pass ``runner`` to
-    control stepping or to read back :class:`~repro.sim.multiworld.RunnerStats`
-    afterwards); the report is identical whatever the stepping policy,
-    quantum, or window — shards share no state.
+    Scenarios are planned as frozen jobs and executed through
+    :mod:`repro.exec`. The default backend is ``"inproc"``: scenarios run
+    as shards of a :class:`~repro.sim.multiworld.ShardedRunner` (pass
+    ``runner`` to control stepping or to read back
+    :class:`~repro.sim.multiworld.RunnerStats` afterwards; or let
+    ``stepping``/``quantum``/``window`` build one). ``"serial"`` runs
+    each scenario whole in this process and ``"parallel"`` fans them out
+    to a pool of ``jobs`` workers — the report is identical on every
+    backend, stepping policy, quantum, and window, because scenarios
+    share no state.
+
+    ``journal``/``resume`` checkpoint the run per scenario (a killed fuzz
+    run resumes to the same digest), and a ``sink`` streams outcomes in
+    index order as the finished prefix grows.
     """
     if count < 0:
         raise SimulationError(f"count must be >= 0, got {count}")
-    scenarios = [
-        generate_scenario(seed, index, config) for index in range(count)
-    ]
-    if runner is None:
-        runner = ShardedRunner(
-            stepping=stepping, quantum=quantum, window=window
+    if backend is None:
+        backend = "inproc"
+    if runner is not None and backend != "inproc":
+        raise SimulationError(
+            "a ShardedRunner only drives the 'inproc' backend; drop "
+            f"runner= or backend={backend!r}"
         )
-    specs = [
-        ShardSpec(
-            key=scenario,
-            build=(lambda s=scenario: build_scenario_world(s)),
-            horizon=scenario.horizon,
-            max_events=500_000,
-        )
-        for scenario in scenarios
-    ]
-    outcomes = runner.run(
-        specs, collect=lambda spec, world: judge_world(spec.key, world)
+    backend = effective_backend(backend, count, jobs)
+    if backend == "inproc":
+        if runner is None:
+            runner = ShardedRunner(
+                stepping=stepping, quantum=quantum, window=window
+            )
+        executor = InprocExecutor(runner=runner)
+    else:
+        # make_executor rejects unknown backend names.
+        executor = make_executor(backend, workers=jobs, chunksize=chunksize)
+    outcomes = run_jobs(
+        [scenario_job(seed, index, config) for index in range(count)],
+        executor=executor,
+        sink=sink,
+        journal=journal,
+        resume=resume,
     )
     return FuzzReport(seed=seed, count=count, outcomes=tuple(outcomes))

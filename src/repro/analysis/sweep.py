@@ -6,11 +6,20 @@ without giving up its core guarantee, determinism. A sweep is *planned*
 as an explicit list of :class:`SweepCase` tasks — one per (parameter
 combination, seed) — and each case is executed independently with all
 randomness derived from its own seed. Because cases share no state,
-execution order cannot affect results, so every backend — the serial
-loop, the ``multiprocessing`` pool, and the in-process ``inproc``
-executor that recycles scheduler storage between cases — produces
-**bit-identical rows**: same cases, same per-case results, same
-collection order.
+execution order cannot affect results, so every backend of the unified
+execution layer (:mod:`repro.exec`) — the serial loop, the
+``multiprocessing`` pool, and the in-process ``inproc`` executor that
+recycles scheduler storage between cases — produces **bit-identical
+rows**: same cases, same per-case results, same collection order.
+
+This module is a thin *planner* over :mod:`repro.exec`: it expands the
+request into cases, converts each case to a frozen
+:class:`~repro.exec.JobSpec`, and hands the plan to
+:func:`repro.exec.run_jobs` — which also supplies JSONL
+checkpoint/resume (``journal=``/``resume=``: a killed sweep restarts
+where it stopped, with a final digest bit-identical to an uninterrupted
+run's) and live result streaming (``sink=``: rows delivered in planned
+order as their prefix completes).
 
 Quick example::
 
@@ -21,8 +30,9 @@ Quick example::
 
 The CLI front-end is ``python -m repro sweep`` (see :mod:`repro.__main__`);
 ``examples/large_cluster_sweep.py`` drives an n>=64 configuration sweep
-and ``benchmarks/bench_e12_sweep_scale.py`` times both executors and
-asserts their equivalence.
+and ``benchmarks/bench_e12_sweep_scale.py`` times the executors and
+asserts their equivalence (``benchmarks/bench_e16_exec_layer.py`` times
+the journal and streaming machinery).
 
 Performance model (methodology and measured numbers: docs/performance.md):
 planning is O(cases); execution is embarrassingly parallel with
@@ -39,25 +49,34 @@ from __future__ import annotations
 
 import hashlib
 import itertools
-import multiprocessing
-import sys
 from dataclasses import dataclass, fields, is_dataclass
+from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
 
 import inspect
 
+import repro.analysis.extensions  # noqa: F401  (registers e11/a1/e14)
 from repro.analysis.experiments import SEEDED_DRIVERS
-from repro.analysis.extensions import run_a1, run_e11, run_e14
 from repro.analysis.report import format_table
 from repro.errors import SimulationError
+from repro.exec import (
+    EXEC_BACKENDS,
+    JobSpec,
+    ResultSink,
+    effective_backend,
+    make_executor,
+    run_jobs,
+)
+
+SWEEP_JOB_KIND = "repro.analysis.sweep:run_sweep_job"
+"""Entrypoint string sweep jobs carry (see :mod:`repro.exec.job`)."""
 
 
 def _drivers() -> dict[str, Callable[..., Any]]:
-    drivers: dict[str, Callable[..., Any]] = dict(SEEDED_DRIVERS)
-    drivers["e11"] = run_e11
-    drivers["a1"] = run_a1
-    drivers["e14"] = run_e14
-    return drivers
+    # All drivers — core E1-E10 and the extension set — self-register
+    # through the @seeded_driver decorator; importing the modules above
+    # is what populates the registry.
+    return dict(SEEDED_DRIVERS)
 
 
 def available_experiments() -> list[str]:
@@ -169,9 +188,6 @@ def run_case(case: SweepCase) -> list[SweepRow]:
     With ``case.early_stop`` the driver is asked to abort the run at the
     first streaming-monitor violation and tag its row with the violating
     event index (drivers without an ``early_stop`` keyword are rejected).
-
-    Must stay a module-level function: the parallel executor ships cases
-    to worker processes by pickling.
     """
     driver = sweep_driver(case.experiment)
     kwargs = dict(case.params)
@@ -195,48 +211,52 @@ def run_case(case: SweepCase) -> list[SweepRow]:
     ]
 
 
-SWEEP_BACKENDS = ("serial", "parallel", "inproc")
-"""Valid ``backend`` arguments for :func:`run_sweep`."""
+# ----------------------------------------------------------------------
+# JobSpec bridge — sweep cases as execution-layer jobs
+# ----------------------------------------------------------------------
 
 
-def _run_cases_serial(cases: Sequence[SweepCase]) -> list[list[SweepRow]]:
-    return [run_case(case) for case in cases]
+def case_to_job(case: SweepCase) -> JobSpec:
+    """The case's frozen job form: pure data, runnable anywhere.
 
-
-def _run_cases_inproc(cases: Sequence[SweepCase]) -> list[list[SweepRow]]:
-    """Execute every case in this process, recycling scheduler storage.
-
-    Rides the multi-world engine's storage pool
-    (:class:`~repro.sim.scheduler.SchedulerStoragePool`): each case's
-    worlds — however deep inside the experiment driver they are built —
-    draw recycled heap entries, and the pool reclaims them when the case
-    finishes. No subprocess is spawned and nothing is pickled, which for
-    small sweeps is the dominant cost of the ``parallel`` backend.
+    ``early_stop`` travels in ``params`` under its own name — safe
+    because :func:`plan_cases` rejects ``early_stop`` as a user-supplied
+    driver parameter, so the key can only come from the planner.
     """
-    from repro.sim.scheduler import shared_scheduler_storage
-
-    per_case: list[list[SweepRow]] = []
-    with shared_scheduler_storage() as pool:
-        for case in cases:
-            per_case.append(run_case(case))
-            pool.reclaim()
-    return per_case
-
-
-def _run_cases_parallel(
-    cases: Sequence[SweepCase], jobs: int, chunksize: int | None
-) -> list[list[SweepRow]]:
-    # Prefer fork only on Linux: it is cheap there, while macOS
-    # defaults to spawn for a reason (forked children can abort in
-    # system frameworks). Results are identical either way — every
-    # case derives all state from its own pickled seed/params.
-    ctx = multiprocessing.get_context(
-        "fork" if sys.platform == "linux" else None
+    params = case.params
+    if case.early_stop:
+        params = params + (("early_stop", True),)
+    return JobSpec(
+        kind=SWEEP_JOB_KIND,
+        spec_id=case.experiment,
+        seed=case.seed,
+        params=params,
     )
-    jobs = max(jobs, 1)
-    chunk = chunksize or max(1, len(cases) // (4 * jobs))
-    with ctx.Pool(processes=jobs) as pool:
-        return pool.map(run_case, cases, chunksize=chunk)
+
+
+def job_to_case(job: JobSpec) -> SweepCase:
+    """Inverse of :func:`case_to_job`."""
+    return SweepCase(
+        experiment=job.spec_id,
+        seed=job.seed,
+        params=tuple(p for p in job.params if p[0] != "early_stop"),
+        early_stop=bool(job.param("early_stop", False)),
+    )
+
+
+def run_sweep_job(job: JobSpec) -> list[SweepRow]:
+    """Execution-layer entrypoint: run one sweep case from its job form.
+
+    Must stay a module-level function: the parallel executor ships jobs
+    to worker processes by pickling and resolves this by name there.
+    """
+    return run_case(job_to_case(job))
+
+
+SWEEP_BACKENDS = EXEC_BACKENDS
+"""Valid ``backend`` arguments for :func:`run_sweep` — the execution
+layer's registered executors, by reference (one registry, no copies;
+see :mod:`repro.exec.executors`)."""
 
 
 def run_sweep(
@@ -248,6 +268,9 @@ def run_sweep(
     chunksize: int | None = None,
     early_stop: bool = False,
     backend: str | None = None,
+    journal: str | Path | None = None,
+    resume: bool = False,
+    sink: ResultSink | None = None,
 ) -> list[SweepRow]:
     """Run a sweep on one of three bit-identical execution backends.
 
@@ -262,6 +285,13 @@ def run_sweep(
     ``backend=None`` (the default) keeps the historical behaviour:
     ``parallel`` when ``jobs > 1``, else ``serial``.
 
+    ``journal``/``resume`` give the sweep checkpoint/restart: every
+    finished case is recorded to the JSONL journal as it lands, and a
+    resumed run re-executes only unjournaled cases — the returned rows
+    (and their digest) are bit-identical to an uninterrupted run's. A
+    ``sink`` receives per-case row lists in planned order as the
+    finished prefix grows (see :mod:`repro.exec.sink`).
+
     Rows come back in planned-case order regardless of backend, and the
     three backends produce **bit-identical rows** — in full mode and in
     ``early_stop`` mode alike (a case's abort point is a pure function of
@@ -269,23 +299,24 @@ def run_sweep(
     """
     if backend is None:
         backend = "parallel" if jobs > 1 else "serial"
-    if backend not in SWEEP_BACKENDS:
-        raise SimulationError(
-            f"unknown sweep backend {backend!r}; choose from "
-            f"{', '.join(SWEEP_BACKENDS)}"
-        )
     cases = plan_cases(
         experiment, seeds, params=params, grid=grid, early_stop=early_stop
     )
-    # jobs <= 1 keeps the historical fast path even under an explicit
-    # backend="parallel": a one-worker pool is pure spawn/pickle overhead
-    # for bit-identical rows.
-    if backend == "parallel" and len(cases) > 1 and jobs > 1:
-        per_case = _run_cases_parallel(cases, jobs, chunksize)
-    elif backend == "inproc":
-        per_case = _run_cases_inproc(cases)
-    else:
-        per_case = _run_cases_serial(cases)
+    # make_executor rejects unknown backend names; effective_backend
+    # keeps the historical jobs<=1 fast path under an explicit
+    # backend="parallel".
+    executor = make_executor(
+        effective_backend(backend, len(cases), jobs),
+        workers=jobs,
+        chunksize=chunksize,
+    )
+    per_case = run_jobs(
+        [case_to_job(case) for case in cases],
+        executor=executor,
+        sink=sink,
+        journal=journal,
+        resume=resume,
+    )
     return [row for rows in per_case for row in rows]
 
 
@@ -313,11 +344,14 @@ def rows_digest(rows: Sequence[SweepRow]) -> str:
 def sweep_table(rows: Sequence[SweepRow]) -> str:
     """Render sweep rows as a fixed-width ASCII table.
 
-    Inner column names are the *union* of the field names across all rows
-    (first-seen order), not just the first row's — so a sweep whose driver
-    returns different dataclasses for different parameter combinations
-    still renders aligned, with ``-`` in the cells a row does not define.
-    Non-dataclass rows land in a trailing ``row`` column.
+    Inner column names are the *union* of the field names across all rows,
+    not just the first row's — so a sweep whose driver returns different
+    dataclasses for different parameter combinations still renders
+    aligned, with ``-`` in the cells a row does not define. The union is
+    ordered by **first appearance** (row order, then dataclass field
+    order within each row), never by set iteration order, so the same
+    rows always render the same table. Non-dataclass rows land in a
+    trailing ``row`` column.
     """
     if not rows:
         return "(no rows)"

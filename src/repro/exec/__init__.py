@@ -1,0 +1,76 @@
+"""The unified execution layer: deterministic fan-out for the whole repo.
+
+Everything in this repository that runs *many independent simulations* —
+multi-seed sweeps (:mod:`repro.analysis.sweep`), generated fuzz scenarios
+(:mod:`repro.analysis.fuzz`), monitored CLI runs — describes its work as
+frozen :class:`JobSpec` jobs and hands the plan to :func:`run_jobs`. One
+core owns planning-order results, executor dispatch, streaming delivery,
+and checkpoint/resume; the subsystems are thin planners over it.
+
+The pieces, and where they live:
+
+========================  ==================================================
+:class:`JobSpec`          one pure unit of work (``repro.exec.job``)
+:class:`Executor`         serial / parallel / inproc engines
+                          (``repro.exec.executors``)
+:class:`ResultSink`       in-order streaming consumers (``repro.exec.sink``)
+:class:`Journal`          JSONL checkpoint/resume, partition + digest-checked
+                          merge (``repro.exec.journal``)
+:func:`run_jobs`          the one fan-out loop (``repro.exec.core``)
+========================  ==================================================
+
+Design invariant, inherited from the paper's methodology: every job is a
+pure function of its spec, so *nothing* in this layer — backend choice,
+chunking, shard stepping, a kill and resume, sink attachment — can change
+a result, only when and where it is computed. The tests pin that down as
+bit-identical digests across every axis.
+"""
+
+from repro.exec.core import run_jobs
+from repro.exec.executors import (
+    EXEC_BACKENDS,
+    Executor,
+    InprocExecutor,
+    ParallelExecutor,
+    SerialExecutor,
+    effective_backend,
+    make_executor,
+)
+from repro.exec.job import (
+    JobSpec,
+    job_digest,
+    plan_digest,
+    resolve_kind,
+    run_job,
+    shard_form,
+)
+from repro.exec.journal import (
+    Journal,
+    merge_journals,
+    partition_jobs,
+)
+from repro.exec.sink import CallbackSink, CollectSink, ResultSink, TeeSink
+
+__all__ = [
+    "JobSpec",
+    "job_digest",
+    "plan_digest",
+    "resolve_kind",
+    "run_job",
+    "shard_form",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "InprocExecutor",
+    "EXEC_BACKENDS",
+    "effective_backend",
+    "make_executor",
+    "ResultSink",
+    "CollectSink",
+    "CallbackSink",
+    "TeeSink",
+    "Journal",
+    "partition_jobs",
+    "merge_journals",
+    "run_jobs",
+]

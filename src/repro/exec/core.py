@@ -1,0 +1,130 @@
+"""The execution core: plan in, deterministic ordered results out.
+
+:func:`run_jobs` is the one fan-out loop in the repository. It takes an
+ordered plan of :class:`~repro.exec.job.JobSpec` jobs and an executor,
+and owns everything the three former per-subsystem loops each reimplemented:
+
+* **checkpointing** — with a journal, every completed result is recorded
+  as it lands; with ``resume``, journaled results are restored instead of
+  re-executed, and the final list is bit-identical to an uninterrupted
+  run's (pure jobs + exact restoration; see :mod:`repro.exec.journal`);
+* **order laundering** — executors report completions in whatever order
+  their engine produces them; the core buffers and releases the longest
+  finished prefix, so sinks always observe planned order
+  (:mod:`repro.exec.sink`);
+* **collection** — the return value is the full result list in planned
+  order, whatever backend ran it.
+
+Sweep rows, fuzz outcomes, and monitored runs are all just payloads here.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.errors import SimulationError
+from repro.exec.executors import Executor, SerialExecutor
+from repro.exec.job import JobSpec
+from repro.exec.journal import Journal, partition_jobs
+from repro.exec.sink import ResultSink
+
+_UNSET = object()
+
+
+def run_jobs(
+    jobs: Sequence[JobSpec],
+    executor: Executor | None = None,
+    sink: ResultSink | None = None,
+    journal: Journal | str | Path | None = None,
+    resume: bool = False,
+    partition: tuple[int, int] | None = None,
+) -> list[Any]:
+    """Execute a plan; return its results in planned order.
+
+    Args:
+        jobs: the ordered plan. Order is part of the plan's identity —
+            it is the result order, the sink's emission order, and the
+            journal's plan digest.
+        executor: engine to run on (default: :class:`SerialExecutor`).
+        sink: optional streaming consumer; receives every result this
+            call owns in planned order as the finished prefix grows,
+            including results restored from a resumed journal.
+            ``open(total)`` announces exactly the number of ``emit``
+            calls that will follow — under ``partition`` that is the
+            worker's share (plus restored results), not the plan size;
+            ``emit`` still carries full-plan indices.
+        journal: optional checkpoint file (path or
+            :class:`~repro.exec.journal.Journal`). Every completed job is
+            recorded as it finishes.
+        resume: restore journaled results instead of re-running their
+            jobs. Requires ``journal``; the journal must match the plan.
+        partition: optional ``(worker_id, n_workers)`` — execute only
+            this worker's strided share of the plan (journaling it as
+            usual) and return ``None`` placeholders for the rest. A
+            multi-host driver runs one partition per worker, then
+            reassembles with :func:`~repro.exec.journal.merge_journals`.
+    """
+    if resume and journal is None:
+        raise SimulationError("resume=True requires a journal")
+    executor = executor if executor is not None else SerialExecutor()
+    owned = isinstance(journal, (str, Path))
+    log = Journal(journal) if owned else journal
+
+    cached: dict[int, Any] = {}
+    if log is not None:
+        cached = log.begin(jobs, resume=resume)
+
+    if partition is None:
+        share = list(enumerate(jobs))
+    else:
+        share = partition_jobs(jobs, *partition)
+    pending = [(i, job) for i, job in share if i not in cached]
+    mine = {i for i, _ in share} | set(cached)
+
+    results: list[Any] = [_UNSET] * len(jobs)
+    for index, result in cached.items():
+        results[index] = result
+
+    # The emit cursor: results stream to the sink in planned order, each
+    # released the moment it and everything before it (that this worker
+    # owns) is available.
+    cursor = 0
+
+    def release_prefix() -> None:
+        nonlocal cursor
+        if sink is None:
+            return
+        while cursor < len(jobs) and (
+            cursor not in mine or results[cursor] is not _UNSET
+        ):
+            if cursor in mine:
+                sink.emit(cursor, jobs[cursor], results[cursor])
+            cursor += 1
+
+    def on_result(index: int, result: Any) -> None:
+        results[index] = result
+        if log is not None:
+            log.record(index, jobs[index], result)
+        release_prefix()
+
+    if sink is not None:
+        # Announce exactly what will be emitted: every index this call
+        # owns (its partition share plus journal-restored results).
+        sink.open(len(mine))
+    try:
+        release_prefix()  # journaled results are already available
+        executor.submit(pending, on_result)
+    finally:
+        if sink is not None:
+            sink.close()
+        if log is not None and owned:
+            log.close()
+
+    missing = [i for i, _ in share if results[i] is _UNSET]
+    if missing:
+        raise SimulationError(
+            f"executor {executor.name!r} completed without reporting "
+            f"{len(missing)} job(s) (first: {missing[0]})"
+        )
+    return [r if r is not _UNSET else None for r in results]

@@ -1,0 +1,221 @@
+"""Executors: interchangeable engines that run a plan of jobs.
+
+One interface, three engines — the former private backends of the sweep
+and fuzz subsystems, now shared by everything that fans out work:
+
+* :class:`SerialExecutor` — each job to completion, in order, in this
+  process. The reference implementation the others must match.
+* :class:`ParallelExecutor` — a ``multiprocessing`` pool; jobs ship to
+  workers by pickling and results stream back in planned order.
+* :class:`InprocExecutor` — in this process, with scheduler heap storage
+  recycled between jobs via
+  :class:`~repro.sim.scheduler.SchedulerStoragePool`. Jobs that advertise
+  a shard form (see :mod:`repro.exec.job`) are stepped cooperatively
+  through :class:`~repro.sim.multiworld.ShardedRunner` — the multi-world
+  engine is the *implementation* of this executor, not a separate code
+  path — so many simulated worlds are in flight at once while spawn and
+  pickle costs stay at zero.
+
+Every executor delivers ``(index, result)`` pairs to a callback as jobs
+complete; completion *order* is the executor's own business (round-robin
+shard stepping finishes out of order by design) and is laundered back
+into planned order by :func:`repro.exec.core.run_jobs` before results
+reach sinks or callers. Because job runners are pure, the executor choice
+can never change the results — only how fast, and in what interleaving,
+they arrive.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+from typing import Any, Callable, Sequence
+
+from repro.errors import SimulationError
+from repro.exec.job import JobSpec, run_job, shard_form
+
+OnResult = Callable[[int, Any], None]
+Pending = Sequence[tuple[int, JobSpec]]
+
+EXEC_BACKENDS = ("serial", "parallel", "inproc")
+"""Registered executor names, in reference order."""
+
+
+class Executor:
+    """Runs ``(index, job)`` pairs, reporting each result to a callback."""
+
+    name = "abstract"
+
+    def submit(self, pending: Pending, on_result: OnResult) -> None:
+        """Execute every pending job, calling ``on_result(index, result)``
+        exactly once per job, in any order."""
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """One job after another in this process; the reference executor.
+
+    ``run`` substitutes the job-running callable — the hook an in-process
+    caller (e.g. the monitor CLI, which wires live printing into the run)
+    uses to observe a job from inside while keeping journal/sink handling
+    in the core. The substitute must return exactly what
+    :func:`~repro.exec.job.run_job` would.
+    """
+
+    name = "serial"
+
+    def __init__(self, run: Callable[[JobSpec], Any] | None = None):
+        self._run = run or run_job
+
+    def submit(self, pending: Pending, on_result: OnResult) -> None:
+        for index, job in pending:
+            on_result(index, self._run(job))
+
+
+class ParallelExecutor(Executor):
+    """A ``multiprocessing`` pool of worker processes.
+
+    Jobs are pickled to workers and executed by
+    :func:`~repro.exec.job.run_job`; results stream back in planned order
+    (ordered ``imap``), so the first results reach the journal and sinks
+    while later chunks are still computing. ``chunksize`` trades dispatch
+    overhead against streaming granularity exactly as it did in the old
+    sweep pool; the default matches it.
+    """
+
+    name = "parallel"
+
+    def __init__(self, workers: int = 2, chunksize: int | None = None):
+        self.workers = max(workers, 1)
+        self.chunksize = chunksize
+
+    def submit(self, pending: Pending, on_result: OnResult) -> None:
+        if not pending:
+            return
+        # Prefer fork only on Linux: it is cheap there, while macOS
+        # defaults to spawn for a reason (forked children can abort in
+        # system frameworks). Results are identical either way — every
+        # job derives all state from its own pickled spec.
+        ctx = multiprocessing.get_context(
+            "fork" if sys.platform == "linux" else None
+        )
+        chunk = self.chunksize or max(1, len(pending) // (4 * self.workers))
+        jobs = [job for _, job in pending]
+        with ctx.Pool(processes=self.workers) as pool:
+            for (index, _), result in zip(
+                pending, pool.imap(run_job, jobs, chunksize=chunk)
+            ):
+                on_result(index, result)
+
+
+class InprocExecutor(Executor):
+    """In-process execution over the sharded multi-world engine.
+
+    When every pending job advertises a shard form, their worlds are
+    built and stepped by the wrapped
+    :class:`~repro.sim.multiworld.ShardedRunner` (its stepping policy,
+    quantum, and window decide the interleaving; results are identical
+    for all of them). Jobs without a shard form — experiment drivers that
+    build and run worlds internally — run whole, one after another,
+    inside the same :class:`~repro.sim.scheduler.SchedulerStoragePool`,
+    which is exactly the sequential degenerate of shard stepping: the
+    pool still recycles every world's heap storage into the next.
+
+    Args:
+        runner: the engine to step shard-form jobs with; a fresh
+            sequential :class:`~repro.sim.multiworld.ShardedRunner` when
+            omitted. Callers that want stepping/quantum/window control or
+            post-run :class:`~repro.sim.multiworld.RunnerStats` pass
+            their own.
+        run: substitute job-running callable for the whole-job path (see
+            :class:`SerialExecutor`).
+    """
+
+    name = "inproc"
+
+    def __init__(
+        self,
+        runner=None,
+        run: Callable[[JobSpec], Any] | None = None,
+    ):
+        from repro.sim.multiworld import ShardedRunner
+
+        self.runner = runner if runner is not None else ShardedRunner()
+        self._run = run or run_job
+
+    def submit(self, pending: Pending, on_result: OnResult) -> None:
+        if not pending:
+            return
+        forms = [shard_form(job) for _, job in pending]
+        if all(form is not None for form in forms):
+            self._submit_shards(pending, forms, on_result)
+        else:
+            self._submit_whole(pending, on_result)
+
+    def _submit_shards(self, pending, forms, on_result: OnResult) -> None:
+        specs = []
+        dispatch: dict[int, tuple[int, Any]] = {}
+        for (index, _), (spec, collect) in zip(pending, forms):
+            specs.append(spec)
+            dispatch[id(spec)] = (index, collect)
+
+        def collect_and_report(spec, world):
+            index, collect = dispatch[id(spec)]
+            result = collect(spec, world)
+            on_result(index, result)
+            return result
+
+        self.runner.run(specs, collect=collect_and_report)
+
+    def _submit_whole(self, pending, on_result: OnResult) -> None:
+        from repro.sim.scheduler import shared_scheduler_storage
+
+        with shared_scheduler_storage() as pool:
+            for index, job in pending:
+                on_result(index, self._run(job))
+                pool.reclaim()
+
+
+def effective_backend(backend: str, n_jobs: int, workers: int) -> str:
+    """Backend-policy normalisation shared by every planner.
+
+    ``"parallel"`` degenerates to ``"serial"`` unless there is both more
+    than one job and more than one worker: a one-worker pool (or a pool
+    for a single job) is pure spawn/pickle overhead for bit-identical
+    results. Every other backend passes through unchanged — including
+    unknown names, which :func:`make_executor` rejects.
+    """
+    if backend == "parallel" and not (n_jobs > 1 and workers > 1):
+        return "serial"
+    return backend
+
+
+def make_executor(
+    backend: str,
+    workers: int = 1,
+    chunksize: int | None = None,
+    runner=None,
+    run: Callable[[JobSpec], Any] | None = None,
+) -> Executor:
+    """Build a registered executor by name.
+
+    The registry is deliberately small and closed for now; the ROADMAP's
+    remote/multi-host dispatch backend slots in here as a fourth name,
+    riding :func:`~repro.exec.journal.partition_jobs` and
+    :func:`~repro.exec.journal.merge_journals` for its wire protocol.
+    """
+    if backend == "serial":
+        return SerialExecutor(run=run)
+    if backend == "parallel":
+        if run is not None:
+            raise SimulationError(
+                "the parallel executor cannot take a local run override "
+                "(jobs execute in worker processes)"
+            )
+        return ParallelExecutor(workers=workers, chunksize=chunksize)
+    if backend == "inproc":
+        return InprocExecutor(runner=runner, run=run)
+    raise SimulationError(
+        f"unknown execution backend {backend!r}; choose from "
+        f"{', '.join(EXEC_BACKENDS)}"
+    )

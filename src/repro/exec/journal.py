@@ -1,0 +1,321 @@
+"""JSONL journals: checkpoint/resume for long deterministic runs.
+
+A journal is an append-only JSONL file recording one result line per
+completed job, plus a header line binding the file to its *plan* (the
+ordered job list, hashed with :func:`repro.exec.job.plan_digest`). Because
+every job is a pure function of its spec, a journaled result **is** the
+result — resuming a killed run restores the recorded objects bit-for-bit
+and re-executes only the jobs with no line, so the merged output (and any
+digest over it) is identical to an uninterrupted run's.
+
+File format (one JSON object per line)::
+
+    {"kind": "header", "version": 1, "plan": "<sha256>", "total": N}
+    {"kind": "result", "index": 3, "job": "<sha256>", "data": "<base64>"}
+
+``data`` is the pickled result, base64-armoured so the line stays valid
+JSON. Pickle is the right serialisation here: journal files are local
+checkpoints written and read by the same codebase, the results are the
+same frozen dataclasses the subprocess pool already pickles, and exact
+object restoration is precisely what digest-identical resume requires.
+Journals are not an interchange format; do not load journals from
+untrusted sources.
+
+Crash tolerance: every result line is flushed as written, and a load
+tolerates a torn final line (the unflushed victim of a kill) by dropping
+it. A resume first *rewrites* the file from its salvageable entries —
+into a temp file that is fsynced and atomically renamed over the
+original, so a kill during the rewrite itself leaves either the old
+salvageable journal or the complete new one, never less — and the append
+stream after a torn line can never corrupt the journal.
+
+Multi-host readiness: :func:`partition_jobs` deterministically assigns a
+case subset to ``(worker_id, n_workers)``, and :func:`merge_journals`
+reassembles per-worker journals into one full result list, checking every
+entry's job hash against the plan and refusing holes or conflicting
+duplicates — so a future remote dispatch backend only has to ship jobs
+out and journal lines back.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import IO, Any, Sequence
+
+from repro.errors import SimulationError
+from repro.exec.job import JobSpec, job_digest, plan_digest
+
+JOURNAL_VERSION = 1
+
+
+def _encode(result: Any) -> str:
+    return base64.b64encode(
+        pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def _decode(data: str) -> Any:
+    return pickle.loads(base64.b64decode(data.encode("ascii")))
+
+
+class Journal:
+    """One run's checkpoint file; see the module docstring for format.
+
+    Typical use is through :func:`repro.exec.core.run_jobs`
+    (``journal=...``, ``resume=...``); direct use::
+
+        journal = Journal(path)
+        cached = journal.begin(jobs, resume=True)   # {} on a fresh file
+        ... run the jobs not in `cached`, calling journal.record(...) ...
+        journal.close()
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._fh: IO[str] | None = None
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def load(self, jobs: Sequence[JobSpec]) -> dict[int, Any]:
+        """Salvage completed results for this plan; ``{}`` if no file.
+
+        Raises :class:`~repro.errors.SimulationError` if the file exists
+        but belongs to a different plan, or an entry's job hash does not
+        match the plan's job at that index.
+        """
+        return {
+            index: result
+            for index, (_, result) in self._load_entries(jobs).items()
+        }
+
+    def _load_entries(
+        self, jobs: Sequence[JobSpec]
+    ) -> dict[int, tuple[str, Any]]:
+        """Salvaged entries as ``{index: (raw payload, decoded result)}``.
+
+        The raw payload string is kept alongside the decoded object so
+        duplicate detection (here and in :func:`merge_journals`) compares
+        the journal's actual bytes, and the resume rewrite copies entries
+        verbatim instead of pickle round-tripping every result.
+        """
+        if not self.path.exists():
+            return {}
+        plan = plan_digest(jobs)
+        cached: dict[int, tuple[str, Any]] = {}
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError as exc:
+            raise SimulationError(
+                f"cannot read journal {self.path}: {exc}"
+            ) from exc
+        if not lines:
+            return {}
+        for lineno, line in enumerate(lines):
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                if lineno == len(lines) - 1:
+                    continue  # torn final line: the kill's half-write
+                raise SimulationError(
+                    f"journal {self.path}: corrupt line {lineno + 1} "
+                    "(only the final line may be torn)"
+                ) from None
+            kind = entry.get("kind")
+            if lineno == 0:
+                if kind != "header":
+                    raise SimulationError(
+                        f"journal {self.path}: missing header line"
+                    )
+                if entry.get("version") != JOURNAL_VERSION:
+                    raise SimulationError(
+                        f"journal {self.path}: unsupported version "
+                        f"{entry.get('version')!r}"
+                    )
+                if entry.get("plan") != plan:
+                    raise SimulationError(
+                        f"journal {self.path} was written for a different "
+                        "plan (experiment, seeds, params, or config "
+                        "changed); delete it or drop --resume"
+                    )
+                continue
+            if kind != "result":
+                raise SimulationError(
+                    f"journal {self.path}: unknown entry kind {kind!r} "
+                    f"on line {lineno + 1}"
+                )
+            # Valid JSON is not yet a valid entry: a kill (or a foreign
+            # writer) can leave a line that parses but lacks fields or
+            # carries an undecodable payload. Surface every such case as
+            # the same friendly corrupt-line error the parse path gets.
+            try:
+                index = entry["index"]
+                job_hash = entry["job"]
+                data = entry["data"]
+            except KeyError as exc:
+                raise SimulationError(
+                    f"journal {self.path}: corrupt line {lineno + 1} "
+                    f"(result entry missing field {exc.args[0]!r})"
+                ) from None
+            if not isinstance(index, int) or not 0 <= index < len(jobs):
+                raise SimulationError(
+                    f"journal {self.path}: result index {index!r} outside "
+                    f"the {len(jobs)}-job plan"
+                )
+            if job_hash != job_digest(jobs[index]):
+                raise SimulationError(
+                    f"journal {self.path}: job hash mismatch at index "
+                    f"{index}; the journal belongs to a different plan"
+                )
+            try:
+                result = _decode(data)
+            except Exception as exc:
+                raise SimulationError(
+                    f"journal {self.path}: corrupt line {lineno + 1} "
+                    f"(undecodable payload at index {index}: {exc})"
+                ) from None
+            if index in cached and data != cached[index][0]:
+                raise SimulationError(
+                    f"journal {self.path}: conflicting duplicate entries "
+                    f"for index {index}"
+                )
+            cached[index] = (data, result)
+        return cached
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def begin(
+        self, jobs: Sequence[JobSpec], resume: bool = False
+    ) -> dict[int, Any]:
+        """Open the journal for appending; return salvaged results.
+
+        With ``resume`` the file is first loaded (validating it against
+        ``jobs``) and rewritten cleanly from its salvageable entries —
+        written to a sibling temp file and atomically renamed into
+        place, so a second kill at any point leaves either the old
+        salvageable file or the complete rewrite, never less — and
+        appends never follow a torn line. Entries are copied verbatim
+        (no pickle round trip). Without ``resume`` any existing file is
+        truncated and the run starts fresh.
+        """
+        cached = self._load_entries(jobs) if resume else {}
+        header = {
+            "kind": "header",
+            "version": JOURNAL_VERSION,
+            "plan": plan_digest(jobs),
+            "total": len(jobs),
+        }
+        tmp = self.path.with_name(self.path.name + ".rewrite")
+        try:
+            with tmp.open("w") as fh:
+                fh.write(json.dumps(header) + "\n")
+                for index in sorted(cached):
+                    self._write_entry(
+                        fh, index, jobs[index], cached[index][0]
+                    )
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+            self._fh = self.path.open("a")
+        except OSError as exc:
+            raise SimulationError(
+                f"cannot write journal {self.path}: {exc}"
+            ) from exc
+        return {index: result for index, (_, result) in cached.items()}
+
+    def record(self, index: int, job: JobSpec, result: Any) -> None:
+        """Append one completed result; flushed so a kill loses at most
+        the line being written."""
+        if self._fh is None:
+            raise SimulationError(
+                f"journal {self.path} not open; call begin() first"
+            )
+        try:
+            self._write_entry(self._fh, index, job, _encode(result))
+            self._fh.flush()
+        except OSError as exc:
+            raise SimulationError(
+                f"cannot write journal {self.path}: {exc}"
+            ) from exc
+
+    def _write_entry(self, fh, index: int, job: JobSpec, data: str) -> None:
+        entry = {
+            "kind": "result",
+            "index": index,
+            "job": job_digest(job),
+            "data": data,
+        }
+        fh.write(json.dumps(entry) + "\n")
+
+    def close(self) -> None:
+        """Close the file handle (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+# ----------------------------------------------------------------------
+# Multi-host partition / merge (the remote-dispatch seam)
+# ----------------------------------------------------------------------
+
+
+def partition_jobs(
+    jobs: Sequence[JobSpec], worker_id: int, n_workers: int
+) -> list[tuple[int, JobSpec]]:
+    """Worker ``worker_id``'s strided share of the plan, with indices.
+
+    Strided (round-robin) assignment keeps every worker's finished
+    results spread across the whole index range, so the in-order
+    streaming prefix at the merge point grows steadily instead of
+    stalling on one worker's contiguous block. Deterministic: the
+    partition depends only on ``(len(jobs), worker_id, n_workers)``.
+    """
+    if n_workers < 1:
+        raise SimulationError(f"n_workers must be >= 1, got {n_workers}")
+    if not 0 <= worker_id < n_workers:
+        raise SimulationError(
+            f"worker_id must be in [0, {n_workers}), got {worker_id}"
+        )
+    return [
+        (index, job)
+        for index, job in enumerate(jobs)
+        if index % n_workers == worker_id
+    ]
+
+
+def merge_journals(
+    jobs: Sequence[JobSpec], paths: Sequence[str | Path]
+) -> list[Any]:
+    """Reassemble per-worker journals into the full, ordered result list.
+
+    Every journal is validated against the plan (header digest and
+    per-entry job hashes); overlapping entries must agree bit-for-bit;
+    a missing index is an error naming it. The returned list is in
+    planned order, so any digest over it matches a single-host run's.
+    """
+    merged: dict[int, tuple[str, Any]] = {}
+    for path in paths:
+        journal = Journal(path)
+        if not journal.path.exists():
+            raise SimulationError(f"journal {path} does not exist")
+        for index, (data, result) in journal._load_entries(jobs).items():
+            if index in merged and merged[index][0] != data:
+                raise SimulationError(
+                    f"journals disagree on index {index}; refusing to merge"
+                )
+            merged[index] = (data, result)
+    missing = [i for i in range(len(jobs)) if i not in merged]
+    if missing:
+        preview = ", ".join(map(str, missing[:5]))
+        raise SimulationError(
+            f"merge incomplete: {len(missing)} of {len(jobs)} jobs have "
+            f"no journaled result (first missing: {preview})"
+        )
+    return [merged[i][1] for i in range(len(jobs))]

@@ -133,3 +133,36 @@ class TestE10:
         assert conservative.crash_detected_runs >= 1
         if conservative.mean_detection_delay is not None:
             assert conservative.mean_detection_delay >= 0
+
+
+class TestSeededDriverRegistry:
+    def test_all_seeded_drivers_registered(self):
+        import repro.analysis.extensions  # noqa: F401  (registers e11/a1/e14)
+        from repro.analysis.experiments import SEEDED_DRIVERS
+
+        assert set(SEEDED_DRIVERS) == {
+            "e1", "e2", "e5", "e7", "e8", "e9", "e10", "e11", "a1", "e14"
+        }
+        assert SEEDED_DRIVERS["e1"] is run_e1
+
+    def test_duplicate_id_rejected(self):
+        from repro.analysis.experiments import seeded_driver
+
+        with pytest.raises(ValueError, match="already registered"):
+            seeded_driver("e1")(lambda seeds=(): [])
+
+    def test_driver_without_seeds_rejected(self):
+        from repro.analysis.experiments import seeded_driver
+
+        def no_seeds_driver(n=3):
+            return []
+
+        with pytest.raises(ValueError, match="'seeds' keyword"):
+            seeded_driver("e99")(no_seeds_driver)
+
+    def test_seedless_drivers_not_registered(self):
+        from repro.analysis.experiments import SEEDED_DRIVERS
+
+        assert "e3" not in SEEDED_DRIVERS
+        assert "e4" not in SEEDED_DRIVERS
+        assert "e6" not in SEEDED_DRIVERS

@@ -180,3 +180,84 @@ class TestRunFuzz:
     def test_negative_count_rejected(self):
         with pytest.raises(SimulationError, match="count"):
             run_fuzz(seed=0, count=-1)
+
+
+class TestExecutionLayer:
+    def test_backends_bit_identical(self):
+        inproc = run_fuzz(seed=7, count=12)
+        serial = run_fuzz(seed=7, count=12, backend="serial")
+        parallel = run_fuzz(seed=7, count=12, backend="parallel", jobs=2)
+        assert inproc == serial == parallel
+        assert inproc.digest() == serial.digest() == parallel.digest()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SimulationError, match="backend"):
+            run_fuzz(seed=0, count=1, backend="gpu")
+
+    def test_runner_conflicts_with_other_backends(self):
+        with pytest.raises(SimulationError, match="inproc"):
+            run_fuzz(
+                seed=0, count=1, backend="serial",
+                runner=ShardedRunner(),
+            )
+
+    def test_job_round_trip(self):
+        from repro.analysis.fuzz import (
+            generate_scenario,
+            job_scenario,
+            scenario_job,
+        )
+
+        job = scenario_job(3, 5, DEFAULT_CONFIG)
+        assert job.seed == 3 and job.param("index") == 5
+        assert job_scenario(job) == generate_scenario(3, 5, DEFAULT_CONFIG)
+
+    def test_interrupted_resume_is_bit_identical(self, tmp_path):
+        path = tmp_path / "fuzz.jsonl"
+        baseline = run_fuzz(seed=9, count=10)
+        run_fuzz(seed=9, count=10, journal=path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:5]) + "\n")  # keep 4 of 10
+        resumed = run_fuzz(seed=9, count=10, journal=path, resume=True)
+        assert resumed == baseline
+        assert resumed.digest() == baseline.digest()
+
+    def test_backends_agree_at_the_livelock_valve(self, monkeypatch):
+        # Regression guard: the whole-job form (serial/parallel) runs
+        # the scenario as a one-shard ShardedRunner pass, so a scenario
+        # that completes just past the valve inside its first quantum is
+        # judged on every backend — not judged inproc but aborted
+        # serially.
+        import repro.analysis.fuzz as fuzz_module
+
+        scenario = generate_scenario(3, 0, DEFAULT_CONFIG)
+        world = build_scenario_world(scenario)
+        if scenario.horizon is not None:
+            world.run(until=scenario.horizon)
+        else:
+            world.run_to_quiescence()
+        events = len(world.trace)
+        monkeypatch.setattr(fuzz_module, "FUZZ_MAX_EVENTS", events - 1)
+        inproc = run_fuzz(seed=3, count=1)
+        serial = run_fuzz(seed=3, count=1, backend="serial")
+        assert inproc == serial
+        assert inproc.digest() == serial.digest()
+
+    def test_parallel_with_one_worker_normalises_to_serial(self):
+        # Same guard run_sweep has: a one-worker pool is pure overhead
+        # for bit-identical outcomes, so it must not spawn at all.
+        report = run_fuzz(seed=2, count=3, backend="parallel", jobs=1)
+        assert report == run_fuzz(seed=2, count=3, backend="serial")
+
+    def test_sink_streams_outcomes_in_index_order(self):
+        from repro.exec import CollectSink
+
+        sink = CollectSink()
+        report = run_fuzz(
+            seed=4, count=8, sink=sink,
+            runner=ShardedRunner(
+                stepping="round_robin", quantum=3, window=2
+            ),
+        )
+        assert sink.results == list(report.outcomes)
+        assert [o.index for o in sink.results] == list(range(8))

@@ -1,0 +1,181 @@
+"""Tests for the executor registry and the run_jobs core."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.exec import (
+    CollectSink,
+    Executor,
+    InprocExecutor,
+    JobSpec,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+    run_job,
+    run_jobs,
+)
+
+SQUARE = "toykinds:square"
+
+
+def _plan(n=6):
+    return [JobSpec(kind=SQUARE, spec_id="sq", seed=s) for s in range(n)]
+
+
+class _ReversedExecutor(Executor):
+    """Completes jobs in reverse plan order — the arrival-order adversary."""
+
+    name = "reversed"
+
+    def submit(self, pending, on_result):
+        for index, job in reversed(list(pending)):
+            on_result(index, run_job(job))
+
+
+class TestExecutors:
+    def test_registry_names(self):
+        assert make_executor("serial").name == "serial"
+        assert make_executor("parallel", workers=2).name == "parallel"
+        assert make_executor("inproc").name == "inproc"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SimulationError, match="backend"):
+            make_executor("quantum")
+
+    def test_effective_backend_normalisation(self):
+        from repro.exec import effective_backend
+
+        # A pool needs both >1 job and >1 worker to pay for itself.
+        assert effective_backend("parallel", 1, 8) == "serial"
+        assert effective_backend("parallel", 8, 1) == "serial"
+        assert effective_backend("parallel", 8, 2) == "parallel"
+        # Everything else — including unknown names — passes through.
+        assert effective_backend("serial", 1, 1) == "serial"
+        assert effective_backend("inproc", 1, 1) == "inproc"
+        assert effective_backend("gpu", 9, 9) == "gpu"
+
+    def test_all_backends_equal_results(self):
+        jobs = _plan()
+        expected = [s * s for s in range(6)]
+        assert run_jobs(jobs, executor=SerialExecutor()) == expected
+        assert run_jobs(jobs, executor=InprocExecutor()) == expected
+        assert (
+            run_jobs(jobs, executor=ParallelExecutor(workers=2)) == expected
+        )
+
+    def test_parallel_chunksize_is_invisible(self):
+        jobs = _plan(7)
+        expected = [s * s for s in range(7)]
+        for chunksize in (1, 2, 5, 50):
+            executor = ParallelExecutor(workers=3, chunksize=chunksize)
+            assert run_jobs(jobs, executor=executor) == expected
+
+    def test_serial_run_override(self):
+        seen = []
+
+        def spy(job):
+            seen.append(job.seed)
+            return -job.seed
+
+        results = run_jobs(_plan(3), executor=SerialExecutor(run=spy))
+        assert results == [0, -1, -2]
+        assert seen == [0, 1, 2]
+
+    def test_parallel_rejects_run_override(self):
+        with pytest.raises(SimulationError, match="run override"):
+            make_executor("parallel", run=lambda job: None)
+
+    def test_errors_propagate(self):
+        jobs = [JobSpec(kind="toykinds:boom", spec_id="b", seed=1)]
+        with pytest.raises(RuntimeError, match="boom on seed 1"):
+            run_jobs(jobs, executor=SerialExecutor())
+
+    def test_inproc_mixes_whole_jobs_under_pool(self):
+        # square has no shard form, so inproc takes the whole-job path.
+        assert run_jobs(_plan(4), executor=InprocExecutor()) == [0, 1, 4, 9]
+
+    def test_empty_plan(self):
+        for backend in ("serial", "parallel", "inproc"):
+            assert run_jobs([], executor=make_executor(backend)) == []
+
+
+class TestRunJobsCore:
+    def test_sink_sees_planned_order_despite_reversed_arrival(self):
+        sink = CollectSink()
+        results = run_jobs(_plan(5), executor=_ReversedExecutor(), sink=sink)
+        assert results == [s * s for s in range(5)]
+        assert sink.results == results  # emitted 0,1,2,... not 4,3,2,...
+        assert sink.total == 5
+        assert sink.closed
+
+    def test_sink_closed_on_error(self):
+        sink = CollectSink()
+        jobs = [JobSpec(kind="toykinds:boom", spec_id="b", seed=0)]
+        with pytest.raises(RuntimeError):
+            run_jobs(jobs, executor=SerialExecutor(), sink=sink)
+        assert sink.closed
+
+    def test_resume_requires_journal(self):
+        with pytest.raises(SimulationError, match="requires a journal"):
+            run_jobs(_plan(1), resume=True)
+
+    def test_missing_result_detected(self):
+        class Lazy(Executor):
+            name = "lazy"
+
+            def submit(self, pending, on_result):
+                for index, job in list(pending)[:-1]:
+                    on_result(index, run_job(job))
+
+        with pytest.raises(SimulationError, match="without reporting"):
+            run_jobs(_plan(3), executor=Lazy())
+
+    def test_resume_skips_journaled_jobs(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        jobs = _plan(6)
+        run_jobs(jobs, journal=path)
+        ran = []
+
+        def spy(job):
+            ran.append(job.seed)
+            return run_job(job)
+
+        # Fully journaled: nothing re-runs, results restored exactly.
+        results = run_jobs(
+            jobs, executor=SerialExecutor(run=spy),
+            journal=path, resume=True,
+        )
+        assert results == [s * s for s in range(6)]
+        assert ran == []
+
+    def test_partition_returns_none_elsewhere(self, tmp_path):
+        jobs = _plan(5)
+        results = run_jobs(
+            jobs, journal=tmp_path / "p.jsonl", partition=(1, 2)
+        )
+        assert results == [None, 1, None, 9, None]
+
+    def test_partition_sink_accounting_balances(self, tmp_path):
+        # open(total) must announce exactly the number of emits: the
+        # worker's share, not the plan size — a progress consumer
+        # counting emits against total must complete.
+        sink = CollectSink()
+        run_jobs(
+            _plan(5), journal=tmp_path / "p.jsonl",
+            partition=(0, 2), sink=sink,
+        )
+        assert sink.total == 3  # indices 0, 2, 4
+        assert sink.results == [0, 4, 16]
+        assert sink.closed
+
+    def test_resume_sink_includes_restored_results(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        jobs = _plan(4)
+        run_jobs(jobs, journal=path)
+        sink = CollectSink()
+        run_jobs(jobs, journal=path, resume=True, sink=sink)
+        assert sink.total == 4
+        assert sink.results == [0, 1, 4, 9]
+
+    def test_default_executor_is_serial(self):
+        assert run_jobs(_plan(3)) == [0, 1, 4]

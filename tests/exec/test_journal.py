@@ -1,0 +1,247 @@
+"""Tests for the JSONL journal, partitioning, and digest-checked merge."""
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.exec import (
+    Journal,
+    JobSpec,
+    merge_journals,
+    partition_jobs,
+    run_jobs,
+)
+
+SQUARE = "toykinds:square"
+
+
+def _plan(n=5):
+    return [JobSpec(kind=SQUARE, spec_id="sq", seed=s) for s in range(n)]
+
+
+class TestJournalRoundTrip:
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert Journal(tmp_path / "none.jsonl").load(_plan()) == {}
+
+    def test_begin_record_load(self, tmp_path):
+        jobs = _plan()
+        journal = Journal(tmp_path / "j.jsonl")
+        assert journal.begin(jobs) == {}
+        journal.record(0, jobs[0], 0)
+        journal.record(3, jobs[3], 9)
+        journal.close()
+        assert Journal(journal.path).load(jobs) == {0: 0, 3: 9}
+
+    def test_file_is_jsonl_with_header(self, tmp_path):
+        jobs = _plan(2)
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.begin(jobs)
+        journal.record(1, jobs[1], "payload")
+        journal.close()
+        lines = [json.loads(l) for l in journal.path.read_text().splitlines()]
+        assert lines[0]["kind"] == "header"
+        assert lines[0]["total"] == 2
+        assert lines[1]["kind"] == "result"
+        assert lines[1]["index"] == 1
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        jobs = _plan()
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.begin(jobs)
+        for i in (0, 1, 2):
+            journal.record(i, jobs[i], i * i)
+        journal.close()
+        text = journal.path.read_text()
+        journal.path.write_text(text[: len(text) - 20])  # tear the tail
+        assert Journal(journal.path).load(jobs) == {0: 0, 1: 1}
+
+    def test_corrupt_middle_line_rejected(self, tmp_path):
+        jobs = _plan()
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.begin(jobs)
+        journal.record(0, jobs[0], 0)
+        journal.record(1, jobs[1], 1)
+        journal.close()
+        lines = journal.path.read_text().splitlines()
+        lines[1] = lines[1][:10]  # corrupt a non-final line
+        journal.path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(SimulationError, match="corrupt line"):
+            Journal(journal.path).load(jobs)
+
+    def test_valid_json_invalid_entry_rejected_cleanly(self, tmp_path):
+        # A line can parse as JSON yet not be a valid entry (a kill that
+        # left valid JSON, or a foreign writer); that must surface as
+        # the friendly corrupt-line error, not a raw KeyError.
+        jobs = _plan()
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.begin(jobs)
+        journal.record(0, jobs[0], 0)
+        journal.close()
+        with journal.path.open("a") as fh:
+            fh.write('{"kind": "result"}\n')
+            fh.write("{}\n")  # keep the malformed entry off the last line
+        with pytest.raises(SimulationError, match="corrupt line 3"):
+            Journal(journal.path).load(jobs)
+
+    def test_undecodable_payload_rejected_cleanly(self, tmp_path):
+        jobs = _plan()
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.begin(jobs)
+        journal.record(1, jobs[1], 1)
+        journal.close()
+        text = journal.path.read_text().replace(
+            '"data": "', '"data": "!!notbase64', 1
+        )
+        journal.path.write_text(text + "{}\n")
+        with pytest.raises(SimulationError, match="undecodable payload"):
+            Journal(journal.path).load(jobs)
+
+    def test_non_integer_index_rejected_cleanly(self, tmp_path):
+        jobs = _plan()
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.begin(jobs)
+        journal.close()
+        with journal.path.open("a") as fh:
+            fh.write('{"kind": "result", "index": "0", "job": "x", '
+                     '"data": ""}\n{}\n')
+        with pytest.raises(SimulationError, match="outside"):
+            Journal(journal.path).load(jobs)
+
+    def test_wrong_plan_rejected(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.begin(_plan(5))
+        journal.close()
+        with pytest.raises(SimulationError, match="different.*plan"):
+            Journal(journal.path).load(_plan(4))
+
+    def test_begin_resume_rewrites_cleanly(self, tmp_path):
+        jobs = _plan()
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.begin(jobs)
+        journal.record(2, jobs[2], 4)
+        journal.close()
+        # Tear the file, then resume: begin() must salvage and rewrite
+        # so subsequent appends never follow a torn line.
+        with journal.path.open("a") as fh:
+            fh.write('{"kind": "result", "ind')
+        fresh = Journal(journal.path)
+        assert fresh.begin(jobs, resume=True) == {2: 4}
+        fresh.record(4, jobs[4], 16)
+        fresh.close()
+        assert Journal(journal.path).load(jobs) == {2: 4, 4: 16}
+
+    def test_begin_without_resume_truncates(self, tmp_path):
+        jobs = _plan()
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.begin(jobs)
+        journal.record(0, jobs[0], 0)
+        journal.close()
+        fresh = Journal(journal.path)
+        assert fresh.begin(jobs, resume=False) == {}
+        fresh.close()
+        assert Journal(journal.path).load(jobs) == {}
+
+    def test_record_requires_begin(self, tmp_path):
+        jobs = _plan(1)
+        with pytest.raises(SimulationError, match="not open"):
+            Journal(tmp_path / "j.jsonl").record(0, jobs[0], 1)
+
+    def test_resume_rewrite_is_crash_safe(self, tmp_path):
+        # The rewrite lands via an fsynced temp file + atomic rename, so
+        # immediately after begin(resume=True) — before any append or
+        # close — the on-disk file already holds every salvaged entry. A
+        # kill at any point during resume loses no checkpoints.
+        jobs = _plan()
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.begin(jobs)
+        journal.record(0, jobs[0], 0)
+        journal.record(2, jobs[2], 4)
+        journal.close()
+        resumed = Journal(journal.path)
+        assert resumed.begin(jobs, resume=True) == {0: 0, 2: 4}
+        # Simulate the kill: no record(), no close(); reread from disk.
+        assert Journal(journal.path).load(jobs) == {0: 0, 2: 4}
+        assert not journal.path.with_name("j.jsonl.rewrite").exists()
+
+    def test_resume_rewrite_copies_entries_verbatim(self, tmp_path):
+        jobs = _plan()
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.begin(jobs)
+        journal.record(1, jobs[1], 1)
+        journal.close()
+        entry_line = journal.path.read_text().splitlines()[1]
+        fresh = Journal(journal.path)
+        fresh.begin(jobs, resume=True)
+        fresh.close()
+        assert entry_line in journal.path.read_text().splitlines()
+
+    def test_journal_path_errors_are_friendly(self, tmp_path):
+        jobs = _plan(1)
+        # A directory as the journal path.
+        with pytest.raises(SimulationError, match="cannot write journal"):
+            Journal(tmp_path).begin(jobs)
+        # A missing parent directory is an error, not a silent mkdir -p.
+        missing = tmp_path / "no" / "such" / "dir" / "j.jsonl"
+        with pytest.raises(SimulationError, match="cannot write journal"):
+            Journal(missing).begin(jobs)
+        assert not (tmp_path / "no").exists()
+
+
+class TestPartition:
+    def test_strided_assignment_covers_exactly_once(self):
+        jobs = _plan(7)
+        shares = [partition_jobs(jobs, w, 3) for w in range(3)]
+        indices = sorted(i for share in shares for i, _ in share)
+        assert indices == list(range(7))
+        assert [i for i, _ in shares[0]] == [0, 3, 6]
+        assert [i for i, _ in shares[1]] == [1, 4]
+
+    def test_single_worker_owns_everything(self):
+        jobs = _plan(4)
+        assert partition_jobs(jobs, 0, 1) == list(enumerate(jobs))
+
+    def test_bad_worker_ids_rejected(self):
+        with pytest.raises(SimulationError):
+            partition_jobs(_plan(3), 3, 3)
+        with pytest.raises(SimulationError):
+            partition_jobs(_plan(3), 0, 0)
+
+
+class TestMerge:
+    def _run_partitions(self, tmp_path, jobs, n_workers):
+        paths = []
+        for worker in range(n_workers):
+            path = tmp_path / f"part{worker}.jsonl"
+            run_jobs(jobs, journal=path, partition=(worker, n_workers))
+            paths.append(path)
+        return paths
+
+    def test_merge_reassembles_in_plan_order(self, tmp_path):
+        jobs = _plan(7)
+        paths = self._run_partitions(tmp_path, jobs, 3)
+        assert merge_journals(jobs, paths) == [s * s for s in range(7)]
+
+    def test_merge_rejects_holes(self, tmp_path):
+        jobs = _plan(7)
+        paths = self._run_partitions(tmp_path, jobs, 3)
+        with pytest.raises(SimulationError, match="no journaled result"):
+            merge_journals(jobs, paths[:2])
+
+    def test_merge_rejects_missing_file(self, tmp_path):
+        with pytest.raises(SimulationError, match="does not exist"):
+            merge_journals(_plan(2), [tmp_path / "ghost.jsonl"])
+
+    def test_merge_rejects_foreign_plan(self, tmp_path):
+        jobs = _plan(4)
+        paths = self._run_partitions(tmp_path, jobs, 2)
+        with pytest.raises(SimulationError, match="different.*plan"):
+            merge_journals(_plan(5), paths)
+
+    def test_overlapping_agreeing_entries_merge(self, tmp_path):
+        jobs = _plan(3)
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        run_jobs(jobs, journal=a)  # full run
+        run_jobs(jobs, journal=b, partition=(0, 2))  # overlaps with a
+        assert merge_journals(jobs, [a, b]) == [0, 1, 4]

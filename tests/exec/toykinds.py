@@ -1,0 +1,28 @@
+"""Tiny job-runner entrypoints for execution-layer tests.
+
+A real job kind lives in library code (``repro.analysis.sweep:run_sweep_job``
+and friends); these exist so the exec tests can exercise the machinery
+without simulating anything. They must stay module-level and
+side-effect-free: the parallel executor resolves them by name inside
+worker processes.
+"""
+
+from repro.exec import JobSpec
+
+
+def square(job: JobSpec) -> int:
+    """seed**2 — the cheapest possible pure job."""
+    return job.seed * job.seed
+
+
+def echo_params(job: JobSpec) -> tuple:
+    """Returns the params tuple, for identity checks through pickling."""
+    return job.params
+
+
+def boom(job: JobSpec) -> None:
+    """Always raises, for error-propagation tests."""
+    raise RuntimeError(f"boom on seed {job.seed}")
+
+
+not_callable = 42

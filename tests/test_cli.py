@@ -88,6 +88,46 @@ class TestSweep:
         assert "sweep failed" in err and "seeds" in err
 
 
+class TestSweepList:
+    def test_list_prints_registered_experiments(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        for eid in ("e1", "e10", "e11", "e14", "a1"):
+            assert eid in out
+        assert "repro.analysis.experiments:run_e1" in out
+        assert "repro.analysis.extensions:run_e14" in out
+
+    def test_missing_eid_without_list_is_usage_error(self, capsys):
+        assert main(["sweep"]) == 2
+        assert "--list" in capsys.readouterr().err
+
+
+class TestSweepExecLayer:
+    def test_journal_then_resume_prints_same_digest(self, capsys, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        args = ["sweep", "e7", "--seeds", "3", "--param", "n=6",
+                "--journal", path]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args + ["--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert first == resumed
+
+    def test_stream_prints_cases_live(self, capsys):
+        assert main(
+            ["sweep", "e7", "--seeds", "2", "--param", "n=6", "--stream"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[case 1/2]" in out and "[case 2/2]" in out
+
+    def test_stream_rows_precede_table(self, capsys):
+        assert main(
+            ["sweep", "e7", "--seeds", "1,", "--param", "n=6", "--stream"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.index("[case 1/1]") < out.index("== sweep E7")
+
+
 class TestSweepBackend:
     def test_backend_inproc_output_identical_to_serial(self, capsys):
         args = ["sweep", "e7", "--seeds", "2", "--param", "n=6"]
@@ -141,6 +181,91 @@ class TestFuzz:
             ["fuzz", "--count", "1", "--protocols", "paxos"]
         ) == 2
         assert "fuzz failed" in capsys.readouterr().err
+
+
+class TestFuzzExecLayer:
+    def test_backend_serial_prints_same_digest(self, capsys):
+        args = ["fuzz", "--seed", "5", "--count", "8"]
+        assert main(args) == 0
+        inproc = capsys.readouterr().out
+        assert main(args + ["--backend", "serial"]) == 0
+        serial = capsys.readouterr().out
+        digest = [l for l in inproc.splitlines() if "digest=" in l]
+        assert digest == [l for l in serial.splitlines() if "digest=" in l]
+        # The engine line is the sharded runner's; serial has none.
+        assert any("engine:" in l for l in inproc.splitlines())
+        assert not any("engine:" in l for l in serial.splitlines())
+
+    def test_journal_then_resume_prints_same_digest(self, capsys, tmp_path):
+        path = str(tmp_path / "fuzz.jsonl")
+        args = ["fuzz", "--seed", "2", "--count", "6", "--journal", path]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args + ["--resume"]) == 0
+        resumed = capsys.readouterr().out
+        digest = [l for l in first.splitlines() if "digest=" in l]
+        assert digest == [l for l in resumed.splitlines() if "digest=" in l]
+
+    def test_stream_prints_scenarios_live(self, capsys):
+        assert main(
+            ["fuzz", "--seed", "3", "--count", "4", "--stream"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[scenario 1/4]" in out and "[scenario 4/4]" in out
+
+    def test_stepping_flags_rejected_on_non_inproc_backends(self, capsys):
+        # --stepping/--quantum/--window configure the sharded engine;
+        # dropping them silently would imply they applied. Detection is
+        # by presence, so even an explicitly-passed default is rejected.
+        assert main(
+            ["fuzz", "--count", "2", "--backend", "serial",
+             "--window", "8"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "--window" in err and "inproc" in err
+        assert main(
+            ["fuzz", "--count", "2", "--backend", "parallel",
+             "--stepping", "round_robin"]
+        ) == 2
+        assert "--stepping" in capsys.readouterr().err
+
+    def test_resumed_run_reports_restored_scenarios(self, capsys, tmp_path):
+        path = str(tmp_path / "fuzz.jsonl")
+        assert main(
+            ["fuzz", "--seed", "2", "--count", "5", "--journal", path]
+        ) == 0
+        full = capsys.readouterr().out
+        assert "engine:" in full and "restored" not in full
+        assert main(
+            ["fuzz", "--seed", "2", "--count", "5", "--journal", path,
+             "--resume"]
+        ) == 0
+        resumed = capsys.readouterr().out
+        assert "all 5 scenarios restored from journal" in resumed
+
+
+class TestMonitorExecLayer:
+    def test_journal_then_resume_replays_verdicts(self, capsys, tmp_path):
+        path = str(tmp_path / "mon.jsonl")
+        args = ["monitor", "cycle", "--seed", "1", "--journal", path]
+        assert main(args) == 1
+        first = capsys.readouterr().out
+        assert "VIOLATED" in first
+        # Resume: no re-simulation, identical verdict text and exit code.
+        assert main(args + ["--resume"]) == 1
+        resumed = capsys.readouterr().out
+        assert first == resumed
+
+    def test_resume_without_journal_fails_cleanly(self, capsys):
+        assert main(["monitor", "demo", "--resume"]) == 1
+        assert "monitor failed" in capsys.readouterr().err
+
+    def test_backend_inproc_matches_serial(self, capsys):
+        args = ["monitor", "demo", "--seed", "3"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--backend", "inproc"]) == 0
+        assert serial == capsys.readouterr().out
 
 
 class TestCycle:
