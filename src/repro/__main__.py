@@ -60,6 +60,12 @@ def _parse_param(text: str) -> tuple[str, object]:
     return name, value
 
 
+# Mirrors repro.core.failure_models.FAILURE_MODEL_NAMES; spelled out here
+# so building the argument parser stays import-light (subcommand bodies
+# import the heavy modules lazily).
+_FAILURE_MODELS = ("fail-stop", "crash-recovery", "byzantine-crash")
+
+
 def _parse_seeds(text: str) -> list[int]:
     """``20`` means seeds 0..19; ``3,5,8`` means exactly those seeds.
 
@@ -231,6 +237,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         name for name in inspect.signature(driver).parameters
         if name != "seeds"
     ]
+    if args.failure_model is not None:
+        # One flag, two driver spellings: model-comparing drivers (e17)
+        # take a failure_models tuple, single-model drivers a string.
+        if "failure_models" in accepted:
+            params.setdefault("failure_models", (args.failure_model,))
+        else:
+            params.setdefault("failure_model", args.failure_model)
     unknown = sorted(name for name in params if name not in accepted)
     if unknown:
         print(
@@ -317,17 +330,23 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             stop=args.stop,
             max_events=args.max_events,
             observer_factory=observer_factory,
+            failure_model=args.failure_model,
         )
 
+    params = [
+        ("n", args.n),
+        ("stop", args.stop),
+        ("max_events", args.max_events),
+    ]
+    if args.failure_model != "fail-stop":
+        # Appended only when non-default so pre-existing journals keep
+        # matching their recorded job identities.
+        params.append(("failure_model", args.failure_model))
     job = JobSpec(
         kind=MONITOR_JOB_KIND,
         spec_id=eid,
         seed=args.seed,
-        params=(
-            ("n", args.n),
-            ("stop", args.stop),
-            ("max_events", args.max_events),
-        ),
+        params=tuple(params),
     )
     try:
         executor = make_executor(args.backend or "serial", run=live_run)
@@ -405,6 +424,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                 if args.detectors
                 else DEFAULT_CONFIG.detectors
             ),
+            failure_model=args.failure_model,
         )
         runner = None
         if backend == "inproc":
@@ -517,6 +537,11 @@ def main(argv: list[str] | None = None) -> int:
         help="fixed driver parameter, repeatable (e.g. --param n=16)",
     )
     sweep.add_argument(
+        "--failure-model", choices=_FAILURE_MODELS, default=None,
+        help="run the experiment under this failure model (drivers that "
+             "do not take one reject the flag with their parameter list)",
+    )
+    sweep.add_argument(
         "--early-stop", action="store_true",
         help="abort each case at its first streaming-monitor violation "
              "(drivers with an early_stop keyword only, e.g. e14)",
@@ -539,8 +564,15 @@ def main(argv: list[str] | None = None) -> int:
         "monitor",
         help="run a scenario with streaming conformance monitors attached",
     )
-    monitor.add_argument("eid", help="monitored scenario: demo, cycle, e14")
+    monitor.add_argument(
+        "eid", help="monitored scenario: demo, cycle, e14, benor"
+    )
     monitor.add_argument("--seed", type=int, default=0)
+    monitor.add_argument(
+        "--failure-model", choices=_FAILURE_MODELS, default="fail-stop",
+        help="failure semantics for the scenario world (crash-recovery "
+             "wraps the protocol in the black-box recovery layer)",
+    )
     monitor.add_argument(
         "--n", type=int, default=None,
         help="cluster size (scenario default when omitted)",
@@ -580,6 +612,12 @@ def main(argv: list[str] | None = None) -> int:
     fuzz.add_argument(
         "--detectors", default=None,
         help="comma list drawn from none,heartbeat,phi (default: all)",
+    )
+    fuzz.add_argument(
+        "--failure-model", choices=_FAILURE_MODELS, default="fail-stop",
+        help="fault vocabulary to fuzz with: fail-stop crashes, "
+             "crash-recovery churn (protocols run under the black-box "
+             "wrapper), or bounded-Byzantine interference",
     )
     # Stepping controls default to None sentinels so the backend guard
     # in _cmd_fuzz detects presence, not value; the effective defaults

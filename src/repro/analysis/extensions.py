@@ -1,5 +1,6 @@
 """Extension experiments: E11 (transitivity probe), A1 (deferral ablation),
-and E14 (streaming monitors under a violation-heavy adversary).
+E14 (streaming monitors under a violation-heavy adversary), and E17
+(Ben-Or consensus across the pluggable failure models).
 
 E11 quantifies Section 6's closing discussion: how far does detection-
 knowledge piggybacking push the failed-before relation towards
@@ -18,6 +19,12 @@ catch the sFS2b violation at its event index, and ``early_stop`` aborts
 the case there instead of simulating tens of thousands of post-violation
 events. This is the driver the early-stopping sweep mode and
 ``benchmarks/bench_e14_streaming.py`` measure.
+
+E17 runs the same consensus app (:mod:`repro.apps.ben_or`) under each
+registered failure model — fail-stop crashes, crash-recovery churn,
+bounded-Byzantine interference — and reports decisions, agreement, and
+monitor verdicts side by side: the cross-model comparison the pluggable
+failure-model layer exists to make possible.
 """
 
 from __future__ import annotations
@@ -26,14 +33,26 @@ import random
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.core.failure_models import check_sfs, check_sfs2d
+from repro.apps.ben_or import BenOrProcess, check_consensus, decided_values
+from repro.core.failure_models import (
+    check_sfs,
+    check_sfs2d,
+    get_failure_model,
+)
 from repro.core.indistinguishability import ensure_crashes
 from repro.errors import SimulationError
+from repro.protocols.recovery import make_recovering
 from repro.protocols.sfs import SfsProcess
 from repro.protocols.transitive import TransitiveSfsProcess
 from repro.protocols.unilateral import UnilateralProcess
 from repro.analysis.experiments import seeded_driver
 from repro.sim.delays import UniformDelay
+from repro.sim.failures import (
+    Fault,
+    apply_faults,
+    random_byzantine_plan,
+    random_recovery_plan,
+)
 from repro.sim.world import build_world
 
 
@@ -327,41 +346,192 @@ def run_e14(
     return rows
 
 # ----------------------------------------------------------------------
+# E17 — one consensus app, three failure models
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class E17Row:
+    """Ben-Or consensus outcomes under one failure model, over many seeds.
+
+    ``decided_runs`` counts runs where every process that was up at the
+    end had decided; ``clean`` counts runs where consensus (agreement +
+    validity) held *and* no halt-relevant safety monitor locked a
+    violation. ``crashes``/``recoveries``/``compromised`` total the fault
+    plans actually injected, so the row documents how much adversity the
+    model put the app through.
+    """
+
+    failure_model: str
+    n: int
+    t: int
+    runs: int
+    decided_runs: int
+    crashes: int
+    recoveries: int
+    compromised: int
+    events: int
+    clean: int
+
+
+E17_MODELS = ("fail-stop", "crash-recovery", "byzantine-crash")
+"""Model lineup one :func:`run_e17` call compares (one row each)."""
+
+
+def _e17_plan(model: str, n: int, t: int, seed: int) -> list[Fault]:
+    """The model-appropriate fault plan for one E17 run (pure in seed)."""
+    rng = random.Random(f"repro-e17:{model}:{seed}")
+    spec = get_failure_model(model)
+    if spec.recoverable:
+        return random_recovery_plan(n, t, rng, horizon=5.0)
+    if spec.byzantine:
+        return random_byzantine_plan(n, t, rng, horizon=5.0)
+    victims = rng.sample(range(n), k=rng.randint(0, t))
+    return [
+        Fault("crash", at=round(rng.uniform(0.5, 4.0), 4), proc=victim)
+        for victim in victims
+    ]
+
+
+@seeded_driver("e17")
+def run_e17(
+    n: int = 5,
+    t: int = 1,
+    seeds: Sequence[int] = tuple(range(20)),
+    failure_models: Sequence[str] = E17_MODELS,
+    max_events: int = 200_000,
+) -> list[E17Row]:
+    """Run Ben-Or under each failure model; one aggregate row per model.
+
+    Every run attaches the model-aware streaming
+    :class:`~repro.analysis.monitors.MonitorSet`, so ``clean`` certifies
+    both the app-level contract (agreement, validity) and the
+    trace-level one (well-formedness, no self-detection, incarnation
+    discipline) in a single column. Pure in ``(seeds, n, t)``: rows are
+    bit-identical across serial/parallel/inproc sweep backends.
+    """
+    rows: list[E17Row] = []
+    for model in failure_models:
+        decided_runs = crashes = recoveries = compromised = 0
+        events = clean = 0
+        for seed in seeds:
+            world = build_world(
+                n,
+                lambda: BenOrProcess(t=t, seed=seed),
+                delay_model=UniformDelay(0.1, 1.0),
+                seed=seed,
+                failure_model=model,
+            )
+            monitors = world.attach_monitor()
+            plan = _e17_plan(model, n, t, seed)
+            apply_faults(world, plan)
+            crashes += sum(1 for f in plan if f.kind == "crash")
+            recoveries += sum(1 for f in plan if f.kind == "recover")
+            compromised += sum(1 for f in plan if f.kind == "compromise")
+            world.run_to_quiescence(max_events=max_events)
+            events += len(world.trace)
+            decisions = decided_values(world)
+            if all(
+                pid in decisions
+                for pid in world.alive()
+            ):
+                decided_runs += 1
+            if monitors.ok_so_far and not check_consensus(world):
+                clean += 1
+        rows.append(
+            E17Row(
+                failure_model=model,
+                n=n,
+                t=t,
+                runs=len(seeds),
+                decided_runs=decided_runs,
+                crashes=crashes,
+                recoveries=recoveries,
+                compromised=compromised,
+                events=events,
+                clean=clean,
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
 # Monitored scenarios for `python -m repro monitor`
 # ----------------------------------------------------------------------
 
 
-def _monitor_world_demo(n: int, seed: int):
-    """The quickstart sFS scenario: one crash, conformant throughout."""
-    world = build_world(n or 9, lambda: SfsProcess(t=2), seed=seed)
-    world.inject_crash((n or 9) - 2, at=0.5)
-    world.inject_suspicion(0, (n or 9) - 2, at=1.0)
+def _monitor_cls(cls: type, failure_model: str) -> type:
+    """``cls`` (YOLMT-wrapped when the model allows recovery)."""
+    if get_failure_model(failure_model).recoverable:
+        return make_recovering(cls)
+    return cls
+
+
+def _monitor_world_demo(n: int, seed: int, failure_model: str = "fail-stop"):
+    """The quickstart sFS scenario: one crash, conformant throughout.
+
+    Under crash-recovery the crashed process additionally comes back at
+    t=3.0 (wrapped, so the protocol itself is unchanged) — the minimal
+    demonstration that the monitors accept a lawful recovery.
+    """
+    n = n or 9
+    cls = _monitor_cls(SfsProcess, failure_model)
+    world = build_world(
+        n, lambda: cls(t=2), seed=seed, failure_model=failure_model
+    )
+    world.inject_crash(n - 2, at=0.5)
+    world.inject_suspicion(0, n - 2, at=1.0)
+    if world.model.recoverable:
+        world.inject_recover(n - 2, at=3.0)
     return world
 
 
-def _monitor_world_cycle(n: int, seed: int):
+def _monitor_world_cycle(n: int, seed: int, failure_model: str = "fail-stop"):
     """Unilateral mutual suspicion: the quickest sFS2b violation."""
+    cls = _monitor_cls(UnilateralProcess, failure_model)
     world = build_world(
         n or 6,
-        lambda: UnilateralProcess(),
+        lambda: cls(),
         delay_model=UniformDelay(0.2, 2.0),
         seed=seed,
+        failure_model=failure_model,
     )
     world.inject_suspicion(0, 1, at=1.0)
     world.inject_suspicion(1, 0, at=1.0)
     return world
 
 
-def _monitor_world_e14(n: int, seed: int):
+def _monitor_world_e14(n: int, seed: int, failure_model: str = "fail-stop"):
     """The violation-heavy E14 workload: early cycle, long chatty tail."""
     world = build_world(
         n or 8,
-        _ChattyUnilateral,
+        _monitor_cls(_ChattyUnilateral, failure_model),
         delay_model=UniformDelay(0.2, 2.0),
         seed=seed,
+        failure_model=failure_model,
     )
     world.inject_suspicion(0, 1, at=1.0)
     world.inject_suspicion(1, 0, at=1.0)
+    return world
+
+
+def _monitor_world_benor(n: int, seed: int, failure_model: str = "fail-stop"):
+    """Ben-Or consensus under the selected model's fault churn (E17).
+
+    The showcase for ``--failure-model``: the same app rides fail-stop
+    crashes, crash-recovery churn, or Byzantine interference depending on
+    the flag, and the streaming monitors certify the trace either way.
+    """
+    n = n or 5
+    t = 1
+    world = build_world(
+        n,
+        lambda: BenOrProcess(t=t, seed=seed),
+        delay_model=UniformDelay(0.1, 1.0),
+        seed=seed,
+        failure_model=failure_model,
+    )
+    apply_faults(world, _e17_plan(world.model.name, n, t, seed))
     return world
 
 
@@ -369,11 +539,17 @@ MONITOR_SCENARIOS = {
     "demo": _monitor_world_demo,
     "cycle": _monitor_world_cycle,
     "e14": _monitor_world_e14,
+    "benor": _monitor_world_benor,
 }
 """Scenario builders for the streaming-monitor CLI, by id."""
 
 
-def build_monitor_world(eid: str, n: int | None = None, seed: int = 0):
+def build_monitor_world(
+    eid: str,
+    n: int | None = None,
+    seed: int = 0,
+    failure_model: str = "fail-stop",
+):
     """Construct the (not yet run) world for a monitored scenario."""
     try:
         builder = MONITOR_SCENARIOS[eid.lower()]
@@ -382,7 +558,7 @@ def build_monitor_world(eid: str, n: int | None = None, seed: int = 0):
             f"unknown monitored scenario {eid!r}; choose from "
             f"{', '.join(sorted(MONITOR_SCENARIOS))}"
         ) from None
-    return builder(n or 0, seed)
+    return builder(n or 0, seed, failure_model)
 
 
 MONITOR_JOB_KIND = "repro.analysis.extensions:run_monitor_job"
@@ -417,16 +593,20 @@ def run_monitor_case(
     stop: bool = False,
     max_events: int = 1_000_000,
     observer_factory=None,
+    failure_model: str = "fail-stop",
 ) -> MonitorRunResult:
     """Run one monitored scenario to completion and package the verdicts.
 
     ``observer_factory(trace, monitors)``, when given, returns a trace
     observer ``(idx, event, vector) -> None`` attached before the run —
     the hook the CLI uses for live event/violation printing. The returned
-    result is a pure function of ``(eid, n, seed, stop, max_events)``;
-    the observer can watch but not steer.
+    result is a pure function of
+    ``(eid, n, seed, stop, max_events, failure_model)``; the observer can
+    watch but not steer.
     """
-    world = build_monitor_world(eid, n=n, seed=seed)
+    world = build_monitor_world(
+        eid, n=n, seed=seed, failure_model=failure_model
+    )
     monitors = world.attach_monitor(stop_on_violation=stop)
     trace = world.trace
     if observer_factory is not None:
@@ -459,4 +639,5 @@ def run_monitor_job(job) -> MonitorRunResult:
         seed=job.seed,
         stop=bool(job.param("stop", False)),
         max_events=job.param("max_events", 1_000_000),
+        failure_model=job.param("failure_model", "fail-stop"),
     )

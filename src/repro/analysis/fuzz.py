@@ -34,6 +34,7 @@ from pathlib import Path
 
 from repro.analysis.monitors import MonitorSet
 from repro.core.bounds import max_tolerable_t
+from repro.core.failure_models import FAILURE_MODEL_NAMES, get_failure_model
 from repro.detectors.heartbeat import HeartbeatDriver
 from repro.detectors.phi_accrual import PhiAccrualDriver
 from repro.errors import SimulationError
@@ -47,6 +48,7 @@ from repro.exec import (
     run_jobs,
 )
 from repro.protocols.generic import GenericOneRoundProcess
+from repro.protocols.recovery import make_recovering
 from repro.protocols.sfs import SfsProcess
 from repro.protocols.transitive import TransitiveSfsProcess
 from repro.protocols.unilateral import UnilateralProcess
@@ -58,7 +60,13 @@ from repro.sim.delays import (
     ParetoDelay,
     UniformDelay,
 )
-from repro.sim.failures import Fault, apply_faults, random_fault_plan
+from repro.sim.failures import (
+    Fault,
+    apply_faults,
+    random_byzantine_plan,
+    random_fault_plan,
+    random_recovery_plan,
+)
 from repro.sim.multiworld import ShardSpec, ShardedRunner
 from repro.sim.world import World
 
@@ -85,6 +93,15 @@ class FuzzConfig:
     a virtual-time horizon under continuous heartbeat traffic — an order
     of magnitude more events than injected-fault scenarios — so they are
     sampled, not drawn uniformly.
+
+    ``failure_model`` selects the fault vocabulary the fuzzer draws from
+    (and the semantics every generated world runs under): ``"fail-stop"``
+    crashes are forever, ``"crash-recovery"`` plans crash/recover churn
+    and runs the protocols under the black-box wrapper of
+    :mod:`repro.protocols.recovery`, ``"byzantine-crash"`` compromises up
+    to ``t`` senders. The default reproduces the historical scenario
+    stream byte for byte (``repr`` included), so pre-existing digests
+    stay valid.
     """
 
     min_n: int = 3
@@ -98,8 +115,29 @@ class FuzzConfig:
     fault_horizon: float = 8.0
     detector_horizon: float = 30.0
     max_chatter: int = 12
+    failure_model: str = "fail-stop"
+
+    def __repr__(self) -> str:
+        # Byte-identical to the pre-failure-model dataclass repr when the
+        # new field keeps its default: reprs seed job identities and
+        # journal keys, which must not shift under existing configs.
+        base = (
+            f"FuzzConfig(min_n={self.min_n!r}, max_n={self.max_n!r}, "
+            f"protocols={self.protocols!r}, delays={self.delays!r}, "
+            f"detectors={self.detectors!r}, "
+            f"detector_rate={self.detector_rate!r}, "
+            f"adversary_rate={self.adversary_rate!r}, "
+            f"partition_rate={self.partition_rate!r}, "
+            f"fault_horizon={self.fault_horizon!r}, "
+            f"detector_horizon={self.detector_horizon!r}, "
+            f"max_chatter={self.max_chatter!r}"
+        )
+        if self.failure_model != "fail-stop":
+            base += f", failure_model={self.failure_model!r}"
+        return base + ")"
 
     def __post_init__(self) -> None:
+        get_failure_model(self.failure_model)  # raises on unknown names
         # min_n >= 2: a 1-process system can suspect no one, and it is
         # the only n where max_tolerable_t(n) < 1 would break the
         # Corollary 8 invariant (n > t^2) the model oracle relies on.
@@ -143,6 +181,24 @@ class Scenario:
     heal_at: float | None
     chatter: tuple[tuple[float, int, int, int], ...]
     horizon: float | None
+    failure_model: str = "fail-stop"
+
+    def __repr__(self) -> str:
+        # Scenario reprs feed FuzzReport.digest(); under the default
+        # model this must match the pre-failure-model dataclass repr byte
+        # for byte so historical fuzz digests keep reproducing.
+        base = (
+            f"Scenario(index={self.index!r}, seed={self.seed!r}, "
+            f"n={self.n!r}, protocol={self.protocol!r}, t={self.t!r}, "
+            f"quorum_size={self.quorum_size!r}, delay={self.delay!r}, "
+            f"detector={self.detector!r}, faults={self.faults!r}, "
+            f"holds={self.holds!r}, partition={self.partition!r}, "
+            f"heal_at={self.heal_at!r}, chatter={self.chatter!r}, "
+            f"horizon={self.horizon!r}"
+        )
+        if self.failure_model != "fail-stop":
+            base += f", failure_model={self.failure_model!r}"
+        return base + ")"
 
 
 # ----------------------------------------------------------------------
@@ -210,9 +266,20 @@ def generate_scenario(seed: int, index: int, config: FuzzConfig) -> Scenario:
         else:
             detector = ("phi", (interval, _round(rng.uniform(2.0, 8.0))))
 
-    faults = tuple(
-        random_fault_plan(n, t, rng, horizon=config.fault_horizon)
-    )
+    # Model-specific plans draw different amounts of randomness; only the
+    # default branch must preserve the historical draw order.
+    if config.failure_model == "crash-recovery":
+        faults = tuple(
+            random_recovery_plan(n, t, rng, horizon=config.fault_horizon)
+        )
+    elif config.failure_model == "byzantine-crash":
+        faults = tuple(
+            random_byzantine_plan(n, t, rng, horizon=config.fault_horizon)
+        )
+    else:
+        faults = tuple(
+            random_fault_plan(n, t, rng, horizon=config.fault_horizon)
+        )
 
     holds: tuple[tuple[int, tuple[int, ...]], ...] = ()
     if rng.random() < config.adversary_rate:
@@ -272,6 +339,7 @@ def generate_scenario(seed: int, index: int, config: FuzzConfig) -> Scenario:
         horizon=(
             config.detector_horizon if detector[0] != "none" else None
         ),
+        failure_model=config.failure_model,
     )
 
 
@@ -300,16 +368,23 @@ def _make_process(scenario: Scenario):
         detector = HeartbeatDriver(interval=params[0], timeout=params[1])
     elif kind == "phi":
         detector = PhiAccrualDriver(interval=params[0], threshold=params[1])
-    if scenario.protocol == "sfs":
-        return SfsProcess(t=scenario.t, detector=detector)
-    if scenario.protocol == "transitive":
-        return TransitiveSfsProcess(t=scenario.t, detector=detector)
+    classes = {
+        "sfs": SfsProcess,
+        "transitive": TransitiveSfsProcess,
+        "generic": GenericOneRoundProcess,
+        "unilateral": UnilateralProcess,
+    }
+    cls = classes[scenario.protocol]
+    if get_failure_model(scenario.failure_model).recoverable:
+        # Crash-recovery runs the *unmodified* crash-stop protocols under
+        # the YOLMT wrapper; the classes themselves stay untouched.
+        cls = make_recovering(cls)
     if scenario.protocol == "generic":
         assert scenario.quorum_size is not None
-        return GenericOneRoundProcess(
-            quorum_size=scenario.quorum_size, detector=detector
-        )
-    return UnilateralProcess(detector=detector)
+        return cls(quorum_size=scenario.quorum_size, detector=detector)
+    if scenario.protocol == "unilateral":
+        return cls(detector=detector)
+    return cls(t=scenario.t, detector=detector)
 
 
 def build_scenario_world(scenario: Scenario) -> World:
@@ -324,8 +399,15 @@ def build_scenario_world(scenario: Scenario) -> World:
         [_make_process(scenario) for _ in range(scenario.n)],
         _delay_model(scenario),
         seed=scenario.seed,
+        failure_model=scenario.failure_model,
     )
-    world.attach_monitor(MonitorSet(scenario.n, pending_ok=True))
+    world.attach_monitor(
+        MonitorSet(
+            scenario.n,
+            pending_ok=True,
+            failure_model=scenario.failure_model,
+        )
+    )
     apply_faults(world, list(scenario.faults))
     for target, shield in scenario.holds:
         world.adversary.hold_suspicions_about(target, frozenset(shield))
@@ -364,7 +446,18 @@ def expected_clean(scenario: Scenario) -> tuple[str, ...]:
       precedes any later message on every FIFO channel) but not sFS2b.
     * The Section 4 skeleton (``generic``) promises neither: it exists to
       probe illegal quorum sizes, where cycles are the *point*.
+    * Under **crash-recovery** the sFS guarantees are void (the paper's
+      theorems assume crash-stop) but the run must still be well-formed
+      under the model's rules, never self-detect, and respect the
+      incarnation discipline (``recovery``).
+    * Under **byzantine-crash** only the structural guarantees survive:
+      the adversary forges nothing with a valid uid, so histories stay
+      well-formed, but tampered suspicion traffic voids every sFS bound.
     """
+    if scenario.failure_model == "crash-recovery":
+        return ("valid", "sFS2c", "recovery")
+    if scenario.failure_model == "byzantine-crash":
+        return ("valid", "sFS2c")
     base = ("valid", "sFS2c")
     if scenario.protocol in ("sfs", "transitive"):
         if scenario.detector[0] == "none":
@@ -382,7 +475,9 @@ def judge_world(scenario: Scenario, world: World) -> "FuzzOutcome":
     history = world.history()
     findings: list[str] = []
 
-    replay = MonitorSet(scenario.n, pending_ok=True).replay(history)
+    replay = MonitorSet(
+        scenario.n, pending_ok=True, failure_model=scenario.failure_model
+    ).replay(history)
     if replay.violation_log != monitors.violation_log:
         findings.append(
             "stream/batch divergence: violation logs differ "

@@ -43,11 +43,13 @@ from repro.core.failure_models import (
     FS1State,
     FS2State,
     PropertyState,
+    RecoveryState,
     SFS2aState,
     SFS2bState,
     SFS2cState,
     SFS2dState,
     cycle_violations,
+    get_failure_model,
 )
 from repro.core.history import History
 from repro.core.validate import ValidationState
@@ -261,13 +263,18 @@ class ConditionsMonitor(PropertyMonitor):
 
 
 class WellFormednessMonitor(PropertyMonitor):
-    """Definitions 1, 6, 7 — validity of the history (safety)."""
+    """Definitions 1, 6, 7 — validity of the history (safety).
+
+    Model-aware: under a recoverable failure model the scan accepts
+    recover events and lossy-FIFO channels (see
+    :class:`~repro.core.validate.ValidationState`).
+    """
 
     __slots__ = ()
     name = "valid"
 
-    def __init__(self, n: int):
-        super().__init__(ValidationState(n))
+    def __init__(self, n: int, failure_model: str = "fail-stop"):
+        super().__init__(ValidationState(n, failure_model))
 
     @property
     def violations(self) -> list[str]:
@@ -277,6 +284,21 @@ class WellFormednessMonitor(PropertyMonitor):
     def result(self) -> CheckResult:
         violations = self._state.violations
         return CheckResult(self.name, not violations, tuple(violations))
+
+
+class RecoveryMonitor(PropertyMonitor):
+    """Crash-recovery discipline (safety, locks at the recover event).
+
+    Attached by :class:`MonitorSet` only under a recoverable failure
+    model (see :attr:`FailureModel.extra_monitors`); vacuously satisfied
+    on fail-stop histories, which contain no recover events.
+    """
+
+    __slots__ = ()
+    name = "recovery"
+
+    def __init__(self):
+        super().__init__(RecoveryState())
 
 
 class BadPairCounter:
@@ -320,7 +342,11 @@ class BadPairCounter:
 #: deliberately *not* in the default: under simulated fail-stop a
 #: detection legitimately precedes its crash, so FS2 trips on every sFS
 #: run — callers monitoring for strict FS can opt it in via ``halt_on``.
-DEFAULT_HALT_ON = ("valid", "sFS2b", "sFS2c", "sFS2d", "Conditions1-3")
+#: "recovery" is listed unconditionally; names with no matching monitor
+#: in the set (every non-recoverable model) are silently ignored.
+DEFAULT_HALT_ON = (
+    "valid", "sFS2b", "sFS2c", "sFS2d", "Conditions1-3", "recovery",
+)
 
 
 class MonitorSet:
@@ -340,6 +366,9 @@ class MonitorSet:
         halt_on: names of the monitors whose violation counts as "the run
             is non-conformant, stop caring" for ``first_violation`` /
             ``ok_so_far`` (default :data:`DEFAULT_HALT_ON`).
+        failure_model: the failure semantics the observed run operates
+            under; switches well-formedness to the model's rules and
+            attaches the model's extra monitors (e.g. ``recovery``).
     """
 
     def __init__(
@@ -347,10 +376,12 @@ class MonitorSet:
         n: int,
         pending_ok: bool = False,
         halt_on: Iterable[str] = DEFAULT_HALT_ON,
+        failure_model: str = "fail-stop",
     ):
         self.n = n
         self.pending_ok = pending_ok
-        self.validity = WellFormednessMonitor(n)
+        self.model = get_failure_model(failure_model)
+        self.validity = WellFormednessMonitor(n, failure_model)
         self.fs1 = FS1Monitor(n, pending_ok)
         self.fs2 = FS2Monitor()
         self.sfs2a = SFS2aMonitor(pending_ok)
@@ -363,6 +394,11 @@ class MonitorSet:
             pending_ok, cond1=self.sfs2a.state, cond2=self.sfs2b.state
         )
         self.bad_pairs = BadPairCounter()
+        self.recovery = (
+            RecoveryMonitor()
+            if "recovery" in self.model.extra_monitors
+            else None
+        )
         self.monitors: tuple = (
             self.validity,
             self.fs1,
@@ -372,7 +408,7 @@ class MonitorSet:
             self.sfs2c,
             self.sfs2d,
             self.conditions,
-        )
+        ) + ((self.recovery,) if self.recovery is not None else ())
         self._halt_on = tuple(halt_on)
         self._safety = tuple(
             m for m in self.monitors if m.safety and m.name in self._halt_on

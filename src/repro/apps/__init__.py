@@ -7,8 +7,18 @@
   core invariant is sFS2d lifted to views.
 * :mod:`repro.apps.snapshot` — Chandy-Lamport consistent snapshots
   ([CL85], the paper's stability citation) over the same substrate.
+* :mod:`repro.apps.ben_or` — Ben-Or randomized binary consensus,
+  crash-recovery-aware via stable storage; the workout for the
+  pluggable failure-model layer (experiment E17).
 """
 
+from repro.apps.ben_or import (
+    DECIDE,
+    BenOrProcess,
+    check_consensus,
+    decided_values,
+    decision_events,
+)
 from repro.apps.election import (
     BECOME_LEADER,
     ElectionProcess,
@@ -43,6 +53,11 @@ from repro.apps.snapshot import (
 )
 
 __all__ = [
+    "BenOrProcess",
+    "DECIDE",
+    "decided_values",
+    "decision_events",
+    "check_consensus",
     "ElectionProcess",
     "LeadershipProfile",
     "leadership_profile",

@@ -1,0 +1,263 @@
+"""Ben-Or randomized binary consensus, exercising the failure models.
+
+A faithful-to-the-shape implementation of Ben-Or's two-phase randomized
+consensus for the crash model (``n > 2t``): each round, every process
+broadcasts its estimate (phase 1), adopts a majority value if one exists,
+broadcasts that (phase 2), and decides when ``t + 1`` processes vouch for
+the same value — otherwise it flips a deterministic per-process coin and
+tries again.
+
+The app is written *crash-recovery-aware from the start* (unlike the
+paper's detection protocols, which get crash-recovery via the black-box
+wrapper of :mod:`repro.protocols.recovery`): the consensus-critical state
+``(est, round, phase, w, decided)`` is persisted to stable storage after
+every transition and restored in :meth:`BenOrProcess.on_recover`, while
+the per-round vote tallies are volatile and genuinely lost at a crash.
+Lost votes are survivable because every undecided process retransmits its
+current-phase broadcast periodically, decided processes answer stragglers
+with a ``("decided", v)`` catch-up, and a process that sees a message
+from a higher round jumps forward (abstaining from the rounds it slept
+through — indistinguishable from having been slow).
+
+Under byzantine-crash the adversary's mutations arrive as unparseable
+payloads and are ignored, duplications are absorbed by the per-sender
+tallies, and drops are repaired by retransmission — so agreement and
+validity hold under all three failure models, which is exactly what
+experiment E17 measures.
+
+All randomness (the coin flips) comes from a dedicated per-process
+stream ``random.Random(f"repro-benor:{seed}:{pid}")`` — never from the
+world's RNG — so attaching this app perturbs no other draw order.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable
+
+from repro.core.events import InternalEvent
+from repro.core.history import History
+from repro.errors import SimulationError
+from repro.sim.process import SimProcess
+from repro.sim.world import World
+
+DECIDE = "benor-decide"
+"""Internal-event label prefix recorded at decision time."""
+
+_STATE_KEY = "benor:state"
+
+
+class BenOrProcess(SimProcess):
+    """One Ben-Or participant.
+
+    Args:
+        initial: this process's proposal (0/1); default ``pid % 2``.
+        t: crash-resilience bound; requires ``n > 2t`` (checked at bind).
+        seed: seed for the per-process coin stream.
+        resend_every: retransmission period for the current-phase
+            broadcast while undecided (repairs losses and recoveries).
+    """
+
+    def __init__(
+        self,
+        initial: int | None = None,
+        t: int = 1,
+        seed: int = 0,
+        resend_every: float = 1.0,
+    ):
+        super().__init__()
+        self.t = t
+        self.initial = initial
+        self.seed = seed
+        self.resend_every = resend_every
+        self.est: int = 0
+        self.round = 1
+        self.phase = 1
+        self.w: int | None = None
+        self.decided: int | None = None
+        self._coin: random.Random | None = None
+        # Volatile per-round tallies: round -> {sender: value}.
+        self._p1: dict[int, dict[int, int]] = {}
+        self._p2: dict[int, dict[int, int | None]] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def bind(self, world: World, pid: int) -> None:
+        super().bind(world, pid)
+        if world.n <= 2 * self.t:
+            raise SimulationError(
+                f"Ben-Or needs n > 2t, got n={world.n}, t={self.t}"
+            )
+        self._coin = random.Random(f"repro-benor:{self.seed}:{pid}")
+        if self.initial is None:
+            self.initial = pid % 2
+        self.est = self.initial
+
+    def on_start(self) -> None:
+        self._persist()
+        self.broadcast((1, self.round, self.est), include_self=True)
+        self.set_timer(self.resend_every, self._resend, periodic=True)
+
+    def on_recover(self) -> None:
+        state = self.stable.get(_STATE_KEY)
+        if state is not None:
+            self.est, self.round, self.phase, self.w, self.decided = state
+        # Tallies are volatile: whatever was counted is gone.
+        self._p1 = {}
+        self._p2 = {}
+        self._broadcast_current()
+        self.set_timer(self.resend_every, self._resend, periodic=True)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def _persist(self) -> None:
+        self.stable.put(
+            _STATE_KEY,
+            (self.est, self.round, self.phase, self.w, self.decided),
+        )
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def quorum(self) -> int:
+        """Messages per round/phase to wait for (``n - t``)."""
+        return self.n - self.t
+
+    def _broadcast_current(self) -> None:
+        if self.decided is not None:
+            return
+        if self.phase == 1:
+            self.broadcast((1, self.round, self.est), include_self=True)
+        else:
+            self.broadcast((2, self.round, self.w), include_self=True)
+
+    def _resend(self) -> None:
+        if self.decided is not None:
+            return  # let the timer chain die; catch-ups handle stragglers
+        self._broadcast_current()
+        self.set_timer(self.resend_every, self._resend, periodic=True)
+
+    def on_message(self, src: int, payload: Hashable, msg) -> None:
+        if self.decided is not None:
+            if isinstance(payload, tuple) and payload and payload[0] in (1, 2):
+                self.send(src, ("decided", self.decided))
+            return
+        if not isinstance(payload, tuple) or len(payload) != 3:
+            if (
+                isinstance(payload, tuple)
+                and len(payload) == 2
+                and payload[0] == "decided"
+            ):
+                self._decide(payload[1])
+            return
+        tag, r, value = payload
+        if tag == 1 and value in (0, 1):
+            self._jump_if_behind(r)
+            self._p1.setdefault(r, {}).setdefault(src, value)
+            self._advance()
+        elif tag == 2 and value in (0, 1, None):
+            self._jump_if_behind(r)
+            self._p2.setdefault(r, {}).setdefault(src, value)
+            self._advance()
+
+    def _jump_if_behind(self, r: int) -> None:
+        """Adopt a higher round (we slept through the intermediate ones)."""
+        if isinstance(r, int) and r > self.round:
+            self.round = r
+            self.phase = 1
+            self.w = None
+            self._persist()
+            self._broadcast_current()
+
+    def _advance(self) -> None:
+        while self.decided is None:
+            if self.phase == 1:
+                tally = self._p1.get(self.round, {})
+                if len(tally) < self.quorum:
+                    return
+                votes = list(tally.values())
+                self.w = None
+                for v in (0, 1):
+                    if votes.count(v) * 2 > self.n:
+                        self.w = v
+                self.phase = 2
+                self._persist()
+                self.broadcast((2, self.round, self.w), include_self=True)
+            else:
+                tally = self._p2.get(self.round, {})
+                if len(tally) < self.quorum:
+                    return
+                vouched = [v for v in tally.values() if v is not None]
+                if len(vouched) >= self.t + 1:
+                    self._decide(vouched[0])
+                    return
+                if vouched:
+                    self.est = vouched[0]
+                else:
+                    assert self._coin is not None
+                    self.est = self._coin.randint(0, 1)
+                self.round += 1
+                self.phase = 1
+                self.w = None
+                self._persist()
+                self.broadcast((1, self.round, self.est), include_self=True)
+
+    def _decide(self, v: int) -> None:
+        if self.decided is not None:
+            return
+        self.decided = v
+        self._persist()
+        self.record_internal((DECIDE, v))
+
+
+# ----------------------------------------------------------------------
+# Offline verdicts
+# ----------------------------------------------------------------------
+
+
+def decided_values(world: World) -> dict[int, int]:
+    """Map pid -> decided value, for processes that decided."""
+    out: dict[int, int] = {}
+    for proc in world.processes:
+        if isinstance(proc, BenOrProcess) and proc.decided is not None:
+            out[proc.pid] = proc.decided
+    return out
+
+
+def decision_events(history: History) -> list[tuple[int, int]]:
+    """``(pid, value)`` per decide internal event, in history order."""
+    return [
+        (e.proc, e.label[1])
+        for e in history
+        if isinstance(e, InternalEvent)
+        and isinstance(e.label, tuple)
+        and len(e.label) == 2
+        and e.label[0] == DECIDE
+    ]
+
+
+def check_consensus(world: World) -> list[str]:
+    """Agreement + validity violations for a finished Ben-Or run."""
+    violations: list[str] = []
+    decisions = decided_values(world)
+    values = set(decisions.values())
+    if len(values) > 1:
+        violations.append(f"agreement violated: decisions {decisions}")
+    initials = {
+        proc.initial
+        for proc in world.processes
+        if isinstance(proc, BenOrProcess)
+    }
+    for pid, value in decisions.items():
+        if value not in initials:
+            violations.append(
+                f"validity violated: process {pid} decided {value}, "
+                f"proposals were {sorted(initials)}"
+            )
+    return violations

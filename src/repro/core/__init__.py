@@ -31,6 +31,7 @@ from repro.core.events import (
     Event,
     FailedEvent,
     InternalEvent,
+    RecoverEvent,
     RecvEvent,
     SendEvent,
     channel_of,
@@ -40,9 +41,11 @@ from repro.core.events import (
     is_crash,
     is_failed,
     is_internal,
+    is_recover,
     is_recv,
     is_send,
     message_of,
+    recover,
     recv,
     send,
 )
@@ -55,7 +58,10 @@ from repro.core.failed_before import (
     last_failed_candidates,
 )
 from repro.core.failure_models import (
+    FAILURE_MODEL_NAMES,
+    FAILURE_MODELS,
     CheckResult,
+    FailureModel,
     check_condition1,
     check_condition2,
     check_condition3,
@@ -63,11 +69,13 @@ from repro.core.failure_models import (
     check_fs1,
     check_fs2,
     check_necessary_conditions,
+    check_recovery,
     check_sfs,
     check_sfs2a,
     check_sfs2b,
     check_sfs2c,
     check_sfs2d,
+    get_failure_model,
 )
 from repro.core.history import (
     History,
@@ -110,16 +118,19 @@ __all__ = [
     "SendEvent",
     "RecvEvent",
     "CrashEvent",
+    "RecoverEvent",
     "FailedEvent",
     "InternalEvent",
     "send",
     "recv",
     "crash",
+    "recover",
     "failed",
     "internal",
     "is_send",
     "is_recv",
     "is_crash",
+    "is_recover",
     "is_failed",
     "is_internal",
     "channel_of",
@@ -145,7 +156,12 @@ __all__ = [
     "replay",
     "is_executable",
     # failure models
+    "FailureModel",
+    "FAILURE_MODELS",
+    "FAILURE_MODEL_NAMES",
+    "get_failure_model",
     "CheckResult",
+    "check_recovery",
     "check_fs1",
     "check_fs2",
     "check_fs",

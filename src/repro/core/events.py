@@ -15,6 +15,14 @@ neither communication nor failure bookkeeping; it does not affect any of the
 paper's predicates but lets applications (election, last-to-fail) leave
 observable marks in a history.
 
+:class:`RecoverEvent` extends the alphabet beyond the paper's fail-stop
+world: under the *crash-recovery* failure model
+(:mod:`repro.core.failure_models`) a crashed process may come back up,
+carrying a strictly increasing *incarnation* number. Under the default
+fail-stop model a recover event never occurs (and is a well-formedness
+violation if it does), so every fail-stop history is exactly a paper
+history.
+
 Events are immutable value objects. A well-formed history never contains the
 same event twice (messages are unique, ``crash_i`` happens at most once, and
 ``failed_i(j)`` happens at most once per ordered pair), which is checked by
@@ -64,6 +72,22 @@ class CrashEvent:
 
 
 @dataclass(frozen=True, slots=True)
+class RecoverEvent:
+    """``recover_i``: process ``proc`` comes back up as ``incarnation``.
+
+    Only the crash-recovery failure model produces these; the incarnation
+    number starts at 1 for the first recovery and increases by one per
+    crash/recover round trip (incarnation 0 is the initial lifetime).
+    """
+
+    proc: int
+    incarnation: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"recover_{self.proc}#{self.incarnation}"
+
+
+@dataclass(frozen=True, slots=True)
 class FailedEvent:
     """``failed_i(j)``: process ``proc`` detects the crash of ``target``."""
 
@@ -90,8 +114,10 @@ class InternalEvent:
         return f"internal_{self.proc}({self.label!r}#{self.seq})"
 
 
-Event = Union[SendEvent, RecvEvent, CrashEvent, FailedEvent, InternalEvent]
-"""Any event of the model."""
+Event = Union[
+    SendEvent, RecvEvent, CrashEvent, RecoverEvent, FailedEvent, InternalEvent
+]
+"""Any event of the model (including the crash-recovery extension)."""
 
 
 def send(proc: int, dst: int, msg: Message) -> SendEvent:
@@ -107,6 +133,11 @@ def recv(proc: int, src: int, msg: Message) -> RecvEvent:
 def crash(proc: int) -> CrashEvent:
     """Paper notation ``crash_i``."""
     return CrashEvent(proc)
+
+
+def recover(proc: int, incarnation: int) -> RecoverEvent:
+    """Crash-recovery notation ``recover_i`` (incarnation-stamped)."""
+    return RecoverEvent(proc, incarnation)
 
 
 def failed(proc: int, target: int) -> FailedEvent:
@@ -132,6 +163,11 @@ def is_recv(event: Event) -> bool:
 def is_crash(event: Event) -> bool:
     """True iff ``event`` is a crash event."""
     return isinstance(event, CrashEvent)
+
+
+def is_recover(event: Event) -> bool:
+    """True iff ``event`` is a crash-recovery recover event."""
+    return isinstance(event, RecoverEvent)
 
 
 def is_failed(event: Event) -> bool:

@@ -32,6 +32,18 @@ Finite-prefix caveats:
   :func:`repro.core.indistinguishability.ensure_crashes` first. Both
   checkers accept ``pending_ok=True`` to treat unresolved obligations as
   not-yet-violations.
+
+Beyond the paper's single fail-stop world, this module also hosts the
+**failure-model registry** (:data:`FAILURE_MODELS` /
+:func:`get_failure_model`): a small declarative description of which
+failure semantics a run operates under. ``fail-stop`` is the paper's
+model (crash is forever); ``crash-recovery`` lets crashed processes come
+back with incarnation numbers and stable storage (after "You Only Live
+Multiple Times"); ``byzantine-crash`` keeps crashes terminal but lets an
+adversary tamper with the outgoing messages of up to ``t`` compromised
+processes (after the Imbs–Raynal–Stainer BG-simulation reduction). Every
+layer — simulator, monitors, validators, fuzzer, CLI — consults this one
+registry, so adding a model is a single-row change.
 """
 
 from __future__ import annotations
@@ -42,11 +54,76 @@ from repro.core.events import (
     CrashEvent,
     Event,
     FailedEvent,
+    RecoverEvent,
     RecvEvent,
     SendEvent,
 )
 from repro.core.failed_before import FailedBeforeTracker, find_cycle
 from repro.core.history import History
+from repro.errors import SimulationError
+
+
+# ----------------------------------------------------------------------
+# Failure-model registry
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Declarative description of one failure semantics.
+
+    ``recoverable`` — crashed processes may execute ``recover`` events
+    (and well-formedness switches to lossy-FIFO channels);
+    ``byzantine`` — the adversary may compromise up to ``t`` processes
+    and drop/duplicate/mutate their outgoing messages;
+    ``extra_monitors`` — conformance monitors (by name) that only make
+    sense under this model, attached on top of the fail-stop set.
+    """
+
+    name: str
+    description: str
+    recoverable: bool = False
+    byzantine: bool = False
+    extra_monitors: tuple[str, ...] = ()
+
+
+FAILURE_MODELS: dict[str, FailureModel] = {
+    model.name: model
+    for model in (
+        FailureModel(
+            "fail-stop",
+            "the paper's model: a crash freezes the process forever",
+        ),
+        FailureModel(
+            "crash-recovery",
+            "crashed processes may recover with a fresh incarnation; "
+            "volatile state is lost, stable storage survives",
+            recoverable=True,
+            extra_monitors=("recovery",),
+        ),
+        FailureModel(
+            "byzantine-crash",
+            "crashes are terminal, but up to t compromised processes "
+            "have their outgoing messages dropped/duplicated/mutated",
+            byzantine=True,
+        ),
+    )
+}
+
+FAILURE_MODEL_NAMES: tuple[str, ...] = tuple(FAILURE_MODELS)
+
+
+def get_failure_model(name: str | FailureModel) -> FailureModel:
+    """Look up a failure model by name (idempotent on model objects)."""
+    if isinstance(name, FailureModel):
+        return name
+    try:
+        return FAILURE_MODELS[name]
+    except KeyError:
+        known = ", ".join(sorted(FAILURE_MODELS))
+        raise SimulationError(
+            f"unknown failure model {name!r}; known models: {known}"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -112,6 +189,10 @@ class FS1State(PropertyState):
     Liveness: nothing observable mid-run is ever a violation; the open
     obligations (crashed ``i`` not yet detected by live ``j``) are judged
     only when the prefix is declared finished.
+
+    Under the crash-recovery model a recover event voids the obligation:
+    a process that came back up is no longer crashed, so nobody owes a
+    detection for that (now finished) downtime.
     """
 
     __slots__ = ("_n", "_crashes", "_detected")
@@ -129,6 +210,11 @@ class FS1State(PropertyState):
     ) -> None:
         if isinstance(event, CrashEvent):
             self._crashes.setdefault(event.proc, idx)
+        elif isinstance(event, RecoverEvent):
+            self._crashes.pop(event.proc, None)
+            self._detected = {
+                pair for pair in self._detected if pair[1] != event.proc
+            }
         elif isinstance(event, FailedEvent):
             self._detected.add((event.proc, event.target))
 
@@ -454,6 +540,54 @@ class Condition3State(PropertyState):
         ]
 
 
+class RecoveryState(PropertyState):
+    """Recovery discipline of the crash-recovery model (safety).
+
+    Three obligations, all judged at the recover event: a process only
+    recovers from a crash (never spontaneously), incarnation numbers
+    count 1, 2, 3, ... per process with no gaps or repeats, and a
+    process that crashed again after recovering must recover under the
+    *next* incarnation. Fail-stop histories contain no recover events,
+    so the machine is vacuously satisfied there.
+    """
+
+    __slots__ = ("_crashed", "_incarnations", "_violations")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._crashed: set[int] = set()
+        self._incarnations: dict[int, int] = {}
+        self._violations: list[str] = []
+
+    def observe(
+        self, idx: int, event: Event, vector: tuple[int, ...] | None = None
+    ) -> None:
+        if isinstance(event, CrashEvent):
+            self._crashed.add(event.proc)
+        elif isinstance(event, RecoverEvent):
+            proc = event.proc
+            if proc not in self._crashed:
+                self._violations.append(
+                    f"recovery: {event!r} at [{idx}] without a "
+                    f"preceding crash_{proc}"
+                )
+                self._flag(idx)
+            expected = self._incarnations.get(proc, 0) + 1
+            if event.incarnation != expected:
+                self._violations.append(
+                    f"recovery: {event!r} at [{idx}] has incarnation "
+                    f"{event.incarnation}, expected {expected}"
+                )
+                self._flag(idx)
+            self._incarnations[proc] = max(
+                event.incarnation, self._incarnations.get(proc, 0)
+            )
+            self._crashed.discard(proc)
+
+    def finalize(self) -> list[str]:
+        return list(self._violations)
+
+
 def _fold(state: PropertyState, history: History, vectors: bool = False):
     """Drive a transition machine over a finished history."""
     if vectors:
@@ -544,6 +678,20 @@ def check_sfs(history: History, pending_ok: bool = False) -> CheckResult:
     ):
         violations.extend(result.violations)
     return _result("sFS", violations)
+
+
+# ----------------------------------------------------------------------
+# Crash-recovery discipline (failure-model extension)
+# ----------------------------------------------------------------------
+
+
+def check_recovery(history: History) -> CheckResult:
+    """Recovery discipline: recovers follow crashes, incarnations count up.
+
+    Vacuously satisfied on fail-stop histories (no recover events).
+    """
+    state = _fold(RecoveryState(), history)
+    return _result("recovery", state.finalize())
 
 
 # ----------------------------------------------------------------------

@@ -38,6 +38,7 @@ from repro.core.events import (
     CrashEvent,
     Event,
     FailedEvent,
+    RecoverEvent,
     RecvEvent,
     SendEvent,
 )
@@ -61,6 +62,7 @@ class History(Sequence[Event]):
         "_recv_index",
         "_crash_index",
         "_failed_index",
+        "_recover_index",
         "_proc_indices",
     )
 
@@ -83,6 +85,7 @@ class History(Sequence[Event]):
         self._recv_index: dict[tuple[int, int], int] | None = None
         self._crash_index: dict[int, int] | None = None
         self._failed_index: dict[tuple[int, int], int] | None = None
+        self._recover_index: dict[tuple[int, int], int] | None = None
         self._proc_indices: list[list[int]] | None = None
 
     # ------------------------------------------------------------------
@@ -152,6 +155,7 @@ class History(Sequence[Event]):
         recv_index: dict[tuple[int, int], int],
         crash_index: dict[int, int],
         failed_index: dict[tuple[int, int], int],
+        recover_index: dict[tuple[int, int], int],
         proc_indices: list[list[int]],
     ) -> "History":
         """A history whose derived caches are installed, not recomputed.
@@ -168,6 +172,7 @@ class History(Sequence[Event]):
         history._recv_index = recv_index
         history._crash_index = crash_index
         history._failed_index = failed_index
+        history._recover_index = recover_index
         history._proc_indices = proc_indices
         return history
 
@@ -180,6 +185,7 @@ class History(Sequence[Event]):
         recv_index: dict[tuple[int, int], int] = {}
         crash_index: dict[int, int] = {}
         failed_index: dict[tuple[int, int], int] = {}
+        recover_index: dict[tuple[int, int], int] = {}
         proc_indices: list[list[int]] = [[] for _ in range(self._n)]
         for idx, e in enumerate(self._events):
             proc_indices[e.proc].append(idx)
@@ -191,10 +197,13 @@ class History(Sequence[Event]):
                 crash_index.setdefault(e.proc, idx)
             elif isinstance(e, FailedEvent):
                 failed_index.setdefault((e.proc, e.target), idx)
+            elif isinstance(e, RecoverEvent):
+                recover_index.setdefault((e.proc, e.incarnation), idx)
         self._send_index = send_index
         self._recv_index = recv_index
         self._crash_index = crash_index
         self._failed_index = failed_index
+        self._recover_index = recover_index
         self._proc_indices = proc_indices
 
     @property
@@ -228,6 +237,18 @@ class History(Sequence[Event]):
             self._build_indices()
         assert self._failed_index is not None
         return self._failed_index
+
+    @property
+    def recover_index(self) -> dict[tuple[int, int], int]:
+        """Map ``(proc, incarnation)`` to the index of its recover event.
+
+        Empty for every fail-stop history; populated only under the
+        crash-recovery failure model.
+        """
+        if self._recover_index is None:
+            self._build_indices()
+        assert self._recover_index is not None
+        return self._recover_index
 
     def indices_of_process(self, proc: int) -> list[int]:
         """Indices of all events of ``proc``, in history order."""
@@ -354,6 +375,7 @@ class HistoryBuilder:
         "_recv_index",
         "_crash_index",
         "_failed_index",
+        "_recover_index",
         "_proc_indices",
         "_observers",
     )
@@ -370,6 +392,7 @@ class HistoryBuilder:
         self._recv_index: dict[tuple[int, int], int] = {}
         self._crash_index: dict[int, int] = {}
         self._failed_index: dict[tuple[int, int], int] = {}
+        self._recover_index: dict[tuple[int, int], int] = {}
         self._proc_indices: list[list[int]] = [[] for _ in range(n)]
         self._observers: list = []
         if events:
@@ -467,6 +490,10 @@ class HistoryBuilder:
                 self._crash_index.setdefault(proc, idx)
             elif isinstance(event, FailedEvent):
                 self._failed_index.setdefault((proc, event.target), idx)
+            elif isinstance(event, RecoverEvent):
+                self._recover_index.setdefault(
+                    (proc, event.incarnation), idx
+                )
             if self._observers:
                 for observer in self._observers:
                     observer(idx, event, stamped)
@@ -487,6 +514,7 @@ class HistoryBuilder:
             recv_index=dict(self._recv_index),
             crash_index=dict(self._crash_index),
             failed_index=dict(self._failed_index),
+            recover_index=dict(self._recover_index),
             proc_indices=[list(ix) for ix in self._proc_indices],
         )
 

@@ -12,6 +12,16 @@ well-formedness monitor of :mod:`repro.analysis.monitors` share one
 transition function. :func:`validate_history` returns a list of
 human-readable violations (empty for a valid history); :func:`check_valid`
 raises :class:`~repro.errors.InvalidHistoryError` instead.
+
+Well-formedness is parameterised by the failure model
+(:mod:`repro.core.failure_models`). Under the default fail-stop model a
+crash is terminal and recover events are violations, exactly the paper's
+Definition 1. Under a *recoverable* model (crash-recovery) a
+``recover_i`` event lifts the crash freeze, incarnation numbers must
+increase by exactly one per crash/recover round trip, and channels are
+**lossy FIFO**: messages that reached a process while it was down are
+silently lost, so a receive may skip over (and thereby discard) older
+in-flight messages on the same channel without being a violation.
 """
 
 from __future__ import annotations
@@ -22,11 +32,19 @@ from repro.core.events import (
     CrashEvent,
     Event,
     FailedEvent,
+    RecoverEvent,
     RecvEvent,
     SendEvent,
 )
 from repro.core.history import History
 from repro.errors import InvalidHistoryError
+
+
+def _model_recoverable(failure_model: str) -> bool:
+    # Imported lazily: failure_models is a sibling that may import us.
+    from repro.core.failure_models import get_failure_model
+
+    return get_failure_model(failure_model).recoverable
 
 
 class ValidationState:
@@ -35,6 +53,8 @@ class ValidationState:
     __slots__ = (
         "_n",
         "_crashed",
+        "_recoverable",
+        "_incarnations",
         "_detected",
         "_sent_uids",
         "_received_uids",
@@ -43,8 +63,10 @@ class ValidationState:
         "first_violation_index",
     )
 
-    def __init__(self, n: int) -> None:
+    def __init__(self, n: int, failure_model: str = "fail-stop") -> None:
         self._n = n
+        self._recoverable = _model_recoverable(failure_model)
+        self._incarnations: dict[int, int] = {}
         self._crashed: set[int] = set()
         self._detected: set[tuple[int, int]] = set()
         self._sent_uids: set[tuple[int, int]] = set()
@@ -75,7 +97,9 @@ class ValidationState:
                 idx, f"[{idx}] {event!r}: process id out of range 0..{n-1}"
             )
             return
-        if proc in self._crashed:
+        if proc in self._crashed and not (
+            self._recoverable and isinstance(event, RecoverEvent)
+        ):
             self._report(
                 idx,
                 f"[{idx}] {event!r}: event of process {proc} "
@@ -118,17 +142,24 @@ class ValidationState:
                 return
             head = queue[0]
             if head != uid:
-                self._report(
-                    idx,
-                    f"[{idx}] {event!r}: FIFO violation on channel "
-                    f"C_{{{event.src},{proc}}} — head is {head}, "
-                    f"received {uid}",
-                )
-                # Remove it anyway if present, to localize the error.
-                try:
-                    queue.remove(uid)
-                except ValueError:
-                    return
+                if self._recoverable and uid in queue:
+                    # Lossy FIFO: anything older on the channel was lost
+                    # while the receiver was down; discard it.
+                    while queue[0] != uid:
+                        queue.popleft()
+                    queue.popleft()
+                else:
+                    self._report(
+                        idx,
+                        f"[{idx}] {event!r}: FIFO violation on channel "
+                        f"C_{{{event.src},{proc}}} — head is {head}, "
+                        f"received {uid}",
+                    )
+                    # Remove it anyway if present, to localize the error.
+                    try:
+                        queue.remove(uid)
+                    except ValueError:
+                        return
             else:
                 queue.popleft()
             self._received_uids.add(uid)
@@ -136,6 +167,29 @@ class ValidationState:
             if proc in self._crashed:
                 self._report(idx, f"[{idx}] {event!r}: duplicate crash event")
             self._crashed.add(proc)
+        elif isinstance(event, RecoverEvent):
+            if not self._recoverable:
+                self._report(
+                    idx,
+                    f"[{idx}] {event!r}: recover event under a "
+                    f"non-recoverable failure model",
+                )
+                return
+            if proc not in self._crashed:
+                self._report(
+                    idx,
+                    f"[{idx}] {event!r}: recover of process {proc} "
+                    f"that is not crashed",
+                )
+            expected = self._incarnations.get(proc, 0) + 1
+            if event.incarnation != expected:
+                self._report(
+                    idx,
+                    f"[{idx}] {event!r}: incarnation {event.incarnation} "
+                    f"out of order (expected {expected})",
+                )
+            self._incarnations[proc] = event.incarnation
+            self._crashed.discard(proc)
         elif isinstance(event, FailedEvent):
             if not (0 <= event.target < n):
                 self._report(
@@ -153,22 +207,26 @@ class ValidationState:
         # InternalEvent needs no extra checks beyond the crash guard above.
 
 
-def validate_history(history: History) -> list[str]:
+def validate_history(
+    history: History, failure_model: str = "fail-stop"
+) -> list[str]:
     """Return every well-formedness violation in ``history`` (empty if ok)."""
-    state = ValidationState(history.n)
+    state = ValidationState(history.n, failure_model)
     for idx, event in enumerate(history):
         state.observe(idx, event)
     return state.violations
 
 
-def is_valid(history: History) -> bool:
+def is_valid(history: History, failure_model: str = "fail-stop") -> bool:
     """True iff ``history`` has no well-formedness violations."""
-    return not validate_history(history)
+    return not validate_history(history, failure_model)
 
 
-def check_valid(history: History) -> History:
+def check_valid(
+    history: History, failure_model: str = "fail-stop"
+) -> History:
     """Raise :class:`InvalidHistoryError` if invalid; else return history."""
-    violations = validate_history(history)
+    violations = validate_history(history, failure_model)
     if violations:
         raise InvalidHistoryError(violations)
     return history

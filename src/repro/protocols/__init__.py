@@ -14,6 +14,7 @@ from repro.protocols.base import DetectionProcess
 from repro.protocols.generic import GenericOneRoundProcess
 from repro.protocols.payloads import Ack, Susp, is_protocol_payload
 from repro.protocols.quorum_policy import FixedQuorum, QuorumPolicy, WaitForAll
+from repro.protocols.recovery import is_recovering, make_recovering
 from repro.protocols.sfs import SfsProcess
 from repro.protocols.transitive import (
     KSusp,
@@ -38,4 +39,6 @@ __all__ = [
     "QuorumPolicy",
     "FixedQuorum",
     "WaitForAll",
+    "make_recovering",
+    "is_recovering",
 ]

@@ -1,0 +1,141 @@
+"""Black-box crash-recovery wrapper for crash-stop protocols (YOLMT).
+
+"You Only Live Multiple Times" shows that a protocol designed for the
+crash-stop model can run unmodified under crash-recovery if a wrapper
+(1) persists the protocol's full state to stable storage after every
+step, (2) restores it on recovery, and (3) filters the message stream so
+the restored automaton never observes anything a crash-stop run could
+not produce: duplicates are dropped by uid, and self-addressed messages
+minted by an earlier incarnation are discarded (the restored state
+already reflects or supersedes them).
+
+:func:`make_recovering` implements exactly that as a class factory: it
+wraps any :class:`~repro.sim.process.SimProcess` subclass, persisting a
+deep copy of the instance ``__dict__`` minus the *volatile denylist*
+(world wiring, timers, the message mint — which must keep minting
+globally unique uids across incarnations — and deferred app traffic,
+which is genuinely lost at a crash). The wrapped class is what the
+fuzzer runs when ``failure_model="crash-recovery"``: the paper's
+protocols themselves stay byte-for-byte untouched.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.core.messages import Message
+from repro.sim.process import SimProcess
+
+#: Instance attributes that do NOT survive a crash (or must never be
+#: overwritten by a restore): simulator wiring, timer handles, the
+#: message mint, lifecycle flags, the detector driver object (restarted,
+#: not restored), and deferred-but-unconsumed application traffic.
+VOLATILE_ATTRS = frozenset(
+    {
+        "pid",
+        "crashed",
+        "incarnation",
+        "_world",
+        "_mint",
+        "_timers",
+        "_timer_prune_at",
+        "_detector",
+        "_deferred",
+    }
+)
+
+_STATE_KEY = "yolmt:state"
+_PROCESSED_KEY = "yolmt:processed"
+
+_WRAPPED: dict[type, type] = {}
+
+
+def make_recovering(cls: type) -> type:
+    """The crash-recovery wrapper of ``cls`` (cached per class).
+
+    Idempotent: wrapping an already-wrapped class returns it unchanged.
+    """
+    if getattr(cls, "_yolmt_wrapper", False):
+        return cls
+    cached = _WRAPPED.get(cls)
+    if cached is not None:
+        return cached
+
+    class Recovering(cls):  # type: ignore[misc, valid-type]
+        _yolmt_wrapper = True
+
+        # -- persistence -------------------------------------------------
+
+        def _persist(self) -> None:
+            state = {
+                key: value
+                for key, value in self.__dict__.items()
+                if key not in VOLATILE_ATTRS
+            }
+            self.stable.put(_STATE_KEY, copy.deepcopy(state))
+
+        def on_start(self) -> None:
+            super().on_start()
+            self._persist()
+
+        # -- filtered delivery ------------------------------------------
+
+        def send(self, dst, payload, kind: str = "app") -> Message | None:
+            msg = super().send(dst, payload, kind)
+            if msg is not None and dst == self.pid:
+                # Stamp self-addressed traffic with the minting
+                # incarnation so a later self can discard it as stale.
+                self.stable.put(("yolmt:self", msg.uid), self.incarnation)
+            return msg
+
+        def deliver(self, src: int, msg: Message, kind: str) -> None:
+            if not self.crashed and src == self.pid:
+                minted = self.stable.get(("yolmt:self", msg.uid))
+                if minted is not None and minted < self.incarnation:
+                    return  # minted by a dead incarnation: drop
+            super().deliver(src, msg, kind)
+            if not self.crashed:
+                self._persist()
+
+        def consume(self, src: int, msg: Message) -> None:
+            processed = self.stable.get(_PROCESSED_KEY)
+            if processed is None:
+                processed = set()
+                self.stable.put(_PROCESSED_KEY, processed)
+            if msg.uid in processed:
+                return  # stable-storage dedup: already consumed once
+            processed.add(msg.uid)
+            super().consume(src, msg)
+
+        def suspect(self, target: int) -> None:
+            # Suspicions arrive from timer context (detector timeouts),
+            # outside any delivery — persist their effect explicitly.
+            super().suspect(target)
+            if not self.crashed:
+                self._persist()
+
+        # -- recovery ----------------------------------------------------
+
+        def on_recover(self) -> None:
+            super().on_recover()
+            snapshot = self.stable.get(_STATE_KEY)
+            if snapshot is not None:
+                self.__dict__.update(copy.deepcopy(snapshot))
+            deferred = getattr(self, "_deferred", None)
+            if deferred is not None:
+                deferred.clear()  # volatile: lost with the crash
+            detector = getattr(self, "_detector", None)
+            if detector is not None:
+                detector.start(self)  # re-arm heartbeat/check timers
+            self._persist()
+
+    Recovering.__name__ = f"Recovering{cls.__name__}"
+    Recovering.__qualname__ = f"Recovering{cls.__qualname__}"
+    _WRAPPED[cls] = Recovering
+    return Recovering
+
+
+def is_recovering(process: SimProcess | type) -> bool:
+    """Whether a process (or class) carries the crash-recovery wrapper."""
+    target = process if isinstance(process, type) else type(process)
+    return bool(getattr(target, "_yolmt_wrapper", False))

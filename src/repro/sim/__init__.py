@@ -36,10 +36,14 @@ from repro.sim.delays import (
     UniformDelay,
 )
 from repro.sim.failures import (
+    FAULT_KINDS,
     Fault,
+    FaultKindSpec,
     apply_faults,
     mutual_suspicion_plan,
+    random_byzantine_plan,
     random_fault_plan,
+    random_recovery_plan,
 )
 from repro.sim.multiworld import RunnerStats, ShardSpec, ShardedRunner
 from repro.sim.network import Network
@@ -50,6 +54,7 @@ from repro.sim.scheduler import (
     TimerHandle,
     shared_scheduler_storage,
 )
+from repro.sim.storage import StableStore, StorageHub
 from repro.sim.trace import TimedEvent, TraceRecorder
 from repro.sim.world import World, build_world
 
@@ -77,8 +82,14 @@ __all__ = [
     "PerChannelDelay",
     "LamportClock",
     "VectorClock",
+    "StableStore",
+    "StorageHub",
     "Fault",
+    "FaultKindSpec",
+    "FAULT_KINDS",
     "apply_faults",
     "random_fault_plan",
+    "random_recovery_plan",
+    "random_byzantine_plan",
     "mutual_suspicion_plan",
 ]

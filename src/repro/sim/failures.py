@@ -1,30 +1,102 @@
-"""Fault plans: declarative crash/suspicion schedules for scenarios.
+"""Fault plans: declarative fault schedules for scenarios.
 
 A scenario is a list of :class:`Fault` records applied to a
 :class:`~repro.sim.world.World` before running. Workload generators build
 randomized plans (bounded by the ``t`` the protocol is configured for) so
 experiments can sweep seeds without hand-writing schedules.
+
+The fault vocabulary is a declarative registry (:data:`FAULT_KINDS`):
+each kind says whether it needs a ``target`` and how it schedules itself
+onto a world, so a typo in a kind name fails fast at :class:`Fault`
+construction with the list of known kinds — not deep inside
+``apply_faults``. The ``recover`` and ``compromise`` kinds belong to the
+crash-recovery and byzantine-crash failure models respectively; the
+world rejects them (with a friendly error) when built under a model that
+does not support them.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Literal, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.errors import SimulationError
-from repro.sim.world import World
 
-FaultKind = Literal["crash", "suspicion"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.world import World
+
+FaultKind = str
+"""A registered fault-kind name (see :data:`FAULT_KINDS`)."""
+
+
+@dataclass(frozen=True)
+class FaultKindSpec:
+    """One entry of the fault vocabulary.
+
+    ``requires_target`` makes :class:`Fault` construction demand a
+    ``target``; ``schedule`` places the fault onto a world.
+    """
+
+    name: str
+    description: str
+    schedule: Callable[["World", "Fault"], None] = field(repr=False)
+    requires_target: bool = False
+
+
+FAULT_KINDS: dict[str, FaultKindSpec] = {}
+
+
+def _register_kind(spec: FaultKindSpec) -> FaultKindSpec:
+    FAULT_KINDS[spec.name] = spec
+    return spec
+
+
+_register_kind(
+    FaultKindSpec(
+        "crash",
+        "process proc genuinely crashes at time at",
+        lambda world, fault: world.inject_crash(fault.proc, fault.at),
+    )
+)
+_register_kind(
+    FaultKindSpec(
+        "suspicion",
+        "proc spontaneously suspects target at time at (the paper's "
+        "possibly-erroneous timeout)",
+        lambda world, fault: world.inject_suspicion(
+            fault.proc, fault.target, fault.at
+        ),
+        requires_target=True,
+    )
+)
+_register_kind(
+    FaultKindSpec(
+        "recover",
+        "a crashed proc comes back up at time at (crash-recovery model)",
+        lambda world, fault: world.inject_recover(fault.proc, fault.at),
+    )
+)
+_register_kind(
+    FaultKindSpec(
+        "compromise",
+        "the adversary takes over proc's outgoing messages at time at "
+        "(byzantine-crash model)",
+        lambda world, fault: world.inject_compromise(fault.proc, fault.at),
+    )
+)
 
 
 @dataclass(frozen=True)
 class Fault:
-    """One scheduled fault.
+    """One scheduled fault; ``kind`` must name a :data:`FAULT_KINDS` entry.
 
     ``kind="crash"``: process ``proc`` really crashes at ``at``.
     ``kind="suspicion"``: process ``proc`` spontaneously suspects
     ``target`` at ``at`` (the possibly-erroneous timeout of the paper).
+    ``kind="recover"``: crashed process ``proc`` comes back up at ``at``.
+    ``kind="compromise"``: the adversary seizes ``proc``'s outgoing
+    messages from ``at`` on.
     """
 
     kind: FaultKind
@@ -33,18 +105,25 @@ class Fault:
     target: int | None = None
 
     def __post_init__(self) -> None:
-        if self.kind == "suspicion" and self.target is None:
-            raise SimulationError("suspicion fault needs a target")
+        spec = FAULT_KINDS.get(self.kind)
+        if spec is None:
+            known = ", ".join(sorted(FAULT_KINDS))
+            raise SimulationError(
+                f"unknown fault kind {self.kind!r}; known kinds: {known}"
+            )
+        if spec.requires_target and self.target is None:
+            raise SimulationError(f"{self.kind} fault needs a target")
 
 
-def apply_faults(world: World, faults: Sequence[Fault]) -> None:
-    """Schedule every fault in the plan onto the world."""
+def apply_faults(world: "World", faults: Sequence[Fault]) -> None:
+    """Schedule every fault in the plan onto the world.
+
+    Dispatches through the registry; kind validity was already enforced
+    at :class:`Fault` construction, and model legality (e.g. ``recover``
+    under fail-stop) is enforced by the world's ``inject_*`` methods.
+    """
     for fault in faults:
-        if fault.kind == "crash":
-            world.inject_crash(fault.proc, fault.at)
-        else:
-            assert fault.target is not None
-            world.inject_suspicion(fault.proc, fault.target, fault.at)
+        FAULT_KINDS[fault.kind].schedule(world, fault)
 
 
 def random_fault_plan(
@@ -90,6 +169,71 @@ def random_fault_plan(
                         victim,
                     )
                 )
+    return sorted(faults, key=lambda f: f.at)
+
+
+def random_recovery_plan(
+    n: int,
+    t: int,
+    rng: random.Random,
+    horizon: float = 10.0,
+    downtime: tuple[float, float] = (0.5, 3.0),
+    return_fraction: float = 0.8,
+) -> list[Fault]:
+    """Crash/recover churn with at most ``t`` distinct victims.
+
+    Each victim crashes once; most of them (``return_fraction``) come
+    back after a random downtime, and some of those churn through a
+    second crash/recover round trip — exercising incarnations 1 and 2.
+    At any instant at most ``t`` processes are down, so protocol quorum
+    arithmetic keeps holding.
+    """
+    if t < 0 or t > n:
+        raise SimulationError(f"need 0 <= t <= n, got t={t}, n={n}")
+    victims = rng.sample(range(n), k=rng.randint(0, t))
+    faults: list[Fault] = []
+    for victim in victims:
+        crash_at = rng.uniform(0.1, horizon)
+        faults.append(Fault("crash", crash_at, victim))
+        if rng.random() >= return_fraction:
+            continue  # this one stays down, fail-stop style
+        back_at = crash_at + rng.uniform(*downtime)
+        faults.append(Fault("recover", back_at, victim))
+        if rng.random() < 0.3:
+            crash2 = back_at + rng.uniform(0.5, 2.0)
+            faults.append(Fault("crash", crash2, victim))
+            if rng.random() < 0.7:
+                faults.append(
+                    Fault("recover", crash2 + rng.uniform(*downtime), victim)
+                )
+    return sorted(faults, key=lambda f: f.at)
+
+
+def random_byzantine_plan(
+    n: int,
+    t: int,
+    rng: random.Random,
+    horizon: float = 10.0,
+    crash_fraction: float = 0.5,
+) -> list[Fault]:
+    """Compromise at most ``t`` processes; some crash later (BG-style).
+
+    The BG-simulation reduction treats a Byzantine process as a crash
+    victim whose pre-crash behaviour was adversarial — so every
+    compromised process *may* also crash within the horizon, and the
+    faulty set (compromised ∪ crashed) never exceeds ``t``.
+    """
+    if t < 0 or t > n:
+        raise SimulationError(f"need 0 <= t <= n, got t={t}, n={n}")
+    compromised = rng.sample(range(n), k=rng.randint(0, t))
+    faults: list[Fault] = []
+    for victim in compromised:
+        at = rng.uniform(0.1, horizon / 2)
+        faults.append(Fault("compromise", at, victim))
+        if rng.random() < crash_fraction:
+            faults.append(
+                Fault("crash", at + rng.uniform(0.5, horizon / 2), victim)
+            )
     return sorted(faults, key=lambda f: f.at)
 
 

@@ -2,7 +2,13 @@
 
 A :class:`SimProcess` is the unit of computation from Section 2: it reacts
 to received messages (and, below the model, to timers), may send messages,
-and can crash — after which it takes no further steps, ever. Subclasses
+and can crash — after which it takes no further steps, ever *under the
+default fail-stop model*. Under the crash-recovery failure model the world
+may later call :meth:`SimProcess.recover_now`, which runs the lifecycle
+``up → crashed → recovering → up``: the process keeps its pid and message
+mint, loses all volatile state (timers, deferred work), bumps its
+incarnation number, restores whatever it persisted to stable storage
+(:attr:`SimProcess.stable`), and resumes taking steps. Subclasses
 implement protocols (:mod:`repro.protocols`) and applications
 (:mod:`repro.apps`) by overriding the ``on_*`` hooks.
 
@@ -43,6 +49,7 @@ class SimProcess:
     def __init__(self) -> None:
         self.pid: int = -1
         self.crashed = False
+        self.incarnation = 0
         self._world: "World | None" = None
         self._mint: MessageMint | None = None
         self._timers: list[TimerHandle] = []
@@ -80,6 +87,21 @@ class SimProcess:
         """All process ids except this one."""
         return [p for p in range(self.n) if p != self.pid]
 
+    @property
+    def status(self) -> str:
+        """Lifecycle status: ``"up"`` or ``"crashed"``."""
+        return "crashed" if self.crashed else "up"
+
+    @property
+    def stable(self):
+        """This process's crash-surviving stable store.
+
+        Lives on the world's :class:`~repro.sim.storage.StorageHub`, so
+        its contents survive :meth:`crash_now` even though every volatile
+        attribute of the automaton may be lost.
+        """
+        return self.world.storage.slot(self.pid)
+
     # ------------------------------------------------------------------
     # Hooks for subclasses
     # ------------------------------------------------------------------
@@ -98,6 +120,15 @@ class SimProcess:
 
     def on_crash(self) -> None:
         """Called once, just after this process crashes."""
+
+    def on_recover(self) -> None:
+        """Called during recovery, before the recover event is recorded.
+
+        Crash-recovery subclasses (and the black-box wrapper of
+        :mod:`repro.protocols.recovery`) restore persisted state from
+        :attr:`stable` here. Volatile state has already been reset to
+        whatever the crash left behind — restore what matters.
+        """
 
     def suspect(self, target: int) -> None:
         """Begin suspecting ``target`` (protocol subclasses implement)."""
@@ -180,6 +211,25 @@ class SimProcess:
             timer.cancel()
         self._timers.clear()
         self.on_crash()
+
+    def recover_now(self) -> None:
+        """Bring a crashed process back up (crash-recovery model only).
+
+        No-op unless the process is actually crashed. Bumps the
+        incarnation, unfreezes the process, records the recover event,
+        and only then runs the :meth:`on_recover` restore hook — so any
+        message the hook sends appears *after* the recover event in the
+        history, as well-formedness requires. The message mint is
+        deliberately *not* reset: uids minted by a later incarnation stay
+        globally unique, which is what lets receivers dedup pre-crash
+        traffic by uid alone.
+        """
+        if not self.crashed:
+            return
+        self.incarnation += 1
+        self.crashed = False
+        self.world.trace.record_recover(self.now, self.pid, self.incarnation)
+        self.on_recover()
 
     # ------------------------------------------------------------------
     # Delivery (called by the World)

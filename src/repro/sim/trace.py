@@ -28,6 +28,7 @@ from repro.core.events import (
     Event,
     FailedEvent,
     InternalEvent,
+    RecoverEvent,
     RecvEvent,
     SendEvent,
 )
@@ -95,6 +96,10 @@ class TraceRecorder:
     def record_crash(self, time: float, proc: int) -> Event:
         """``crash_proc``."""
         return self._record(time, CrashEvent(proc))
+
+    def record_recover(self, time: float, proc: int, incarnation: int) -> Event:
+        """``recover_proc`` — crash-recovery model only."""
+        return self._record(time, RecoverEvent(proc, incarnation))
 
     def record_failed(self, time: float, detector: int, target: int) -> Event:
         """``failed_detector(target)``."""

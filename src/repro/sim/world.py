@@ -12,6 +12,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Sequence
 
+from repro.core.failure_models import FailureModel, get_failure_model
 from repro.core.history import History
 from repro.core.messages import Message
 from repro.errors import SimulationError
@@ -20,6 +21,7 @@ from repro.sim.delays import DelayModel, UniformDelay
 from repro.sim.network import Network
 from repro.sim.process import SimProcess
 from repro.sim.scheduler import Scheduler
+from repro.sim.storage import StorageHub
 from repro.sim.trace import TraceRecorder
 
 
@@ -33,6 +35,9 @@ class World:
         batch_delivery: share one scheduler entry per channel burst
             (default). ``False`` forces the per-message delivery path;
             both produce bit-identical histories.
+        failure_model: name (or :class:`~repro.core.failure_models.\
+FailureModel`) of the failure semantics this world runs under; the
+            default ``"fail-stop"`` is exactly the pre-refactor engine.
     """
 
     def __init__(
@@ -41,11 +46,17 @@ class World:
         delay_model: DelayModel | None = None,
         seed: int = 0,
         batch_delivery: bool = True,
+        failure_model: str | FailureModel = "fail-stop",
     ):
         if not processes:
             raise SimulationError("need at least one process")
         self._processes = list(processes)
         n = len(self._processes)
+        self.model = get_failure_model(failure_model)
+        self.storage = StorageHub(n)
+        self._compromised: dict[int, float] = {}
+        self._seed = seed
+        self._byz_rng: random.Random | None = None
         self.scheduler = Scheduler()
         self.rng = random.Random(seed)
         self.trace = TraceRecorder(n)
@@ -139,7 +150,7 @@ class World:
         from repro.analysis.monitors import MonitorSet
 
         if monitors is None:
-            monitors = MonitorSet(self.n)
+            monitors = MonitorSet(self.n, failure_model=self.model.name)
         self.monitors = monitors
         self.trace.attach_observer(monitors.observe)
         if stop_on_violation:
@@ -157,10 +168,49 @@ class World:
     # ------------------------------------------------------------------
 
     def transmit(self, src: int, dst: int, msg: Message, kind: str = "app") -> None:
-        """Hand a message to the network; app sends become history events."""
+        """Hand a message to the network; app sends become history events.
+
+        Under the byzantine-crash model the adversary intercepts app
+        traffic of compromised senders *before* anything is recorded, so
+        the history stays well-formed by construction: a dropped message
+        leaves no send event, a mutated message is recorded as actually
+        sent (same uid, tampered payload), and a duplicated message is
+        recorded as two distinct sends (the clone is freshly minted).
+        """
+        if (
+            kind == "app"
+            and self._compromised
+            and src in self._compromised
+        ):
+            for actual in self._interfere(src, msg):
+                self.trace.record_send(self.scheduler.now, src, dst, actual)
+                self.network.send(src, dst, actual, kind=kind)
+            return
         if kind == "app":
             self.trace.record_send(self.scheduler.now, src, dst, msg)
         self.network.send(src, dst, msg, kind=kind)
+
+    def _interfere(self, src: int, msg: Message) -> list[Message]:
+        """The adversary's move for one outgoing message of ``src``.
+
+        Draws from a dedicated RNG stream (created lazily at the first
+        compromise), so byzantine interference never perturbs the main
+        ``seed``-derived draw order — fail-stop and crash-recovery runs
+        are bit-identical with this code in place.
+        """
+        assert self._byz_rng is not None
+        roll = self._byz_rng.random()
+        if roll < 0.25:
+            return []  # dropped on the floor
+        if roll < 0.5:
+            mutated = Message(
+                msg.sender, msg.seq, ("byz", msg.payload)
+            )
+            return [mutated]
+        if roll < 0.75:
+            clone = self._processes[src]._mint.mint(msg.payload)
+            return [msg, clone]
+        return [msg]  # delivered faithfully, to stay unpredictable
 
     def _on_deliver(self, src: int, dst: int, msg: Message, kind: str) -> None:
         self._processes[dst].deliver(src, msg, kind)
@@ -188,6 +238,45 @@ class World:
                 proc.suspect(target)
 
         self.scheduler.schedule_at(at, fire)
+
+    def inject_recover(self, pid: int, at: float) -> None:
+        """Schedule a recovery of ``pid`` at virtual time ``at``.
+
+        Only legal under a recoverable failure model; a no-op at fire
+        time if the process is not actually crashed then.
+        """
+        if not self.model.recoverable:
+            raise SimulationError(
+                f"failure model {self.model.name!r} does not allow "
+                f"recovery (use failure_model='crash-recovery')"
+            )
+        self.scheduler.schedule_at(at, self._processes[pid].recover_now)
+
+    def inject_compromise(self, pid: int, at: float) -> None:
+        """Schedule the adversary's takeover of ``pid`` at time ``at``.
+
+        Only legal under a byzantine failure model. From ``at`` on, every
+        app message ``pid`` sends may be dropped, mutated, or duplicated
+        (see :meth:`transmit`). The number of compromised processes is
+        the caller's ``t`` budget to respect — plan generators cap it.
+        """
+        if not self.model.byzantine:
+            raise SimulationError(
+                f"failure model {self.model.name!r} does not allow "
+                f"compromise (use failure_model='byzantine-crash')"
+            )
+        if self._byz_rng is None:
+            self._byz_rng = random.Random(f"repro-byz:{self._seed}")
+
+        def fire() -> None:
+            self._compromised.setdefault(pid, at)
+
+        self.scheduler.schedule_at(at, fire)
+
+    @property
+    def compromised(self) -> frozenset[int]:
+        """Processes currently under adversary control."""
+        return frozenset(self._compromised)
 
     # ------------------------------------------------------------------
     # Results
@@ -224,6 +313,7 @@ def build_world(
     delay_model: DelayModel | None = None,
     seed: int = 0,
     batch_delivery: bool = True,
+    failure_model: str | FailureModel = "fail-stop",
 ) -> World:
     """Build a world of ``n`` identical processes from a factory."""
     return World(
@@ -231,4 +321,5 @@ def build_world(
         delay_model,
         seed,
         batch_delivery=batch_delivery,
+        failure_model=failure_model,
     )

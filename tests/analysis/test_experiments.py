@@ -141,7 +141,8 @@ class TestSeededDriverRegistry:
         from repro.analysis.experiments import SEEDED_DRIVERS
 
         assert set(SEEDED_DRIVERS) == {
-            "e1", "e2", "e5", "e7", "e8", "e9", "e10", "e11", "a1", "e14"
+            "e1", "e2", "e5", "e7", "e8", "e9", "e10", "e11", "a1", "e14",
+            "e17",
         }
         assert SEEDED_DRIVERS["e1"] is run_e1
 

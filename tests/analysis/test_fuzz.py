@@ -261,3 +261,98 @@ class TestExecutionLayer:
         )
         assert sink.results == list(report.outcomes)
         assert [o.index for o in sink.results] == list(range(8))
+
+
+FUZZ30_FAIL_STOP_DIGEST = (
+    "986757eff010d4e0d44aaa1b301fc53294182cd8be8bb22e7d9b9cc16ef1c1ef"
+)
+"""Pinned pre-failure-model digest of ``run_fuzz(seed=0, count=30)``.
+
+The load-bearing invariant of the pluggable failure-model layer: the
+default ``fail-stop`` model reproduces the historical engine bit for
+bit — scenario stream, reprs, and report digest.
+"""
+
+LEGACY_SCENARIO_0_REPR = (
+    "Scenario(index=0, seed=3356188775, n=4, protocol='unilateral', t=2, "
+    "quorum_size=None, delay=('uniform', (0.3965, 1.3963)), "
+    "detector=('phi', (1.4073, 2.5032)), faults=(), holds=(), "
+    "partition=None, heal_at=None, chatter=((2.1481, 1, 3, 2), "
+    "(3.3666, 1, 0, 1), (9.448, 1, 3, 0)), horizon=30.0)"
+)
+
+
+class TestFailureModelAxis:
+    def test_fail_stop_digest_is_bit_identical_to_legacy(self):
+        assert run_fuzz(seed=0, count=30).digest() == FUZZ30_FAIL_STOP_DIGEST
+
+    def test_default_scenario_repr_matches_legacy_byte_for_byte(self):
+        scenario = generate_scenario(0, 0, DEFAULT_CONFIG)
+        assert repr(scenario) == LEGACY_SCENARIO_0_REPR
+
+    def test_default_config_repr_hides_the_new_field(self):
+        assert "failure_model" not in repr(FuzzConfig())
+        assert "failure_model='crash-recovery'" in repr(
+            FuzzConfig(failure_model="crash-recovery")
+        )
+
+    def test_non_default_scenario_repr_shows_the_model(self):
+        config = FuzzConfig(failure_model="crash-recovery")
+        scenario = generate_scenario(0, 0, config)
+        assert "failure_model='crash-recovery'" in repr(scenario)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SimulationError, match="unknown failure model"):
+            FuzzConfig(failure_model="krash")
+
+    def test_crash_recovery_scenarios_draw_recover_faults(self):
+        config = FuzzConfig(failure_model="crash-recovery")
+        kinds = {
+            fault.kind
+            for index in range(40)
+            for fault in generate_scenario(0, index, config).faults
+        }
+        assert "recover" in kinds
+        assert "suspicion" not in kinds
+
+    def test_byzantine_scenarios_draw_compromise_faults(self):
+        config = FuzzConfig(failure_model="byzantine-crash")
+        kinds = {
+            fault.kind
+            for index in range(40)
+            for fault in generate_scenario(0, index, config).faults
+        }
+        assert "compromise" in kinds
+
+    def test_crash_recovery_worlds_run_wrapped_protocols(self):
+        from repro.protocols import is_recovering
+
+        config = FuzzConfig(failure_model="crash-recovery")
+        scenario = generate_scenario(0, 0, config)
+        world = build_scenario_world(scenario)
+        assert all(is_recovering(proc) for proc in world.processes)
+        assert world.model.name == "crash-recovery"
+        assert world.monitors.model.name == "crash-recovery"
+
+    def test_expected_clean_is_model_aware(self):
+        cr = generate_scenario(
+            0, 0, FuzzConfig(failure_model="crash-recovery")
+        )
+        byz = generate_scenario(
+            0, 0, FuzzConfig(failure_model="byzantine-crash")
+        )
+        assert expected_clean(cr) == ("valid", "sFS2c", "recovery")
+        assert expected_clean(byz) == ("valid", "sFS2c")
+
+    def test_model_campaigns_run_clean(self):
+        for model in ("crash-recovery", "byzantine-crash"):
+            report = run_fuzz(
+                seed=0, count=25, config=FuzzConfig(failure_model=model)
+            )
+            assert report.findings == ()
+
+    def test_model_campaign_digest_reproduces(self):
+        config = FuzzConfig(failure_model="crash-recovery")
+        first = run_fuzz(seed=7, count=15, config=config)
+        second = run_fuzz(seed=7, count=15, config=config)
+        assert first.digest() == second.digest()

@@ -9,7 +9,7 @@ from repro.analysis.monitors import (
     BadPairCounter,
     MonitorSet,
 )
-from repro.core.events import crash, failed, recv, send
+from repro.core.events import crash, failed, recover, recv, send
 from repro.core.history import History
 from repro.core.messages import MessageMint
 from repro.errors import SimulationError
@@ -186,3 +186,47 @@ class TestMonitorScenarios:
     def test_unknown_scenario_rejected(self):
         with pytest.raises(SimulationError, match="unknown monitored"):
             build_monitor_world("e99")
+
+
+class TestModelAwareMonitors:
+    def test_fail_stop_default_has_no_recovery_monitor(self):
+        monitors = MonitorSet(3)
+        assert monitors.recovery is None
+        assert "recovery" not in monitors.check_results()
+
+    def test_crash_recovery_set_includes_recovery_monitor(self):
+        monitors = MonitorSet(3, failure_model="crash-recovery")
+        assert monitors.recovery is not None
+        assert "recovery" in monitors.check_results()
+
+    def test_recover_event_invalid_under_fail_stop_validity(self):
+        events = [crash(0), recover(0, 1)]
+        monitors = MonitorSet(2).replay(History(events, 2))
+        assert not monitors.validity.ok
+
+    def test_recover_event_accepted_under_crash_recovery(self):
+        events = [crash(0), recover(0, 1)]
+        monitors = MonitorSet(2, failure_model="crash-recovery").replay(
+            History(events, 2)
+        )
+        assert monitors.validity.ok
+        assert monitors.check_results()["recovery"].ok
+
+    def test_recovery_monitor_flags_recover_without_crash(self):
+        monitors = MonitorSet(2, failure_model="crash-recovery").replay(
+            History([recover(0, 1)], 2)
+        )
+        assert not monitors.check_results()["recovery"].ok
+
+    def test_default_halt_on_lists_recovery_but_tolerates_fail_stop(self):
+        assert "recovery" in DEFAULT_HALT_ON
+        # A fail-stop MonitorSet has no "recovery" monitor; the halt set
+        # entry must be ignored, not crash or mis-halt.
+        monitors = MonitorSet(2, halt_on=DEFAULT_HALT_ON).replay(
+            History([crash(0), failed(1, 0)], 2)
+        )
+        assert monitors.ok_so_far
+
+    def test_byzantine_model_skips_recovery_monitor(self):
+        monitors = MonitorSet(3, failure_model="byzantine-crash")
+        assert monitors.recovery is None

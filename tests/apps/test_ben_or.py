@@ -1,0 +1,110 @@
+"""Unit tests for the Ben-Or consensus app across failure models."""
+
+import pytest
+
+from repro.apps import (
+    BenOrProcess,
+    check_consensus,
+    decided_values,
+    decision_events,
+)
+from repro.errors import SimulationError
+from repro.sim import build_world
+from repro.sim.delays import UniformDelay
+from repro.sim.failures import Fault, apply_faults
+
+
+def _run(n=5, t=1, seed=0, failure_model="fail-stop", faults=(),
+         initial=None, max_events=200_000):
+    world = build_world(
+        n,
+        lambda: BenOrProcess(t=t, seed=seed, initial=initial),
+        UniformDelay(0.1, 1.0),
+        seed=seed,
+        failure_model=failure_model,
+    )
+    monitors = world.attach_monitor()
+    apply_faults(world, list(faults))
+    world.run_to_quiescence(max_events=max_events)
+    return world, monitors
+
+
+class TestBasics:
+    def test_requires_n_greater_than_2t(self):
+        with pytest.raises(SimulationError, match="n > 2t"):
+            build_world(4, lambda: BenOrProcess(t=2), UniformDelay())
+
+    def test_all_decide_without_faults(self):
+        world, monitors = _run()
+        assert sorted(decided_values(world)) == [0, 1, 2, 3, 4]
+        assert check_consensus(world) == []
+        assert monitors.ok_so_far
+
+    def test_unanimous_proposal_decides_that_value(self):
+        # Validity pinned down: every proposal 1 means every decision 1.
+        world, _ = _run(initial=1)
+        assert set(decided_values(world).values()) == {1}
+
+    def test_decision_events_match_final_state(self):
+        world, _ = _run(seed=3)
+        events = decision_events(world.history())
+        assert dict(events) == decided_values(world)
+
+    def test_deterministic_across_reruns(self):
+        h1 = [repr(e) for e in _run(seed=9)[0].history()]
+        h2 = [repr(e) for e in _run(seed=9)[0].history()]
+        assert h1 == h2
+
+
+class TestUnderFaults:
+    def test_decides_despite_crashes(self):
+        world, monitors = _run(
+            seed=4, faults=[Fault("crash", at=1.0, proc=2)]
+        )
+        decisions = decided_values(world)
+        assert all(pid in decisions for pid in world.alive())
+        assert check_consensus(world) == []
+        assert monitors.ok_so_far
+
+    def test_decides_under_crash_recovery_churn(self):
+        for seed in range(8):
+            world, monitors = _run(
+                seed=seed,
+                failure_model="crash-recovery",
+                faults=[
+                    Fault("crash", at=0.8, proc=1),
+                    Fault("recover", at=2.5, proc=1),
+                    Fault("crash", at=3.5, proc=1),
+                    Fault("recover", at=5.0, proc=1),
+                ],
+            )
+            assert check_consensus(world) == []
+            assert monitors.ok_so_far, monitors.first_violation
+            decisions = decided_values(world)
+            assert all(pid in decisions for pid in world.alive())
+            assert world.process(1).incarnation == 2
+
+    def test_decides_under_byzantine_interference(self):
+        for seed in range(8):
+            world, monitors = _run(
+                seed=seed,
+                failure_model="byzantine-crash",
+                faults=[Fault("compromise", at=0.5, proc=0)],
+            )
+            assert check_consensus(world) == []
+            assert monitors.ok_so_far, monitors.first_violation
+            honest = [p for p in world.alive() if p != 0]
+            decisions = decided_values(world)
+            assert all(pid in decisions for pid in honest)
+
+    def test_recovered_process_catches_up_to_decision(self):
+        world, _ = _run(
+            seed=2,
+            failure_model="crash-recovery",
+            faults=[
+                Fault("crash", at=0.5, proc=3),
+                Fault("recover", at=6.0, proc=3),
+            ],
+        )
+        assert 3 in decided_values(world)
+        assert check_consensus(world) == []

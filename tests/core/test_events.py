@@ -17,7 +17,9 @@ from repro.core.events import (
     is_internal,
     is_recv,
     is_send,
+    is_recover,
     message_of,
+    recover,
     recv,
     send,
 )
@@ -99,3 +101,25 @@ class TestImmutability:
         assert len(events) == 4
         with pytest.raises(AttributeError):
             crash(0).proc = 1  # type: ignore[misc]
+
+
+class TestRecoverEvent:
+    def test_constructor_and_fields(self):
+        e = recover(2, 1)
+        assert (e.proc, e.incarnation) == (2, 1)
+
+    def test_repr_notation(self):
+        assert repr(recover(3, 2)) == "recover_3#2"
+
+    def test_predicate(self):
+        assert is_recover(recover(0, 1))
+        assert not is_recover(crash(0))
+
+    def test_no_channel_no_message(self):
+        assert channel_of(recover(0, 1)) is None
+        assert message_of(recover(0, 1)) is None
+
+    def test_hashable_and_frozen(self):
+        assert len({recover(0, 1), recover(0, 2)}) == 2
+        with pytest.raises(AttributeError):
+            recover(0, 1).incarnation = 3  # type: ignore[misc]

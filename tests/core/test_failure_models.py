@@ -170,3 +170,71 @@ class TestNecessaryConditions:
     def test_combined(self):
         h = History([failed(0, 1), crash(1)], n=2)
         assert check_necessary_conditions(h).ok
+
+
+class TestFailureModelRegistry:
+    def test_registered_names(self):
+        from repro.core.failure_models import (
+            FAILURE_MODEL_NAMES,
+            get_failure_model,
+        )
+
+        assert tuple(FAILURE_MODEL_NAMES) == (
+            "fail-stop", "crash-recovery", "byzantine-crash"
+        )
+        assert get_failure_model("fail-stop").recoverable is False
+        assert get_failure_model("crash-recovery").recoverable is True
+        assert get_failure_model("byzantine-crash").byzantine is True
+
+    def test_idempotent_on_model_objects(self):
+        from repro.core.failure_models import get_failure_model
+
+        model = get_failure_model("crash-recovery")
+        assert get_failure_model(model) is model
+
+    def test_unknown_name_lists_known_models(self):
+        import pytest
+
+        from repro.core.failure_models import get_failure_model
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError) as err:
+            get_failure_model("krash")
+        assert "krash" in str(err.value)
+        assert "fail-stop" in str(err.value)
+
+    def test_extra_monitors_drive_recovery_monitoring(self):
+        from repro.core.failure_models import get_failure_model
+
+        assert "recovery" in get_failure_model("crash-recovery").extra_monitors
+        assert get_failure_model("fail-stop").extra_monitors == ()
+
+
+class TestCheckRecovery:
+    def test_lawful_churn_is_clean(self):
+        from repro.core.events import recover
+        from repro.core.failure_models import check_recovery
+
+        h = History(
+            [crash(0), recover(0, 1), crash(0), recover(0, 2)], n=2
+        )
+        assert check_recovery(h).ok
+
+    def test_recover_without_crash_flagged(self):
+        from repro.core.events import recover
+        from repro.core.failure_models import check_recovery
+
+        result = check_recovery(History([recover(0, 1)], n=2))
+        assert not result.ok
+
+    def test_skipped_incarnation_flagged(self):
+        from repro.core.events import recover
+        from repro.core.failure_models import check_recovery
+
+        result = check_recovery(History([crash(0), recover(0, 2)], n=2))
+        assert not result.ok
+
+    def test_fail_stop_history_vacuously_ok(self):
+        from repro.core.failure_models import check_recovery
+
+        assert check_recovery(History([crash(0)], n=2)).ok

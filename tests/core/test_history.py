@@ -172,3 +172,18 @@ class TestChainsAndFlight:
 
     def test_no_messages_in_flight(self, simple_exchange):
         assert messages_in_flight(simple_exchange) == []
+
+
+class TestRecoverIndex:
+    def test_empty_for_fail_stop_histories(self):
+        from repro.core.events import crash
+
+        assert History([crash(0)], n=2).recover_index == {}
+
+    def test_maps_incarnations_to_first_index(self):
+        from repro.core.events import crash, recover
+
+        h = History(
+            [crash(1), recover(1, 1), crash(1), recover(1, 2)], n=3
+        )
+        assert h.recover_index == {(1, 1): 1, (1, 2): 3}

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.events import crash, failed, internal, recv, send
+from repro.core.events import crash, failed, internal, recover, recv, send
 from repro.core.history import History
 from repro.core.messages import Message, MessageMint
 from repro.core.validate import check_valid, is_valid, validate_history
@@ -106,3 +106,49 @@ class TestCheckValidRaises:
         with pytest.raises(InvalidHistoryError) as exc:
             check_valid(h)
         assert exc.value.violations
+
+
+class TestCrashRecoveryRules:
+    def _mint(self):
+        return MessageMint(0)
+
+    def test_recover_rejected_under_fail_stop(self):
+        h = History([crash(0), recover(0, 1)], n=2)
+        assert not is_valid(h)
+        assert is_valid(h, failure_model="crash-recovery")
+
+    def test_recover_without_crash_is_invalid(self):
+        h = History([recover(0, 1)], n=2)
+        assert not is_valid(h, failure_model="crash-recovery")
+
+    def test_incarnations_must_count_up_by_one(self):
+        h = History([crash(0), recover(0, 2)], n=2)
+        assert not is_valid(h, failure_model="crash-recovery")
+        good = History(
+            [crash(0), recover(0, 1), crash(0), recover(0, 2)], n=2
+        )
+        assert is_valid(good, failure_model="crash-recovery")
+
+    def test_events_after_recovery_are_legal(self):
+        m = self._mint().mint()
+        h = History(
+            [crash(0), recover(0, 1), send(0, 1, m), recv(1, 0, m)], n=2
+        )
+        assert is_valid(h, failure_model="crash-recovery")
+        assert not is_valid(h)  # fail-stop: activity after crash
+
+    def test_lossy_fifo_skips_messages_lost_in_downtime(self):
+        # 0 sends m1 then m2 to 1; 1 was down for m1's delivery, so only
+        # m2 arrives. Fail-stop FIFO calls that a violation; the
+        # recoverable model treats m1 as lost with the downtime.
+        mint = self._mint()
+        m1, m2 = mint.mint(), mint.mint()
+        h = History(
+            [send(0, 1, m1), send(0, 1, m2), recv(1, 0, m2)], n=2
+        )
+        assert not is_valid(h)
+        assert is_valid(h, failure_model="crash-recovery")
+
+    def test_unknown_model_name_raises(self):
+        with pytest.raises(Exception, match="unknown failure model"):
+            validate_history(History([], n=1), failure_model="nope")

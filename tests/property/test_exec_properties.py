@@ -156,3 +156,93 @@ def test_fuzz_outcomes_invariant_under_arrival_order(
     jobs = [scenario_job(seed, i, DEFAULT_CONFIG) for i in range(count)]
     permuted = run_jobs(jobs, executor=_PermutedExecutor(shuffle_seed))
     assert permuted == list(run_fuzz(seed=seed, count=count).outcomes)
+
+
+# ---------------------------------------------------------------------------
+# PR 6: the failure-model axis is just data to the execution layer.
+# Crash-recovery and byzantine-crash campaigns must be exactly as
+# backend-, chunking-, and resume-invariant as fail-stop ones.
+
+import dataclasses
+
+from repro.analysis.fuzz import FuzzConfig
+
+model_names = st.sampled_from(("crash-recovery", "byzantine-crash"))
+
+
+def _model_config(model: str) -> FuzzConfig:
+    return dataclasses.replace(DEFAULT_CONFIG, failure_model=model)
+
+
+@settings(max_examples=4, deadline=None)
+@given(
+    model=model_names,
+    seed=st.integers(min_value=0, max_value=10_000),
+    count=st.integers(min_value=1, max_value=5),
+)
+def test_failure_model_fuzz_digest_invariant_under_executor(
+    model, seed, count
+):
+    config = _model_config(model)
+    inproc = run_fuzz(seed=seed, count=count, config=config)
+    serial = run_fuzz(seed=seed, count=count, config=config, backend="serial")
+    parallel = run_fuzz(
+        seed=seed, count=count, config=config, backend="parallel", jobs=2
+    )
+    assert inproc.digest() == serial.digest()
+    assert inproc.digest() == parallel.digest()
+
+
+@settings(max_examples=3, deadline=None)
+@given(
+    model=model_names,
+    seed=st.integers(min_value=0, max_value=10_000),
+    count=st.integers(min_value=2, max_value=5),
+    cut=st.integers(min_value=0, max_value=5),
+)
+def test_failure_model_fuzz_digest_invariant_under_resume_point(
+    tmp_path_factory, model, seed, count, cut
+):
+    config = _model_config(model)
+    path = tmp_path_factory.mktemp("exec") / "fuzz.jsonl"
+    baseline = run_fuzz(seed=seed, count=count, config=config)
+    full = run_fuzz(seed=seed, count=count, config=config, journal=path)
+    assert full.digest() == baseline.digest()
+    lines = path.read_text().splitlines()
+    keep = 1 + min(cut, len(lines) - 1)
+    path.write_text("\n".join(lines[:keep]) + "\n")
+    resumed = run_fuzz(
+        seed=seed, count=count, config=config, journal=path, resume=True
+    )
+    assert resumed == baseline
+    assert resumed.digest() == baseline.digest()
+
+
+@settings(max_examples=4, deadline=None)
+@given(
+    model=model_names,
+    seed=st.integers(min_value=0, max_value=10_000),
+    count=st.integers(min_value=1, max_value=4),
+    shuffle_seed=st.integers(min_value=0, max_value=1_000_000),
+)
+def test_failure_model_fuzz_invariant_under_arrival_order(
+    model, seed, count, shuffle_seed
+):
+    config = _model_config(model)
+    jobs = [scenario_job(seed, i, config) for i in range(count)]
+    permuted = run_jobs(jobs, executor=_PermutedExecutor(shuffle_seed))
+    baseline = run_fuzz(seed=seed, count=count, config=config)
+    assert permuted == list(baseline.outcomes)
+
+
+@settings(max_examples=3, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_fail_stop_default_config_unchanged_by_new_axis(seed):
+    """The default-model scenario stream ignores the new field entirely:
+    constructing the config with an explicit ``failure_model="fail-stop"``
+    is bit-identical to the legacy implicit default."""
+    explicit = dataclasses.replace(DEFAULT_CONFIG, failure_model="fail-stop")
+    assert repr(explicit) == repr(DEFAULT_CONFIG)
+    a = run_fuzz(seed=seed, count=3, config=explicit)
+    b = run_fuzz(seed=seed, count=3)
+    assert a.digest() == b.digest()

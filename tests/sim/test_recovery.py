@@ -1,0 +1,200 @@
+"""Unit tests for the crash-recovery lifecycle and the YOLMT wrapper."""
+
+import random
+
+import pytest
+
+from repro.core.events import RecoverEvent
+from repro.errors import SimulationError
+from repro.protocols import SfsProcess, is_recovering, make_recovering
+from repro.sim import build_world
+from repro.sim.delays import ConstantDelay
+from repro.sim.failures import (
+    FAULT_KINDS,
+    Fault,
+    apply_faults,
+    random_recovery_plan,
+)
+from repro.sim.process import SimProcess
+
+
+class TestFaultKindRegistry:
+    def test_known_kinds(self):
+        assert set(FAULT_KINDS) == {
+            "crash", "suspicion", "recover", "compromise"
+        }
+
+    def test_unknown_kind_lists_known_ones(self):
+        with pytest.raises(SimulationError) as err:
+            Fault("crashh", at=1.0, proc=0)
+        message = str(err.value)
+        assert "crashh" in message
+        assert "crash" in message and "suspicion" in message
+
+    def test_suspicion_requires_target(self):
+        with pytest.raises(SimulationError, match="needs a target"):
+            Fault("suspicion", at=1.0, proc=0)
+
+    def test_specs_describe_themselves(self):
+        for name, spec in FAULT_KINDS.items():
+            assert spec.name == name
+            assert spec.description
+
+
+class TestRecoveryLifecycle:
+    def _world(self, n=3):
+        return build_world(
+            n,
+            SimProcess,
+            ConstantDelay(1.0),
+            failure_model="crash-recovery",
+        )
+
+    def test_recover_now_is_noop_when_up(self):
+        world = self._world()
+        proc = world.process(0)
+        world.start()
+        proc.recover_now()
+        assert proc.incarnation == 0
+        assert proc.status == "up"
+
+    def test_crash_then_recover_bumps_incarnation(self):
+        world = self._world()
+        proc = world.process(0)
+        world.start()
+        proc.crash_now()
+        assert proc.status == "crashed"
+        proc.recover_now()
+        assert proc.status == "up"
+        assert proc.incarnation == 1
+
+    def test_recover_event_recorded_with_incarnation(self):
+        world = self._world()
+        world.inject_crash(1, at=1.0)
+        world.inject_recover(1, at=2.0)
+        world.run_to_quiescence()
+        recovers = [
+            e for e in world.history() if isinstance(e, RecoverEvent)
+        ]
+        assert recovers == [RecoverEvent(1, 1)]
+        assert world.history().recover_index[(1, 1)] is not None
+
+    def test_inject_recover_rejected_under_fail_stop(self):
+        world = build_world(3, SimProcess, ConstantDelay(1.0))
+        with pytest.raises(SimulationError, match="crash-recovery"):
+            world.inject_recover(0, at=1.0)
+
+    def test_recover_fault_kind_round_trips_through_apply(self):
+        world = self._world()
+        apply_faults(
+            world,
+            [
+                Fault("crash", at=1.0, proc=2),
+                Fault("recover", at=3.0, proc=2),
+            ],
+        )
+        world.run_to_quiescence()
+        assert world.process(2).status == "up"
+        assert world.process(2).incarnation == 1
+
+    def test_stable_storage_survives_crash(self):
+        world = self._world()
+        proc = world.process(0)
+        world.start()
+        proc.stable.put("k", "v")
+        proc.crash_now()
+        proc.recover_now()
+        assert proc.stable.get("k") == "v"
+
+    def test_uids_stay_unique_across_incarnations(self):
+        world = self._world(2)
+        proc = world.process(0)
+        world.start()
+        first = proc.send(1, "a")
+        proc.crash_now()
+        proc.recover_now()
+        second = proc.send(1, "b")
+        assert first.uid != second.uid
+
+
+class TestRandomRecoveryPlan:
+    def test_respects_t_distinct_victims(self):
+        for seed in range(30):
+            rng = random.Random(seed)
+            plan = random_recovery_plan(8, 2, rng)
+            victims = {f.proc for f in plan}
+            assert len(victims) <= 2
+
+    def test_recover_follows_crash_per_victim(self):
+        for seed in range(30):
+            rng = random.Random(seed)
+            plan = random_recovery_plan(8, 3, rng)
+            by_proc: dict[int, list[Fault]] = {}
+            for fault in plan:
+                by_proc.setdefault(fault.proc, []).append(fault)
+            for faults in by_proc.values():
+                kinds = [f.kind for f in faults]
+                times = [f.at for f in faults]
+                assert times == sorted(times)
+                # alternating crash/recover, starting with a crash
+                assert kinds[0] == "crash"
+                for a, b in zip(kinds, kinds[1:]):
+                    assert a != b
+
+    def test_plan_runs_clean_on_a_world(self):
+        rng = random.Random(11)
+        world = build_world(
+            5,
+            SimProcess,
+            ConstantDelay(1.0),
+            failure_model="crash-recovery",
+        )
+        apply_faults(world, random_recovery_plan(5, 2, rng))
+        monitors = world.attach_monitor()
+        world.run_to_quiescence()
+        assert monitors.ok_so_far
+
+
+class TestYolmtWrapper:
+    def test_wrapper_is_cached_and_idempotent(self):
+        wrapped = make_recovering(SfsProcess)
+        assert make_recovering(SfsProcess) is wrapped
+        assert make_recovering(wrapped) is wrapped
+        assert wrapped.__name__ == "RecoveringSfsProcess"
+
+    def test_is_recovering_predicate(self):
+        assert not is_recovering(SfsProcess)
+        assert is_recovering(make_recovering(SfsProcess))
+
+    def test_wrapped_protocol_state_survives_recovery(self):
+        cls = make_recovering(SfsProcess)
+        world = build_world(
+            5,
+            lambda: cls(t=2),
+            ConstantDelay(0.5),
+            failure_model="crash-recovery",
+        )
+        # Process 4 is detected as failed; bystander 1 crashes after the
+        # protocol completes and recovers — its detected set must be
+        # restored from stable storage, not reset.
+        world.inject_suspicion(0, 4, at=1.0)
+        world.inject_crash(1, at=8.0)
+        world.inject_recover(1, at=10.0)
+        world.run_to_quiescence()
+        assert 4 in world.process(1).detected
+
+    def test_wrapped_run_under_churn_is_conformant(self):
+        cls = make_recovering(SfsProcess)
+        for seed in range(10):
+            world = build_world(
+                6,
+                lambda: cls(t=2),
+                seed=seed,
+                failure_model="crash-recovery",
+            )
+            monitors = world.attach_monitor()
+            rng = random.Random(seed + 100)
+            apply_faults(world, random_recovery_plan(6, 2, rng))
+            world.inject_suspicion(0, 5, at=0.5)
+            world.run_to_quiescence(max_events=200_000)
+            assert monitors.ok_so_far, monitors.first_violation

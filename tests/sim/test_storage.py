@@ -1,0 +1,80 @@
+"""Unit tests for repro.sim.storage (deterministic stable storage)."""
+
+import pytest
+
+from repro.sim.storage import StableStore, StorageHub
+
+
+class TestStableStore:
+    def test_put_get_roundtrip(self):
+        store = StableStore(pid=0)
+        store.put("k", (1, 2))
+        assert store.get("k") == (1, 2)
+
+    def test_get_missing_returns_default(self):
+        store = StableStore(pid=0)
+        assert store.get("absent") is None
+        assert store.get("absent", 42) == 42
+
+    def test_delete(self):
+        store = StableStore(pid=0)
+        store.put("k", 1)
+        store.delete("k")
+        assert "k" not in store
+        store.delete("k")  # deleting a missing key is a no-op
+
+    def test_counters_track_operations(self):
+        store = StableStore(pid=0)
+        store.put("a", 1)
+        store.put("b", 2)
+        store.get("a")
+        store.get("missing")
+        assert store.writes == 2
+        assert store.reads == 2
+
+    def test_wipe_clears_data_not_counters(self):
+        store = StableStore(pid=0)
+        store.put("a", 1)
+        store.wipe()
+        assert len(store) == 0
+        assert store.writes == 1
+
+    def test_keys_and_snapshot(self):
+        store = StableStore(pid=3)
+        store.put("a", 1)
+        store.put("b", 2)
+        assert sorted(store.keys()) == ["a", "b"]
+        snap = store.snapshot()
+        snap["a"] = 99
+        assert store.get("a") == 1  # snapshot is a copy
+
+    def test_iteration(self):
+        store = StableStore(pid=0)
+        store.put("x", 1)
+        assert list(store) == ["x"]
+
+
+class TestStorageHub:
+    def test_one_slot_per_process(self):
+        hub = StorageHub(3)
+        assert hub.slot(0) is hub.slot(0)
+        assert hub.slot(0) is not hub.slot(1)
+        assert hub.slot(2).pid == 2
+
+    def test_slots_are_isolated(self):
+        hub = StorageHub(2)
+        hub.slot(0).put("k", "zero")
+        assert hub.slot(1).get("k") is None
+
+    def test_totals_aggregate_all_slots(self):
+        hub = StorageHub(2)
+        hub.slot(0).put("a", 1)
+        hub.slot(1).put("b", 2)
+        hub.slot(1).get("b")
+        assert hub.total_writes == 2
+        assert hub.total_reads == 1
+
+    def test_out_of_range_pid_rejected(self):
+        hub = StorageHub(2)
+        with pytest.raises(Exception):
+            hub.slot(5)
