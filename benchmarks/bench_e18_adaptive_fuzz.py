@@ -1,0 +1,143 @@
+"""E18 — coverage-guided fuzzing: adaptive overhead and shrink cost.
+
+Not a paper table; this guards the PR that made the fuzzer
+coverage-guided. Three properties must hold:
+
+1. **guidance is affordable**: an adaptive campaign (coverage folding
+   between batches, weight re-derivation, weighted generation) stays
+   within a small constant factor of the uniform campaign it replaces —
+   the budget goes to simulating scenarios, not to steering;
+2. **the coverage signal is cheap**: folding a campaign's outcomes into
+   a ``CoverageMap`` costs far less than producing them, so tracking can
+   stay always-on;
+3. **shrinking is bounded**: minimising a finding costs about
+   ``attempts`` replays of (shrinking) candidate scenarios, never more —
+   the greedy loop's budget is real.
+
+The adaptive campaign is run twice and digest-compared, so a
+nondeterministic steering loop fails the bench loudly before it ever
+reaches CI's adaptive-fuzz smoke.
+"""
+
+import time
+
+from repro.analysis.coverage import CoverageMap
+from repro.analysis.fuzz import (
+    Scenario,
+    run_adaptive_fuzz,
+    run_fuzz,
+    run_scenario,
+)
+from repro.analysis.shrink import scenario_size, shrink
+from repro.sim.failures import Fault
+
+from conftest import attach_rows
+
+FUZZ_COUNT = 40
+BATCH = 10
+
+# Generous CI-jitter bound: adaptive steering that costs this much more
+# than uniform sampling means the guidance stopped being per-batch work.
+ADAPTIVE_OVERHEAD_LIMIT = 4.0
+
+# One seeded violation wrapped in adversary noise; what `--shrink` sees.
+SABOTAGED = Scenario(
+    index=0, seed=42, n=6, protocol="sfs", t=2, quorum_size=None,
+    delay=("uniform", (0.1, 0.8)), detector=("none", ()),
+    faults=(
+        Fault("crash", 2.0, 1),
+        Fault("suspicion", 2.5, 0, 1),
+        Fault("forge_failed", 3.0, 4, 4),
+    ),
+    holds=((2, (2, 3)),),
+    partition=((0, 1, 2), (3, 4, 5)),
+    heal_at=12.0,
+    chatter=((1.0, 0, 2, 0), (2.0, 3, 5, 1), (4.0, 2, 0, 2)),
+    horizon=None,
+)
+
+
+def test_bench_adaptive_campaign_overhead(benchmark):
+    """Adaptive steering: clean, reproducible, near uniform-fuzz cost."""
+    start = time.perf_counter()
+    uniform = run_fuzz(seed=0, count=FUZZ_COUNT)
+    uniform_s = time.perf_counter() - start
+    assert uniform.findings == ()
+
+    adaptive = benchmark.pedantic(
+        lambda: run_adaptive_fuzz(seed=0, count=FUZZ_COUNT, batch=BATCH),
+        rounds=1, iterations=1,
+    )
+    adaptive_s = benchmark.stats.stats.mean
+    assert adaptive.report.findings == ()
+    assert (
+        adaptive.digest()
+        == run_adaptive_fuzz(seed=0, count=FUZZ_COUNT, batch=BATCH).digest()
+    )
+    assert adaptive_s < uniform_s * ADAPTIVE_OVERHEAD_LIMIT, (
+        adaptive_s, uniform_s
+    )
+    attach_rows(
+        benchmark,
+        [
+            f"uniform   {FUZZ_COUNT} scenarios in {uniform_s:.3f}s "
+            f"({FUZZ_COUNT / uniform_s:.1f}/s)",
+            f"adaptive  {FUZZ_COUNT} scenarios in {adaptive_s:.3f}s "
+            f"({FUZZ_COUNT / adaptive_s:.1f}/s, "
+            f"{adaptive_s / uniform_s:.2f}x, batch={BATCH})",
+        ],
+    )
+
+
+def test_bench_coverage_fold_is_cheap(benchmark):
+    """Folding outcomes into a CoverageMap costs << producing them."""
+    start = time.perf_counter()
+    campaign = run_adaptive_fuzz(seed=0, count=FUZZ_COUNT, batch=BATCH)
+    simulate_s = time.perf_counter() - start
+
+    folded = benchmark.pedantic(
+        lambda: CoverageMap.from_outcomes(campaign.outcomes),
+        rounds=5, iterations=1,
+    )
+    fold_s = benchmark.stats.stats.mean
+    assert folded.digest() == campaign.coverage.digest()
+    assert fold_s < simulate_s, (fold_s, simulate_s)
+    attach_rows(
+        benchmark,
+        [
+            f"simulate  {FUZZ_COUNT} scenarios in {simulate_s:.3f}s",
+            f"fold      {len(folded)} features in {fold_s * 1000:.1f}ms "
+            f"({fold_s / simulate_s:.1%} of simulation)",
+        ],
+    )
+
+
+def test_bench_shrink_cost_per_finding(benchmark):
+    """Shrinking costs ~attempts replays of shrinking candidates."""
+    start = time.perf_counter()
+    probe = run_scenario(SABOTAGED)
+    single_s = time.perf_counter() - start
+    assert probe.findings
+
+    result = benchmark.pedantic(
+        lambda: shrink(SABOTAGED), rounds=1, iterations=1
+    )
+    shrink_s = benchmark.stats.stats.mean
+    assert scenario_size(result.minimal) < scenario_size(SABOTAGED)
+    # Candidates only ever get smaller than the original, so the whole
+    # greedy loop is bounded by one original-size replay per attempt
+    # (plus generous constant slack for CI jitter on the tiny probe).
+    assert shrink_s < single_s * result.attempts * 5.0 + 1.0, (
+        shrink_s, single_s, result.attempts
+    )
+    attach_rows(
+        benchmark,
+        [
+            f"one replay      {single_s * 1000:.1f}ms",
+            f"shrink          {shrink_s * 1000:.1f}ms for "
+            f"{result.attempts} attempts "
+            f"({shrink_s / result.attempts * 1000:.1f}ms/attempt)",
+            f"size            {scenario_size(SABOTAGED)} -> "
+            f"{scenario_size(result.minimal)} in {len(result.steps)} steps",
+        ],
+    )

@@ -9,6 +9,11 @@ falls) so a regression in the reproduction fails the bench run loudly.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
 
 def attach_rows(benchmark, rows, columns=None) -> None:
     """Stash result rows in the benchmark's extra_info for the report."""
@@ -19,3 +24,50 @@ def attach_rows(benchmark, rows, columns=None) -> None:
             benchmark.extra_info["rows"] = [str(rows)]
     except Exception:
         pass
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    """Persist machine-readable bench artifacts per benchmark module.
+
+    Every bench run rewrites ``results/BENCH_<experiment>.json`` with the
+    timing stats and attached result rows of each benchmark that ran, so
+    perf history survives outside transient CI logs and future changes
+    have numbers to diff against. ``tools/bench_record.py`` renders them.
+    The probing is deliberately defensive: ``_benchmarksession`` is
+    pytest-benchmark internal API, and a missing attribute must never
+    fail the bench run itself.
+    """
+    del exitstatus
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not getattr(
+        bench_session, "benchmarks", None
+    ):
+        return
+    by_module: dict[str, list[dict]] = {}
+    for bench in bench_session.benchmarks:
+        try:
+            stats = bench.stats
+            if not stats.rounds:
+                continue
+            record = {
+                "name": bench.name,
+                "rounds": stats.rounds,
+                "min_s": stats.min,
+                "mean_s": stats.mean,
+                "stddev_s": stats.stddev,
+                "extra_info": dict(bench.extra_info),
+            }
+        except Exception:
+            continue
+        module = Path(bench.fullname.split("::", 1)[0]).stem
+        by_module.setdefault(module, []).append(record)
+    if not by_module:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    for module, records in sorted(by_module.items()):
+        stem = module.removeprefix("bench_")
+        path = RESULTS_DIR / f"BENCH_{stem}.json"
+        payload = {"module": module, "benchmarks": records}
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )

@@ -371,11 +371,20 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    from repro.analysis.fuzz import DEFAULT_CONFIG, FuzzConfig, run_fuzz
+    from repro.analysis.fuzz import (
+        DEFAULT_CONFIG,
+        FuzzConfig,
+        run_adaptive_fuzz,
+        run_fuzz,
+    )
     from repro.errors import ReproError
     from repro.sim.multiworld import ShardedRunner
 
     backend = args.backend or "inproc"
+    if args.batch != 50 and not args.adaptive:
+        print("fuzz failed: --batch only applies to --adaptive",
+              file=sys.stderr)
+        return 2
     # The stepping controls configure the sharded multi-world engine;
     # silently dropping them would imply they applied. Parser defaults
     # are None sentinels, so presence — not value — is what's detected.
@@ -431,22 +440,35 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             runner = ShardedRunner(
                 stepping=stepping, quantum=quantum, window=window
             )
-        report = run_fuzz(
-            seed=args.seed, count=args.count, config=config, runner=runner,
-            backend=backend, jobs=args.jobs,
-            journal=args.journal, resume=args.resume, sink=sink,
-        )
+        adaptive = None
+        if args.adaptive:
+            adaptive = run_adaptive_fuzz(
+                seed=args.seed, count=args.count, config=config,
+                batch=args.batch, runner=runner, backend=backend,
+                jobs=args.jobs, journal=args.journal, resume=args.resume,
+                sink=sink,
+            )
+            report = adaptive.report
+        else:
+            report = run_fuzz(
+                seed=args.seed, count=args.count, config=config,
+                runner=runner, backend=backend, jobs=args.jobs,
+                journal=args.journal, resume=args.resume, sink=sink,
+            )
     except ReproError as exc:
         print(f"fuzz failed: {exc}", file=sys.stderr)
         return 2
     mode = stepping if backend == "inproc" else backend
+    label = " adaptive" if adaptive is not None else ""
     print(f"== fuzz seed={args.seed} count={args.count} "
-          f"({mode}) ==")
-    print(report.summary())
-    if runner is not None:
+          f"({mode}{label}) ==")
+    print(adaptive.summary() if adaptive is not None else report.summary())
+    if runner is not None and adaptive is None:
         # The runner only saw scenarios that actually executed; the
         # rest (if any) were restored from the journal — say so rather
         # than print engine zeros that read as "ran and did nothing".
+        # (Adaptive campaigns reuse the runner per batch, so its stats
+        # cover only the final batch — skip them rather than mislead.)
         stats = runner.stats
         restored = report.count - stats.shards
         if stats.shards:
@@ -460,7 +482,43 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         elif restored:
             print(f"engine: idle — all {report.count} scenarios "
                   "restored from journal")
-    print(f"digest={report.digest()}")
+    if adaptive is not None:
+        print(f"coverage={adaptive.coverage.digest()}")
+        print(f"digest={adaptive.digest()}")
+    else:
+        print(f"digest={report.digest()}")
+
+    if (args.shrink or args.corpus) and report.findings:
+        from repro.analysis.corpus import CorpusEntry, save_entry
+        from repro.analysis.shrink import finding_kinds, shrink
+
+        for outcome in report.outcomes:
+            if not outcome.findings:
+                continue
+            try:
+                result = shrink(
+                    outcome.scenario,
+                    kinds=finding_kinds(outcome.findings),
+                )
+            except ReproError as exc:
+                print(f"shrink failed for scenario {outcome.index}: {exc}",
+                      file=sys.stderr)
+                continue
+            print(f"-- shrink scenario {outcome.index} --")
+            print(result.summary())
+            if args.corpus:
+                entry = CorpusEntry(
+                    name=f"fuzz-seed{args.seed}-i{outcome.index}",
+                    scenario=result.minimal,
+                    expect_kinds=tuple(sorted(result.kinds)),
+                    note=(
+                        f"shrunk from fuzz seed={args.seed} "
+                        f"index={outcome.index}"
+                        + (" (adaptive)" if adaptive is not None else "")
+                    ),
+                )
+                path = save_entry(args.corpus, entry)
+                print(f"corpus entry written: {path}")
     return 1 if report.findings else 0
 
 
@@ -647,6 +705,30 @@ def main(argv: list[str] | None = None) -> int:
         "--stream", action="store_true",
         help="print each scenario's outcome live, in index order, as "
              "the finished prefix grows",
+    )
+    fuzz.add_argument(
+        "--adaptive", action="store_true",
+        help="coverage-guided campaign: between fixed-size batches the "
+             "per-axis sampling weights re-derive from the coverage map "
+             "so far; replay-deterministic (same seed/count/batch/config "
+             "reproduce the same digest on every backend)",
+    )
+    fuzz.add_argument(
+        "--batch", type=int, default=50,
+        help="scenarios per adaptive batch (weights re-derive between "
+             "batches; --adaptive only; default: 50)",
+    )
+    fuzz.add_argument(
+        "--shrink", action="store_true",
+        help="greedily minimise every finding's scenario while "
+             "preserving its finding kinds; prints the minimal "
+             "reproducer and the shrink log",
+    )
+    fuzz.add_argument(
+        "--corpus", metavar="DIR", default=None,
+        help="write each shrunk finding as a JSON regression-corpus "
+             "entry under DIR (implies --shrink); the corpus replay "
+             "test re-checks every entry",
     )
     _add_exec_flags(
         fuzz,

@@ -1,0 +1,197 @@
+"""The replayable regression corpus: shrunk findings as test fixtures.
+
+Every interesting scenario the fuzzer (or an oracle self-test) ever
+surfaces can be frozen as a **corpus entry**: the minimal reproducing
+:class:`~repro.analysis.fuzz.Scenario` plus the finding kinds it must
+keep producing. Entries serialise to plain JSON — no pickle, reviewable
+in a diff, stable under refactors that keep the scenario vocabulary —
+and live under ``tests/corpus/``, where a parametrized test replays
+every entry through the same one-shard execution path as the fuzzer
+(:func:`~repro.analysis.fuzz.run_scenario`) and asserts the expected
+kinds are still found.
+
+The corpus is how a fuzz finding becomes a permanent regression test:
+``python -m repro fuzz --shrink --corpus tests/corpus`` shrinks each
+finding and writes it here; from then on every CI run replays it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.fuzz import Scenario, run_scenario
+from repro.analysis.shrink import finding_kinds
+from repro.errors import SimulationError
+from repro.sim.failures import Fault
+
+CORPUS_VERSION = 1
+
+
+def scenario_to_jsonable(scenario: Scenario) -> dict[str, Any]:
+    """A scenario as plain JSON types (lossless; see the inverse)."""
+    return {
+        "index": scenario.index,
+        "seed": scenario.seed,
+        "n": scenario.n,
+        "protocol": scenario.protocol,
+        "t": scenario.t,
+        "quorum_size": scenario.quorum_size,
+        "delay": [scenario.delay[0], list(scenario.delay[1])],
+        "detector": [scenario.detector[0], list(scenario.detector[1])],
+        "faults": [
+            {
+                "kind": fault.kind,
+                "at": fault.at,
+                "proc": fault.proc,
+                "target": fault.target,
+            }
+            for fault in scenario.faults
+        ],
+        "holds": [
+            [target, list(shield)] for target, shield in scenario.holds
+        ],
+        "partition": (
+            None
+            if scenario.partition is None
+            else [list(scenario.partition[0]), list(scenario.partition[1])]
+        ),
+        "heal_at": scenario.heal_at,
+        "chatter": [list(entry) for entry in scenario.chatter],
+        "horizon": scenario.horizon,
+        "failure_model": scenario.failure_model,
+    }
+
+
+def scenario_from_jsonable(data: dict[str, Any]) -> Scenario:
+    """Rebuild a scenario from :func:`scenario_to_jsonable` output."""
+    return Scenario(
+        index=data["index"],
+        seed=data["seed"],
+        n=data["n"],
+        protocol=data["protocol"],
+        t=data["t"],
+        quorum_size=data["quorum_size"],
+        delay=(data["delay"][0], tuple(data["delay"][1])),
+        detector=(data["detector"][0], tuple(data["detector"][1])),
+        faults=tuple(
+            Fault(
+                kind=fault["kind"],
+                at=fault["at"],
+                proc=fault["proc"],
+                target=fault["target"],
+            )
+            for fault in data["faults"]
+        ),
+        holds=tuple(
+            (target, tuple(shield)) for target, shield in data["holds"]
+        ),
+        partition=(
+            None
+            if data["partition"] is None
+            else (
+                tuple(data["partition"][0]),
+                tuple(data["partition"][1]),
+            )
+        ),
+        heal_at=data["heal_at"],
+        chatter=tuple(tuple(entry) for entry in data["chatter"]),
+        horizon=data["horizon"],
+        failure_model=data["failure_model"],
+    )
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One regression fixture: a scenario and its preserved contract.
+
+    ``expect_kinds`` are :func:`~repro.analysis.shrink.finding_kinds`
+    labels the replay must (at least) produce; ``note`` records where the
+    entry came from, for the human reading the corpus diff.
+    """
+
+    name: str
+    scenario: Scenario
+    expect_kinds: tuple[str, ...]
+    note: str = ""
+
+
+def entry_to_jsonable(entry: CorpusEntry) -> dict[str, Any]:
+    """A corpus entry as plain JSON types."""
+    return {
+        "version": CORPUS_VERSION,
+        "name": entry.name,
+        "note": entry.note,
+        "expect_kinds": list(entry.expect_kinds),
+        "scenario": scenario_to_jsonable(entry.scenario),
+    }
+
+
+def entry_from_jsonable(data: dict[str, Any]) -> CorpusEntry:
+    """Rebuild a corpus entry; raises on an unsupported version."""
+    if data.get("version") != CORPUS_VERSION:
+        raise SimulationError(
+            f"corpus entry {data.get('name', '?')!r}: unsupported "
+            f"version {data.get('version')!r}"
+        )
+    return CorpusEntry(
+        name=data["name"],
+        scenario=scenario_from_jsonable(data["scenario"]),
+        expect_kinds=tuple(data["expect_kinds"]),
+        note=data.get("note", ""),
+    )
+
+
+def save_entry(directory: str | Path, entry: CorpusEntry) -> Path:
+    """Write one entry as ``<directory>/<name>.json``; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{entry.name}.json"
+    path.write_text(
+        json.dumps(entry_to_jsonable(entry), indent=2, sort_keys=True) + "\n"
+    )
+    return path
+
+
+def load_corpus(directory: str | Path) -> tuple[CorpusEntry, ...]:
+    """Every entry under a corpus directory, sorted by name.
+
+    An empty or missing directory is an empty corpus, not an error — a
+    fresh checkout simply has nothing to replay yet.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return ()
+    entries = []
+    for path in sorted(directory.glob("*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise SimulationError(
+                f"corpus entry {path} is not valid JSON: {exc}"
+            ) from None
+        entries.append(entry_from_jsonable(data))
+    return tuple(entries)
+
+
+def replay_entry(entry: CorpusEntry):
+    """Run one corpus scenario; returns its fresh FuzzOutcome."""
+    return run_scenario(entry.scenario)
+
+
+def check_entry(entry: CorpusEntry) -> tuple[bool, str]:
+    """Replay and judge one entry: ``(ok, human-readable detail)``."""
+    outcome = replay_entry(entry)
+    observed = finding_kinds(outcome.findings)
+    expected = frozenset(entry.expect_kinds)
+    if expected <= observed:
+        return True, (
+            f"{entry.name}: reproduced {', '.join(sorted(expected))}"
+        )
+    missing = sorted(expected - observed)
+    return False, (
+        f"{entry.name}: missing kinds {', '.join(missing)} "
+        f"(observed: {', '.join(sorted(observed)) or 'none'})"
+    )

@@ -1,0 +1,348 @@
+"""Deterministic coverage signal for fuzz campaigns.
+
+Uniform sampling spends most of a fuzz budget re-running the regions of
+the scenario space it hit in the first hundred scenarios. This module
+extracts a **coverage signal** from artifacts the engine already
+produces — no instrumentation, no probes — and folds it into a
+:class:`CoverageMap` the adaptive fuzz loop
+(:func:`repro.analysis.fuzz.run_adaptive_fuzz`) uses to re-weight its
+per-axis sampling distributions between batches.
+
+The signal has three ingredient families, all derived from a
+:class:`~repro.analysis.fuzz.FuzzOutcome` by pure functions:
+
+* **scenario feature buckets** (:func:`scenario_features`) — which region
+  of the configuration space the scenario occupied: topology size,
+  protocol, delay family, detector, failure model, adversary schedule
+  shape, fault-plan shape;
+* **monitor transitions** — which dispositions the streaming property
+  state machines (:mod:`repro.core.failure_models`,
+  :mod:`repro.core.validate`, :mod:`repro.core.failed_before`) reached,
+  exported per run by
+  :meth:`~repro.analysis.monitors.MonitorSet.transition_coverage` and
+  carried on the outcome;
+* **near-miss signals** — violations observed (legitimate ones
+  included), bucketed first-violation indices, bucketed event counts:
+  the "how close to interesting did this run get" axis.
+
+Everything is plain strings and integer counts with content-stable
+``repr``, so a :class:`CoverageMap` built from the same outcomes in the
+same order has the same :meth:`~CoverageMap.digest` on every backend,
+chunk size, and journal resume point — the property suite pins that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.fuzz import FuzzConfig, FuzzOutcome, Scenario
+
+COVERAGE_VERSION = 1
+"""Version tag folded into every CoverageMap digest; bump on any change
+to the feature vocabulary, so stale digests fail loudly instead of
+comparing incomparable maps."""
+
+#: The adversary-schedule shapes the adaptive generator weights over.
+SCHEDULE_SHAPES = ("none", "holds", "partition", "both")
+
+
+def bucket(value: int) -> int:
+    """Log2 bucket of a non-negative count: 0, 1, 2, 4, 8, 16, ...
+
+    Coverage cares about orders of magnitude, not exact counts — two
+    runs that locked a violation at events 700 and 900 explored the same
+    region; bucketing keeps the feature space finite and the map stable
+    under noise-free-but-large variations.
+    """
+    if value <= 0:
+        return 0
+    result = 1
+    while result * 2 <= value:
+        result *= 2
+    return result
+
+
+def _schedule_shape(scenario: "Scenario") -> str:
+    if scenario.holds and scenario.partition is not None:
+        return "both"
+    if scenario.holds:
+        return "holds"
+    if scenario.partition is not None:
+        return "partition"
+    return "none"
+
+
+def scenario_features(scenario: "Scenario") -> tuple[str, ...]:
+    """The configuration-space bucket labels of one scenario.
+
+    Axis-valued labels (``axis=value``) double as the adaptive
+    generator's weight keys: :func:`derive_weights` looks these exact
+    strings up in the map, so the vocabulary here and the axis values
+    there must stay in lockstep.
+    """
+    kinds = sorted({fault.kind for fault in scenario.faults})
+    return (
+        f"n={scenario.n}",
+        f"protocol={scenario.protocol}",
+        f"t={scenario.t}",
+        f"delay={scenario.delay[0]}",
+        f"detector={scenario.detector[0]}",
+        f"model={scenario.failure_model}",
+        f"shape={_schedule_shape(scenario)}",
+        f"faults={'+'.join(kinds) if kinds else 'none'}",
+        f"fault-count={bucket(len(scenario.faults))}",
+        f"chatter={bucket(len(scenario.chatter))}",
+        f"horizon={'time' if scenario.horizon is not None else 'quiescence'}",
+    )
+
+
+def outcome_features(outcome: "FuzzOutcome") -> tuple[str, ...]:
+    """Every coverage feature one outcome contributes, in a fixed order.
+
+    Scenario buckets first, then the monitor-transition labels the run
+    carried home, then the near-miss signals. Deterministic: a pure
+    function of the outcome, which is itself a pure function of the job.
+    """
+    features = list(scenario_features(outcome.scenario))
+    features.extend(outcome.coverage)
+    for index, name in outcome.violations:
+        features.append(f"viol:{name}@{bucket(index)}")
+    if outcome.violations:
+        features.append(f"first-viol@{bucket(outcome.violations[0][0])}")
+    features.append(f"events={bucket(outcome.events)}")
+    return tuple(features)
+
+
+def _is_hot(outcome: "FuzzOutcome") -> bool:
+    """Whether an outcome sits in a violation-dense region of the space.
+
+    Findings obviously qualify; so do *legitimate* violations — a
+    unilateral run that forms cycles is exactly the neighbourhood where
+    an oracle or monitor bug would surface, so the adaptive loop leans
+    toward it.
+    """
+    return bool(outcome.findings) or bool(outcome.violations)
+
+
+class CoverageMap:
+    """Counts of every coverage feature observed, with a stable digest.
+
+    A plain ``{feature: count}`` multiset under the hood. Order of
+    insertion is irrelevant to the digest (items are sorted), so the map
+    is invariant under executor completion order by construction; the
+    adaptive loop still folds outcomes in planned index order so the
+    intermediate per-batch digests are well-defined too.
+    """
+
+    __slots__ = ("counts", "scenarios", "hot_scenarios")
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {}
+        self.scenarios = 0
+        self.hot_scenarios = 0
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+
+    def add_features(self, features: Iterable[str], hot: bool = False) -> None:
+        """Fold one run's feature labels in; ``hot`` marks the scenario
+        as violation-dense, which doubles its axis labels under the
+        ``hot:`` prefix so :func:`derive_weights` can see density, not
+        just coverage."""
+        self.scenarios += 1
+        if hot:
+            self.hot_scenarios += 1
+        for feature in features:
+            self.counts[feature] = self.counts.get(feature, 0) + 1
+            if hot:
+                key = f"hot:{feature}"
+                self.counts[key] = self.counts.get(key, 0) + 1
+
+    def add_outcome(self, outcome: "FuzzOutcome") -> None:
+        """Fold one fuzz outcome into the map."""
+        self.add_features(outcome_features(outcome), hot=_is_hot(outcome))
+
+    @classmethod
+    def from_outcomes(
+        cls, outcomes: Sequence["FuzzOutcome"]
+    ) -> "CoverageMap":
+        """The map of a whole campaign, folded in the given order."""
+        coverage = cls()
+        for outcome in outcomes:
+            coverage.add_outcome(outcome)
+        return coverage
+
+    def merge(self, other: "CoverageMap") -> "CoverageMap":
+        """Fold another map's counts into this one (multiset union)."""
+        for feature, count in other.counts.items():
+            self.counts[feature] = self.counts.get(feature, 0) + count
+        self.scenarios += other.scenarios
+        self.hot_scenarios += other.hot_scenarios
+        return self
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CoverageMap):
+            return NotImplemented
+        return (
+            self.counts == other.counts
+            and self.scenarios == other.scenarios
+            and self.hot_scenarios == other.hot_scenarios
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CoverageMap(features={len(self.counts)}, "
+            f"scenarios={self.scenarios}, hot={self.hot_scenarios})"
+        )
+
+    def count(self, feature: str) -> int:
+        """How many scenarios contributed ``feature`` (0 if never seen)."""
+        return self.counts.get(feature, 0)
+
+    def items(self) -> tuple[tuple[str, int], ...]:
+        """The map's contents, sorted by feature name (digest order)."""
+        return tuple(sorted(self.counts.items()))
+
+    def digest(self) -> str:
+        """Content hash of the map; bit-identical across backends."""
+        digest = hashlib.sha256()
+        digest.update(
+            repr((COVERAGE_VERSION, self.scenarios, self.hot_scenarios)).encode()
+        )
+        for item in self.items():
+            digest.update(repr(item).encode())
+        return digest.hexdigest()
+
+    def summary(self, top: int = 8) -> str:
+        """A compact human-readable rendering for the CLI."""
+        rarest = sorted(
+            (
+                (count, feature)
+                for feature, count in self.counts.items()
+                if not feature.startswith("hot:")
+            ),
+        )[:top]
+        lines = [
+            f"coverage: {len(self.counts)} features over "
+            f"{self.scenarios} scenarios ({self.hot_scenarios} "
+            "violation-dense)",
+        ]
+        if rarest:
+            lines.append(
+                "rarest: "
+                + ", ".join(f"{feature}×{count}" for count, feature in rarest)
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Adaptive re-weighting
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AxisWeights:
+    """Integer sampling weights for every adaptive generation axis.
+
+    Weights are integers on purpose: no float repr drift, no platform
+    rounding — an :class:`AxisWeights` has a content-stable ``repr`` and
+    rides inside the adaptive :class:`~repro.exec.job.JobSpec` params,
+    making every adaptive job (like every uniform one) its own
+    reproducer. Each field is a tuple of ``(value, weight)`` pairs in
+    the axis's canonical order; weights are all >= 1, so no region of
+    the configured space is ever starved entirely.
+    """
+
+    ns: tuple[tuple[int, int], ...]
+    protocols: tuple[tuple[str, int], ...]
+    delays: tuple[tuple[str, int], ...]
+    detectors: tuple[tuple[str, int], ...]
+    shapes: tuple[tuple[str, int], ...]
+
+
+#: Weight granted to a completely unexplored axis value.
+EXPLORE_WEIGHT = 8
+#: Extra weight per violation-dense hit on an axis value (capped).
+HOT_WEIGHT = 4
+#: Cap on the hot-hit count that earns extra weight.
+HOT_CAP = 8
+
+
+def _axis_weight(seen: int, hot: int) -> int:
+    """One axis value's weight from its coverage and violation density.
+
+    Unexplored values get :data:`EXPLORE_WEIGHT`; explored ones decay
+    toward 1 as their count grows; violation-dense values earn a bonus
+    proportional to their (capped) hot-hit count. All integer
+    arithmetic — bit-identical everywhere.
+    """
+    base = EXPLORE_WEIGHT if seen == 0 else max(1, EXPLORE_WEIGHT // (1 + seen))
+    return base + HOT_WEIGHT * min(hot, HOT_CAP)
+
+
+def _axis(
+    coverage: CoverageMap, axis: str, values: Iterable[object]
+) -> tuple[tuple[object, int], ...]:
+    pairs = []
+    for value in values:
+        feature = f"{axis}={value}"
+        pairs.append(
+            (
+                value,
+                _axis_weight(
+                    coverage.count(feature),
+                    coverage.count(f"hot:{feature}"),
+                ),
+            )
+        )
+    return tuple(pairs)
+
+
+def derive_weights(config: "FuzzConfig", coverage: CoverageMap) -> AxisWeights:
+    """The adaptive sampling weights implied by a coverage map.
+
+    A pure function of ``(config, coverage)`` — the adaptive campaign's
+    determinism rests on this: batch *k*'s weights derive from the
+    coverage of batches ``0..k-1`` and nothing else, so replaying the
+    outcomes replays the weights, the jobs, and the report, byte for
+    byte. An empty map yields uniform weights (every value unexplored).
+    """
+    return AxisWeights(
+        ns=_axis(coverage, "n", range(config.min_n, config.max_n + 1)),
+        protocols=_axis(coverage, "protocol", config.protocols),
+        delays=_axis(coverage, "delay", config.delays),
+        detectors=_axis(coverage, "detector", config.detectors),
+        shapes=_axis(coverage, "shape", SCHEDULE_SHAPES),
+    )
+
+
+def weighted_choice(rng, pairs: Sequence[tuple[object, int]]):
+    """Draw one value from integer-weighted pairs, deterministically.
+
+    Uses a single ``rng.randrange(total)`` draw and a cumulative walk —
+    stable across platforms and Python versions (no float arithmetic,
+    no ``random.choices`` implementation detail).
+    """
+    total = sum(weight for _, weight in pairs)
+    if total <= 0:
+        raise SimulationError("weighted_choice needs a positive total weight")
+    point = rng.randrange(total)
+    acc = 0
+    for value, weight in pairs:
+        acc += weight
+        if point < acc:
+            return value
+    raise AssertionError("unreachable: cumulative walk exhausted")

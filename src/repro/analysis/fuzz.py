@@ -32,6 +32,12 @@ from dataclasses import dataclass
 
 from pathlib import Path
 
+from repro.analysis.coverage import (
+    AxisWeights,
+    CoverageMap,
+    derive_weights,
+    weighted_choice,
+)
 from repro.analysis.monitors import MonitorSet
 from repro.core.bounds import max_tolerable_t
 from repro.core.failure_models import FAILURE_MODEL_NAMES, get_failure_model
@@ -40,10 +46,12 @@ from repro.detectors.phi_accrual import PhiAccrualDriver
 from repro.errors import SimulationError
 from repro.exec import (
     EXEC_BACKENDS,
+    CampaignJournal,
     InprocExecutor,
     JobSpec,
     ResultSink,
     effective_backend,
+    job_digest,
     make_executor,
     run_jobs,
 )
@@ -211,106 +219,113 @@ def _round(value: float) -> float:
     return round(value, 4)
 
 
-def generate_scenario(seed: int, index: int, config: FuzzConfig) -> Scenario:
-    """The ``index``-th scenario of fuzz run ``seed`` under ``config``.
-
-    Derivation is via ``random.Random(f"{seed}:{index}")`` — string
-    seeding hashes with SHA-512, so the stream is stable across processes
-    and interpreter restarts (unlike ``hash()``-based derivations).
-    """
-    rng = random.Random(f"repro-fuzz:{seed}:{index}")
-    n = rng.randint(config.min_n, config.max_n)
-    protocol = rng.choice(config.protocols)
+def _draw_protocol_bounds(
+    protocol: str, n: int, rng: random.Random
+) -> tuple[int, int | None]:
+    """The ``(t, quorum_size)`` draw for one protocol choice."""
     if protocol in ("sfs", "transitive"):
         # Bounds-enforced Section 5 deployments: Theorem 5 applies, so
         # the oracle below may demand full sFS conformance. n >= 2
         # guarantees max_tolerable_t(n) >= 1, keeping n > t^2.
-        t = rng.randint(1, max_tolerable_t(n))
-        quorum_size = None
-    elif protocol == "generic":
+        return rng.randint(1, max_tolerable_t(n)), None
+    if protocol == "generic":
         t = rng.randint(1, max(1, n // 2))
-        quorum_size = rng.randint(1, n)  # probe illegal sizes on purpose
-    else:  # unilateral
-        t = rng.randint(1, max(1, n // 2))
-        quorum_size = None
+        return t, rng.randint(1, n)  # probe illegal sizes on purpose
+    # unilateral
+    return rng.randint(1, max(1, n // 2)), None
 
-    family = rng.choice(config.delays)
+
+def _draw_delay_params(
+    family: str, rng: random.Random
+) -> tuple[float, ...]:
+    """The parameter draw for one delay-family choice."""
     if family == "constant":
-        delay_params: tuple[float, ...] = (_round(rng.uniform(0.1, 1.5)),)
-    elif family == "uniform":
+        return (_round(rng.uniform(0.1, 1.5)),)
+    if family == "uniform":
         low = _round(rng.uniform(0.05, 1.0))
-        delay_params = (low, _round(low + rng.uniform(0.1, 2.0)))
-    elif family == "exponential":
-        delay_params = (_round(rng.uniform(0.3, 1.5)),)
-    elif family == "lognormal":
-        delay_params = (
+        return (low, _round(low + rng.uniform(0.1, 2.0)))
+    if family == "exponential":
+        return (_round(rng.uniform(0.3, 1.5)),)
+    if family == "lognormal":
+        return (
             _round(rng.uniform(0.4, 1.5)),
             _round(rng.uniform(0.2, 0.8)),
         )
-    else:  # pareto
-        delay_params = (
-            _round(rng.uniform(0.2, 0.8)),
-            _round(rng.uniform(1.3, 2.5)),
-        )
-
-    detector = ("none", ())
-    choices = tuple(d for d in config.detectors if d != "none")
-    if choices and rng.random() < config.detector_rate:
-        kind = rng.choice(choices)
-        interval = _round(rng.uniform(0.5, 2.0))
-        if kind == "heartbeat":
-            detector = (
-                "heartbeat",
-                (interval, _round(interval * rng.uniform(3.0, 10.0))),
-            )
-        else:
-            detector = ("phi", (interval, _round(rng.uniform(2.0, 8.0))))
-
-    # Model-specific plans draw different amounts of randomness; only the
-    # default branch must preserve the historical draw order.
-    if config.failure_model == "crash-recovery":
-        faults = tuple(
-            random_recovery_plan(n, t, rng, horizon=config.fault_horizon)
-        )
-    elif config.failure_model == "byzantine-crash":
-        faults = tuple(
-            random_byzantine_plan(n, t, rng, horizon=config.fault_horizon)
-        )
-    else:
-        faults = tuple(
-            random_fault_plan(n, t, rng, horizon=config.fault_horizon)
-        )
-
-    holds: tuple[tuple[int, tuple[int, ...]], ...] = ()
-    if rng.random() < config.adversary_rate:
-        targets = sorted(
-            {f.target if f.target is not None else f.proc for f in faults}
-        ) or [rng.randrange(n)]
-        picked = rng.sample(targets, k=min(len(targets), rng.randint(1, 2)))
-        hold_list = []
-        for target in picked:
-            others = [p for p in range(n) if p != target]
-            shield = {target} | set(
-                rng.sample(others, k=rng.randint(0, max(0, (n - 1) // 3)))
-            )
-            hold_list.append((target, tuple(sorted(shield))))
-        holds = tuple(hold_list)
-
-    partition = None
-    if n >= 2 and rng.random() < config.partition_rate:
-        cut = rng.randint(1, n - 1)
-        members = list(range(n))
-        rng.shuffle(members)
-        partition = (
-            tuple(sorted(members[:cut])),
-            tuple(sorted(members[cut:])),
-        )
-
-    heal_at = (
-        _round(rng.uniform(10.0, 20.0)) if holds or partition else None
+    # pareto
+    return (
+        _round(rng.uniform(0.2, 0.8)),
+        _round(rng.uniform(1.3, 2.5)),
     )
 
-    chatter = tuple(
+
+def _draw_detector_params(
+    kind: str, rng: random.Random
+) -> tuple[str, tuple[float, ...]]:
+    """The parameter draw for one (non-``"none"``) detector choice."""
+    interval = _round(rng.uniform(0.5, 2.0))
+    if kind == "heartbeat":
+        return (
+            "heartbeat",
+            (interval, _round(interval * rng.uniform(3.0, 10.0))),
+        )
+    return ("phi", (interval, _round(rng.uniform(2.0, 8.0))))
+
+
+def _draw_faults(
+    config: FuzzConfig, n: int, t: int, rng: random.Random
+) -> tuple[Fault, ...]:
+    """The model-specific fault-plan draw.
+
+    Model-specific plans draw different amounts of randomness; only the
+    default branch must preserve the historical draw order.
+    """
+    if config.failure_model == "crash-recovery":
+        return tuple(
+            random_recovery_plan(n, t, rng, horizon=config.fault_horizon)
+        )
+    if config.failure_model == "byzantine-crash":
+        return tuple(
+            random_byzantine_plan(n, t, rng, horizon=config.fault_horizon)
+        )
+    return tuple(random_fault_plan(n, t, rng, horizon=config.fault_horizon))
+
+
+def _draw_holds(
+    n: int, faults: tuple[Fault, ...], rng: random.Random
+) -> tuple[tuple[int, tuple[int, ...]], ...]:
+    """The adversary suspicion-hold draw (given holds were chosen)."""
+    targets = sorted(
+        {f.target if f.target is not None else f.proc for f in faults}
+    ) or [rng.randrange(n)]
+    picked = rng.sample(targets, k=min(len(targets), rng.randint(1, 2)))
+    hold_list = []
+    for target in picked:
+        others = [p for p in range(n) if p != target]
+        shield = {target} | set(
+            rng.sample(others, k=rng.randint(0, max(0, (n - 1) // 3)))
+        )
+        hold_list.append((target, tuple(sorted(shield))))
+    return tuple(hold_list)
+
+
+def _draw_partition(
+    n: int, rng: random.Random
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """The network-partition draw (given a partition was chosen)."""
+    cut = rng.randint(1, n - 1)
+    members = list(range(n))
+    rng.shuffle(members)
+    return (
+        tuple(sorted(members[:cut])),
+        tuple(sorted(members[cut:])),
+    )
+
+
+def _draw_chatter(
+    config: FuzzConfig, n: int, rng: random.Random
+) -> tuple[tuple[float, int, int, int], ...]:
+    """The application-chatter draw."""
+    return tuple(
         sorted(
             (
                 _round(rng.uniform(0.1, config.fault_horizon + 4.0)),
@@ -321,6 +336,117 @@ def generate_scenario(seed: int, index: int, config: FuzzConfig) -> Scenario:
             for tag in range(rng.randint(0, config.max_chatter))
         )
     )
+
+
+def generate_scenario(seed: int, index: int, config: FuzzConfig) -> Scenario:
+    """The ``index``-th scenario of fuzz run ``seed`` under ``config``.
+
+    Derivation is via ``random.Random(f"{seed}:{index}")`` — string
+    seeding hashes with SHA-512, so the stream is stable across processes
+    and interpreter restarts (unlike ``hash()``-based derivations).
+
+    The helper draws are shared with :func:`generate_weighted_scenario`;
+    the call order here reproduces the historical uniform stream byte
+    for byte (pinned by the legacy digest tests).
+    """
+    rng = random.Random(f"repro-fuzz:{seed}:{index}")
+    n = rng.randint(config.min_n, config.max_n)
+    protocol = rng.choice(config.protocols)
+    t, quorum_size = _draw_protocol_bounds(protocol, n, rng)
+
+    family = rng.choice(config.delays)
+    delay_params = _draw_delay_params(family, rng)
+
+    detector = ("none", ())
+    choices = tuple(d for d in config.detectors if d != "none")
+    if choices and rng.random() < config.detector_rate:
+        detector = _draw_detector_params(rng.choice(choices), rng)
+
+    faults = _draw_faults(config, n, t, rng)
+
+    holds: tuple[tuple[int, tuple[int, ...]], ...] = ()
+    if rng.random() < config.adversary_rate:
+        holds = _draw_holds(n, faults, rng)
+
+    partition = None
+    if n >= 2 and rng.random() < config.partition_rate:
+        partition = _draw_partition(n, rng)
+
+    heal_at = (
+        _round(rng.uniform(10.0, 20.0)) if holds or partition else None
+    )
+
+    chatter = _draw_chatter(config, n, rng)
+
+    return Scenario(
+        index=index,
+        seed=rng.getrandbits(32),
+        n=n,
+        protocol=protocol,
+        t=t,
+        quorum_size=quorum_size,
+        delay=(family, delay_params),
+        detector=detector,
+        faults=faults,
+        holds=holds,
+        partition=partition,
+        heal_at=heal_at,
+        chatter=chatter,
+        horizon=(
+            config.detector_horizon if detector[0] != "none" else None
+        ),
+        failure_model=config.failure_model,
+    )
+
+
+def generate_weighted_scenario(
+    seed: int, index: int, config: FuzzConfig, weights: AxisWeights
+) -> Scenario:
+    """The ``index``-th *adaptive* scenario under explicit axis weights.
+
+    A pure function of ``(seed, index, config, weights)`` — the adaptive
+    loop's coverage feedback is entirely inside ``weights``, so an
+    adaptive job (which carries its weights in its params) is exactly as
+    self-contained a reproducer as a uniform one. The RNG namespace is
+    distinct from :func:`generate_scenario`'s on purpose: index *i* of an
+    adaptive campaign is not index *i* of a uniform run, and the streams
+    must never collide.
+
+    Weighted axes (n, protocol, delay family, detector, adversary
+    schedule shape) draw through
+    :func:`~repro.analysis.coverage.weighted_choice`; everything inside
+    an axis choice reuses the same ``_draw_*`` helpers as the uniform
+    generator, so the adaptive fuzzer explores *where* the map steers it
+    with the same local distributions the uniform fuzzer has always had.
+    """
+    rng = random.Random(f"repro-fuzz-adaptive:{seed}:{index}")
+    n = weighted_choice(rng, weights.ns)
+    protocol = weighted_choice(rng, weights.protocols)
+    t, quorum_size = _draw_protocol_bounds(protocol, n, rng)
+
+    family = weighted_choice(rng, weights.delays)
+    delay_params = _draw_delay_params(family, rng)
+
+    detector = ("none", ())
+    kind = weighted_choice(rng, weights.detectors)
+    if kind != "none":
+        detector = _draw_detector_params(kind, rng)
+
+    faults = _draw_faults(config, n, t, rng)
+
+    shape = weighted_choice(rng, weights.shapes)
+    holds: tuple[tuple[int, tuple[int, ...]], ...] = ()
+    if shape in ("holds", "both"):
+        holds = _draw_holds(n, faults, rng)
+    partition = None
+    if shape in ("partition", "both"):
+        partition = _draw_partition(n, rng)
+
+    heal_at = (
+        _round(rng.uniform(10.0, 20.0)) if holds or partition else None
+    )
+
+    chatter = _draw_chatter(config, n, rng)
 
     return Scenario(
         index=index,
@@ -519,6 +645,7 @@ def judge_world(scenario: Scenario, world: World) -> "FuzzOutcome":
         events=len(world.trace),
         violations=tuple(monitors.violation_log),
         findings=tuple(findings),
+        coverage=monitors.transition_coverage(),
     )
 
 
@@ -529,13 +656,30 @@ def judge_world(scenario: Scenario, world: World) -> "FuzzOutcome":
 
 @dataclass(frozen=True)
 class FuzzOutcome:
-    """One scenario's verdicts: what tripped, and what that means."""
+    """One scenario's verdicts: what tripped, and what that means.
+
+    ``coverage`` carries the monitor-transition labels the run produced
+    (see :meth:`~repro.analysis.monitors.MonitorSet.transition_coverage`)
+    for the adaptive loop's :class:`~repro.analysis.coverage.CoverageMap`.
+    It is deliberately absent from the ``repr``: reprs feed
+    :meth:`FuzzReport.digest`, which must keep reproducing historical
+    digests byte for byte. The labels are themselves a pure function of
+    the history the digest already covers, so hiding them loses nothing.
+    """
 
     index: int
     scenario: Scenario
     events: int
     violations: tuple[tuple[int, str], ...]
     findings: tuple[str, ...]
+    coverage: tuple[str, ...] = ()
+
+    def __repr__(self) -> str:
+        return (
+            f"FuzzOutcome(index={self.index!r}, "
+            f"scenario={self.scenario!r}, events={self.events!r}, "
+            f"violations={self.violations!r}, findings={self.findings!r})"
+        )
 
     @property
     def ok(self) -> bool:
@@ -618,24 +762,76 @@ FUZZ_MAX_EVENTS = 500_000
 """Per-scenario livelock valve, identical on every backend."""
 
 
-def scenario_job(seed: int, index: int, config: FuzzConfig) -> JobSpec:
+SCENARIO_JOB_KIND = "repro.analysis.fuzz:run_scenario_job"
+"""Entrypoint string for jobs carrying a *literal* scenario (the
+shrinker's candidates and the regression corpus's replays)."""
+
+
+def scenario_job(
+    seed: int,
+    index: int,
+    config: FuzzConfig,
+    weights: AxisWeights | None = None,
+) -> JobSpec:
     """The ``index``-th scenario of fuzz run ``seed``, as a frozen job.
 
     The config rides in ``params`` (a frozen dataclass with
     content-stable repr), so the job — like the scenario — is its own
-    reproducer.
+    reproducer. With ``weights`` the job describes an *adaptive* draw:
+    the weights ride in ``params`` too, so the job digest covers them and
+    a journaled adaptive result self-validates against the exact
+    distribution that produced it.
     """
+    params: tuple[tuple[str, object], ...] = (
+        ("index", index),
+        ("config", config),
+    )
+    if weights is not None:
+        params += (("weights", weights),)
     return JobSpec(
         kind=FUZZ_JOB_KIND,
         spec_id="fuzz",
         seed=seed,
-        params=(("index", index), ("config", config)),
+        params=params,
     )
 
 
 def job_scenario(job: JobSpec) -> Scenario:
     """Materialise the scenario a fuzz job describes."""
+    weights = job.param("weights")
+    if weights is not None:
+        return generate_weighted_scenario(
+            job.seed, job.param("index"), job.param("config"), weights
+        )
     return generate_scenario(job.seed, job.param("index"), job.param("config"))
+
+
+def scenario_spec_job(scenario: Scenario) -> JobSpec:
+    """A job that runs one fully materialised scenario, verbatim.
+
+    Unlike :func:`scenario_job` there is no generator in the loop: the
+    scenario itself rides in ``params`` (its repr is content-stable by
+    construction). This is the execution form of "paste the repr back
+    in" — the shrinker re-runs mutated candidates through it, and the
+    regression corpus replays its entries with it.
+    """
+    return JobSpec(
+        kind=SCENARIO_JOB_KIND,
+        spec_id="fuzz-scenario",
+        seed=scenario.seed,
+        params=(("scenario", scenario),),
+    )
+
+
+def _scenario_shard(scenario: Scenario):
+    """The one-shard form every fuzz execution path funnels through."""
+    spec = ShardSpec(
+        key=scenario,
+        build=(lambda: build_scenario_world(scenario)),
+        horizon=scenario.horizon,
+        max_events=FUZZ_MAX_EVENTS,
+    )
+    return spec, (lambda spec, world: judge_world(spec.key, world))
 
 
 def run_fuzz_job(job: JobSpec) -> FuzzOutcome:
@@ -659,17 +855,37 @@ def _fuzz_job_shard(job: JobSpec):
     """Shard form: lets the ``inproc`` executor step scenarios through
     :class:`~repro.sim.multiworld.ShardedRunner` (see
     :func:`repro.exec.job.shard_form`)."""
-    scenario = job_scenario(job)
-    spec = ShardSpec(
-        key=scenario,
-        build=(lambda: build_scenario_world(scenario)),
-        horizon=scenario.horizon,
-        max_events=FUZZ_MAX_EVENTS,
-    )
-    return spec, (lambda spec, world: judge_world(spec.key, world))
+    return _scenario_shard(job_scenario(job))
 
 
 run_fuzz_job.to_shard = _fuzz_job_shard
+
+
+def run_scenario_job(job: JobSpec) -> FuzzOutcome:
+    """Execution-layer entrypoint for literal-scenario jobs."""
+    spec, collect = _scenario_job_shard(job)
+    (outcome,) = ShardedRunner(stepping="sequential").run(
+        [spec], collect=collect
+    )
+    return outcome
+
+
+def _scenario_job_shard(job: JobSpec):
+    """Shard form of :func:`run_scenario_job`."""
+    return _scenario_shard(job.param("scenario"))
+
+
+run_scenario_job.to_shard = _scenario_job_shard
+
+
+def run_scenario(scenario: Scenario) -> FuzzOutcome:
+    """Run and judge one materialised scenario in this process.
+
+    The convenience form of :func:`run_scenario_job` — same one-shard
+    path, so the outcome is bit-identical to what any backend would
+    produce for the same scenario.
+    """
+    return run_scenario_job(scenario_spec_job(scenario))
 
 FUZZ_BACKENDS = EXEC_BACKENDS
 """Valid ``backend`` arguments for :func:`run_fuzz` — the execution
@@ -735,3 +951,280 @@ def run_fuzz(
         resume=resume,
     )
     return FuzzReport(seed=seed, count=count, outcomes=tuple(outcomes))
+
+
+# ----------------------------------------------------------------------
+# Adaptive campaigns
+# ----------------------------------------------------------------------
+
+ADAPTIVE_CAMPAIGN_VERSION = 1
+"""Folded into every campaign digest; bump on any change to the adaptive
+loop's semantics (weight derivation, batch protocol, RNG namespace)."""
+
+
+def adaptive_campaign_digest(
+    seed: int, count: int, batch: int, config: FuzzConfig
+) -> str:
+    """Content hash of an adaptive campaign's inputs.
+
+    This is what a :class:`~repro.exec.journal.CampaignJournal` header
+    binds to: the full job plan is unknown upfront (batch *k*'s jobs
+    depend on batch *k-1*'s outcomes), but the campaign inputs determine
+    the whole run, so binding to them is binding to the plan.
+    """
+    return hashlib.sha256(
+        repr(
+            ("adaptive-fuzz", ADAPTIVE_CAMPAIGN_VERSION, seed, count, batch, config)
+        ).encode()
+    ).hexdigest()
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One adaptive batch's ledger entry: which scenarios it ran and what
+    the coverage map looked like after folding them in."""
+
+    batch: int
+    start: int
+    end: int
+    new_features: int
+    coverage_digest: str
+
+
+@dataclass(frozen=True)
+class AdaptiveReport:
+    """The full, digest-stable result of one adaptive fuzz campaign.
+
+    Wraps the plain :class:`FuzzReport` (same outcomes vocabulary, same
+    findings accessors) and adds the coverage ledger: the final
+    :class:`~repro.analysis.coverage.CoverageMap` and one
+    :class:`BatchRecord` per batch. ``digest()`` covers all of it, so
+    "same digest" means the replay reproduced not just the outcomes but
+    the entire adaptive trajectory — weights, batches, coverage folds.
+    """
+
+    report: FuzzReport
+    coverage: CoverageMap
+    batches: tuple[BatchRecord, ...]
+    batch_size: int
+
+    @property
+    def findings(self) -> tuple[tuple[int, str], ...]:
+        """Every finding across the campaign (see FuzzReport.findings)."""
+        return self.report.findings
+
+    @property
+    def outcomes(self) -> tuple[FuzzOutcome, ...]:
+        """The per-scenario outcomes, in campaign index order."""
+        return self.report.outcomes
+
+    def digest(self) -> str:
+        """Content hash of the campaign; replays must reproduce it."""
+        digest = hashlib.sha256()
+        digest.update(
+            repr(("adaptive", ADAPTIVE_CAMPAIGN_VERSION, self.batch_size)).encode()
+        )
+        digest.update(self.report.digest().encode())
+        digest.update(self.coverage.digest().encode())
+        for record in self.batches:
+            digest.update(repr(record).encode())
+        return digest.hexdigest()
+
+    def summary(self) -> str:
+        """A compact human-readable rendering for the CLI."""
+        lines = [self.report.summary(), self.coverage.summary()]
+        lines.append(
+            f"batches: {len(self.batches)} of {self.batch_size} scenarios"
+        )
+        for record in self.batches:
+            lines.append(
+                f"  batch {record.batch}: scenarios "
+                f"{record.start}..{record.end - 1}, "
+                f"+{record.new_features} new features"
+            )
+        return "\n".join(lines)
+
+
+def run_adaptive_fuzz(
+    seed: int,
+    count: int,
+    config: FuzzConfig = DEFAULT_CONFIG,
+    batch: int = 50,
+    stepping: str = "round_robin",
+    quantum: int = 512,
+    window: int | None = 64,
+    runner: ShardedRunner | None = None,
+    backend: str | None = None,
+    jobs: int = 1,
+    chunksize: int | None = None,
+    journal: str | Path | None = None,
+    resume: bool = False,
+    sink: ResultSink | None = None,
+) -> AdaptiveReport:
+    """A coverage-guided fuzz campaign; pure in ``(seed, count, batch,
+    config)``.
+
+    Scenarios run in fixed-size batches. Batch 0 draws under uniform
+    weights (an empty coverage map); before each later batch the
+    outcomes so far are folded into a
+    :class:`~repro.analysis.coverage.CoverageMap` and
+    :func:`~repro.analysis.coverage.derive_weights` turns it into the
+    batch's :class:`~repro.analysis.coverage.AxisWeights` — unexplored
+    and violation-dense regions of the scenario space get heavier
+    sampling. The weights are a pure function of prior outcomes and ride
+    inside each job's params, so the campaign replays byte-identically:
+    same inputs (or a journal resume from any kill point) produce the
+    same scenarios, outcomes, coverage digests, and
+    :meth:`AdaptiveReport.digest`, on every backend and stepping policy.
+
+    ``journal``/``resume`` checkpoint through a
+    :class:`~repro.exec.journal.CampaignJournal`: restored results are
+    validated against the recomputed batch jobs (hash mismatch names the
+    campaign drift), and each batch's recorded coverage checkpoint is
+    cross-checked against the resumed fold. A ``sink`` streams outcomes
+    in campaign index order as the finished prefix grows, exactly like
+    :func:`run_fuzz`.
+    """
+    if count < 0:
+        raise SimulationError(f"count must be >= 0, got {count}")
+    if batch < 1:
+        raise SimulationError(f"batch must be >= 1, got {batch}")
+    if resume and journal is None:
+        raise SimulationError("resume=True requires a journal")
+    if backend is None:
+        backend = "inproc"
+    if runner is not None and backend != "inproc":
+        raise SimulationError(
+            "a ShardedRunner only drives the 'inproc' backend; drop "
+            f"runner= or backend={backend!r}"
+        )
+    backend = effective_backend(backend, min(batch, count), jobs)
+    if backend == "inproc":
+        if runner is None:
+            runner = ShardedRunner(
+                stepping=stepping, quantum=quantum, window=window
+            )
+        executor = InprocExecutor(runner=runner)
+    else:
+        executor = make_executor(backend, workers=jobs, chunksize=chunksize)
+
+    log = CampaignJournal(journal) if journal is not None else None
+    cached: dict[int, tuple[str, object]] = {}
+    checkpoints: dict[int, dict] = {}
+    if log is not None:
+        cached, checkpoints = log.begin(
+            adaptive_campaign_digest(seed, count, batch, config),
+            count,
+            resume=resume,
+        )
+
+    coverage = CoverageMap()
+    outcomes: list[FuzzOutcome | None] = [None] * count
+    jobs_by_index: dict[int, JobSpec] = {}
+    batches: list[BatchRecord] = []
+    released = 0
+
+    def release_prefix() -> None:
+        nonlocal released
+        if sink is None:
+            return
+        while released < count and outcomes[released] is not None:
+            sink.emit(released, jobs_by_index[released], outcomes[released])
+            released += 1
+
+    if sink is not None:
+        sink.open(count)
+    try:
+        number = 0
+        start = 0
+        while start < count:
+            end = min(count, start + batch)
+            weights = derive_weights(config, coverage)
+            pending: list[tuple[int, JobSpec]] = []
+            for index in range(start, end):
+                job = scenario_job(seed, index, config, weights=weights)
+                jobs_by_index[index] = job
+                entry = cached.get(index)
+                if entry is not None:
+                    job_hash, result = entry
+                    if job_hash != job_digest(job):
+                        raise SimulationError(
+                            f"journal {log.path}: job hash mismatch at "
+                            f"index {index}; the journaled campaign "
+                            "diverged from this one (seed, count, batch "
+                            "size, config, or the adaptive loop changed); "
+                            "delete the journal or drop --resume"
+                        )
+                    outcomes[index] = result
+                else:
+                    pending.append((index, job))
+
+            def on_result(index: int, result: FuzzOutcome) -> None:
+                outcomes[index] = result
+                if log is not None:
+                    log.record(index, jobs_by_index[index], result)
+                release_prefix()
+
+            release_prefix()  # journaled results are already available
+            executor.submit(pending, on_result)
+
+            missing = [
+                index
+                for index in range(start, end)
+                if outcomes[index] is None
+            ]
+            if missing:
+                raise SimulationError(
+                    f"executor {executor.name!r} completed without "
+                    f"reporting {len(missing)} job(s) "
+                    f"(first: {missing[0]})"
+                )
+
+            before = len(coverage)
+            for index in range(start, end):
+                coverage.add_outcome(outcomes[index])
+            digest = coverage.digest()
+            batches.append(
+                BatchRecord(
+                    batch=number,
+                    start=start,
+                    end=end,
+                    new_features=len(coverage) - before,
+                    coverage_digest=digest,
+                )
+            )
+            if log is not None:
+                checkpoint = checkpoints.get(number)
+                if checkpoint is not None:
+                    if (
+                        checkpoint.get("digest") != digest
+                        or checkpoint.get("upto") != end
+                    ):
+                        raise SimulationError(
+                            f"journal {log.path}: coverage checkpoint "
+                            f"mismatch at batch {number}; the resumed "
+                            "fold does not reproduce the original run "
+                            "(code or config drift); delete the journal "
+                            "or drop --resume"
+                        )
+                else:
+                    log.record_coverage(number, end, digest)
+            number += 1
+            start = end
+    finally:
+        if sink is not None:
+            sink.close()
+        if log is not None:
+            log.close()
+
+    report = FuzzReport(
+        seed=seed,
+        count=count,
+        outcomes=tuple(outcomes),  # type: ignore[arg-type]
+    )
+    return AdaptiveReport(
+        report=report,
+        coverage=coverage,
+        batches=tuple(batches),
+        batch_size=batch,
+    )

@@ -477,6 +477,43 @@ class MonitorSet:
             monitor.name: monitor.result() for monitor in self.monitors
         }
 
+    def transition_coverage(self) -> tuple[str, ...]:
+        """Which dispositions the property state machines reached.
+
+        The coverage-export hook (:mod:`repro.analysis.coverage`): one
+        label per monitor describing where its transition state machine
+        ended up — ``ok``, ``violated`` at a bucketed lock-in index, or
+        ``unsettled`` (a liveness result that finalizes non-ok without a
+        lock-in) — plus near-miss labels for open liveness obligations
+        at finalize time, the bad-pair count, and the locked cycle
+        length. Deterministic and read-only: calling it never advances
+        any state machine, so serial, parallel, and inproc runs of the
+        same scenario export identical tuples.
+        """
+        from repro.analysis.coverage import bucket
+
+        labels = []
+        for monitor in self.monitors:
+            locked = monitor.first_violation_index
+            if locked is not None:
+                labels.append(f"{monitor.name}:violated@{bucket(locked)}")
+            elif monitor.result().ok:
+                labels.append(f"{monitor.name}:ok")
+            else:
+                labels.append(f"{monitor.name}:unsettled")
+            pending = getattr(monitor, "pending_obligations", None)
+            if pending is not None:
+                open_count = pending()
+                if open_count:
+                    labels.append(
+                        f"{monitor.name}:pending={bucket(open_count)}"
+                    )
+        if self.bad_pairs.count:
+            labels.append(f"bad-pairs={bucket(self.bad_pairs.count)}")
+        if self.cycle is not None:
+            labels.append(f"cycle-len={len(self.cycle)}")
+        return tuple(labels)
+
     def summary(self) -> str:
         """A compact live-verdict rendering for streaming output.
 

@@ -45,6 +45,7 @@ from repro.exec.job import (
     shard_form,
 )
 from repro.exec.journal import (
+    CampaignJournal,
     Journal,
     merge_journals,
     partition_jobs,
@@ -70,6 +71,7 @@ __all__ = [
     "CallbackSink",
     "TeeSink",
     "Journal",
+    "CampaignJournal",
     "partition_jobs",
     "merge_journals",
     "run_jobs",

@@ -262,6 +262,232 @@ class Journal:
 
 
 # ----------------------------------------------------------------------
+# Campaign journals (adaptive runs, whose plans unfold batch by batch)
+# ----------------------------------------------------------------------
+
+
+class CampaignJournal:
+    """Checkpoint file for runs whose job plan is not known upfront.
+
+    An adaptive fuzz campaign derives batch *k*'s jobs from the coverage
+    of batches ``0..k-1`` — there is no full plan to digest at open time,
+    so a :class:`Journal` header cannot bind the file. A campaign journal
+    binds the header to a *campaign digest* instead (a content hash of
+    the campaign inputs — seed, count, batch size, config) and defers
+    per-entry job-hash validation to the driver, which recomputes each
+    batch's jobs during resume and checks the salvaged entries against
+    them (the entries themselves still carry the same
+    :func:`~repro.exec.job.job_digest` result lines a plain journal
+    uses).
+
+    Extra line kind: after each batch the driver records a **coverage
+    checkpoint**, so a resume can cross-check that its recomputed
+    coverage fold reproduces the original run's byte for byte::
+
+        {"kind": "coverage", "batch": 2, "upto": 150, "digest": "<sha256>"}
+
+    Crash tolerance is the plain journal's: flushed result lines, a
+    tolerated torn final line, and an atomic rewrite on resume.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._fh: IO[str] | None = None
+
+    def _load_entries(
+        self, campaign: str, total: int
+    ) -> tuple[dict[int, tuple[str, str, Any]], dict[int, dict]]:
+        """Salvaged lines: ``({index: (job hash, raw data, result)},
+        {batch: coverage entry})``; empty on a missing file."""
+        if not self.path.exists():
+            return {}, {}
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError as exc:
+            raise SimulationError(
+                f"cannot read journal {self.path}: {exc}"
+            ) from exc
+        if not lines:
+            return {}, {}
+        cached: dict[int, tuple[str, str, Any]] = {}
+        checkpoints: dict[int, dict] = {}
+        for lineno, line in enumerate(lines):
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                if lineno == len(lines) - 1:
+                    continue  # torn final line: the kill's half-write
+                raise SimulationError(
+                    f"journal {self.path}: corrupt line {lineno + 1} "
+                    "(only the final line may be torn)"
+                ) from None
+            kind = entry.get("kind")
+            if lineno == 0:
+                if kind != "header":
+                    raise SimulationError(
+                        f"journal {self.path}: missing header line"
+                    )
+                if entry.get("version") != JOURNAL_VERSION:
+                    raise SimulationError(
+                        f"journal {self.path}: unsupported version "
+                        f"{entry.get('version')!r}"
+                    )
+                if entry.get("campaign") != campaign:
+                    raise SimulationError(
+                        f"journal {self.path} was written for a different "
+                        "adaptive campaign (seed, count, batch size, or "
+                        "config changed); delete it or drop --resume"
+                    )
+                continue
+            if kind == "coverage":
+                try:
+                    batch = entry["batch"]
+                    entry["upto"], entry["digest"]
+                except KeyError as exc:
+                    raise SimulationError(
+                        f"journal {self.path}: corrupt line {lineno + 1} "
+                        f"(coverage entry missing field {exc.args[0]!r})"
+                    ) from None
+                checkpoints[batch] = entry
+                continue
+            if kind != "result":
+                raise SimulationError(
+                    f"journal {self.path}: unknown entry kind {kind!r} "
+                    f"on line {lineno + 1}"
+                )
+            try:
+                index = entry["index"]
+                job_hash = entry["job"]
+                data = entry["data"]
+            except KeyError as exc:
+                raise SimulationError(
+                    f"journal {self.path}: corrupt line {lineno + 1} "
+                    f"(result entry missing field {exc.args[0]!r})"
+                ) from None
+            if not isinstance(index, int) or not 0 <= index < total:
+                raise SimulationError(
+                    f"journal {self.path}: result index {index!r} outside "
+                    f"the {total}-scenario campaign"
+                )
+            try:
+                result = _decode(data)
+            except Exception as exc:
+                raise SimulationError(
+                    f"journal {self.path}: corrupt line {lineno + 1} "
+                    f"(undecodable payload at index {index}: {exc})"
+                ) from None
+            if index in cached and data != cached[index][1]:
+                raise SimulationError(
+                    f"journal {self.path}: conflicting duplicate entries "
+                    f"for index {index}"
+                )
+            cached[index] = (job_hash, data, result)
+        return cached, checkpoints
+
+    def begin(
+        self, campaign: str, total: int, resume: bool = False
+    ) -> tuple[dict[int, tuple[str, Any]], dict[int, dict]]:
+        """Open for appending; return salvaged results and checkpoints.
+
+        With ``resume`` the file is loaded (validating the campaign
+        binding) and atomically rewritten from its salvageable entries,
+        exactly like :meth:`Journal.begin`. The returned results map is
+        ``{index: (job hash, result)}`` — the caller validates each job
+        hash when it reconstructs that index's job. Without ``resume``
+        any existing file is truncated.
+        """
+        cached, checkpoints = (
+            self._load_entries(campaign, total) if resume else ({}, {})
+        )
+        header = {
+            "kind": "header",
+            "version": JOURNAL_VERSION,
+            "campaign": campaign,
+            "total": total,
+        }
+        tmp = self.path.with_name(self.path.name + ".rewrite")
+        try:
+            with tmp.open("w") as fh:
+                fh.write(json.dumps(header) + "\n")
+                for index in sorted(cached):
+                    job_hash, data, _ = cached[index]
+                    fh.write(
+                        json.dumps(
+                            {
+                                "kind": "result",
+                                "index": index,
+                                "job": job_hash,
+                                "data": data,
+                            }
+                        )
+                        + "\n"
+                    )
+                for batch in sorted(checkpoints):
+                    fh.write(json.dumps(checkpoints[batch]) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+            self._fh = self.path.open("a")
+        except OSError as exc:
+            raise SimulationError(
+                f"cannot write journal {self.path}: {exc}"
+            ) from exc
+        return (
+            {
+                index: (job_hash, result)
+                for index, (job_hash, _, result) in cached.items()
+            },
+            checkpoints,
+        )
+
+    def record(self, index: int, job: JobSpec, result: Any) -> None:
+        """Append one completed result (flushed, like Journal.record)."""
+        if self._fh is None:
+            raise SimulationError(
+                f"journal {self.path} not open; call begin() first"
+            )
+        entry = {
+            "kind": "result",
+            "index": index,
+            "job": job_digest(job),
+            "data": _encode(result),
+        }
+        try:
+            self._fh.write(json.dumps(entry) + "\n")
+            self._fh.flush()
+        except OSError as exc:
+            raise SimulationError(
+                f"cannot write journal {self.path}: {exc}"
+            ) from exc
+
+    def record_coverage(self, batch: int, upto: int, digest: str) -> None:
+        """Append one batch's coverage checkpoint (flushed)."""
+        if self._fh is None:
+            raise SimulationError(
+                f"journal {self.path} not open; call begin() first"
+            )
+        entry = {
+            "kind": "coverage",
+            "batch": batch,
+            "upto": upto,
+            "digest": digest,
+        }
+        try:
+            self._fh.write(json.dumps(entry) + "\n")
+            self._fh.flush()
+        except OSError as exc:
+            raise SimulationError(
+                f"cannot write journal {self.path}: {exc}"
+            ) from exc
+
+    def close(self) -> None:
+        """Close the file handle (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+# ----------------------------------------------------------------------
 # Multi-host partition / merge (the remote-dispatch seam)
 # ----------------------------------------------------------------------
 

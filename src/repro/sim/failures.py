@@ -85,6 +85,32 @@ _register_kind(
         lambda world, fault: world.inject_compromise(fault.proc, fault.at),
     )
 )
+# Sabotage kinds: deliberate property violations for oracle self-tests
+# and the regression corpus (tests/corpus/). Never drawn by the random
+# plan generators — they exist so a scenario can *seed* a known-bad run
+# and assert the monitors flag it (mutation testing of the oracle).
+_register_kind(
+    FaultKindSpec(
+        "forge_failed",
+        "proc records failed(target) with no quorum or protocol "
+        "justification at time at (sabotage; oracle self-tests)",
+        lambda world, fault: world.inject_forged_detection(
+            fault.proc, fault.target, fault.at
+        ),
+        requires_target=True,
+    )
+)
+_register_kind(
+    FaultKindSpec(
+        "phantom_recv",
+        "proc records the receipt of a message target never sent at "
+        "time at (sabotage; oracle self-tests)",
+        lambda world, fault: world.inject_phantom_recv(
+            fault.proc, fault.target, fault.at
+        ),
+        requires_target=True,
+    )
+)
 
 
 @dataclass(frozen=True)

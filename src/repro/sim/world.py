@@ -279,6 +279,45 @@ FailureModel`) of the failure semantics this world runs under; the
         return frozenset(self._compromised)
 
     # ------------------------------------------------------------------
+    # Sabotage (oracle self-tests)
+    # ------------------------------------------------------------------
+
+    def inject_forged_detection(self, pid: int, target: int, at: float) -> None:
+        """Schedule a *forged* ``failed_pid(target)`` record at ``at``.
+
+        Sabotage, not a failure model: the record bypasses the protocol
+        entirely — no quorum, no broadcast, no legality checks (``pid ==
+        target`` is allowed on purpose). It exists so oracle self-tests
+        and the regression corpus can seed known property violations
+        (self-detection, quorum-less detection cycles) into otherwise
+        clean scenarios and assert the monitors catch them. Skipped at
+        fire time if ``pid`` has already crashed (a crashed process
+        records nothing).
+        """
+        def fire() -> None:
+            if not self._processes[pid].crashed:
+                self.trace.record_failed(self.scheduler.now, pid, target)
+
+        self.scheduler.schedule_at(at, fire)
+
+    def inject_phantom_recv(self, pid: int, src: int, at: float) -> None:
+        """Schedule the receipt of a message that was never sent.
+
+        Sabotage for oracle self-tests: at ``at``, ``pid`` records a recv
+        from ``src`` of a freshly fabricated message no send event ever
+        minted — a well-formedness violation (Definition 1's send/recv
+        matching) the ``valid`` monitor must flag. The forged sequence
+        number is drawn far above any mintable one so it cannot collide
+        with real traffic.
+        """
+        def fire() -> None:
+            if not self._processes[pid].crashed:
+                phantom = Message(src, 1_000_000_000 + pid, "phantom")
+                self.trace.record_recv(self.scheduler.now, pid, src, phantom)
+
+        self.scheduler.schedule_at(at, fire)
+
+    # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
 

@@ -1,0 +1,180 @@
+"""Tests for the coverage signal and adaptive re-weighting."""
+
+import pytest
+
+from repro.analysis.coverage import (
+    EXPLORE_WEIGHT,
+    HOT_CAP,
+    HOT_WEIGHT,
+    SCHEDULE_SHAPES,
+    AxisWeights,
+    CoverageMap,
+    _axis_weight,
+    bucket,
+    derive_weights,
+    outcome_features,
+    scenario_features,
+    weighted_choice,
+)
+from repro.analysis.fuzz import (
+    DEFAULT_CONFIG,
+    generate_scenario,
+    run_scenario,
+)
+from repro.errors import SimulationError
+
+import random
+
+
+class TestBucket:
+    def test_log2_buckets(self):
+        assert [bucket(v) for v in (0, 1, 2, 3, 4, 7, 8, 100)] == [
+            0, 1, 2, 2, 4, 4, 8, 64,
+        ]
+
+    def test_negative_clamps_to_zero(self):
+        assert bucket(-5) == 0
+
+
+class TestScenarioFeatures:
+    def test_axis_labels_match_derive_weights_vocabulary(self):
+        scenario = generate_scenario(0, 0, DEFAULT_CONFIG)
+        features = set(scenario_features(scenario))
+        assert f"n={scenario.n}" in features
+        assert f"protocol={scenario.protocol}" in features
+        assert f"delay={scenario.delay[0]}" in features
+        assert f"detector={scenario.detector[0]}" in features
+        assert any(f.startswith("shape=") for f in features)
+        assert any(f.startswith("faults=") for f in features)
+
+    def test_shape_covers_all_combinations(self):
+        shapes = set()
+        for index in range(60):
+            scenario = generate_scenario(1, index, DEFAULT_CONFIG)
+            for feature in scenario_features(scenario):
+                if feature.startswith("shape="):
+                    shapes.add(feature.split("=", 1)[1])
+        assert shapes <= set(SCHEDULE_SHAPES)
+        assert "none" in shapes
+
+    def test_outcome_features_include_monitor_transitions(self):
+        outcome = run_scenario(generate_scenario(0, 0, DEFAULT_CONFIG))
+        features = outcome_features(outcome)
+        assert any(":ok" in f or ":violated@" in f for f in features)
+        assert any(f.startswith("events=") for f in features)
+
+
+class TestCoverageMap:
+    def test_digest_is_insertion_order_invariant(self):
+        outcomes = [
+            run_scenario(generate_scenario(2, index, DEFAULT_CONFIG))
+            for index in range(4)
+        ]
+        forward = CoverageMap.from_outcomes(outcomes)
+        backward = CoverageMap.from_outcomes(list(reversed(outcomes)))
+        assert forward.digest() == backward.digest()
+        assert forward == backward
+
+    def test_merge_is_multiset_union(self):
+        outcomes = [
+            run_scenario(generate_scenario(2, index, DEFAULT_CONFIG))
+            for index in range(4)
+        ]
+        whole = CoverageMap.from_outcomes(outcomes)
+        left = CoverageMap.from_outcomes(outcomes[:2])
+        right = CoverageMap.from_outcomes(outcomes[2:])
+        assert left.merge(right) == whole
+
+    def test_hot_outcomes_double_under_hot_prefix(self):
+        coverage = CoverageMap()
+        coverage.add_features(("n=3", "protocol=sfs"), hot=True)
+        coverage.add_features(("n=3",), hot=False)
+        assert coverage.count("n=3") == 2
+        assert coverage.count("hot:n=3") == 1
+        assert coverage.hot_scenarios == 1
+        assert coverage.scenarios == 2
+
+    def test_summary_mentions_scenario_count(self):
+        coverage = CoverageMap()
+        coverage.add_features(("n=3",))
+        assert "1 scenarios" in coverage.summary()
+
+
+class TestAxisWeight:
+    def test_unexplored_beats_explored(self):
+        assert _axis_weight(0, 0) == EXPLORE_WEIGHT
+        assert _axis_weight(0, 0) > _axis_weight(1, 0)
+
+    def test_decays_to_floor_of_one(self):
+        assert _axis_weight(10_000, 0) == 1
+
+    def test_hot_bonus_is_capped(self):
+        capped = _axis_weight(5, HOT_CAP)
+        assert _axis_weight(5, HOT_CAP + 50) == capped
+        assert capped == _axis_weight(5, 0) + HOT_WEIGHT * HOT_CAP
+
+
+class TestDeriveWeights:
+    def test_empty_map_is_uniform(self):
+        weights = derive_weights(DEFAULT_CONFIG, CoverageMap())
+        for axis in (weights.ns, weights.protocols, weights.delays,
+                     weights.detectors, weights.shapes):
+            assert {weight for _, weight in axis} == {EXPLORE_WEIGHT}
+
+    def test_covers_configured_axes_exactly(self):
+        weights = derive_weights(DEFAULT_CONFIG, CoverageMap())
+        assert [n for n, _ in weights.ns] == list(
+            range(DEFAULT_CONFIG.min_n, DEFAULT_CONFIG.max_n + 1)
+        )
+        assert tuple(p for p, _ in weights.protocols) == (
+            DEFAULT_CONFIG.protocols
+        )
+        assert tuple(s for s, _ in weights.shapes) == SCHEDULE_SHAPES
+
+    def test_weights_never_starve_an_axis_value(self):
+        coverage = CoverageMap()
+        for _ in range(500):
+            coverage.add_features(("protocol=sfs",))
+        weights = derive_weights(DEFAULT_CONFIG, coverage)
+        assert all(weight >= 1 for _, weight in weights.protocols)
+
+    def test_hot_regions_outweigh_equally_explored_cold_ones(self):
+        coverage = CoverageMap()
+        for _ in range(10):
+            coverage.add_features(("protocol=sfs",), hot=True)
+            coverage.add_features(("protocol=generic",), hot=False)
+        weights = dict(
+            derive_weights(DEFAULT_CONFIG, coverage).protocols
+        )
+        assert weights["sfs"] > weights["generic"]
+
+    def test_pure_function_of_inputs(self):
+        coverage = CoverageMap()
+        coverage.add_features(("n=3", "protocol=sfs"), hot=True)
+        first = derive_weights(DEFAULT_CONFIG, coverage)
+        second = derive_weights(DEFAULT_CONFIG, coverage)
+        assert first == second
+        assert isinstance(first, AxisWeights)
+
+
+class TestWeightedChoice:
+    def test_deterministic_for_same_rng_state(self):
+        pairs = (("a", 3), ("b", 5), ("c", 1))
+        first = [
+            weighted_choice(random.Random(s), pairs) for s in range(50)
+        ]
+        second = [
+            weighted_choice(random.Random(s), pairs) for s in range(50)
+        ]
+        assert first == second
+
+    def test_only_positive_weight_values_are_drawn(self):
+        pairs = (("a", 0), ("b", 4), ("c", 0))
+        drawn = {
+            weighted_choice(random.Random(s), pairs) for s in range(30)
+        }
+        assert drawn == {"b"}
+
+    def test_rejects_nonpositive_total(self):
+        with pytest.raises(SimulationError, match="positive total"):
+            weighted_choice(random.Random(0), (("a", 0),))

@@ -1,0 +1,155 @@
+"""Oracle self-tests: seed known violations, assert the fuzzer sees them.
+
+The fuzzer's verdicts are only as good as its oracle. These tests are
+mutation testing of that oracle: the sabotage fault kinds
+(``forge_failed``, ``phantom_recv``) plant known property violations in
+otherwise clean scenarios — violations no legal protocol run can
+produce — and the judged outcome must surface each as a finding, under
+every failure model. A silent pass here would mean a fuzz campaign
+could run a billion scenarios and miss a real bug of the same shape.
+
+The shrinker rides the same oracle, so the second half asserts the
+seeded findings survive shrinking (satellite of the adaptive-fuzz PR).
+"""
+
+import pytest
+
+from repro.analysis.fuzz import (
+    Scenario,
+    build_scenario_world,
+    expected_clean,
+    judge_world,
+    run_scenario,
+)
+from repro.analysis.shrink import finding_kinds, shrink
+from repro.sim.failures import Fault
+
+MODELS = ("fail-stop", "crash-recovery", "byzantine-crash")
+
+
+def _clean_scenario(failure_model="fail-stop", **overrides) -> Scenario:
+    """A quiet sfs scenario that produces no findings on its own."""
+    fields = dict(
+        index=0, seed=13, n=5, protocol="sfs", t=2, quorum_size=None,
+        delay=("constant", (0.4,)), detector=("none", ()),
+        faults=(), holds=(), partition=None, heal_at=None,
+        chatter=((0.5, 0, 1, 0),), horizon=None,
+        failure_model=failure_model,
+    )
+    fields.update(overrides)
+    return Scenario(**fields)
+
+
+class TestBaselineIsClean:
+    @pytest.mark.parametrize("model", MODELS)
+    def test_unsabotaged_scenario_has_no_findings(self, model):
+        outcome = run_scenario(_clean_scenario(model))
+        assert outcome.ok, outcome.findings
+
+
+class TestForgedSelfDetection:
+    """A forged ``failed(self)`` record must trip sFS2c everywhere —
+    it is in :func:`expected_clean` for every failure model."""
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_sfs2c_finding_in_every_model(self, model):
+        scenario = _clean_scenario(
+            model, faults=(Fault("forge_failed", 2.0, 3, 3),)
+        )
+        assert "sFS2c" in expected_clean(scenario)
+        outcome = run_scenario(scenario)
+        assert not outcome.ok
+        assert "model:sFS2c" in finding_kinds(outcome.findings)
+
+    def test_finding_names_the_monitor_and_event(self):
+        scenario = _clean_scenario(
+            faults=(Fault("forge_failed", 2.0, 3, 3),)
+        )
+        outcome = run_scenario(scenario)
+        assert any(
+            "sFS2c tripped at event" in finding
+            for finding in outcome.findings
+        )
+
+
+class TestForgedDetectionCycle:
+    def test_mutual_forgery_trips_sfs2b_in_section5(self):
+        # Two quorum-less forged detections of each other: a 2-cycle in
+        # failed-before, which Theorem 5 forbids for bounds-enforced
+        # sfs runs. No crash, no suspicion — pure sabotage.
+        scenario = _clean_scenario(
+            faults=(
+                Fault("forge_failed", 2.0, 0, 1),
+                Fault("forge_failed", 2.0, 1, 0),
+            )
+        )
+        outcome = run_scenario(scenario)
+        assert "model:sFS2b" in finding_kinds(outcome.findings)
+
+    def test_same_sabotage_is_legal_where_sfs2b_is_not_promised(self):
+        # The unilateral model never promises sFS2b, so the identical
+        # sabotage must NOT produce an sFS2b model finding there — the
+        # oracle is per-configuration, not a blanket check.
+        scenario = _clean_scenario(
+            protocol="unilateral", t=1,
+            faults=(
+                Fault("forge_failed", 2.0, 0, 1),
+                Fault("forge_failed", 2.0, 1, 0),
+            ),
+        )
+        assert "sFS2b" not in expected_clean(scenario)
+        outcome = run_scenario(scenario)
+        assert "model:sFS2b" not in finding_kinds(outcome.findings)
+
+
+class TestPhantomReceive:
+    @pytest.mark.parametrize("model", MODELS)
+    def test_valid_finding_in_every_model(self, model):
+        scenario = _clean_scenario(
+            model, faults=(Fault("phantom_recv", 2.0, 2, 4),)
+        )
+        outcome = run_scenario(scenario)
+        assert not outcome.ok
+        assert "model:valid" in finding_kinds(outcome.findings)
+
+
+class TestDifferentialOracleHasTeeth:
+    def test_tampered_stream_log_raises_divergence(self):
+        # Corrupt the streaming monitors' verdict after the run; the
+        # batch replay then disagrees, and the differential oracle must
+        # say so. This is the self-test for the oracle's other half.
+        scenario = _clean_scenario()
+        world = build_scenario_world(scenario)
+        world.run_to_quiescence()
+        world.monitors.violation_log.append((0, "FS1"))
+        outcome = judge_world(scenario, world)
+        assert "divergence:log" in finding_kinds(outcome.findings)
+
+
+class TestShrinkerPreservesSeededFindings:
+    @pytest.mark.parametrize("model", MODELS)
+    def test_self_detection_survives_shrinking(self, model):
+        scenario = _clean_scenario(
+            model,
+            faults=(Fault("forge_failed", 2.0, 3, 3),),
+            chatter=((0.5, 0, 1, 0), (1.5, 2, 4, 1)),
+        )
+        result = shrink(scenario)
+        assert "model:sFS2c" in result.kinds
+        observed = finding_kinds(run_scenario(result.minimal).findings)
+        assert result.kinds <= observed
+        assert result.minimal.failure_model == model
+
+    def test_cycle_survives_shrinking_with_both_forgeries(self):
+        scenario = _clean_scenario(
+            faults=(
+                Fault("forge_failed", 2.0, 0, 1),
+                Fault("forge_failed", 2.0, 1, 0),
+            ),
+        )
+        result = shrink(scenario)
+        assert "model:sFS2b" in result.kinds
+        # The cycle needs both forged records; the shrinker must not
+        # have dropped either.
+        kinds = [fault.kind for fault in result.minimal.faults]
+        assert kinds.count("forge_failed") == 2

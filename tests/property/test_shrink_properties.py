@@ -1,0 +1,150 @@
+"""Property tests: shrinking and adaptive coverage are deterministic.
+
+The PR 7 contracts, stated over *random* inputs:
+
+* a shrunk scenario still reproduces the finding kinds it was shrunk
+  for, and shrinking the same scenario twice yields the identical
+  minimal form (the shrinker has no hidden state or randomness);
+* an adaptive campaign's report digest and coverage digest are
+  invariant under executor choice and journal resume point — coverage
+  guidance changes *which scenarios run*, never the determinism
+  contract they run under.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.coverage import CoverageMap
+from repro.analysis.fuzz import (
+    Scenario,
+    run_adaptive_fuzz,
+    run_scenario,
+)
+from repro.analysis.shrink import finding_kinds, scenario_size, shrink
+from repro.sim.failures import Fault
+
+
+@st.composite
+def sabotaged_scenarios(draw):
+    """Small scenarios with one seeded self-detection plus random noise."""
+    n = draw(st.integers(min_value=3, max_value=6))
+    saboteur = draw(st.integers(min_value=0, max_value=n - 1))
+    model = draw(
+        st.sampled_from(("fail-stop", "crash-recovery", "byzantine-crash"))
+    )
+    chatter = tuple(
+        sorted(
+            (
+                round(draw(st.floats(min_value=0.1, max_value=6.0)), 4),
+                draw(st.integers(min_value=0, max_value=n - 1)),
+                draw(st.integers(min_value=0, max_value=n - 1)),
+                tag,
+            )
+            for tag in range(draw(st.integers(min_value=0, max_value=3)))
+        )
+    )
+    faults = [Fault("forge_failed", 2.0, saboteur, saboteur)]
+    if draw(st.booleans()):
+        # The crash victim must not be the saboteur: a crashed process
+        # records nothing, so the seeded violation would never fire.
+        victim = draw(
+            st.integers(min_value=0, max_value=n - 1).filter(
+                lambda p: p != saboteur
+            )
+        )
+        observer = draw(
+            st.integers(min_value=0, max_value=n - 1).filter(
+                lambda p: p != victim
+            )
+        )
+        faults.insert(0, Fault("crash", 1.0, victim))
+        faults.append(Fault("suspicion", 1.5, observer, victim))
+    return Scenario(
+        index=0,
+        seed=draw(st.integers(min_value=0, max_value=2**16)),
+        n=n,
+        protocol="sfs",
+        t=1,
+        quorum_size=None,
+        delay=("constant", (0.5,)),
+        detector=("none", ()),
+        faults=tuple(faults),
+        holds=(),
+        partition=None,
+        heal_at=None,
+        chatter=chatter,
+        horizon=None,
+        failure_model=model,
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(scenario=sabotaged_scenarios())
+def test_shrunk_scenario_reproduces_its_finding_kinds(scenario):
+    result = shrink(scenario, max_attempts=120)
+    assert "model:sFS2c" in result.kinds
+    observed = finding_kinds(run_scenario(result.minimal).findings)
+    assert result.kinds <= observed
+    assert scenario_size(result.minimal) <= scenario_size(scenario)
+
+
+@settings(max_examples=8, deadline=None)
+@given(scenario=sabotaged_scenarios())
+def test_shrinking_is_deterministic(scenario):
+    first = shrink(scenario, max_attempts=120)
+    second = shrink(scenario, max_attempts=120)
+    assert repr(first.minimal) == repr(second.minimal)
+    assert first.steps == second.steps
+    assert first.attempts == second.attempts
+
+
+@settings(max_examples=4, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1_000),
+    count=st.integers(min_value=4, max_value=10),
+    batch=st.integers(min_value=2, max_value=5),
+)
+def test_adaptive_digests_are_backend_invariant(seed, count, batch):
+    inproc = run_adaptive_fuzz(seed=seed, count=count, batch=batch)
+    serial = run_adaptive_fuzz(
+        seed=seed, count=count, batch=batch, backend="serial"
+    )
+    assert inproc.digest() == serial.digest()
+    assert inproc.coverage.digest() == serial.coverage.digest()
+
+
+@settings(max_examples=4, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1_000),
+    keep=st.integers(min_value=0, max_value=8),
+)
+def test_adaptive_digest_is_resume_point_invariant(seed, keep, tmp_path_factory):
+    count, batch = 8, 4
+    reference = run_adaptive_fuzz(seed=seed, count=count, batch=batch)
+    path = tmp_path_factory.mktemp("journal") / "campaign.jsonl"
+    run_adaptive_fuzz(seed=seed, count=count, batch=batch, journal=path)
+    lines = path.read_text().splitlines()
+    results = [line for line in lines if '"kind": "result"' in line]
+    checkpoints = [line for line in lines if '"kind": "coverage"' in line]
+    # Simulate a kill after `keep` completed scenarios (checkpoints
+    # only survive for fully completed batches).
+    survived = (
+        [lines[0]] + results[:keep] + checkpoints[: keep // batch]
+    )
+    path.write_text("\n".join(survived) + "\n")
+    resumed = run_adaptive_fuzz(
+        seed=seed, count=count, batch=batch, journal=path, resume=True
+    )
+    assert resumed.digest() == reference.digest()
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1_000),
+    count=st.integers(min_value=3, max_value=8),
+)
+def test_coverage_digest_is_fold_order_invariant(seed, count):
+    outcomes = run_adaptive_fuzz(seed=seed, count=count, batch=4).outcomes
+    forward = CoverageMap.from_outcomes(outcomes)
+    backward = CoverageMap.from_outcomes(tuple(reversed(outcomes)))
+    assert forward.digest() == backward.digest()

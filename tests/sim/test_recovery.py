@@ -21,7 +21,8 @@ from repro.sim.process import SimProcess
 class TestFaultKindRegistry:
     def test_known_kinds(self):
         assert set(FAULT_KINDS) == {
-            "crash", "suspicion", "recover", "compromise"
+            "crash", "suspicion", "recover", "compromise",
+            "forge_failed", "phantom_recv",
         }
 
     def test_unknown_kind_lists_known_ones(self):

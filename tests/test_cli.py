@@ -244,6 +244,119 @@ class TestFuzzExecLayer:
         assert "all 5 scenarios restored from journal" in resumed
 
 
+class TestFuzzAdaptive:
+    def test_adaptive_prints_coverage_and_digest(self, capsys):
+        assert main(
+            ["fuzz", "--seed", "3", "--count", "8",
+             "--adaptive", "--batch", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "adaptive" in out
+        assert "batches: 2" in out
+        assert "coverage=" in out
+        assert "digest=" in out
+        # Adaptive campaigns reuse the runner per batch, so per-run
+        # engine stats would be misleading — they must not print.
+        assert "engine:" not in out
+
+    def test_adaptive_replays_identically(self, capsys):
+        args = ["fuzz", "--seed", "4", "--count", "6",
+                "--adaptive", "--batch", "3"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert first == capsys.readouterr().out
+
+    def test_adaptive_serial_backend_prints_same_digests(self, capsys):
+        args = ["fuzz", "--seed", "4", "--count", "6",
+                "--adaptive", "--batch", "3"]
+        assert main(args) == 0
+        inproc = capsys.readouterr().out
+        assert main(args + ["--backend", "serial"]) == 0
+        serial = capsys.readouterr().out
+        for marker in ("coverage=", "digest="):
+            assert [l for l in inproc.splitlines() if marker in l] == [
+                l for l in serial.splitlines() if marker in l
+            ]
+
+    def test_adaptive_journal_then_resume_same_digest(self, capsys,
+                                                      tmp_path):
+        path = str(tmp_path / "campaign.jsonl")
+        args = ["fuzz", "--seed", "2", "--count", "6", "--adaptive",
+                "--batch", "3", "--journal", path]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args + ["--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert [l for l in first.splitlines() if "digest=" in l] == [
+            l for l in resumed.splitlines() if "digest=" in l
+        ]
+
+    def test_batch_requires_adaptive(self, capsys):
+        assert main(["fuzz", "--count", "2", "--batch", "10"]) == 2
+        err = capsys.readouterr().err
+        assert "--batch" in err and "--adaptive" in err
+
+
+class TestFuzzShrinkAndCorpus:
+    @pytest.fixture()
+    def seeded_finding(self, monkeypatch):
+        # The random generators never draw the sabotage fault kinds, so
+        # a real campaign is (by design) findings-free; plant one seeded
+        # violation behind run_fuzz to exercise the shrink/corpus path.
+        from repro.analysis import fuzz as fuzz_mod
+        from repro.sim.failures import Fault
+
+        scenario = fuzz_mod.Scenario(
+            index=0, seed=9, n=5, protocol="sfs", t=2, quorum_size=None,
+            delay=("constant", (0.4,)), detector=("none", ()),
+            faults=(Fault("forge_failed", 2.0, 3, 3),),
+            holds=(), partition=None, heal_at=None,
+            chatter=((0.5, 0, 1, 0),), horizon=None,
+        )
+        outcome = fuzz_mod.run_scenario(scenario)
+        assert outcome.findings
+
+        def fake_run_fuzz(*, seed, count, **kwargs):
+            return fuzz_mod.FuzzReport(
+                seed=seed, count=count, outcomes=(outcome,)
+            )
+
+        monkeypatch.setattr(fuzz_mod, "run_fuzz", fake_run_fuzz)
+        return outcome
+
+    def test_shrink_prints_minimal_reproducer(self, capsys,
+                                              seeded_finding):
+        assert main(
+            ["fuzz", "--seed", "9", "--count", "1", "--shrink"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "-- shrink scenario 0 --" in out
+        assert "forge_failed" in out
+        assert "model:sFS2c" in out
+
+    def test_corpus_writes_a_replayable_entry(self, capsys, tmp_path,
+                                              seeded_finding):
+        from repro.analysis.corpus import check_entry, load_corpus
+
+        assert main(
+            ["fuzz", "--seed", "9", "--count", "1",
+             "--corpus", str(tmp_path)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "corpus entry written:" in out
+        (entry,) = load_corpus(tmp_path)
+        assert entry.name == "fuzz-seed9-i0"
+        ok, detail = check_entry(entry)
+        assert ok, detail
+
+    def test_shrink_is_a_noop_without_findings(self, capsys):
+        assert main(
+            ["fuzz", "--seed", "3", "--count", "4", "--shrink"]
+        ) == 0
+        assert "shrink" not in capsys.readouterr().out
+
+
 class TestMonitorExecLayer:
     def test_journal_then_resume_replays_verdicts(self, capsys, tmp_path):
         path = str(tmp_path / "mon.jsonl")

@@ -1,0 +1,51 @@
+"""Render the recorded bench artifacts under ``benchmarks/results/``.
+
+Every benchmark session writes one ``BENCH_<experiment>.json`` per bench
+module (see ``benchmarks/conftest.py``); this prints them as a compact
+table so a perf regression can be eyeballed without re-running anything:
+
+    python tools/bench_record.py            # all recorded modules
+    python tools/bench_record.py e18        # only BENCH_e18*.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+
+
+def render(path: Path) -> str:
+    payload = json.loads(path.read_text())
+    lines = [f"== {payload['module']} ({path.name}) =="]
+    for record in payload["benchmarks"]:
+        lines.append(
+            f"  {record['name']:<48} "
+            f"mean {record['mean_s'] * 1000:9.1f} ms  "
+            f"min {record['min_s'] * 1000:9.1f} ms  "
+            f"rounds {record['rounds']}"
+        )
+        for row in record.get("extra_info", {}).get("rows", []):
+            lines.append(f"      {row}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str]) -> int:
+    pattern = f"BENCH_{argv[0]}*.json" if argv else "BENCH_*.json"
+    paths = sorted(RESULTS_DIR.glob(pattern))
+    if not paths:
+        print(
+            f"no artifacts matching {pattern} under {RESULTS_DIR} — "
+            "run the benchmarks first (PYTHONPATH=src python -m pytest "
+            "benchmarks/bench_<name>.py -q)",
+            file=sys.stderr,
+        )
+        return 1
+    print("\n\n".join(render(path) for path in paths))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,60 @@
+"""Per-package coverage floors on top of the global ratchet.
+
+The global ``--cov-fail-under`` ratchet can mask a poorly-tested package
+behind a well-tested rest of the tree. This check reads the
+``coverage.json`` report (``pytest --cov=repro --cov-report=json``) and
+enforces an aggregate statement-coverage floor per configured subtree —
+currently ``repro.analysis.*``, the fuzzing/shrinking/coverage layer
+whose own tests are the point of PR 7.
+
+Like the global number, these floors are RATCHETS: raise them when
+coverage grows, never lower them.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+# package path fragment -> minimum aggregate percent of statements covered
+FLOORS = {
+    "repro/analysis/": 75.0,
+}
+
+
+def main(argv: list[str]) -> int:
+    path = Path(argv[0]) if argv else Path("coverage.json")
+    if not path.exists():
+        print(
+            f"coverage report {path} not found — run "
+            "pytest --cov=repro --cov-report=json first",
+            file=sys.stderr,
+        )
+        return 2
+    files = json.loads(path.read_text())["files"]
+    failed = False
+    for prefix, floor in sorted(FLOORS.items()):
+        statements = covered = 0
+        for filename, info in sorted(files.items()):
+            if prefix not in filename.replace("\\", "/"):
+                continue
+            summary = info["summary"]
+            statements += summary["num_statements"]
+            covered += summary["covered_lines"]
+        if not statements:
+            print(f"{prefix}: no measured files — wrong --cov target?",
+                  file=sys.stderr)
+            failed = True
+            continue
+        percent = 100.0 * covered / statements
+        verdict = "ok" if percent >= floor else "BELOW FLOOR"
+        print(f"{prefix}: {percent:.1f}% of {statements} statements "
+              f"(floor {floor:.0f}%) {verdict}")
+        if percent < floor:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
