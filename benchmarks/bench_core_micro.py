@@ -78,3 +78,84 @@ def test_bench_full_conformance_report(benchmark):
         lambda: analyze(HISTORY, WORLD.trace.quorum_records, t=3)
     )
     assert report.is_simulated_fail_stop
+
+
+# ----------------------------------------------------------------------
+# Per-component timings (PR 8): the three hot-path primitives in
+# isolation, so a regression in one shows up directly instead of only
+# as a blurred shift in the end-to-end numbers above.
+# ----------------------------------------------------------------------
+
+
+def test_bench_component_heap_push_pop(benchmark):
+    """Scheduler entry churn alone: schedule then drain 2000 callbacks.
+
+    Pure push/pop through the pooled entry fast path — no network, no
+    processes — under an active SchedulerStoragePool, matching how every
+    sharded run constructs its schedulers.
+    """
+    from repro.sim.scheduler import (
+        Scheduler,
+        SchedulerStoragePool,
+        shared_scheduler_storage,
+    )
+
+    pool = SchedulerStoragePool()
+
+    def run():
+        with shared_scheduler_storage(pool):
+            scheduler = Scheduler()
+        for i in range(2000):
+            scheduler.schedule_callback_at(float(i % 97), _noop_cb)
+        executed = scheduler.run()
+        scheduler.release_storage()
+        return executed
+
+    assert benchmark(run) == 2000
+
+
+def _noop_cb() -> None:
+    return None
+
+
+def test_bench_component_delay_sampling(benchmark):
+    """Delay model dispatch alone: 2000 single samples + batched pairs."""
+    import random
+
+    from repro.sim.delays import LogNormalDelay
+
+    model = LogNormalDelay()
+    pairs = [(src, dst) for src in range(10) for dst in range(10)] * 20
+
+    def run():
+        rng = random.Random(42)
+        total = 0.0
+        for src, dst in pairs:
+            total += model.sample(rng, src, dst)
+        total += sum(model.sample_batch(rng, pairs))
+        return total
+
+    assert benchmark(run) > 0.0
+
+
+def test_bench_component_history_append(benchmark):
+    """HistoryBuilder.append_one alone: a 2000-event send/recv stream."""
+    from repro.core.events import recv, send
+    from repro.core.history import HistoryBuilder
+    from repro.core.messages import Message
+
+    events = []
+    for i in range(1000):
+        src, dst = i % 12, (i + 1) % 12
+        msg = Message(src, i, ("payload", i))
+        events.append(send(src, dst, msg))
+        events.append(recv(dst, src, msg))
+
+    def run():
+        builder = HistoryBuilder(12)
+        append_one = builder.append_one
+        for event in events:
+            append_one(event)
+        return len(builder.snapshot())
+
+    assert benchmark(run) == 2000

@@ -418,6 +418,28 @@ class MonitorSet:
         #: in discovery order (which is event-index order).
         self.violation_log: list[tuple[int, str]] = []
         self.events_seen = 0
+        # Prebound per-event dispatch: monitors whose observe() is the
+        # inherited one-line forwarder are advanced via their state
+        # machine directly, skipping a wrapper call per monitor per
+        # event; overriders (ConditionsMonitor, RecoveryMonitor) keep
+        # their own observe. Same for the safety probe targets — a
+        # PropertyState's ``first_violation_index`` is a plain slot,
+        # cheaper than re-entering the monitor property every event.
+        base_observe = PropertyMonitor.observe
+        base_fvi = PropertyMonitor.first_violation_index
+        self._observe_fns = tuple(
+            m._state.observe if type(m).observe is base_observe else m.observe
+            for m in self.monitors
+        ) + (self.bad_pairs.observe,)
+        self._safety_watch = [
+            (
+                m.name,
+                m._state
+                if type(m).first_violation_index is base_fvi
+                else m,
+            )
+            for m in self._safety
+        ]
 
     # ------------------------------------------------------------------
     # Feeding
@@ -427,19 +449,24 @@ class MonitorSet:
         self, idx: int, event: Event, vector: tuple[int, ...] | None = None
     ) -> None:
         """Advance every monitor by one event (HistoryBuilder-hook shape)."""
-        for monitor in self.monitors:
-            monitor.observe(idx, event, vector)
-        self.bad_pairs.observe(idx, event, vector)
+        for observe in self._observe_fns:
+            observe(idx, event, vector)
         self.events_seen += 1
-        for monitor in self._safety:
-            if (
-                monitor.name not in self._tripped
-                and monitor.first_violation_index is not None
-            ):
-                self._tripped.add(monitor.name)
-                self.violation_log.append(
-                    (monitor.first_violation_index, monitor.name)
-                )
+        watch = self._safety_watch
+        tripped_any = False
+        for name, probe in watch:
+            locked = probe.first_violation_index
+            if locked is not None:
+                self._tripped.add(name)
+                self.violation_log.append((locked, name))
+                tripped_any = True
+        if tripped_any:
+            # A tripped safety verdict is locked for good — stop probing
+            # it on every subsequent event (trips are rare; the rebuild
+            # amortises to nothing).
+            self._safety_watch = [
+                pair for pair in watch if pair[0] not in self._tripped
+            ]
 
     def replay(self, history: History) -> "MonitorSet":
         """Drive a finished history through the same streaming path."""

@@ -386,7 +386,10 @@ class HistoryBuilder:
         self._n = n
         self._events: list[Event] = []
         self._vectors: list[tuple[int, ...]] = []
-        self._current: list[tuple[int, ...]] = [tuple([0] * n)] * n
+        # One preallocated mutable vector-clock row per process, mutated
+        # in place on every append; the only per-event allocation for
+        # clock bookkeeping is the stamped tuple handed to _vectors.
+        self._current: list[list[int]] = [[0] * n for _ in range(n)]
         self._send_vec: dict[tuple[int, int], tuple[int, ...]] = {}
         self._send_index: dict[tuple[int, int], int] = {}
         self._recv_index: dict[tuple[int, int], int] = {}
@@ -457,47 +460,76 @@ class HistoryBuilder:
         """
         self._observers.append(observer)
 
+    def detach_observers(self) -> None:
+        """Drop every attached observer (end-of-life cycle breaking).
+
+        Observers commonly close over the world that owns this builder
+        (e.g. the ``stop_on_violation`` halt check), which makes the
+        builder part of the world's reference-cycle knot; detaching them
+        lets a disposed world die by refcount. The recorded events,
+        vectors, and indices are untouched.
+        """
+        self._observers.clear()
+
     def append(self, *events: Event) -> "HistoryBuilder":
         """Extend the history and every derived structure in O(delta)."""
-        n = self._n
+        append_one = self.append_one
         for event in events:
-            proc = event.proc
-            if not 0 <= proc < n:
-                raise ValueError(
-                    f"event process {proc} outside universe 0..{n - 1}: "
-                    f"{event!r}"
-                )
-            idx = len(self._events)
-            vec = list(self._current[proc])
-            if isinstance(event, RecvEvent):
-                origin = self._send_vec.get(event.msg.uid)
-                if origin is not None:
-                    for q in range(n):
-                        if origin[q] > vec[q]:
-                            vec[q] = origin[q]
-            vec[proc] += 1
-            stamped = tuple(vec)
-            self._current[proc] = stamped
-            self._events.append(event)
-            self._vectors.append(stamped)
-            self._proc_indices[proc].append(idx)
-            if isinstance(event, SendEvent):
-                self._send_vec[event.msg.uid] = stamped
-                self._send_index.setdefault(event.msg.uid, idx)
-            elif isinstance(event, RecvEvent):
-                self._recv_index.setdefault(event.msg.uid, idx)
-            elif isinstance(event, CrashEvent):
+            append_one(event)
+        return self
+
+    def append_one(self, event: Event) -> None:
+        """Append a single event — the recorder's per-event fast path.
+
+        Identical semantics to :meth:`append` (which loops over this),
+        minus the varargs packing. Per event it performs exactly one
+        bookkeeping allocation — the stamped vector tuple — by mutating
+        the process's preallocated clock row in place, and dispatches on
+        class identity (the event alphabet is closed; nothing subclasses
+        the event dataclasses) instead of an isinstance chain.
+        """
+        n = self._n
+        proc = event.proc
+        if not 0 <= proc < n:
+            raise ValueError(
+                f"event process {proc} outside universe 0..{n - 1}: "
+                f"{event!r}"
+            )
+        events = self._events
+        idx = len(events)
+        row = self._current[proc]
+        cls = event.__class__
+        if cls is RecvEvent:
+            uid = event.msg.uid
+            origin = self._send_vec.get(uid)
+            if origin is not None:
+                for q in range(n):
+                    if origin[q] > row[q]:
+                        row[q] = origin[q]
+            row[proc] += 1
+            stamped = tuple(row)
+            self._recv_index.setdefault(uid, idx)
+        else:
+            row[proc] += 1
+            stamped = tuple(row)
+            if cls is SendEvent:
+                uid = event.msg.uid
+                self._send_vec[uid] = stamped
+                self._send_index.setdefault(uid, idx)
+            elif cls is CrashEvent:
                 self._crash_index.setdefault(proc, idx)
-            elif isinstance(event, FailedEvent):
+            elif cls is FailedEvent:
                 self._failed_index.setdefault((proc, event.target), idx)
-            elif isinstance(event, RecoverEvent):
+            elif cls is RecoverEvent:
                 self._recover_index.setdefault(
                     (proc, event.incarnation), idx
                 )
-            if self._observers:
-                for observer in self._observers:
-                    observer(idx, event, stamped)
-        return self
+        events.append(event)
+        self._vectors.append(stamped)
+        self._proc_indices[proc].append(idx)
+        if self._observers:
+            for observer in self._observers:
+                observer(idx, event, stamped)
 
     def snapshot(self) -> History:
         """An immutable, fully cache-seeded ``History`` of the state so far.

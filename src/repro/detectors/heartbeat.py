@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Hashable
 
+from repro.core.messages import Message
 from repro.detectors.base import HEARTBEAT, SuspicionDriver, SuspicionLog
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -55,15 +56,35 @@ class HeartbeatDriver(SuspicionDriver, SuspicionLog):
     def _schedule_beat(self) -> None:
         assert self._process is not None
         process = self._process
+        scheduler = process.world.scheduler
+        interval = self.interval
+        # One closure for the whole loop, rescheduling itself: the old
+        # form rebuilt the closure, a guard wrapper, and a TimerHandle
+        # every interval. The incarnation pin replaces crash-time timer
+        # cancellation — a stale loop (crash, then maybe recovery, which
+        # re-arms via start()) sees the bumped incarnation and dies.
+        incarnation = process.incarnation
 
         def beat() -> None:
-            if process.crashed:
+            if process.crashed or process.incarnation != incarnation:
                 return
+            # process.send, inlined for the n-1 sends of one beat: mint
+            # and hand to the network directly (system traffic is never
+            # recorded or intercepted — same shortcut send() takes).
+            mint = process._mint
+            network = process.world.network
+            pid = process.pid
             for peer in process.peers:
-                process.send(peer, HEARTBEAT, kind="system")
-            self._schedule_beat()
+                msg = Message(mint.sender, mint._next_seq, HEARTBEAT)
+                mint._next_seq += 1
+                network.send(pid, peer, msg, "system")
+            scheduler.schedule_callback_at(
+                scheduler._now + interval, beat, True
+            )
 
-        process.set_timer(self.interval, beat, periodic=True)
+        scheduler.schedule_callback_at(
+            scheduler._now + interval, beat, True
+        )
 
     # ------------------------------------------------------------------
     # Monitoring
@@ -76,17 +97,28 @@ class HeartbeatDriver(SuspicionDriver, SuspicionLog):
     def _schedule_check(self) -> None:
         assert self._process is not None
         process = self._process
+        scheduler = process.world.scheduler
+        check_every = self.check_every
+        timeout = self.timeout
+        last_heard = self._last_heard
+        incarnation = process.incarnation
 
         def check() -> None:
-            if process.crashed:
+            if process.crashed or process.incarnation != incarnation:
                 return
-            now = process.now
-            for peer, heard in self._last_heard.items():
-                if peer in process.detected or peer in process.suspected:
+            now = scheduler._now
+            detected = process.detected
+            suspected = process.suspected
+            for peer, heard in last_heard.items():
+                if peer in detected or peer in suspected:
                     continue
-                if now - heard > self.timeout:
+                if now - heard > timeout:
                     self.log_suspicion(now, process.pid, peer)
                     process.suspect(peer)
-            self._schedule_check()
+            scheduler.schedule_callback_at(
+                scheduler._now + check_every, check, True
+            )
 
-        process.set_timer(self.check_every, check, periodic=True)
+        scheduler.schedule_callback_at(
+            scheduler._now + check_every, check, True
+        )

@@ -22,6 +22,7 @@ import math
 from collections import deque
 from typing import TYPE_CHECKING, Hashable
 
+from repro.core.messages import Message
 from repro.detectors.base import HEARTBEAT, SuspicionDriver, SuspicionLog
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -49,6 +50,11 @@ class PhiAccrualEstimator:
         self.min_std = min_std
         self._intervals: deque[float] = deque(maxlen=window)
         self._last_arrival: float | None = None
+        # Memoised (mean, std) for the current window contents. The
+        # window only changes in heartbeat(), while phi() is polled every
+        # check tick for every peer — without the cache the detector
+        # recomputes identical window statistics many times per arrival.
+        self._stats: tuple[float, float] | None = None
 
     def heartbeat(self, now: float) -> None:
         """Record a heartbeat arrival at time ``now``."""
@@ -56,6 +62,7 @@ class PhiAccrualEstimator:
             delta = now - self._last_arrival
             if delta >= 0:
                 self._intervals.append(delta)
+                self._stats = None
         self._last_arrival = now
 
     @property
@@ -64,14 +71,26 @@ class PhiAccrualEstimator:
         return len(self._intervals)
 
     def mean_std(self) -> tuple[float, float]:
-        """Windowed mean and (floored) standard deviation."""
-        if not self._intervals:
-            return (0.0, self.min_std)
-        mean = sum(self._intervals) / len(self._intervals)
-        variance = sum((x - mean) ** 2 for x in self._intervals) / len(
-            self._intervals
-        )
-        return (mean, max(math.sqrt(variance), self.min_std))
+        """Windowed mean and (floored) standard deviation (memoised)."""
+        stats = self._stats
+        if stats is not None:
+            return stats
+        intervals = self._intervals
+        if not intervals:
+            stats = (0.0, self.min_std)
+            self._stats = stats
+            return stats
+        count = len(intervals)
+        mean = sum(intervals) / count
+        # Explicit loop, same left-to-right accumulation order as the
+        # former sum(genexpr) — bit-identical variance, no generator
+        # frame churn on the per-check hot path.
+        acc = 0.0
+        for x in intervals:
+            acc += (x - mean) ** 2
+        stats = (mean, max(math.sqrt(acc / count), self.min_std))
+        self._stats = stats
+        return stats
 
     def phi(self, now: float) -> float:
         """The suspicion level at time ``now`` (0 when data is lacking)."""
@@ -127,15 +146,31 @@ class PhiAccrualDriver(SuspicionDriver, SuspicionLog):
     def _schedule_beat(self) -> None:
         assert self._process is not None
         process = self._process
+        scheduler = process.world.scheduler
+        interval = self.interval
+        # Single self-rescheduling closure; incarnation pin kills stale
+        # loops after a crash/recovery (see HeartbeatDriver._schedule_beat).
+        incarnation = process.incarnation
 
         def beat() -> None:
-            if process.crashed:
+            if process.crashed or process.incarnation != incarnation:
                 return
+            # process.send, inlined for the n-1 sends of one beat (see
+            # HeartbeatDriver._schedule_beat).
+            mint = process._mint
+            network = process.world.network
+            pid = process.pid
             for peer in process.peers:
-                process.send(peer, HEARTBEAT, kind="system")
-            self._schedule_beat()
+                msg = Message(mint.sender, mint._next_seq, HEARTBEAT)
+                mint._next_seq += 1
+                network.send(pid, peer, msg, "system")
+            scheduler.schedule_callback_at(
+                scheduler._now + interval, beat, True
+            )
 
-        process.set_timer(self.interval, beat, periodic=True)
+        scheduler.schedule_callback_at(
+            scheduler._now + interval, beat, True
+        )
 
     def on_system_message(self, src: int, payload: Hashable, now: float) -> None:
         if payload == HEARTBEAT and src in self._estimators:
@@ -144,19 +179,31 @@ class PhiAccrualDriver(SuspicionDriver, SuspicionLog):
     def _schedule_check(self) -> None:
         assert self._process is not None
         process = self._process
+        scheduler = process.world.scheduler
+        check_every = self.check_every
+        threshold = self.threshold
+        warmup = self.warmup
+        estimators = self._estimators
+        incarnation = process.incarnation
 
         def check() -> None:
-            if process.crashed:
+            if process.crashed or process.incarnation != incarnation:
                 return
-            now = process.now
-            for peer, estimator in self._estimators.items():
-                if peer in process.detected or peer in process.suspected:
+            now = scheduler._now
+            detected = process.detected
+            suspected = process.suspected
+            for peer, estimator in estimators.items():
+                if peer in detected or peer in suspected:
                     continue
-                if estimator.samples < self.warmup:
+                if len(estimator._intervals) < warmup:
                     continue
-                if estimator.phi(now) > self.threshold:
+                if estimator.phi(now) > threshold:
                     self.log_suspicion(now, process.pid, peer)
                     process.suspect(peer)
-            self._schedule_check()
+            scheduler.schedule_callback_at(
+                scheduler._now + check_every, check, True
+            )
 
-        process.set_timer(self.check_every, check, periodic=True)
+        scheduler.schedule_callback_at(
+            scheduler._now + check_every, check, True
+        )

@@ -50,8 +50,13 @@ class DetectionProcess(SimProcess):
             self._detector.start(self)
 
     def on_system_message(self, src: int, payload: Hashable) -> None:
-        if self._detector is not None:
-            self._detector.on_system_message(src, payload, self.now)
+        detector = self._detector
+        if detector is not None:
+            # self.now inlined: this hook runs once per heartbeat receive,
+            # the single most frequent delivery kind in long runs.
+            detector.on_system_message(
+                src, payload, self._world.scheduler._now
+            )
 
     # ------------------------------------------------------------------
     # Detection bookkeeping

@@ -16,6 +16,7 @@ import math
 import random
 from dataclasses import dataclass
 from functools import cached_property
+from typing import Sequence
 
 
 class DelayModel:
@@ -24,6 +25,25 @@ class DelayModel:
     def sample(self, rng: random.Random, src: int, dst: int) -> float:
         """A non-negative delay for one message from ``src`` to ``dst``."""
         raise NotImplementedError
+
+    def sample_batch(
+        self, rng: random.Random, pairs: Sequence[tuple[int, int]]
+    ) -> list[float]:
+        """Delays for many messages in one dispatch, in ``pairs`` order.
+
+        The batching seam for the network's burst paths: releasing a
+        blocked channel of *k* held messages costs one model dispatch
+        instead of *k*. The default loops over :meth:`sample`; concrete
+        models override it with a flattened loop.
+
+        **Determinism contract**: an override must consume the ``rng``
+        stream exactly as ``[self.sample(rng, s, d) for s, d in pairs]``
+        would — same draws, same order — so batched and per-message
+        scheduling produce bit-identical histories (property-tested in
+        ``tests/sim/test_delay_batching.py``).
+        """
+        sample = self.sample
+        return [sample(rng, src, dst) for src, dst in pairs]
 
 
 @dataclass(frozen=True)
@@ -34,6 +54,11 @@ class ConstantDelay(DelayModel):
 
     def sample(self, rng: random.Random, src: int, dst: int) -> float:
         return self.delay
+
+    def sample_batch(
+        self, rng: random.Random, pairs: Sequence[tuple[int, int]]
+    ) -> list[float]:
+        return [self.delay] * len(pairs)
 
 
 @dataclass(frozen=True)
@@ -46,6 +71,13 @@ class UniformDelay(DelayModel):
     def sample(self, rng: random.Random, src: int, dst: int) -> float:
         return rng.uniform(self.low, self.high)
 
+    def sample_batch(
+        self, rng: random.Random, pairs: Sequence[tuple[int, int]]
+    ) -> list[float]:
+        uniform = rng.uniform
+        low, high = self.low, self.high
+        return [uniform(low, high) for _ in pairs]
+
 
 @dataclass(frozen=True)
 class ExponentialDelay(DelayModel):
@@ -55,6 +87,13 @@ class ExponentialDelay(DelayModel):
 
     def sample(self, rng: random.Random, src: int, dst: int) -> float:
         return rng.expovariate(1.0 / self.mean)
+
+    def sample_batch(
+        self, rng: random.Random, pairs: Sequence[tuple[int, int]]
+    ) -> list[float]:
+        expovariate = rng.expovariate
+        lambd = 1.0 / self.mean
+        return [expovariate(lambd) for _ in pairs]
 
 
 @dataclass(frozen=True)
@@ -72,6 +111,13 @@ class LogNormalDelay(DelayModel):
     def sample(self, rng: random.Random, src: int, dst: int) -> float:
         return rng.lognormvariate(math.log(self.median), self.sigma)
 
+    def sample_batch(
+        self, rng: random.Random, pairs: Sequence[tuple[int, int]]
+    ) -> list[float]:
+        lognormvariate = rng.lognormvariate
+        mu, sigma = math.log(self.median), self.sigma
+        return [lognormvariate(mu, sigma) for _ in pairs]
+
 
 @dataclass(frozen=True)
 class ParetoDelay(DelayModel):
@@ -87,6 +133,13 @@ class ParetoDelay(DelayModel):
 
     def sample(self, rng: random.Random, src: int, dst: int) -> float:
         return self.scale * rng.paretovariate(self.alpha)
+
+    def sample_batch(
+        self, rng: random.Random, pairs: Sequence[tuple[int, int]]
+    ) -> list[float]:
+        paretovariate = rng.paretovariate
+        scale, alpha = self.scale, self.alpha
+        return [scale * paretovariate(alpha) for _ in pairs]
 
 
 @dataclass(frozen=True)
@@ -113,3 +166,18 @@ class PerChannelDelay(DelayModel):
         delay = self.base.sample(rng, src, dst)
         factor = self._factors.get((src, dst))
         return delay if factor is None else delay * factor
+
+    def sample_batch(
+        self, rng: random.Random, pairs: Sequence[tuple[int, int]]
+    ) -> list[float]:
+        # Delegate the draws to the wrapped model (identical rng stream),
+        # then apply the per-channel factors positionally.
+        delays = self.base.sample_batch(rng, pairs)
+        factors = self._factors
+        if factors:
+            get = factors.get
+            for i, pair in enumerate(pairs):
+                factor = get(pair)
+                if factor is not None:
+                    delays[i] *= factor
+        return delays

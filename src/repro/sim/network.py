@@ -48,13 +48,13 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from dataclasses import dataclass, field
+from heapq import heappush
 from typing import Callable
 
 from repro.core.messages import Message
 from repro.errors import SimulationError
 from repro.sim.delays import DelayModel, UniformDelay
-from repro.sim.scheduler import Scheduler
+from repro.sim.scheduler import Scheduler, _Entry
 
 DeliverFn = Callable[[int, int, Message, str], None]
 """Callback ``(src, dst, message, kind)`` invoked at delivery time."""
@@ -65,21 +65,171 @@ HoldPredicate = Callable[[int, int, Message], bool]
 KINDS = ("app", "protocol", "system")
 """Valid message kinds (see module docstring)."""
 
+_BURST_FREE_MAX = 4096
+"""Per-network cap on the delivery-burst free list (see ``_Burst``)."""
 
-@dataclass
+
 class _ChannelState:
-    clock: float = 0.0  # earliest time the next delivery may occur
-    held: list[tuple[Message, str]] = field(default_factory=list)
-    blocked: bool = False
-    sent: int = 0
-    delivered: int = 0
-    # Pending delivery burst: the queue behind the channel's most recently
-    # scheduled delivery entry. Cleared (not emptied) when the entry fires,
-    # so idle channels never retain dead deques.
-    burst: "deque[tuple[Message, str]] | None" = None
-    burst_time: float = 0.0
-    burst_periodic: bool = False
-    burst_guard: int = -1  # scheduler.last_scheduled_seq at burst creation
+    """Per-channel bookkeeping (a ``__slots__`` class: one instance per
+    ``(src, dst)`` pair, and its attributes are read/written on every
+    message send — the dict-backed dataclass form showed up in profiles).
+    """
+
+    __slots__ = (
+        "clock",
+        "held",
+        "blocked",
+        "sent",
+        "delivered",
+        "burst",
+    )
+
+    def __init__(self) -> None:
+        self.clock = 0.0  # earliest time the next delivery may occur
+        self.held: list[tuple[Message, str]] = []
+        self.blocked = False
+        self.sent = 0
+        self.delivered = 0
+        # Pending delivery burst: the _Burst behind the channel's most
+        # recently scheduled delivery entry. Cleared (not emptied) when the
+        # entry fires, so idle channels never retain dead bursts.
+        self.burst: "_Burst | None" = None
+
+
+class _Burst:
+    """One scheduled delivery entry and the messages riding on it.
+
+    Most bursts carry exactly one message (only a clamped FIFO clock or a
+    multi-send at one instant grows them), so the first message lives
+    inline in ``msg``/``kind`` and the overflow ``queue`` is materialised
+    lazily on the first join — the earlier closure-per-burst form paid a
+    deque, a cell-heavy closure, and a seq list on every delivery.
+
+    Fully-fired bursts are retired to a per-network free list
+    (``Network._burst_free``) and reinitialised by the next
+    ``_open_delivery`` instead of allocated — the event-object free list
+    riding the :class:`~repro.sim.scheduler.SchedulerStoragePool`
+    pattern: retirement happens only once a burst can never fire again,
+    and :meth:`~repro.sim.world.World.dispose` hands the list back to the
+    pool for the next shard's network to adopt. A retired burst keeps its
+    (emptied) overflow deque but drops every world reference.
+
+    ``seq`` is the burst entry's own scheduler sequence number. It doubles
+    as the join guard: a newcomer may only join while this burst is still
+    the scheduler's most recently scheduled entry (``seq ==
+    scheduler._last_seq``), which is what keeps the batched path
+    bit-identical to per-message delivery (see :meth:`Network.send`).
+    """
+
+    __slots__ = (
+        "network", "state", "src", "dst",
+        "msg", "kind", "queue", "due", "periodic", "seq",
+    )
+
+    def __init__(
+        self,
+        network: "Network",
+        state: _ChannelState,
+        src: int,
+        dst: int,
+        msg: Message,
+        kind: str,
+        due: float,
+        periodic: bool,
+    ) -> None:
+        self.network = network
+        self.state = state
+        self.src = src
+        self.dst = dst
+        self.msg = msg
+        self.kind = kind
+        self.queue: deque[tuple[Message, str]] | None = None
+        self.due = due
+        self.periodic = periodic
+        self.seq = -1  # filled right after the entry is scheduled
+
+    def fire(self) -> None:
+        """Drain the burst in send order (the scheduled callback)."""
+        # Detach from channel state *before* draining: a fired burst is
+        # never rejoined (reentrant sends during the drain open a fresh
+        # entry), and idle channels keep no dead bursts around afterwards.
+        state = self.state
+        if state.burst is self:
+            state.burst = None
+        network = self.network
+        src = self.src
+        dst = self.dst
+        targets = network._targets
+        if targets is not None:
+            # Direct table dispatch: one bound ``deliver`` for the whole
+            # drain (dst is fixed per channel), skipping the per-message
+            # callback hop through the world.
+            deliver = targets[dst].deliver
+            # The first message is delivered unconditionally — matching
+            # the per-message path, each firing makes progress before any
+            # stop check (request_stop halts *between* entries there).
+            state.delivered += 1
+            network.messages_delivered += 1
+            deliver(src, self.msg, self.kind)
+            queue = self.queue
+            if queue:
+                scheduler = network._scheduler
+                while queue:
+                    if scheduler._stop_requested:
+                        # A delivery in this burst tripped a streaming
+                        # monitor (Scheduler.request_stop fired
+                        # mid-drain). Requeue the remainder — at the
+                        # burst entry's own (time, seq) priority, not a
+                        # fresh seq — instead of draining past the stop:
+                        # the halted trace is then bit-identical to the
+                        # per-message path, and a cleared scheduler
+                        # resumes the leftovers *ahead of* any same-tick
+                        # entry scheduled after the burst formed, exactly
+                        # where the per-message entries would have sat.
+                        self.msg, self.kind = queue.popleft()
+                        network.delivery_entries += 1
+                        scheduler.reschedule_interrupted(
+                            self.due, self.seq, self.fire,
+                            periodic=self.periodic,
+                        )
+                        return
+                    burst_msg, burst_kind = queue.popleft()
+                    state.delivered += 1
+                    network.messages_delivered += 1
+                    deliver(src, burst_msg, burst_kind)
+        else:
+            deliver_fn = network._deliver_fn
+            assert deliver_fn is not None
+            state.delivered += 1
+            network.messages_delivered += 1
+            deliver_fn(src, dst, self.msg, self.kind)
+            queue = self.queue
+            if queue:
+                scheduler = network._scheduler
+                while queue:
+                    if scheduler._stop_requested:
+                        self.msg, self.kind = queue.popleft()
+                        network.delivery_entries += 1
+                        scheduler.reschedule_interrupted(
+                            self.due, self.seq, self.fire,
+                            periodic=self.periodic,
+                        )
+                        return
+                    burst_msg, burst_kind = queue.popleft()
+                    state.delivered += 1
+                    network.messages_delivered += 1
+                    deliver_fn(src, dst, burst_msg, burst_kind)
+        # Fully drained: retire to the network's free list (the event-
+        # object analogue of the scheduler entry pool). World references
+        # are cleared first so a pooled burst — possibly adopted by a
+        # *later* world's network via the storage pool — pins nothing of
+        # this one; the emptied overflow deque is kept for reuse.
+        free = network._burst_free
+        if len(free) < _BURST_FREE_MAX:
+            self.network = None
+            self.state = None
+            self.msg = None
+            free.append(self)
 
 
 class Network:
@@ -101,14 +251,42 @@ class Network:
         self._deliver_fn = deliver
         self._batch = batch
         self._channels: dict[tuple[int, int], _ChannelState] = {}
+        # Flat channel table indexed by ``src * n + dst`` — the hot-path
+        # view of ``_channels`` (which stays authoritative for iteration
+        # and inspection). Saves a tuple build + hash per send.
+        self._flat: list[_ChannelState | None] = [None] * (n * n)
         self._hold_predicates: list[HoldPredicate] = []
         self.sent_by_kind: dict[str, int] = {kind: 0 for kind in KINDS}
         self.messages_delivered = 0
         self.delivery_entries = 0  # scheduler entries used for deliveries
+        # Direct delivery table (processes indexed by pid), installed by
+        # the World; None falls back to the _deliver_fn callback seam.
+        self._targets: list | None = None
+        # Retired _Burst objects awaiting reuse; seeded from the active
+        # storage pool (if the scheduler was built under one) so the list
+        # survives across shards, like recycled heap entries do.
+        pool = scheduler._pool
+        self._burst_free: list[_Burst] = (
+            pool.adopt_bursts() if pool is not None else []
+        )
+        #: Delivery bursts drawn from the free list instead of allocated.
+        self.bursts_reused = 0
 
     def set_deliver(self, deliver: DeliverFn) -> None:
         """Install the delivery callback (done by the World during wiring)."""
         self._deliver_fn = deliver
+
+    def set_delivery_table(self, processes: list) -> None:
+        """Install direct per-process delivery for the hot path.
+
+        With a table installed, burst firings call
+        ``processes[dst].deliver(src, msg, kind)`` straight off, skipping
+        the ``deliver`` callback hop; the callback form stays in place as
+        the seam for tests and custom consumers (and still serves the
+        unbatched path). The semantics must be identical — the World's
+        callback is exactly this table lookup.
+        """
+        self._targets = processes
 
     @property
     def n(self) -> int:
@@ -116,11 +294,11 @@ class Network:
         return self._n
 
     def _state(self, src: int, dst: int) -> _ChannelState:
-        key = (src, dst)
-        state = self._channels.get(key)
+        idx = src * self._n + dst
+        state = self._flat[idx]
         if state is None:
-            state = _ChannelState()
-            self._channels[key] = state
+            state = self._flat[idx] = _ChannelState()
+            self._channels[(src, dst)] = state
         return state
 
     # ------------------------------------------------------------------
@@ -135,7 +313,11 @@ class Network:
             raise SimulationError("network has no delivery callback installed")
         if kind not in KINDS:
             raise SimulationError(f"unknown message kind {kind!r}")
-        state = self._state(src, dst)
+        idx = src * self._n + dst
+        state = self._flat[idx]
+        if state is None:
+            state = self._flat[idx] = _ChannelState()
+            self._channels[(src, dst)] = state
         state.sent += 1
         self.sent_by_kind[kind] += 1
         # Fast path: with no hold rules installed (the overwhelmingly
@@ -147,85 +329,150 @@ class Network:
             state.blocked = True
             state.held.append((msg, kind))
             return
-        self._schedule_delivery(src, dst, msg, kind)
+        # The rest is _schedule_delivery, inlined: sample the delay, clamp
+        # the due time to the FIFO channel clock, and join the channel's
+        # pending burst when provably safe (see _schedule_delivery for the
+        # argument). This runs once per message in every simulation — the
+        # call layers it replaces were a measurable share of the profile.
+        delay = self._delay_model.sample(self._rng, src, dst)
+        if delay < 0:
+            raise SimulationError(f"delay model produced negative delay {delay}")
+        scheduler = self._scheduler
+        due = scheduler._now + delay
+        if state.clock > due:
+            due = state.clock
+        state.clock = due
+        periodic = kind == "system"
+        burst = state.burst
+        if (
+            burst is not None
+            and self._batch
+            and burst.due == due
+            and burst.periodic == periodic
+            and burst.seq == scheduler._last_seq
+        ):
+            queue = burst.queue
+            if queue is None:
+                burst.queue = deque(((msg, kind),))
+            else:
+                queue.append((msg, kind))
+            return
+        self._open_delivery(state, src, dst, msg, kind, due, periodic)
 
     def _matches_hold(self, src: int, dst: int, msg: Message) -> bool:
         return any(pred(src, dst, msg) for pred in self._hold_predicates)
 
     def _schedule_delivery(
-        self, src: int, dst: int, msg: Message, kind: str
+        self,
+        state: _ChannelState,
+        src: int,
+        dst: int,
+        msg: Message,
+        kind: str,
+        delay: float,
     ) -> None:
-        state = self._state(src, dst)
-        delay = self._delay_model.sample(self._rng, src, dst)
+        """Queue one sampled delivery on ``state``'s channel.
+
+        The caller supplies the delay (batch-sampled via
+        :meth:`~repro.sim.delays.DelayModel.sample_batch` when a blocked
+        channel releases its queue); :meth:`send` inlines this same logic
+        with its own per-message sample.
+        """
         if delay < 0:
             raise SimulationError(f"delay model produced negative delay {delay}")
-        due = max(state.clock, self._scheduler.now + delay)
+        scheduler = self._scheduler
+        due = scheduler._now + delay
+        if state.clock > due:
+            due = state.clock
         state.clock = due
         periodic = kind == "system"
+        # Join the channel's pending burst when that is provably
+        # order-preserving: same due tick, same periodic class, and the
+        # burst entry is still the scheduler's most recent entry —
+        # nothing else has been scheduled since, so no third callback
+        # can hold a tie-breaking sequence number between the burst and
+        # this message. Equal-time entries run first-scheduled-first,
+        # hence the drained burst replays exactly the per-message order.
+        burst = state.burst
+        if (
+            burst is not None
+            and self._batch
+            and burst.due == due
+            and burst.periodic == periodic
+            and burst.seq == scheduler._last_seq
+        ):
+            queue = burst.queue
+            if queue is None:
+                burst.queue = deque(((msg, kind),))
+            else:
+                queue.append((msg, kind))
+            return
+        self._open_delivery(state, src, dst, msg, kind, due, periodic)
 
+    def _open_delivery(
+        self,
+        state: _ChannelState,
+        src: int,
+        dst: int,
+        msg: Message,
+        kind: str,
+        due: float,
+        periodic: bool,
+    ) -> None:
+        """Open a fresh delivery entry (burst or single) at ``due``."""
+        scheduler = self._scheduler
         if self._batch:
-            # Join the channel's pending burst when that is provably
-            # order-preserving: same due tick, same periodic class, and the
-            # burst entry is still the scheduler's most recent entry —
-            # nothing else has been scheduled since, so no third callback
-            # can hold a tie-breaking sequence number between the burst and
-            # this message. Equal-time entries run first-scheduled-first,
-            # hence the drained burst replays exactly the per-message order.
-            if (
-                state.burst is not None
-                and state.burst_time == due
-                and state.burst_periodic == periodic
-                and state.burst_guard == self._scheduler.last_scheduled_seq
-            ):
-                state.burst.append((msg, kind))
-                return
-            burst: deque[tuple[Message, str]] = deque(((msg, kind),))
+            free = self._burst_free
+            if free:
+                # Reinitialise a retired burst (its queue, if any, was
+                # fully drained before retirement).
+                burst = free.pop()
+                self.bursts_reused += 1
+                burst.network = self
+                burst.state = state
+                burst.src = src
+                burst.dst = dst
+                burst.msg = msg
+                burst.kind = kind
+                burst.due = due
+                burst.periodic = periodic
+            else:
+                burst = _Burst(
+                    self, state, src, dst, msg, kind, due, periodic
+                )
             state.burst = burst
-            state.burst_time = due
-            state.burst_periodic = periodic
-            # Filled right after scheduling: the burst entry's own seq,
-            # needed to requeue an interrupted drain at the same priority.
-            burst_seq: list[int] = []
-
-            def deliver_burst() -> None:
-                # Drop the queue from channel state *before* draining: a
-                # fired burst is never rejoined (reentrant sends during the
-                # drain open a fresh entry), and idle channels keep no
-                # empty deques around afterwards.
-                if state.burst is burst:
-                    state.burst = None
-                assert self._deliver_fn is not None
-                delivered_any = False
-                while burst:
-                    if delivered_any and self._scheduler.stop_requested:
-                        # A delivery in this burst tripped a streaming
-                        # monitor (Scheduler.request_stop fired mid-drain).
-                        # Requeue the remainder — at the burst entry's own
-                        # (time, seq) priority, not a fresh seq — instead
-                        # of draining past the stop: the halted trace is
-                        # then bit-identical to the per-message path, which
-                        # stops between entries, and a cleared scheduler
-                        # resumes the leftovers *ahead of* any same-tick
-                        # entry scheduled after the burst formed, exactly
-                        # where the per-message entries would have sat.
-                        # (Matching per-message semantics, each firing
-                        # still delivers one message before checking.)
-                        self.delivery_entries += 1
-                        self._scheduler.reschedule_interrupted(
-                            due, burst_seq[0], deliver_burst,
-                            periodic=periodic,
-                        )
-                        return
-                    burst_msg, burst_kind = burst.popleft()
-                    delivered_any = True
-                    state.delivered += 1
-                    self.messages_delivered += 1
-                    self._deliver_fn(src, dst, burst_msg, burst_kind)
-
             self.delivery_entries += 1
-            self._scheduler.schedule_at(due, deliver_burst, periodic=periodic)
-            state.burst_guard = self._scheduler.last_scheduled_seq
-            burst_seq.append(state.burst_guard)
+            # Scheduler.schedule_callback_at, inlined (once per delivery
+            # entry — the call layer was a top-five profile line). The
+            # past-time guard is dropped on purpose: ``due = now + delay``
+            # with ``delay >= 0`` (checked by the callers), clamped only
+            # *upward* by the channel clock, so ``due >= now`` holds by
+            # construction.
+            seq = scheduler._seq
+            scheduler._seq = seq + 1
+            scheduler._last_seq = seq
+            burst.seq = seq
+            fire = burst.fire
+            pool = scheduler._pool
+            entry = None
+            if pool is not None:
+                entries = pool._entries
+                if entries:
+                    pool.entries_reused += 1
+                    entry = entries.pop()
+                    entry.time = due
+                    entry.seq = seq
+                    entry.callback = fire
+                    entry.cancelled = False
+                    entry.periodic = periodic
+                    entry.finished = False
+                    entry.tracked = False
+            if entry is None:
+                entry = _Entry(due, seq, fire, False, periodic, False, False)
+            heappush(scheduler._queue, (due, seq, entry))
+            scheduler._pending += 1
+            if not periodic:
+                scheduler._pending_nonperiodic += 1
             return
 
         def deliver() -> None:
@@ -235,7 +482,7 @@ class Network:
             self._deliver_fn(src, dst, msg, kind)
 
         self.delivery_entries += 1
-        self._scheduler.schedule_at(due, deliver, periodic=periodic)
+        scheduler.schedule_callback_at(due, deliver, periodic=periodic)
 
     # ------------------------------------------------------------------
     # Adversary interface (used via repro.sim.adversary)
@@ -259,12 +506,22 @@ class Network:
 
         Returns the number of messages released. Messages are re-subjected
         to the delay model but the channel clock preserves their order.
+        The *k* delays for a *k*-message queue are drawn with one
+        :meth:`~repro.sim.delays.DelayModel.sample_batch` dispatch (the
+        rng stream is identical to *k* ``sample`` calls, so histories are
+        unchanged); the released queue then typically collapses into a
+        single delivery burst via the channel clock.
         """
         state = self._state(src, dst)
         state.blocked = False
         held, state.held = state.held, []
-        for msg, kind in held:
-            self._schedule_delivery(src, dst, msg, kind)
+        if not held:
+            return 0
+        delays = self._delay_model.sample_batch(
+            self._rng, [(src, dst)] * len(held)
+        )
+        for (msg, kind), delay in zip(held, delays):
+            self._schedule_delivery(state, src, dst, msg, kind, delay)
         return len(held)
 
     def clear_holds(self) -> int:

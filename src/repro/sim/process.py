@@ -54,6 +54,7 @@ class SimProcess:
         self._mint: MessageMint | None = None
         self._timers: list[TimerHandle] = []
         self._timer_prune_at = _TIMER_PRUNE_FLOOR
+        self._peers: list[int] | None = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -64,6 +65,7 @@ class SimProcess:
         self._world = world
         self.pid = pid
         self._mint = MessageMint(pid)
+        self._peers = None  # recomputed lazily against the new world
 
     @property
     def world(self) -> "World":
@@ -80,12 +82,23 @@ class SimProcess:
     @property
     def now(self) -> float:
         """Current virtual time."""
-        return self.world.scheduler.now
+        world = self._world
+        if world is None:
+            raise ProtocolError("process used before bind()")
+        # Reads the scheduler's clock attribute directly: this property
+        # runs once per delivery/heartbeat, and the world/scheduler
+        # property hops were a measurable share of the event loop.
+        return world.scheduler._now
 
     @property
     def peers(self) -> list[int]:
-        """All process ids except this one."""
-        return [p for p in range(self.n) if p != self.pid]
+        """All process ids except this one (cached; do not mutate)."""
+        peers = self._peers
+        if peers is None:
+            peers = self._peers = [
+                p for p in range(self.n) if p != self.pid
+            ]
+        return peers
 
     @property
     def status(self) -> str:
@@ -148,9 +161,22 @@ class SimProcess:
         """
         if self.crashed:
             return None
-        assert self._mint is not None
-        msg = self._mint.mint(payload)
-        self.world.transmit(self.pid, dst, msg, kind=kind)
+        world = self._world
+        if world is None:
+            raise ProtocolError("process used before bind()")
+        # MessageMint.mint, inlined: one minted message per send makes
+        # the mint call pure per-event overhead (uniqueness semantics
+        # are unchanged — same counter, same Message).
+        mint = self._mint
+        msg = Message(mint.sender, mint._next_seq, payload)
+        mint._next_seq += 1
+        if kind == "app":
+            world.transmit(self.pid, dst, msg, kind=kind)
+        else:
+            # Protocol/system traffic is never recorded and never
+            # byzantine-intercepted (transmit only acts on "app"), so it
+            # goes straight to the network — one call less per heartbeat.
+            world.network.send(self.pid, dst, msg, kind=kind)
         return msg
 
     def broadcast(
@@ -259,5 +285,8 @@ class SimProcess:
         action except acknowledging" clause, which is what gives sFS2d);
         the recv event must be recorded only at true consumption time.
         """
-        self.world.trace.record_recv(self.now, self.pid, src, msg)
+        world = self.world
+        world.trace.record_recv(
+            world.scheduler._now, self.pid, src, msg
+        )
         self.on_message(src, msg.payload, msg)

@@ -34,10 +34,8 @@ Scaling notes (the engine is the bottleneck for every experiment):
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
 from typing import Callable, Iterator
 
 from repro.errors import SimulationError
@@ -46,14 +44,68 @@ _MIN_COMPACT_SIZE = 32
 """Heaps smaller than this are never compacted (rebuilds would dominate)."""
 
 
-@dataclass(order=True)
 class _Entry:
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    periodic: bool = field(default=False, compare=False)
-    finished: bool = field(default=False, compare=False)
+    """One queued callback, ordered by ``(time, seq)``.
+
+    A ``__slots__`` class with a hand-rolled ``__lt__`` (a generated
+    ``dataclass(order=True)`` comparison would build two ``(time, seq)``
+    tuples per call). The heap itself stores ``(time, seq, entry)``
+    triples so the O(log n) comparisons per push/pop run entirely in C on
+    the leading two fields — ``seq`` is unique per scheduler, so the
+    comparison never falls through to the entry object. ``__lt__`` is
+    kept as the authoritative statement of the ordering (time first,
+    scheduling sequence as the tie-break) and as the tuple ordering's
+    fallback; both agree by construction, guarded by
+    ``tests/sim/test_entry_ordering.py``.
+    """
+
+    __slots__ = (
+        "time", "seq", "callback", "cancelled", "periodic", "finished",
+        "tracked",
+    )
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        cancelled: bool = False,
+        periodic: bool = False,
+        finished: bool = False,
+        tracked: bool = True,
+    ):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = cancelled
+        self.periodic = periodic
+        self.finished = finished
+        # True when a TimerHandle references this entry. Untracked
+        # entries (the handle-less delivery path) are observed by nothing
+        # but the heap, so the run loops may recycle them into the pool
+        # the moment their callback returns — tracked entries wait for
+        # end-of-life recycling, preserving the "no live handle can see a
+        # reused entry" argument.
+        self.tracked = tracked
+
+    def __lt__(self, other: "_Entry") -> bool:
+        time = self.time
+        other_time = other.time
+        return time < other_time or (
+            time == other_time and self.seq < other.seq
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        flags = "".join(
+            flag
+            for flag, on in (
+                ("C", self.cancelled),
+                ("P", self.periodic),
+                ("F", self.finished),
+            )
+            if on
+        )
+        return f"_Entry(t={self.time}, seq={self.seq}{', ' + flags if flags else ''})"
 
 
 def _noop() -> None:  # placeholder callback for recycled entries
@@ -84,19 +136,53 @@ class SchedulerStoragePool:
     def __init__(self, max_entries: int = 65_536):
         self._max_entries = max_entries
         self._entries: list[_Entry] = []
-        self._lists: list[list[_Entry]] = []
+        self._lists: list[list[tuple[float, int, _Entry]]] = []
+        # Delivery-burst free lists (``repro.sim.network._Burst``), one
+        # list per dead network, adopted whole by the next network built
+        # under the pool — the same end-of-life-only discipline as the
+        # entry free list. Untyped here to keep scheduler free of a
+        # network import.
+        self._burst_lists: list[list] = []
         self._schedulers: dict[int, "Scheduler"] = {}
         #: Entries handed out from the free list instead of allocated.
         self.entries_reused = 0
         #: Entries accepted back by :meth:`recycle`.
         self.entries_recycled = 0
+        #: Delivery bursts reused instead of allocated (intra- and
+        #: cross-shard; aggregated at :meth:`recycle_bursts` time).
+        self.bursts_reused = 0
+        #: Delivery bursts accepted back by :meth:`recycle_bursts`.
+        self.bursts_recycled = 0
 
     # -- acquisition (called by Scheduler) ------------------------------
 
-    def adopt(self, scheduler: "Scheduler") -> list[_Entry]:
+    def adopt(self, scheduler: "Scheduler") -> list[tuple[float, int, _Entry]]:
         """Register a newborn scheduler; returns its heap list to use."""
         self._schedulers[id(scheduler)] = scheduler
         return self._lists.pop() if self._lists else []
+
+    def adopt_bursts(self) -> list:
+        """A delivery-burst free list for a newborn network (may be empty).
+
+        Drawn by :class:`repro.sim.network.Network` at construction when
+        its scheduler was built under this pool, mirroring :meth:`adopt`.
+        """
+        return self._burst_lists.pop() if self._burst_lists else []
+
+    def recycle_bursts(self, free: list, reused: int = 0) -> int:
+        """Take back a dead network's burst free list; returns its size.
+
+        The bursts in ``free`` already had their world references cleared
+        at retirement (see ``_Burst.fire``), so holding them pins no dead
+        world. ``reused`` folds the donor network's reuse counter into
+        :attr:`bursts_reused`. The list is truncated to ``max_entries``,
+        the same bound the entry free list honours.
+        """
+        del free[self._max_entries:]
+        self.bursts_recycled += len(free)
+        self.bursts_reused += reused
+        self._burst_lists.append(free)
+        return len(free)
 
     def discard(self, scheduler: "Scheduler") -> None:
         """Forget an adopted scheduler (it released its storage itself)."""
@@ -119,20 +205,30 @@ class SchedulerStoragePool:
             entry.cancelled = False
             entry.periodic = periodic
             entry.finished = False
+            entry.tracked = True
             return entry
         return _Entry(time, seq, callback, periodic=periodic)
 
     # -- release --------------------------------------------------------
 
-    def recycle(self, queue: list[_Entry]) -> int:
-        """Take back a dead scheduler's queue; returns entries recycled."""
+    def recycle(self, queue: list[tuple[float, int, _Entry]]) -> int:
+        """Take back a dead scheduler's queue; returns entries recycled.
+
+        Every entry in the dead queue gets its ``callback`` cleared, not
+        just the ones the bounded free list retains: an entry dropped on
+        the floor once ``max_entries`` is hit would otherwise keep its
+        closure (worlds, messages, monitors) reachable until the garbage
+        collector got around to the whole queue.
+        """
         recycled = 0
-        for entry in queue:
-            if len(self._entries) >= self._max_entries:
-                break
+        entries = self._entries
+        capacity = self._max_entries
+        for item in queue:
+            entry = item[2]
             entry.callback = _noop  # drop closure refs (worlds, messages)
-            self._entries.append(entry)
-            recycled += 1
+            if len(entries) < capacity:
+                entries.append(entry)
+                recycled += 1
         self.entries_recycled += recycled
         queue.clear()
         self._lists.append(queue)
@@ -229,10 +325,13 @@ class Scheduler:
 
     def __init__(self) -> None:
         self._pool = _ACTIVE_POOL
-        self._queue: list[_Entry] = (
+        # Heap of (time, seq, entry) triples: time/seq comparisons happen
+        # at C level inside heapq; seq is unique, so _Entry.__lt__ is
+        # never consulted during heap operations.
+        self._queue: list[tuple[float, int, _Entry]] = (
             self._pool.adopt(self) if self._pool is not None else []
         )
-        self._seq = itertools.count()
+        self._seq = 0
         self._now = 0.0
         self._processed = 0
         # Incremental accounting: kept in lockstep with the heap so the
@@ -311,6 +410,37 @@ class Scheduler:
             raise SimulationError(f"negative delay {delay}")
         return self.schedule_at(self._now + delay, callback, periodic=periodic)
 
+    def _new_entry(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        periodic: bool,
+        tracked: bool = True,
+    ) -> _Entry:
+        """A queue-ready entry — recycled from the pool when one is active.
+
+        The pool's free list is probed inline (rather than through
+        :meth:`SchedulerStoragePool.acquire_entry`) because this runs once
+        per scheduled callback; the method form is kept on the pool for
+        direct callers and tests.
+        """
+        pool = self._pool
+        if pool is not None:
+            entries = pool._entries
+            if entries:
+                pool.entries_reused += 1
+                entry = entries.pop()
+                entry.time = time
+                entry.seq = seq
+                entry.callback = callback
+                entry.cancelled = False
+                entry.periodic = periodic
+                entry.finished = False
+                entry.tracked = tracked
+                return entry
+        return _Entry(time, seq, callback, False, periodic, False, tracked)
+
     def schedule_at(
         self,
         time: float,
@@ -322,17 +452,57 @@ class Scheduler:
             raise SimulationError(
                 f"cannot schedule into the past: {time} < now {self._now}"
             )
-        seq = next(self._seq)
+        seq = self._seq
+        self._seq = seq + 1
         self._last_seq = seq
-        if self._pool is not None:
-            entry = self._pool.acquire_entry(time, seq, callback, periodic)
-        else:
-            entry = _Entry(time, seq, callback, periodic=periodic)
-        heapq.heappush(self._queue, entry)
+        entry = self._new_entry(time, seq, callback, periodic)
+        heappush(self._queue, (time, seq, entry))
         self._pending += 1
         if not periodic:
             self._pending_nonperiodic += 1
         return TimerHandle(entry, self)
+
+    def schedule_callback_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        periodic: bool = False,
+    ) -> None:
+        """:meth:`schedule_at` without materialising a :class:`TimerHandle`.
+
+        The network delivery path schedules one entry per burst and never
+        cancels it, so the handle — one allocation per delivery — is pure
+        overhead there. Identical semantics otherwise: same sequence
+        numbering, same accounting, same ordering.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: {time} < now {self._now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        self._last_seq = seq
+        # _new_entry inlined — this is the once-per-delivery path.
+        pool = self._pool
+        entry = None
+        if pool is not None:
+            entries = pool._entries
+            if entries:
+                pool.entries_reused += 1
+                entry = entries.pop()
+                entry.time = time
+                entry.seq = seq
+                entry.callback = callback
+                entry.cancelled = False
+                entry.periodic = periodic
+                entry.finished = False
+                entry.tracked = False
+        if entry is None:
+            entry = _Entry(time, seq, callback, False, periodic, False, False)
+        heappush(self._queue, (time, seq, entry))
+        self._pending += 1
+        if not periodic:
+            self._pending_nonperiodic += 1
 
     def reschedule_interrupted(
         self,
@@ -358,11 +528,8 @@ class Scheduler:
             raise SimulationError(
                 f"cannot reschedule into the past: {time} < now {self._now}"
             )
-        if self._pool is not None:
-            entry = self._pool.acquire_entry(time, seq, callback, periodic)
-        else:
-            entry = _Entry(time, seq, callback, periodic=periodic)
-        heapq.heappush(self._queue, entry)
+        entry = self._new_entry(time, seq, callback, periodic, tracked=False)
+        heappush(self._queue, (time, seq, entry))
         self._pending += 1
         if not periodic:
             self._pending_nonperiodic += 1
@@ -380,19 +547,24 @@ class Scheduler:
             self._compact()
 
     def _compact(self) -> None:
-        """Rebuild the heap without cancelled entries.
+        """Rebuild the heap without cancelled entries — **in place**.
 
         Heap order is a function of the ``(time, seq)`` keys alone, so the
         pop order — and therefore every simulated history — is unaffected.
+        The list object is reused (slice assignment, not rebinding):
+        compaction can fire from a cancellation inside a running callback,
+        and the run loops below hold the queue in a local variable.
         """
-        self._queue = [entry for entry in self._queue if not entry.cancelled]
-        heapq.heapify(self._queue)
+        queue = self._queue
+        queue[:] = [item for item in queue if not item[2].cancelled]
+        heapify(queue)
         self._cancelled_in_heap = 0
 
     def step(self) -> bool:
         """Execute the next callback. Returns False when nothing is queued."""
-        while self._queue:
-            entry = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            time, _seq, entry = heappop(queue)
             if entry.cancelled:
                 self._cancelled_in_heap -= 1
                 continue
@@ -400,9 +572,17 @@ class Scheduler:
             self._pending -= 1
             if not entry.periodic:
                 self._pending_nonperiodic -= 1
-            self._now = entry.time
+            self._now = time
             self._processed += 1
             entry.callback()
+            pool = self._pool
+            if (
+                not entry.tracked
+                and pool is not None
+                and len(pool._entries) < pool._max_entries
+            ):
+                entry.callback = _noop
+                pool._entries.append(entry)
             return True
         return False
 
@@ -420,22 +600,50 @@ class Scheduler:
 
         Returns:
             The number of callbacks executed by this call.
+
+        The loop body is the former peek + :meth:`step` pair, inlined:
+        this is the per-event path of every simulation, and the peek/pop
+        split cost a second heap traversal plus two method calls per
+        event. Semantics are unchanged (pinned by the reference-scheduler
+        equivalence tests).
         """
         executed = 0
-        while self._queue:
+        queue = self._queue  # _compact() mutates in place; binding is safe
+        pool = self._pool
+        free = pool._entries if pool is not None else None
+        cap = pool._max_entries if pool is not None else 0
+        while queue:
             if self._stop_requested:
                 break
             if max_events is not None and executed >= max_events:
                 break
-            upcoming = self._peek()
-            if upcoming is None:
+            head = queue[0]
+            entry = head[2]
+            if entry.cancelled:
+                heappop(queue)
+                self._cancelled_in_heap -= 1
+                continue
+            time = head[0]
+            if until is not None and time > until:
+                if until > self._now:
+                    self._now = until
                 break
-            if until is not None and upcoming.time > until:
-                self._now = max(self._now, until)
-                break
-            if not self.step():
-                break
+            heappop(queue)
+            entry.finished = True
+            self._pending -= 1
+            if not entry.periodic:
+                self._pending_nonperiodic -= 1
+            self._now = time
+            self._processed += 1
+            entry.callback()
             executed += 1
+            # Pop-time recycling: a fired handle-less entry is observed
+            # by nothing (no TimerHandle, popped off the heap), so it
+            # goes straight back to the pool's free list instead of
+            # waiting for end-of-life recycling.
+            if not entry.tracked and free is not None and len(free) < cap:
+                entry.callback = _noop
+                free.append(entry)
         return executed
 
     def run_to_quiescence(
@@ -447,8 +655,14 @@ class Scheduler:
         linear in the number of events executed. Raises
         :class:`SimulationError` if ``max_events`` is exceeded, which
         almost always indicates a livelock in a protocol under test.
+
+        Like :meth:`run`, the per-event step is inlined into the loop.
         """
         executed = 0
+        queue = self._queue  # _compact() mutates in place; binding is safe
+        pool = self._pool
+        free = pool._entries if pool is not None else None
+        cap = pool._max_entries if pool is not None else 0
         while True:
             if self._stop_requested:
                 return executed
@@ -462,15 +676,34 @@ class Scheduler:
                     f"no quiescence after {max_events} events; "
                     "likely a livelock in the system under test"
                 )
-            if not self.step():
+            entry = None
+            while queue:
+                time, _seq, popped = heappop(queue)
+                if popped.cancelled:
+                    self._cancelled_in_heap -= 1
+                    continue
+                entry = popped
+                break
+            if entry is None:
                 return executed
+            entry.finished = True
+            self._pending -= 1
+            if not entry.periodic:
+                self._pending_nonperiodic -= 1
+            self._now = time
+            self._processed += 1
+            entry.callback()
             executed += 1
+            if not entry.tracked and free is not None and len(free) < cap:
+                entry.callback = _noop
+                free.append(entry)
 
     def _peek(self) -> _Entry | None:
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            heappop(queue)
             self._cancelled_in_heap -= 1
-        return self._queue[0] if self._queue else None
+        return queue[0][2] if queue else None
 
     def release_storage(self) -> int:
         """Hand the heap and its queued entries back to the storage pool.

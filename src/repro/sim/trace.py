@@ -66,6 +66,11 @@ class TraceRecorder:
         """
         self._builder.attach_observer(observer)
 
+    def detach_observers(self) -> None:
+        """Drop all attached observers (see ``HistoryBuilder``); the
+        recording itself stays fully readable."""
+        self._builder.detach_observers()
+
     @property
     def n(self) -> int:
         """Number of processes in the recorded system."""
@@ -82,7 +87,7 @@ class TraceRecorder:
         # Time first: builder observers fire inside append and may ask
         # for the virtual time of the event they are being shown.
         self._times.append(time)
-        self._builder.append(event)
+        self._builder.append_one(event)
         return event
 
     def record_send(self, time: float, src: int, dst: int, msg: Message) -> Event:

@@ -1,0 +1,98 @@
+"""``sample_batch`` vs repeated ``sample``: the determinism contract.
+
+Every :class:`~repro.sim.delays.DelayModel` override of ``sample_batch``
+must consume the rng stream exactly as the per-message loop
+``[model.sample(rng, s, d) for s, d in pairs]`` would — same draws, same
+order — because the network's burst paths batch-sample while the
+unbatched reference path samples per message, and the two must produce
+bit-identical histories. Property-tested here for every concrete model,
+including :class:`PerChannelDelay` (whose factors apply positionally on
+top of the wrapped model's draws).
+"""
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.delays import (
+    ConstantDelay,
+    DelayModel,
+    ExponentialDelay,
+    LogNormalDelay,
+    ParetoDelay,
+    PerChannelDelay,
+    UniformDelay,
+)
+
+MODELS = [
+    ConstantDelay(delay=0.7),
+    UniformDelay(low=0.2, high=2.0),
+    ExponentialDelay(mean=1.3),
+    LogNormalDelay(median=0.9, sigma=0.6),
+    ParetoDelay(scale=0.4, alpha=1.7),
+    PerChannelDelay(
+        base=UniformDelay(low=0.1, high=1.0),
+        slow_channels=(((0, 1), 3.0), ((2, 0), 10.0), ((0, 1), 99.0)),
+    ),
+    PerChannelDelay(base=ParetoDelay()),  # no slow channels at all
+]
+
+pairs_strategy = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=50
+)
+
+
+@given(
+    model=st.sampled_from(MODELS),
+    seed=st.integers(0, 2**32 - 1),
+    pairs=pairs_strategy,
+)
+def test_batch_equals_repeated_sample(model, seed, pairs):
+    """Identical values AND identical rng-stream consumption."""
+    rng_a = random.Random(seed)
+    rng_b = random.Random(seed)
+    batched = model.sample_batch(rng_a, pairs)
+    singles = [model.sample(rng_b, src, dst) for src, dst in pairs]
+    assert batched == singles
+    # Same stream position afterwards: the next draw must agree too.
+    assert rng_a.random() == rng_b.random()
+
+
+@given(seed=st.integers(0, 2**32 - 1), pairs=pairs_strategy)
+def test_default_base_class_batch_loops_over_sample(seed, pairs):
+    """The DelayModel default is the reference loop, verbatim."""
+
+    class Tagged(DelayModel):
+        def sample(self, rng, src, dst):
+            return rng.random() + 1000 * src + dst
+
+    model = Tagged()
+    rng_a = random.Random(seed)
+    rng_b = random.Random(seed)
+    batched = model.sample_batch(rng_a, pairs)
+    singles = [model.sample(rng_b, src, dst) for src, dst in pairs]
+    assert batched == singles
+    assert rng_a.random() == rng_b.random()
+
+
+@given(seed=st.integers(0, 2**32 - 1), pairs=pairs_strategy)
+def test_per_channel_factors_apply_to_right_positions(seed, pairs):
+    """PerChannelDelay scales exactly the slow channels' positions."""
+    base = UniformDelay(low=0.5, high=1.5)
+    model = PerChannelDelay(base=base, slow_channels=(((1, 2), 4.0),))
+    raw = base.sample_batch(random.Random(seed), pairs)
+    wrapped = model.sample_batch(random.Random(seed), pairs)
+    for i, pair in enumerate(pairs):
+        expected = raw[i] * 4.0 if pair == (1, 2) else raw[i]
+        assert wrapped[i] == expected
+
+
+def test_first_slow_channel_occurrence_wins():
+    """Duplicate slow-channel keys keep the first factor (documented)."""
+    model = PerChannelDelay(
+        base=ConstantDelay(delay=1.0),
+        slow_channels=(((0, 1), 2.0), ((0, 1), 5.0)),
+    )
+    assert model.sample(random.Random(0), 0, 1) == 2.0
+    assert model.sample_batch(random.Random(0), [(0, 1)]) == [2.0]

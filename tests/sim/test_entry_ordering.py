@@ -1,0 +1,94 @@
+"""Ordering contract of the scheduler's ``_Entry`` (PR 8 hot path).
+
+The heap stores ``(time, seq, entry)`` triples so comparisons run in C on
+the leading fields; ``_Entry.__lt__`` is the authoritative statement of
+the same ordering (time first, scheduling sequence as the tie-break) and
+the tuple's fallback. These tests pin the two views of the ordering to
+each other — especially under equal-time ties, where only ``seq``
+separates entries — and pin the drain order of the scheduler itself to
+the sorted order of what was pushed.
+"""
+
+from heapq import heappop, heappush
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.scheduler import Scheduler, _Entry
+
+
+def _noop() -> None:
+    return None
+
+
+def _entry(time: float, seq: int) -> _Entry:
+    return _Entry(time, seq, _noop)
+
+
+times = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@given(times, times, st.integers(0, 2**31), st.integers(0, 2**31))
+def test_lt_matches_time_seq_tuple(ta, tb, sa, sb):
+    """``__lt__`` is exactly the lexicographic ``(time, seq)`` order."""
+    a, b = _entry(ta, sa), _entry(tb, sb)
+    assert (a < b) == ((ta, sa) < (tb, sb))
+
+
+@given(times, st.integers(0, 2**31), st.integers(0, 2**31))
+def test_equal_time_ties_break_on_seq(time, sa, sb):
+    """At equal times only ``seq`` decides — and never reports both ways."""
+    a, b = _entry(time, sa), _entry(time, sb)
+    assert (a < b) == (sa < sb)
+    assert not (a < b and b < a)
+    if sa != sb:
+        assert (a < b) != (b < a)  # totality at equal time
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from([0.0, 1.0, 1.5, 2.0]), st.integers()),
+        min_size=1,
+        max_size=40,
+        unique_by=lambda pair: pair[1],
+    )
+)
+def test_heap_of_triples_pops_in_entry_order(pairs):
+    """A heap of ``(time, seq, entry)`` pops exactly in ``__lt__`` order.
+
+    Times are drawn from a tiny pool so equal-time ties (the case the
+    seq tie-break exists for) occur in almost every example.
+    """
+    heap: list = []
+    for time, seq in pairs:
+        heappush(heap, (time, seq, _entry(time, seq)))
+    popped = []
+    while heap:
+        popped.append(heappop(heap)[2])
+    assert all(a < b for a, b in zip(popped, popped[1:]))
+    assert [(e.time, e.seq) for e in popped] == sorted(
+        (t, s) for t, s in pairs
+    )
+
+
+@given(
+    st.lists(
+        st.sampled_from([0.0, 0.5, 1.0, 2.0]), min_size=1, max_size=30
+    )
+)
+def test_scheduler_runs_equal_times_in_scheduling_order(due_times):
+    """End to end: same-time callbacks run first-scheduled-first."""
+    scheduler = Scheduler()
+    ran: list[int] = []
+    for index, due in enumerate(due_times):
+        scheduler.schedule_at(due, lambda i=index: ran.append(i))
+    scheduler.run()
+    expected = [
+        index
+        for _, index in sorted(
+            (due, index) for index, due in enumerate(due_times)
+        )
+    ]
+    assert ran == expected

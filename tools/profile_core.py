@@ -1,0 +1,184 @@
+"""Profile the event core on the standard E15 fuzz workload.
+
+Two jobs, one harness:
+
+* **Profile mode** (default): run the workload once under :mod:`cProfile`
+  and print a ranked hot-function table — the view every hot-path PR
+  should quote before/after::
+
+      PYTHONPATH=src python tools/profile_core.py
+      PYTHONPATH=src python tools/profile_core.py --top 25
+
+* **Check mode** (``--check``): time the workload *without* the profiler
+  (best-of-N, min wall time) and compare its events/sec against the
+  committed baseline at ``benchmarks/results/BENCH_profile_core.json``.
+  A throughput drop beyond ``--tolerance`` (default 30%) exits non-zero,
+  so CI catches an accidental deoptimization of the event core. Noisy
+  shared runners can demote the failure to a warning by setting
+  ``PERF_SMOKE_WARN_ONLY=1``. Re-pin the baseline (after an intentional
+  perf change, on the machine of record) with ``--update-baseline``.
+
+The workload is the E15 fuzz batch (``run_fuzz(seed=0, count=80)``) —
+80 deterministic scenarios across every protocol, exercising scheduler,
+network, history recording, monitors, and detectors together. Its digest
+is pinned by ``tests/analysis/test_fuzz.py``, so the thing being timed
+here is the thing being checked for bit-identical behaviour there.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import json
+import os
+import pstats
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = (
+    REPO_ROOT / "benchmarks" / "results" / "BENCH_profile_core.json"
+)
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.fuzz import run_fuzz  # noqa: E402
+
+
+def _workload(seed: int, count: int):
+    return run_fuzz(seed=seed, count=count)
+
+
+def time_workload(seed: int, count: int, repeats: int) -> tuple[float, int]:
+    """Best-of-``repeats`` wall time and the (deterministic) event count."""
+    best = float("inf")
+    events = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        report = _workload(seed, count)
+        elapsed = time.perf_counter() - start
+        events = report.events
+        if elapsed < best:
+            best = elapsed
+    return best, events
+
+
+def profile_workload(seed: int, count: int, top: int) -> str:
+    profiler = cProfile.Profile()
+    profiler.enable()
+    _workload(seed, count)
+    profiler.disable()
+    out = io.StringIO()
+    stats = pstats.Stats(profiler, stream=out)
+    stats.sort_stats("tottime")
+    stats.print_stats(top)
+    return out.getvalue()
+
+
+def run_check(args: argparse.Namespace) -> int:
+    best, events = time_workload(args.seed, args.count, args.repeats)
+    rate = events / best
+    print(
+        f"workload: run_fuzz(seed={args.seed}, count={args.count})  "
+        f"events={events}  best={best:.3f}s  rate={rate:,.0f} events/s"
+    )
+    if args.update_baseline:
+        BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE_PATH.write_text(
+            json.dumps(
+                {
+                    "workload": {"seed": args.seed, "count": args.count},
+                    "events": events,
+                    "best_s": round(best, 6),
+                    "events_per_sec": round(rate, 1),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+    if not BASELINE_PATH.exists():
+        print(
+            f"no baseline at {BASELINE_PATH}; run with --update-baseline "
+            "to pin one",
+            file=sys.stderr,
+        )
+        return 1
+    baseline = json.loads(BASELINE_PATH.read_text())
+    base_rate = baseline["events_per_sec"]
+    if baseline.get("events") not in (None, events):
+        # The workload itself changed (different event count): rates are
+        # no longer comparable and the pin must be refreshed on purpose.
+        print(
+            f"baseline event count {baseline['events']} != measured "
+            f"{events}; the workload changed — re-pin with "
+            "--update-baseline",
+            file=sys.stderr,
+        )
+        return 1
+    floor = base_rate * (1.0 - args.tolerance)
+    verdict = (
+        f"baseline {base_rate:,.0f} events/s, floor {floor:,.0f} "
+        f"(-{args.tolerance:.0%}), measured {rate:,.0f}"
+    )
+    if rate >= floor:
+        print(f"OK: {verdict}")
+        return 0
+    message = f"REGRESSION: {verdict}"
+    if os.environ.get("PERF_SMOKE_WARN_ONLY"):
+        print(f"warning (PERF_SMOKE_WARN_ONLY set): {message}")
+        return 0
+    print(message, file=sys.stderr)
+    return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--count", type=int, default=80)
+    parser.add_argument(
+        "--top", type=int, default=20, help="rows in the hot-function table"
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repeats (best is kept) in --check mode",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional events/sec drop before --check fails",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare events/sec against the committed baseline",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="re-pin the committed baseline from this machine",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check or args.update_baseline:
+        return run_check(args)
+
+    best, events = time_workload(args.seed, args.count, 1)
+    print(
+        f"workload: run_fuzz(seed={args.seed}, count={args.count})  "
+        f"events={events}  warm-up={best:.3f}s  "
+        f"rate={events / best:,.0f} events/s"
+    )
+    print(profile_workload(args.seed, args.count, args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
