@@ -27,6 +27,10 @@ Commands:
   halts the world there instead of running on.
 * ``cycle K`` — run the Theorem 6 adversarial construction for a k-cycle
   and print the impossibility certificate.
+* ``worker`` — serve jobs for a remote coordinator
+  (``--backend remote``): dial a coordinator with ``--connect host:port``
+  or await one with ``--listen host:port``. See
+  :mod:`repro.exec.remote`.
 
 ``sweep``, ``fuzz``, and ``monitor`` all execute through the unified
 execution layer (:mod:`repro.exec`) and share its flags: ``--backend``
@@ -36,7 +40,10 @@ it lands, and ``--resume`` restores journaled cases instead of
 re-running them — a killed run resumed at any case boundary prints the
 same digest as an uninterrupted one. ``sweep``/``fuzz`` additionally
 take ``--stream`` to print each result live, in deterministic order, as
-the finished prefix grows.
+the finished prefix grows, and ``--backend remote`` with ``--workers``
+(an integer to spawn local worker processes, or ``host:port,...`` to
+dial out) dispatches the plan to a fleet watched by the repo's own
+failure detectors — still bit-identical.
 """
 
 from __future__ import annotations
@@ -78,7 +85,7 @@ def _parse_seeds(text: str) -> list[int]:
 
 def _add_exec_flags(
     parser: "argparse.ArgumentParser",
-    backends: tuple[str, ...] = ("serial", "parallel", "inproc"),
+    backends: tuple[str, ...] = ("serial", "parallel", "inproc", "remote"),
     backend_help: str = "execution backend; results are bit-identical "
     "on every backend",
 ) -> None:
@@ -86,6 +93,15 @@ def _add_exec_flags(
     parser.add_argument(
         "--backend", choices=backends, default=None, help=backend_help
     )
+    if "remote" in backends:
+        parser.add_argument(
+            "--workers", metavar="N|HOST:PORT,...", default=None,
+            help="--backend remote fleet: an integer spawns that many "
+                 "local worker processes; a comma list of host:port "
+                 "addresses dials out to workers started with "
+                 "'python -m repro worker --listen host:port' "
+                 "(default: 2 spawned workers)",
+        )
     parser.add_argument(
         "--journal", metavar="PATH", default=None,
         help="checkpoint every completed case to this JSONL file as it "
@@ -253,6 +269,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.workers is not None and args.backend != "remote":
+        print("sweep failed: --workers only applies to --backend remote",
+              file=sys.stderr)
+        return 2
     sink = None
     if args.stream:
         sink = _StreamSink(
@@ -269,6 +289,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             early_stop=args.early_stop,
             backend=args.backend,
+            remote_workers=args.workers,
             journal=args.journal,
             resume=args.resume,
             sink=sink,
@@ -404,6 +425,10 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.workers is not None and backend != "remote":
+        print("fuzz failed: --workers only applies to --backend remote",
+              file=sys.stderr)
+        return 2
     stepping = args.stepping if args.stepping is not None else "round_robin"
     quantum = args.quantum if args.quantum is not None else 512
     window = args.window if args.window is not None else 64
@@ -445,7 +470,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             adaptive = run_adaptive_fuzz(
                 seed=args.seed, count=args.count, config=config,
                 batch=args.batch, runner=runner, backend=backend,
-                jobs=args.jobs, journal=args.journal, resume=args.resume,
+                jobs=args.jobs, remote_workers=args.workers,
+                journal=args.journal, resume=args.resume,
                 sink=sink,
             )
             report = adaptive.report
@@ -453,6 +479,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             report = run_fuzz(
                 seed=args.seed, count=args.count, config=config,
                 runner=runner, backend=backend, jobs=args.jobs,
+                remote_workers=args.workers,
                 journal=args.journal, resume=args.resume, sink=sink,
             )
     except ReproError as exc:
@@ -541,6 +568,29 @@ def _cmd_cycle(args: argparse.Namespace) -> int:
         print(f"k={k} n={n} quorum={quorum} ({marker}): "
               f"{row.detections} detections, {outcome}")
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.exec.remote import run_worker
+
+    if (args.connect is None) == (args.listen is None):
+        print("worker: exactly one of --connect or --listen is required",
+              file=sys.stderr)
+        return 2
+    try:
+        return run_worker(
+            connect=args.connect,
+            listen=args.listen,
+            name=args.name,
+            retry_for=args.retry_for,
+        )
+    except ReproError as exc:
+        print(f"worker failed: {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(f"worker: lost the coordinator: {exc}", file=sys.stderr)
+        return 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -743,6 +793,30 @@ def main(argv: list[str] | None = None) -> int:
     cycle.add_argument("k", type=int)
     cycle.add_argument("--n", type=int, default=None)
     cycle.set_defaults(fn=_cmd_cycle)
+
+    worker = sub.add_parser(
+        "worker",
+        help="serve jobs for a remote coordinator (--backend remote)",
+    )
+    worker.add_argument(
+        "--connect", metavar="HOST:PORT", default=None,
+        help="dial the coordinator at this address (retried briefly, so "
+             "worker and coordinator can start in either order)",
+    )
+    worker.add_argument(
+        "--listen", metavar="HOST:PORT", default=None,
+        help="bind this address and await the coordinator's dial "
+             "(the hosts=... / --workers host:port,... direction)",
+    )
+    worker.add_argument(
+        "--name", default=None,
+        help="label reported to the coordinator (default: host-pid)",
+    )
+    worker.add_argument(
+        "--retry-for", type=float, default=10.0, metavar="SECONDS",
+        help="how long --connect keeps retrying before giving up",
+    )
+    worker.set_defaults(fn=_cmd_worker)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -31,6 +31,7 @@ import random
 from dataclasses import dataclass
 
 from pathlib import Path
+from typing import Sequence
 
 from repro.analysis.coverage import (
     AxisWeights,
@@ -903,6 +904,7 @@ def run_fuzz(
     backend: str | None = None,
     jobs: int = 1,
     chunksize: int | None = None,
+    remote_workers: int | str | Sequence[str] | None = None,
     journal: str | Path | None = None,
     resume: bool = False,
     sink: ResultSink | None = None,
@@ -915,8 +917,10 @@ def run_fuzz(
     ``runner`` to control stepping or to read back
     :class:`~repro.sim.multiworld.RunnerStats` afterwards; or let
     ``stepping``/``quantum``/``window`` build one). ``"serial"`` runs
-    each scenario whole in this process and ``"parallel"`` fans them out
-    to a pool of ``jobs`` workers — the report is identical on every
+    each scenario whole in this process, ``"parallel"`` fans them out
+    to a pool of ``jobs`` workers, and ``"remote"`` dispatches them to
+    the worker fleet ``remote_workers`` configures (see
+    :mod:`repro.exec.remote`) — the report is identical on every
     backend, stepping policy, quantum, and window, because scenarios
     share no state.
 
@@ -942,7 +946,10 @@ def run_fuzz(
         executor = InprocExecutor(runner=runner)
     else:
         # make_executor rejects unknown backend names.
-        executor = make_executor(backend, workers=jobs, chunksize=chunksize)
+        executor = make_executor(
+            backend, workers=jobs, chunksize=chunksize,
+            remote_workers=remote_workers,
+        )
     outcomes = run_jobs(
         [scenario_job(seed, index, config) for index in range(count)],
         executor=executor,
@@ -1057,6 +1064,7 @@ def run_adaptive_fuzz(
     backend: str | None = None,
     jobs: int = 1,
     chunksize: int | None = None,
+    remote_workers: int | str | Sequence[str] | None = None,
     journal: str | Path | None = None,
     resume: bool = False,
     sink: ResultSink | None = None,
@@ -1106,7 +1114,10 @@ def run_adaptive_fuzz(
             )
         executor = InprocExecutor(runner=runner)
     else:
-        executor = make_executor(backend, workers=jobs, chunksize=chunksize)
+        executor = make_executor(
+            backend, workers=jobs, chunksize=chunksize,
+            remote_workers=remote_workers,
+        )
 
     log = CampaignJournal(journal) if journal is not None else None
     cached: dict[int, tuple[str, object]] = {}

@@ -268,11 +268,12 @@ def run_sweep(
     chunksize: int | None = None,
     early_stop: bool = False,
     backend: str | None = None,
+    remote_workers: int | str | Sequence[str] | None = None,
     journal: str | Path | None = None,
     resume: bool = False,
     sink: ResultSink | None = None,
 ) -> list[SweepRow]:
-    """Run a sweep on one of three bit-identical execution backends.
+    """Run a sweep on one of four bit-identical execution backends.
 
     * ``"serial"`` — one case after another in this process.
     * ``"parallel"`` — a ``multiprocessing`` pool of ``jobs`` workers.
@@ -281,6 +282,10 @@ def run_sweep(
       engine's pool; preferable to ``parallel`` whenever per-case cost is
       small enough that process spawn/pickle overhead dominates (measured
       crossover: ``benchmarks/bench_e15_multiworld.py``).
+    * ``"remote"`` — multi-host dispatch to worker processes configured
+      by ``remote_workers`` (see :mod:`repro.exec.remote`); the
+      coordinator watches the fleet with the repo's own failure
+      detectors and reassigns a failed worker's unfinished cases.
 
     ``backend=None`` (the default) keeps the historical behaviour:
     ``parallel`` when ``jobs > 1``, else ``serial``.
@@ -292,8 +297,8 @@ def run_sweep(
     ``sink`` receives per-case row lists in planned order as the
     finished prefix grows (see :mod:`repro.exec.sink`).
 
-    Rows come back in planned-case order regardless of backend, and the
-    three backends produce **bit-identical rows** — in full mode and in
+    Rows come back in planned-case order regardless of backend, and
+    every backend produces **bit-identical rows** — in full mode and in
     ``early_stop`` mode alike (a case's abort point is a pure function of
     its seed, never of the executor).
     """
@@ -309,6 +314,7 @@ def run_sweep(
         effective_backend(backend, len(cases), jobs),
         workers=jobs,
         chunksize=chunksize,
+        remote_workers=remote_workers,
     )
     per_case = run_jobs(
         [case_to_job(case) for case in cases],

@@ -5,17 +5,43 @@
 * :class:`~repro.detectors.phi_accrual.PhiAccrualDriver` — accrual
   (phi) detection with a tunable threshold, shared between the DES and
   the asyncio runtime.
+
+The same two detectors also come in a substrate-free *monitor* form
+(:class:`~repro.detectors.heartbeat.HeartbeatMonitor`,
+:class:`~repro.detectors.phi_accrual.PhiAccrualMonitor`) built on the
+:class:`~repro.detectors.base.ClockSource` seam — identical suspicion
+rules driven by an injected clock instead of the simulator's scheduler,
+which is how the multi-host dispatch coordinator
+(:mod:`repro.exec.remote`) watches its workers on wall-clock time.
 """
 
-from repro.detectors.base import HEARTBEAT, SuspicionDriver, SuspicionLog
-from repro.detectors.heartbeat import HeartbeatDriver
-from repro.detectors.phi_accrual import PhiAccrualDriver, PhiAccrualEstimator
+from repro.detectors.base import (
+    HEARTBEAT,
+    ClockSource,
+    ManualClock,
+    MonotonicClock,
+    PeerMonitor,
+    SuspicionDriver,
+    SuspicionLog,
+)
+from repro.detectors.heartbeat import HeartbeatDriver, HeartbeatMonitor
+from repro.detectors.phi_accrual import (
+    PhiAccrualDriver,
+    PhiAccrualEstimator,
+    PhiAccrualMonitor,
+)
 
 __all__ = [
     "HEARTBEAT",
+    "ClockSource",
+    "ManualClock",
+    "MonotonicClock",
+    "PeerMonitor",
     "SuspicionDriver",
     "SuspicionLog",
     "HeartbeatDriver",
+    "HeartbeatMonitor",
     "PhiAccrualDriver",
     "PhiAccrualEstimator",
+    "PhiAccrualMonitor",
 ]

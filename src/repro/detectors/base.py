@@ -7,10 +7,26 @@ other process". A :class:`SuspicionDriver` is exactly that layer: it rides
 :mod:`repro.sim.process`) and calls ``process.suspect(peer)`` when a peer
 falls silent — possibly erroneously, which is the entire reason FS2 must be
 weakened to sFS2a-d.
+
+Two substrates consume the same detection logic:
+
+* the discrete-event simulator, where "time" is the scheduler's virtual
+  clock and drivers self-schedule beat/check callbacks
+  (:class:`~repro.detectors.heartbeat.HeartbeatDriver`,
+  :class:`~repro.detectors.phi_accrual.PhiAccrualDriver`);
+* real deployments — the asyncio runtime and the multi-host dispatch
+  coordinator (:mod:`repro.exec.remote`) — where time is the wall clock.
+
+The :class:`ClockSource` seam is what lets one detector body serve both:
+a :class:`PeerMonitor` asks its injected clock for ``now()`` instead of
+reaching into a scheduler, so the same suspicion rules run against
+simulated time, ``time.monotonic()``, or a test-controlled
+:class:`ManualClock`.
 """
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Hashable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -55,3 +71,88 @@ class SuspicionLog:
             if crashed_at is None or crashed_at > now:
                 out.append((now, observer, target))
         return out
+
+
+# ----------------------------------------------------------------------
+# Clock-source seam: the same detectors on simulated or wall-clock time
+# ----------------------------------------------------------------------
+
+
+class ClockSource:
+    """Injectable time source for substrate-free detection logic.
+
+    The DES drivers read the scheduler's virtual clock directly; a
+    :class:`PeerMonitor` instead asks a ``ClockSource`` for ``now()``,
+    so the identical suspicion rules can run against wall-clock time
+    (:class:`MonotonicClock`) or a test-stepped :class:`ManualClock`.
+    """
+
+    def now(self) -> float:
+        """The current time, in seconds; monotone non-decreasing."""
+        raise NotImplementedError
+
+
+class MonotonicClock(ClockSource):
+    """Wall-clock time via ``time.monotonic()`` (immune to NTP steps)."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class ManualClock(ClockSource):
+    """A clock tests advance by hand, for deterministic detector checks."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> None:
+        """Move time forward by ``dt`` seconds (never backward)."""
+        if dt < 0:
+            raise ValueError(f"clocks only move forward, got dt={dt}")
+        self._now += dt
+
+
+class PeerMonitor(SuspicionLog):
+    """Substrate-free peer suspicion: watch, feed heartbeats, poll.
+
+    The wall-clock face of the FS1 layer, used by consumers that are not
+    simulated processes — chiefly the multi-host dispatch coordinator
+    (:mod:`repro.exec.remote`), which watches its *workers* with the
+    repo's own detectors instead of an ad-hoc timeout. Lifecycle::
+
+        monitor = HeartbeatMonitor(timeout=2.0)   # or PhiAccrualMonitor
+        monitor.watch(peer)          # register; "heard from" starts now
+        monitor.heartbeat(peer)      # on every liveness signal
+        newly = monitor.check()      # peers newly declared failed
+
+    ``check()`` reports each peer exactly once; suspicion is permanent,
+    mirroring the DES drivers (a falsely suspected worker's late results
+    are still *accepted* by the coordinator — pure jobs make duplicates
+    safe — but it is never assigned new work). Suspicions are recorded in
+    the inherited :class:`SuspicionLog` with observer
+    :data:`COORDINATOR`, so the same false-suspicion accounting the
+    experiments use applies to real fleets.
+    """
+
+    COORDINATOR = -1
+    """Observer id logged for suspicions raised by a non-process watcher."""
+
+    def __init__(self, clock: ClockSource | None = None):
+        SuspicionLog.__init__(self)
+        self.clock = clock if clock is not None else MonotonicClock()
+        self.suspected: set = set()
+
+    def watch(self, peer: Hashable) -> None:
+        """Register ``peer``; its silence is measured from this moment."""
+        raise NotImplementedError
+
+    def heartbeat(self, peer: Hashable) -> None:
+        """Record a liveness signal from ``peer`` at ``clock.now()``."""
+        raise NotImplementedError
+
+    def check(self) -> list:
+        """Peers newly suspected since the last call (each reported once)."""
+        raise NotImplementedError

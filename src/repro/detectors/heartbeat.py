@@ -13,10 +13,58 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Hashable
 
 from repro.core.messages import Message
-from repro.detectors.base import HEARTBEAT, SuspicionDriver, SuspicionLog
+from repro.detectors.base import (
+    HEARTBEAT,
+    ClockSource,
+    PeerMonitor,
+    SuspicionDriver,
+    SuspicionLog,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.protocols.base import DetectionProcess
+
+
+class HeartbeatMonitor(PeerMonitor):
+    """The fixed-timeout detector against an injectable clock.
+
+    The same rule :class:`HeartbeatDriver` applies inside the simulator —
+    suspect any peer silent for longer than ``timeout`` — rebased onto a
+    :class:`~repro.detectors.base.ClockSource` so it can watch real
+    processes (the multi-host coordinator's workers) on wall-clock time.
+    Theorem 1's caveat travels with it: over an asynchronous network a
+    fixed timeout *will* eventually suspect a slow-but-alive peer, which
+    is exactly why the consumer must treat suspicion as reassign-and-
+    tolerate-duplicates, never as certainty.
+
+    Args:
+        timeout: silence threshold after which a peer is suspected.
+        clock: time source (default: wall clock via ``time.monotonic()``).
+    """
+
+    def __init__(self, timeout: float = 3.0, clock: ClockSource | None = None):
+        super().__init__(clock=clock)
+        self.timeout = timeout
+        self._last_heard: dict = {}
+
+    def watch(self, peer) -> None:
+        self._last_heard[peer] = self.clock.now()
+
+    def heartbeat(self, peer) -> None:
+        if peer in self._last_heard:
+            self._last_heard[peer] = self.clock.now()
+
+    def check(self) -> list:
+        now = self.clock.now()
+        newly = []
+        for peer, heard in self._last_heard.items():
+            if peer in self.suspected:
+                continue
+            if now - heard > self.timeout:
+                self.suspected.add(peer)
+                self.log_suspicion(now, self.COORDINATOR, peer)
+                newly.append(peer)
+        return newly
 
 
 class HeartbeatDriver(SuspicionDriver, SuspicionLog):

@@ -23,7 +23,13 @@ from collections import deque
 from typing import TYPE_CHECKING, Hashable
 
 from repro.core.messages import Message
-from repro.detectors.base import HEARTBEAT, SuspicionDriver, SuspicionLog
+from repro.detectors.base import (
+    HEARTBEAT,
+    ClockSource,
+    PeerMonitor,
+    SuspicionDriver,
+    SuspicionLog,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.protocols.base import DetectionProcess
@@ -102,6 +108,81 @@ class PhiAccrualEstimator:
         if tail <= 0.0:
             return float("inf")
         return -math.log10(tail)
+
+
+class PhiAccrualMonitor(PeerMonitor):
+    """Accrual (phi) suspicion against an injectable clock.
+
+    One :class:`PhiAccrualEstimator` per watched peer — the same math the
+    DES driver and the asyncio runtime share — polled on wall-clock time,
+    so the multi-host coordinator's view of a worker is a continuous
+    suspicion level crossed by ``threshold``, not a binary timeout.
+
+    Each estimator is seeded at ``watch()`` time with two synthetic
+    inter-arrival samples of ``expected_interval`` (the standard
+    bootstrap: Hayashibara-style deployments prime the window with the
+    configured heartbeat period). That makes phi well-defined from the
+    first instant, so a peer that dies before ever heartbeating is still
+    detected — without the seed, the window never reaches two samples
+    and phi stays 0 forever.
+
+    Args:
+        threshold: phi level at which a peer is suspected.
+        expected_interval: the heartbeat period peers were told to use;
+            seeds each estimator's window.
+        window: estimator window size.
+        min_std: floor on the estimated standard deviation.
+        clock: time source (default: wall clock via ``time.monotonic()``).
+    """
+
+    def __init__(
+        self,
+        threshold: float = 8.0,
+        expected_interval: float = 1.0,
+        window: int = 100,
+        min_std: float = 0.05,
+        clock: ClockSource | None = None,
+    ):
+        super().__init__(clock=clock)
+        if expected_interval <= 0:
+            raise ValueError(
+                f"expected_interval must be > 0, got {expected_interval}"
+            )
+        self.threshold = threshold
+        self.expected_interval = expected_interval
+        self.window = window
+        self.min_std = min_std
+        self._estimators: dict = {}
+
+    def watch(self, peer) -> None:
+        estimator = PhiAccrualEstimator(
+            window=self.window, min_std=self.min_std
+        )
+        now = self.clock.now()
+        interval = self.expected_interval
+        for at in (now - 2 * interval, now - interval, now):
+            estimator.heartbeat(at)
+        self._estimators[peer] = estimator
+
+    def heartbeat(self, peer) -> None:
+        if peer in self._estimators:
+            self._estimators[peer].heartbeat(self.clock.now())
+
+    def phi(self, peer) -> float:
+        """Current suspicion level for ``peer``."""
+        return self._estimators[peer].phi(self.clock.now())
+
+    def check(self) -> list:
+        now = self.clock.now()
+        newly = []
+        for peer, estimator in self._estimators.items():
+            if peer in self.suspected:
+                continue
+            if estimator.phi(now) > self.threshold:
+                self.suspected.add(peer)
+                self.log_suspicion(now, self.COORDINATOR, peer)
+                newly.append(peer)
+        return newly
 
 
 class PhiAccrualDriver(SuspicionDriver, SuspicionLog):

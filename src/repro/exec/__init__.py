@@ -11,8 +11,9 @@ The pieces, and where they live:
 
 ========================  ==================================================
 :class:`JobSpec`          one pure unit of work (``repro.exec.job``)
-:class:`Executor`         serial / parallel / inproc engines
-                          (``repro.exec.executors``)
+:class:`Executor`         serial / parallel / inproc / remote engines
+                          (``repro.exec.executors``,
+                          ``repro.exec.remote``)
 :class:`ResultSink`       in-order streaming consumers (``repro.exec.sink``)
 :class:`Journal`          JSONL checkpoint/resume, partition + digest-checked
                           merge (``repro.exec.journal``)
@@ -50,6 +51,12 @@ from repro.exec.journal import (
     merge_journals,
     partition_jobs,
 )
+from repro.exec.remote import (
+    RemoteExecutor,
+    RemoteStats,
+    parse_worker_spec,
+    run_worker,
+)
 from repro.exec.sink import CallbackSink, CollectSink, ResultSink, TeeSink
 
 __all__ = [
@@ -63,6 +70,10 @@ __all__ = [
     "SerialExecutor",
     "ParallelExecutor",
     "InprocExecutor",
+    "RemoteExecutor",
+    "RemoteStats",
+    "parse_worker_spec",
+    "run_worker",
     "EXEC_BACKENDS",
     "effective_backend",
     "make_executor",

@@ -71,53 +71,62 @@ def run_jobs(
     owned = isinstance(journal, (str, Path))
     log = Journal(journal) if owned else journal
 
+    # The outer try owns the journal handle from the moment begin()
+    # opens it: a bad partition, a sink whose open() raises, a job
+    # exception, or a sink error mid-run must all still close an owned
+    # journal (the flushed lines it already holds are a valid resumable
+    # checkpoint either way).
     cached: dict[int, Any] = {}
-    if log is not None:
-        cached = log.begin(jobs, resume=resume)
-
-    if partition is None:
-        share = list(enumerate(jobs))
-    else:
-        share = partition_jobs(jobs, *partition)
-    pending = [(i, job) for i, job in share if i not in cached]
-    mine = {i for i, _ in share} | set(cached)
-
-    results: list[Any] = [_UNSET] * len(jobs)
-    for index, result in cached.items():
-        results[index] = result
-
-    # The emit cursor: results stream to the sink in planned order, each
-    # released the moment it and everything before it (that this worker
-    # owns) is available.
-    cursor = 0
-
-    def release_prefix() -> None:
-        nonlocal cursor
-        if sink is None:
-            return
-        while cursor < len(jobs) and (
-            cursor not in mine or results[cursor] is not _UNSET
-        ):
-            if cursor in mine:
-                sink.emit(cursor, jobs[cursor], results[cursor])
-            cursor += 1
-
-    def on_result(index: int, result: Any) -> None:
-        results[index] = result
-        if log is not None:
-            log.record(index, jobs[index], result)
-        release_prefix()
-
-    if sink is not None:
-        # Announce exactly what will be emitted: every index this call
-        # owns (its partition share plus journal-restored results).
-        sink.open(len(mine))
     try:
-        release_prefix()  # journaled results are already available
-        executor.submit(pending, on_result)
-    finally:
+        if log is not None:
+            cached = log.begin(jobs, resume=resume)
+
+        if partition is None:
+            share = list(enumerate(jobs))
+        else:
+            share = partition_jobs(jobs, *partition)
+        pending = [(i, job) for i, job in share if i not in cached]
+        mine = {i for i, _ in share} | set(cached)
+
+        results: list[Any] = [_UNSET] * len(jobs)
+        for index, result in cached.items():
+            results[index] = result
+
+        # The emit cursor: results stream to the sink in planned order,
+        # each released the moment it and everything before it (that
+        # this worker owns) is available.
+        cursor = 0
+
+        def release_prefix() -> None:
+            nonlocal cursor
+            if sink is None:
+                return
+            while cursor < len(jobs) and (
+                cursor not in mine or results[cursor] is not _UNSET
+            ):
+                if cursor in mine:
+                    sink.emit(cursor, jobs[cursor], results[cursor])
+                cursor += 1
+
+        def on_result(index: int, result: Any) -> None:
+            results[index] = result
+            if log is not None:
+                log.record(index, jobs[index], result)
+            release_prefix()
+
         if sink is not None:
-            sink.close()
+            # Announce exactly what will be emitted: every index this
+            # call owns (its partition share plus journal-restored
+            # results). close() pairs with a *successful* open, so the
+            # inner try starts only after it.
+            sink.open(len(mine))
+        try:
+            release_prefix()  # journaled results are already available
+            executor.submit(pending, on_result)
+        finally:
+            if sink is not None:
+                sink.close()
+    finally:
         if log is not None and owned:
             log.close()
 

@@ -1,12 +1,18 @@
 """Executors: interchangeable engines that run a plan of jobs.
 
-One interface, three engines — the former private backends of the sweep
+One interface, four engines — the former private backends of the sweep
 and fuzz subsystems, now shared by everything that fans out work:
 
 * :class:`SerialExecutor` — each job to completion, in order, in this
   process. The reference implementation the others must match.
 * :class:`ParallelExecutor` — a ``multiprocessing`` pool; jobs ship to
   workers by pickling and results stream back in planned order.
+* :class:`~repro.exec.remote.RemoteExecutor` — multi-host dispatch over
+  TCP: the plan is partitioned with
+  :func:`~repro.exec.journal.partition_jobs`, each share shipped to a
+  worker process (``python -m repro worker``), and completed results
+  streamed back as journal-shaped lines while the coordinator watches
+  the workers with the repo's own failure detectors.
 * :class:`InprocExecutor` — in this process, with scheduler heap storage
   recycled between jobs via
   :class:`~repro.sim.scheduler.SchedulerStoragePool`. Jobs that advertise
@@ -37,7 +43,7 @@ from repro.exec.job import JobSpec, run_job, shard_form
 OnResult = Callable[[int, Any], None]
 Pending = Sequence[tuple[int, JobSpec]]
 
-EXEC_BACKENDS = ("serial", "parallel", "inproc")
+EXEC_BACKENDS = ("serial", "parallel", "inproc", "remote")
 """Registered executor names, in reference order."""
 
 
@@ -196,14 +202,21 @@ def make_executor(
     chunksize: int | None = None,
     runner=None,
     run: Callable[[JobSpec], Any] | None = None,
+    remote_workers: int | str | Sequence[str] | None = None,
 ) -> Executor:
     """Build a registered executor by name.
 
-    The registry is deliberately small and closed for now; the ROADMAP's
-    remote/multi-host dispatch backend slots in here as a fourth name,
-    riding :func:`~repro.exec.journal.partition_jobs` and
-    :func:`~repro.exec.journal.merge_journals` for its wire protocol.
+    ``remote_workers`` configures the ``"remote"`` backend's fleet (see
+    :func:`~repro.exec.remote.parse_worker_spec`): an integer spawns that
+    many local worker subprocesses; a ``"host:port,host:port"`` string
+    dials out to workers already listening. It is rejected for every
+    other backend rather than silently ignored.
     """
+    if remote_workers is not None and backend != "remote":
+        raise SimulationError(
+            "remote worker addresses only apply to the 'remote' backend "
+            f"(got backend {backend!r})"
+        )
     if backend == "serial":
         return SerialExecutor(run=run)
     if backend == "parallel":
@@ -215,6 +228,18 @@ def make_executor(
         return ParallelExecutor(workers=workers, chunksize=chunksize)
     if backend == "inproc":
         return InprocExecutor(runner=runner, run=run)
+    if backend == "remote":
+        if run is not None:
+            raise SimulationError(
+                "the remote executor cannot take a local run override "
+                "(jobs execute on remote workers)"
+            )
+        # Imported lazily: the remote module pulls in sockets, selectors
+        # and the detectors package, none of which the in-process
+        # backends need.
+        from repro.exec.remote import RemoteExecutor, parse_worker_spec
+
+        return RemoteExecutor(**parse_worker_spec(remote_workers))
     raise SimulationError(
         f"unknown execution backend {backend!r}; choose from "
         f"{', '.join(EXEC_BACKENDS)}"

@@ -68,15 +68,25 @@ class Journal:
     Typical use is through :func:`repro.exec.core.run_jobs`
     (``journal=...``, ``resume=...``); direct use::
 
-        journal = Journal(path)
-        cached = journal.begin(jobs, resume=True)   # {} on a fresh file
-        ... run the jobs not in `cached`, calling journal.record(...) ...
-        journal.close()
+        with Journal(path) as journal:
+            cached = journal.begin(jobs, resume=True)  # {} on a fresh file
+            ... run the jobs not in `cached`, calling journal.record(...)
+
+    A journal is a context manager so the append handle ``begin`` opens
+    is closed deterministically on any exit path; ``close()`` remains
+    available (and idempotent) for callers managing the lifecycle by
+    hand.
     """
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
         self._fh: IO[str] | None = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Reading
@@ -91,10 +101,10 @@ class Journal:
         """
         return {
             index: result
-            for index, (_, result) in self._load_entries(jobs).items()
+            for index, (_, result) in self.entries(jobs).items()
         }
 
-    def _load_entries(
+    def entries(
         self, jobs: Sequence[JobSpec]
     ) -> dict[int, tuple[str, Any]]:
         """Salvaged entries as ``{index: (raw payload, decoded result)}``.
@@ -102,7 +112,10 @@ class Journal:
         The raw payload string is kept alongside the decoded object so
         duplicate detection (here and in :func:`merge_journals`) compares
         the journal's actual bytes, and the resume rewrite copies entries
-        verbatim instead of pickle round-tripping every result.
+        verbatim instead of pickle round-tripping every result. Reads the
+        file in one shot and holds no handle afterwards; validation is
+        exactly :meth:`load`'s (plan binding, per-entry job hashes,
+        tolerated torn final line).
         """
         if not self.path.exists():
             return {}
@@ -205,7 +218,7 @@ class Journal:
         (no pickle round trip). Without ``resume`` any existing file is
         truncated and the run starts fresh.
         """
-        cached = self._load_entries(jobs) if resume else {}
+        cached = self.entries(jobs) if resume else {}
         header = {
             "kind": "header",
             "version": JOURNAL_VERSION,
@@ -525,18 +538,24 @@ def merge_journals(
     per-entry job hashes); overlapping entries must agree bit-for-bit;
     a missing index is an error naming it. The returned list is in
     planned order, so any digest over it matches a single-host run's.
+
+    An empty plan with no journals merges to ``[]`` — the degenerate a
+    zero-case sweep hands the remote backend.
     """
+    if not jobs and not paths:
+        return []
     merged: dict[int, tuple[str, Any]] = {}
     for path in paths:
-        journal = Journal(path)
-        if not journal.path.exists():
-            raise SimulationError(f"journal {path} does not exist")
-        for index, (data, result) in journal._load_entries(jobs).items():
-            if index in merged and merged[index][0] != data:
-                raise SimulationError(
-                    f"journals disagree on index {index}; refusing to merge"
-                )
-            merged[index] = (data, result)
+        with Journal(path) as journal:
+            if not journal.path.exists():
+                raise SimulationError(f"journal {path} does not exist")
+            for index, (data, result) in journal.entries(jobs).items():
+                if index in merged and merged[index][0] != data:
+                    raise SimulationError(
+                        f"journals disagree on index {index}; "
+                        "refusing to merge"
+                    )
+                merged[index] = (data, result)
     missing = [i for i in range(len(jobs)) if i not in merged]
     if missing:
         preview = ", ".join(map(str, missing[:5]))

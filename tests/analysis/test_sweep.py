@@ -153,7 +153,7 @@ class TestEarlyStop:
 
 class TestBackends:
     def test_known_backends(self):
-        assert SWEEP_BACKENDS == ("serial", "parallel", "inproc")
+        assert SWEEP_BACKENDS == ("serial", "parallel", "inproc", "remote")
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(SimulationError, match="backend"):

@@ -1,0 +1,168 @@
+"""Tests for the clock-source seam and the wall-clock peer monitors.
+
+The monitors are the DES drivers' suspicion rules rebased onto an
+injectable :class:`~repro.detectors.ClockSource`; every test here drives
+them with a :class:`~repro.detectors.ManualClock`, so detection timing
+is exact and nothing sleeps.
+"""
+
+import pytest
+
+from repro.detectors import (
+    HeartbeatMonitor,
+    ManualClock,
+    MonotonicClock,
+    PeerMonitor,
+    PhiAccrualMonitor,
+)
+
+
+class TestClocks:
+    def test_manual_clock_advances(self):
+        clock = ManualClock()
+        assert clock.now() == 0.0
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now() == 2.0
+
+    def test_manual_clock_rejects_backward_steps(self):
+        with pytest.raises(ValueError, match="forward"):
+            ManualClock().advance(-0.1)
+
+    def test_monotonic_clock_is_monotone(self):
+        clock = MonotonicClock()
+        assert clock.now() <= clock.now()
+
+    def test_monitors_default_to_wall_clock(self):
+        assert isinstance(HeartbeatMonitor().clock, MonotonicClock)
+        assert isinstance(PhiAccrualMonitor().clock, MonotonicClock)
+
+
+class TestHeartbeatMonitor:
+    def test_beating_peer_is_never_suspected(self):
+        clock = ManualClock()
+        monitor = HeartbeatMonitor(timeout=2.0, clock=clock)
+        monitor.watch("w0")
+        for _ in range(10):
+            clock.advance(1.0)
+            monitor.heartbeat("w0")
+            assert monitor.check() == []
+        assert monitor.suspected == set()
+
+    def test_silence_past_timeout_trips(self):
+        clock = ManualClock()
+        monitor = HeartbeatMonitor(timeout=2.0, clock=clock)
+        monitor.watch("w0")
+        monitor.watch("w1")
+        clock.advance(1.0)
+        monitor.heartbeat("w1")
+        clock.advance(1.5)  # w0 silent for 2.5 > 2.0; w1 for 1.5
+        assert monitor.check() == ["w0"]
+        assert monitor.suspected == {"w0"}
+
+    def test_each_suspicion_reported_exactly_once(self):
+        clock = ManualClock()
+        monitor = HeartbeatMonitor(timeout=1.0, clock=clock)
+        monitor.watch("w0")
+        clock.advance(5.0)
+        assert monitor.check() == ["w0"]
+        clock.advance(5.0)
+        assert monitor.check() == []
+
+    def test_suspicion_is_permanent(self):
+        # Mirrors the DES drivers: a late heartbeat never un-suspects.
+        clock = ManualClock()
+        monitor = HeartbeatMonitor(timeout=1.0, clock=clock)
+        monitor.watch("w0")
+        clock.advance(2.0)
+        assert monitor.check() == ["w0"]
+        monitor.heartbeat("w0")
+        assert monitor.check() == []
+        assert "w0" in monitor.suspected
+
+    def test_peer_dead_before_first_heartbeat_is_detected(self):
+        clock = ManualClock()
+        monitor = HeartbeatMonitor(timeout=1.0, clock=clock)
+        monitor.watch("w0")  # never heartbeats at all
+        clock.advance(1.01)
+        assert monitor.check() == ["w0"]
+
+    def test_unwatched_heartbeats_ignored(self):
+        monitor = HeartbeatMonitor(clock=ManualClock())
+        monitor.heartbeat("stranger")
+        assert monitor.check() == []
+
+    def test_suspicions_logged_with_coordinator_observer(self):
+        clock = ManualClock()
+        monitor = HeartbeatMonitor(timeout=1.0, clock=clock)
+        monitor.watch("w0")
+        clock.advance(3.0)
+        monitor.check()
+        assert monitor.suspicions == [(3.0, PeerMonitor.COORDINATOR, "w0")]
+        # The experiments' false-suspicion accounting applies unchanged:
+        # with no ground-truth crash, the suspicion counts as false.
+        assert monitor.false_suspicions({}) == monitor.suspicions
+
+
+class TestPhiAccrualMonitor:
+    def _monitor(self, threshold=4.0, interval=1.0):
+        clock = ManualClock()
+        monitor = PhiAccrualMonitor(
+            threshold=threshold, expected_interval=interval, clock=clock
+        )
+        return clock, monitor
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError, match="expected_interval"):
+            PhiAccrualMonitor(expected_interval=0)
+
+    def test_steady_beats_keep_phi_low(self):
+        clock, monitor = self._monitor()
+        monitor.watch("w0")
+        for _ in range(20):
+            clock.advance(1.0)
+            monitor.heartbeat("w0")
+            assert monitor.check() == []
+        assert monitor.phi("w0") < 1.0
+
+    def test_silence_raises_phi_past_threshold(self):
+        clock, monitor = self._monitor(threshold=4.0)
+        monitor.watch("w0")
+        for _ in range(5):
+            clock.advance(1.0)
+            monitor.heartbeat("w0")
+        phi_then = monitor.phi("w0")
+        clock.advance(10.0)
+        assert monitor.phi("w0") > phi_then
+        assert monitor.check() == ["w0"]
+        assert monitor.suspicions[0][1] == PeerMonitor.COORDINATOR
+
+    def test_peer_dead_before_first_heartbeat_is_detected(self):
+        # The watch() seeding regression: without synthetic warmup
+        # samples the estimator never reaches two intervals and phi
+        # stays 0 forever — a worker that dies instantly would hang the
+        # coordinator rather than be suspected.
+        clock, monitor = self._monitor(threshold=4.0, interval=0.5)
+        monitor.watch("w0")  # never heartbeats
+        clock.advance(20 * 0.5)
+        assert monitor.check() == ["w0"]
+
+    def test_suspicion_is_permanent(self):
+        clock, monitor = self._monitor(threshold=2.0)
+        monitor.watch("w0")
+        clock.advance(30.0)
+        assert monitor.check() == ["w0"]
+        monitor.heartbeat("w0")
+        clock.advance(0.1)
+        assert monitor.check() == []
+        assert "w0" in monitor.suspected
+
+    def test_independent_peers(self):
+        clock, monitor = self._monitor(threshold=4.0)
+        monitor.watch("w0")
+        monitor.watch("w1")
+        for _ in range(8):
+            clock.advance(1.0)
+            monitor.heartbeat("w1")
+        assert monitor.check() == ["w0"]
+        assert monitor.phi("w1") < 1.0

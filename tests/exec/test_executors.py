@@ -37,10 +37,20 @@ class TestExecutors:
         assert make_executor("serial").name == "serial"
         assert make_executor("parallel", workers=2).name == "parallel"
         assert make_executor("inproc").name == "inproc"
+        assert make_executor("remote").name == "remote"
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(SimulationError, match="backend"):
             make_executor("quantum")
+
+    def test_remote_workers_rejected_off_backend(self):
+        for backend in ("serial", "parallel", "inproc"):
+            with pytest.raises(SimulationError, match="remote"):
+                make_executor(backend, remote_workers=2)
+
+    def test_remote_rejects_run_override(self):
+        with pytest.raises(SimulationError, match="run override"):
+            make_executor("remote", run=lambda job: None)
 
     def test_effective_backend_normalisation(self):
         from repro.exec import effective_backend
@@ -95,7 +105,9 @@ class TestExecutors:
         assert run_jobs(_plan(4), executor=InprocExecutor()) == [0, 1, 4, 9]
 
     def test_empty_plan(self):
-        for backend in ("serial", "parallel", "inproc"):
+        # remote included: its submit() returns before connecting
+        # anything when there is nothing to run.
+        for backend in ("serial", "parallel", "inproc", "remote"):
             assert run_jobs([], executor=make_executor(backend)) == []
 
 

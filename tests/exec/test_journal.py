@@ -245,3 +245,159 @@ class TestMerge:
         run_jobs(jobs, journal=a)  # full run
         run_jobs(jobs, journal=b, partition=(0, 2))  # overlaps with a
         assert merge_journals(jobs, [a, b]) == [0, 1, 4]
+
+    def test_empty_plan_no_paths_merges_to_empty(self):
+        # The degenerate a zero-case sweep hands the remote backend.
+        assert merge_journals([], []) == []
+
+    def test_empty_plan_with_header_only_journals(self, tmp_path):
+        paths = self._run_partitions(tmp_path, [], 2)
+        assert merge_journals([], paths) == []
+
+    def test_more_workers_than_jobs_yields_empty_shares(self, tmp_path):
+        jobs = _plan(2)
+        assert partition_jobs(jobs, 3, 5) == []
+        paths = self._run_partitions(tmp_path, jobs, 5)
+        # Workers 2..4 journal nothing but a header; the merge still
+        # reassembles the full plan from the two real shares.
+        assert merge_journals(jobs, paths) == [0, 1]
+
+    def test_disagreeing_duplicates_refused(self, tmp_path):
+        jobs = _plan(3)
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        run_jobs(jobs, journal=a)
+        liar = Journal(b)
+        liar.begin(jobs)
+        liar.record(0, jobs[0], 999)  # valid entry, wrong result
+        liar.close()
+        with pytest.raises(SimulationError, match="disagree"):
+            merge_journals(jobs, [a, b])
+
+    def test_torn_final_lines_in_worker_journals_tolerated(self, tmp_path):
+        jobs = _plan(7)
+        paths = self._run_partitions(tmp_path, jobs, 3)
+        for path in paths:
+            # The kill's half-write: an unterminated, unparseable tail.
+            with path.open("a") as fh:
+                fh.write('{"kind": "result", "ind')
+        assert merge_journals(jobs, paths) == [s * s for s in range(7)]
+
+
+class TestPublicEntriesApi:
+    def test_entries_exposes_raw_and_decoded(self, tmp_path):
+        jobs = _plan(3)
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.begin(jobs)
+        journal.record(1, jobs[1], 1)
+        journal.close()
+        entries = Journal(journal.path).entries(jobs)
+        assert set(entries) == {1}
+        raw, decoded = entries[1]
+        assert decoded == 1
+        # The raw payload is the journal line's own data field.
+        lines = journal.path.read_text().splitlines()
+        assert json.loads(lines[1])["data"] == raw
+
+    def test_context_manager_closes_on_exit(self, tmp_path):
+        jobs = _plan(2)
+        with Journal(tmp_path / "j.jsonl") as journal:
+            journal.begin(jobs)
+            journal.record(0, jobs[0], 0)
+            assert journal._fh is not None
+        assert journal._fh is None
+
+    def test_context_manager_closes_on_error(self, tmp_path):
+        jobs = _plan(2)
+        with pytest.raises(RuntimeError, match="mid-run"):
+            with Journal(tmp_path / "j.jsonl") as journal:
+                journal.begin(jobs)
+                raise RuntimeError("mid-run")
+        assert journal._fh is None
+        # The flushed prefix is still a loadable checkpoint.
+        assert Journal(journal.path).load(jobs) == {}
+
+
+class _RecordingSink:
+    """A sink that records its lifecycle and can fail on demand."""
+
+    def __init__(self, fail_open=False, fail_emit_at=None):
+        self.fail_open = fail_open
+        self.fail_emit_at = fail_emit_at
+        self.opened = 0
+        self.closed = 0
+        self.emitted = []
+
+    def open(self, total):
+        if self.fail_open:
+            raise RuntimeError("sink open failed")
+        self.opened += 1
+
+    def emit(self, index, job, result):
+        if index == self.fail_emit_at:
+            raise RuntimeError(f"sink emit failed at {index}")
+        self.emitted.append(index)
+
+    def close(self):
+        self.closed += 1
+
+
+class TestRunJobsLifecycle:
+    """Error paths must still close an owned journal (and the sink)."""
+
+    @pytest.fixture
+    def closes(self, monkeypatch):
+        record = []
+        original = Journal.close
+
+        def spying_close(self):
+            record.append(self.path)
+            original(self)
+
+        monkeypatch.setattr(Journal, "close", spying_close)
+        return record
+
+    def test_job_error_closes_owned_journal(self, tmp_path, closes):
+        jobs = _plan(3) + [JobSpec(kind="toykinds:boom", spec_id="sq",
+                                   seed=9)]
+        path = tmp_path / "j.jsonl"
+        with pytest.raises(RuntimeError, match="boom"):
+            run_jobs(jobs, journal=path)
+        assert closes == [path]
+        # The flushed prefix survives as a resumable checkpoint.
+        assert Journal(path).load(jobs) == {0: 0, 1: 1, 2: 4}
+
+    def test_sink_open_error_closes_owned_journal(self, tmp_path, closes):
+        sink = _RecordingSink(fail_open=True)
+        path = tmp_path / "j.jsonl"
+        with pytest.raises(RuntimeError, match="sink open"):
+            run_jobs(_plan(2), sink=sink, journal=path)
+        assert closes == [path]
+        # close() pairs with a successful open, which never happened.
+        assert sink.closed == 0
+
+    def test_sink_emit_error_closes_journal_and_sink(
+        self, tmp_path, closes
+    ):
+        sink = _RecordingSink(fail_emit_at=1)
+        path = tmp_path / "j.jsonl"
+        with pytest.raises(RuntimeError, match="emit failed"):
+            run_jobs(_plan(3), sink=sink, journal=path)
+        assert closes == [path]
+        assert sink.closed == 1
+
+    def test_bad_partition_closes_owned_journal(self, tmp_path, closes):
+        path = tmp_path / "j.jsonl"
+        with pytest.raises(SimulationError, match="worker_id"):
+            run_jobs(_plan(3), journal=path, partition=(5, 2))
+        assert closes == [path]
+
+    def test_caller_owned_journal_left_open_on_error(self, tmp_path):
+        # A Journal object passed in belongs to the caller; run_jobs
+        # must not close it even when the run fails.
+        jobs = [JobSpec(kind="toykinds:boom", spec_id="b", seed=1)]
+        journal = Journal(tmp_path / "j.jsonl")
+        with pytest.raises(RuntimeError, match="boom"):
+            run_jobs(jobs, journal=journal)
+        assert journal._fh is not None
+        journal.close()

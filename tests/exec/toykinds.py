@@ -7,11 +7,20 @@ side-effect-free: the parallel executor resolves them by name inside
 worker processes.
 """
 
+import time
+
 from repro.exec import JobSpec
 
 
 def square(job: JobSpec) -> int:
     """seed**2 — the cheapest possible pure job."""
+    return job.seed * job.seed
+
+
+def slow_square(job: JobSpec) -> int:
+    """square with a deliberate delay, so kill-mid-partition tests can
+    land a worker failure while jobs are provably still unfinished."""
+    time.sleep(0.15)
     return job.seed * job.seed
 
 

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""CI smoke: multi-host dispatch with a worker killed mid-partition.
+
+Runs a fixed-seed fuzz plan twice:
+
+1. single-host, the reference digest;
+2. on the remote backend with three spawned workers, SIGKILLing one of
+   them after the second result lands — mid-partition, with jobs
+   provably unfinished (the scenario sizes are chosen so each job takes
+   tens of milliseconds).
+
+The coordinator must detect the kill with the repo's own heartbeat
+detector (the suspicion shows up in the detector's log, attributed to
+the COORDINATOR observer), reassign the dead worker's unfinished share
+to the survivors, and still produce a report digest byte-identical to
+the single-host run. Exits non-zero on any miss.
+
+Usage: PYTHONPATH=src python tools/remote_smoke.py
+"""
+
+import sys
+
+from repro.analysis.fuzz import FuzzConfig, FuzzReport, scenario_job
+from repro.exec import run_jobs
+from repro.exec.remote import RemoteExecutor
+
+SEED = 0
+COUNT = 18
+# Larger-than-default worlds so each scenario takes long enough that the
+# kill below lands while the victim still has unfinished jobs.
+CONFIG = FuzzConfig(min_n=16, max_n=24)
+
+
+def main() -> int:
+    jobs = [scenario_job(SEED, i, CONFIG) for i in range(COUNT)]
+
+    single = FuzzReport(
+        seed=SEED, count=COUNT, outcomes=tuple(run_jobs(jobs))
+    )
+    print(f"single-host digest: {single.digest()}")
+
+    killed = []
+
+    def kill_one(executor: RemoteExecutor, n_done: int) -> None:
+        if n_done == 2 and not killed:
+            victim = executor.processes[0]
+            victim.kill()
+            killed.append(victim.pid)
+            print(f"killed worker pid={victim.pid} after {n_done} results")
+
+    executor = RemoteExecutor(
+        spawn=3,
+        heartbeat_interval=0.1,
+        timeout=1.0,
+        chaos=kill_one,
+    )
+    remote = FuzzReport(
+        seed=SEED,
+        count=COUNT,
+        outcomes=tuple(run_jobs(jobs, executor=executor)),
+    )
+    stats = executor.stats
+    print(f"remote digest:      {remote.digest()}")
+    print(
+        f"workers={stats.workers} failed={stats.failed} "
+        f"reassigned={stats.reassigned} duplicates={stats.duplicates}"
+    )
+
+    failures = []
+    if not killed:
+        failures.append("chaos hook never fired — no worker was killed")
+    if len(stats.failed) != 1:
+        failures.append(
+            f"expected exactly one failed worker, got {stats.failed}"
+        )
+    if stats.reassigned == 0:
+        failures.append("no jobs were reassigned after the kill")
+    if not executor.monitor or not executor.monitor.suspicions:
+        failures.append("the failure detector logged no suspicion")
+    if remote.digest() != single.digest():
+        failures.append(
+            "digest mismatch: remote run with a killed worker diverged "
+            "from the single-host run"
+        )
+    for failure in failures:
+        print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
+    if not failures:
+        print(
+            "OK: worker failure detected by the heartbeat detector, "
+            "share reassigned, digest bit-identical"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
