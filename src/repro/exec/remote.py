@@ -36,7 +36,12 @@ checkpoint file is indistinguishable from a single-host run's, and the
 merged result list (and any digest over it) is bit-identical to a serial
 run by construction. The same trust model applies too: frames carry
 pickles, so only run workers you control — this is a dispatch protocol
-for your own fleet, not an interchange format.
+for your own fleet, not an interchange format. The fleet must also be
+*homogeneous*: duplicate results (from falsely-suspected workers whose
+jobs were reassigned) are reconciled by comparing the armoured pickle
+bytes, so every worker must run the same Python and pickle protocol as
+the coordinator, or semantically identical results can differ byte-wise
+and be refused as disagreement.
 
 Partitioning rides the PR 5 seam: the coordinator splits the pending
 plan with :func:`~repro.exec.journal.partition_jobs` (strided, so every
@@ -288,11 +293,18 @@ def _dial(address: str, retry_for: float) -> socket.socket:
     deadline = time.monotonic() + retry_for
     while True:
         try:
-            return socket.create_connection((host, port), timeout=10.0)
+            sock = socket.create_connection((host, port), timeout=10.0)
         except OSError:
             if time.monotonic() >= deadline:
                 raise
             time.sleep(0.2)
+        else:
+            # The dial timeout must not leak into _serve: the coordinator
+            # sends nothing between assign and shutdown, so an idle worker
+            # would hit TimeoutError in _recv_frame, die, and be falsely
+            # suspected. Liveness is the detector's job (EOF/errors only).
+            sock.settimeout(None)
+            return sock
 
 
 def _readable(sock: socket.socket) -> bool:
@@ -407,6 +419,7 @@ def run_worker(
         try:
             server.settimeout(max(retry_for, 60.0))
             sock, _ = server.accept()
+            sock.settimeout(None)
         finally:
             server.close()
     label = name if name else f"{socket.gethostname()}-{os.getpid()}"
@@ -638,13 +651,24 @@ class RemoteExecutor(Executor):
                 server.close()
         sessions = []
         by_pid = {proc.pid: proc for proc in self.processes}
-        for peer, (sock, proc) in enumerate(socks):
-            hello = self._handshake(sock, deadline)
-            name = str(hello.get("name", f"worker-{peer}"))
-            proc = proc or by_pid.get(hello.get("pid"))
-            sessions.append(
-                _WorkerSession(peer, name, _Channel(sock), proc=proc)
-            )
+        try:
+            for peer, (sock, proc) in enumerate(socks):
+                hello = self._handshake(sock, deadline)
+                name = str(hello.get("name", f"worker-{peer}"))
+                proc = proc or by_pid.get(hello.get("pid"))
+                sessions.append(
+                    _WorkerSession(peer, name, _Channel(sock), proc=proc)
+                )
+        except BaseException:
+            # A mid-loop handshake failure (version mismatch, timeout)
+            # must not strand the fleet: close every socket, handshaken
+            # or not; submit's finally reaps any spawned processes.
+            for sock, _ in socks:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            raise
         self.stats.workers = len(sessions)
         return sessions
 
@@ -729,6 +753,12 @@ class RemoteExecutor(Executor):
                 f"index {index}; worker and coordinator disagree on the "
                 "plan"
             )
+        if not isinstance(data, str):
+            raise SimulationError(
+                f"remote worker {session.name} sent a malformed result "
+                f"for index {index}: data is "
+                f"{type(data).__name__}, not a base64 string"
+            )
         payload_digest = hashlib.sha256(data.encode("ascii")).hexdigest()
         session.outstanding.pop(index, None)
         if index in done:
@@ -738,7 +768,10 @@ class RemoteExecutor(Executor):
             if done[index] != payload_digest:
                 raise SimulationError(
                     f"remote workers disagree on job {index}; refusing "
-                    "to merge"
+                    "to merge (byte-wise pickle comparison — a mixed "
+                    "fleet with differing Python/pickle versions can "
+                    "trip this on identical results; run a homogeneous "
+                    "fleet)"
                 )
             self.stats.duplicates += 1
             return
@@ -807,11 +840,18 @@ class RemoteExecutor(Executor):
             selector.close()
 
     def _cleanup(self, sessions: list[_WorkerSession]) -> None:
+        told = set()
         for session in sessions:
             if session.channel.open:
-                session.channel.send({"kind": "shutdown"})
+                if session.channel.send({"kind": "shutdown"}):
+                    told.add(id(session.proc))
             session.channel.close()
         for proc in self.processes:
+            # A worker that never got (or could not receive) a shutdown
+            # frame is blocked reading the wire; don't grant it the
+            # graceful-exit grace period, terminate it outright.
+            if id(proc) not in told:
+                proc.terminate()
             try:
                 proc.wait(timeout=5)
             except subprocess.TimeoutExpired:
@@ -822,8 +862,11 @@ class RemoteExecutor(Executor):
         if not pending:
             return
         self.stats = RemoteStats()
-        sessions = self._connect_workers()
+        sessions: list[_WorkerSession] = []
         try:
+            sessions = self._connect_workers()
             self._dispatch(sessions, list(pending), on_result)
         finally:
+            # Runs even when _connect_workers raises: sessions is then
+            # empty but spawned subprocesses still need killing/reaping.
             self._cleanup(sessions)

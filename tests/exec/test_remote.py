@@ -21,6 +21,7 @@ from repro.exec.job import job_digest
 from repro.exec.journal import _encode
 from repro.exec.remote import (
     RemoteExecutor,
+    _dial,
     _parse_hostport,
     _WorkerSession,
     parse_worker_spec,
@@ -167,6 +168,21 @@ class TestInThreadWorkers:
         with pytest.raises(SimulationError, match="exactly one"):
             run_worker(connect="a:1", listen="b:2")
 
+    def test_dial_clears_connect_timeout(self):
+        # Regression: the 10s dial timeout must not persist into the
+        # serve loop, or a worker idle between assign and shutdown dies
+        # in _recv_frame and gets falsely suspected.
+        server = socket.create_server(("127.0.0.1", 0))
+        port = server.getsockname()[1]
+        try:
+            sock = _dial(f"127.0.0.1:{port}", retry_for=2.0)
+            try:
+                assert sock.gettimeout() is None
+            finally:
+                sock.close()
+        finally:
+            server.close()
+
 
 class TestSpawnedWorkers:
     def test_spawn_mode_matches_serial(self, worker_path):
@@ -228,6 +244,24 @@ class TestSpawnedWorkers:
         ]
         assert len(executor.stats.failed) == 1
         assert executor.stats.reassigned > 0
+
+    def test_connect_failure_reaps_spawned_workers(
+        self, worker_path, monkeypatch
+    ):
+        # Regression: a handshake failure must still kill and reap the
+        # spawned subprocesses instead of leaking them past submit().
+        def bad_handshake(self, sock, deadline):
+            raise SimulationError("injected handshake failure")
+
+        monkeypatch.setattr(
+            RemoteExecutor, "_handshake", bad_handshake
+        )
+        executor = RemoteExecutor(spawn=2, heartbeat_interval=0.1)
+        with pytest.raises(SimulationError, match="injected handshake"):
+            run_jobs(_plan(3), executor=executor)
+        assert executor.stats.spawned == 2
+        for proc in executor.processes:
+            assert proc.returncode is not None  # terminated and reaped
 
     def test_all_workers_failing_is_an_error(self, worker_path):
         jobs = _plan(6, kind=SLOW)
@@ -322,6 +356,23 @@ class TestFrameHandling:
             executor._handle_frame(
                 session, frame, monitor, {}, expected, lambda i, r: None
             )
+
+    def test_malformed_data_refused_with_diagnostic(self):
+        # Regression: non-string data raised AttributeError from
+        # data.encode instead of a SimulationError naming the worker.
+        executor, session, monitor, expected = self._fixture()
+        for bad in (None, 7, ["x"]):
+            frame = {
+                "kind": "result",
+                "index": 0,
+                "job": expected[0],
+                "data": bad,
+            }
+            with pytest.raises(SimulationError, match="w0.*malformed"):
+                executor._handle_frame(
+                    session, frame, monitor, {}, expected,
+                    lambda i, r: None,
+                )
 
     def test_result_frames_count_as_liveness(self):
         executor, session, monitor, expected = self._fixture()
