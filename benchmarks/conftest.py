@@ -10,9 +10,24 @@ falls) so a regression in the reproduction fails the bench run loudly.
 from __future__ import annotations
 
 import json
+import sys
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def _core_tags() -> dict:
+    """Which event core (and interpreter) produced these numbers."""
+    try:
+        from repro import _core
+
+        core = _core.ACTIVE_IMPL
+    except Exception:
+        core = "unknown"
+    return {
+        "core": core,
+        "python": f"{sys.version_info.major}.{sys.version_info.minor}",
+    }
 
 
 def attach_rows(benchmark, rows, columns=None) -> None:
@@ -67,7 +82,11 @@ def pytest_sessionfinish(session, exitstatus) -> None:
     for module, records in sorted(by_module.items()):
         stem = module.removeprefix("bench_")
         path = RESULTS_DIR / f"BENCH_{stem}.json"
-        payload = {"module": module, "benchmarks": records}
+        payload = {
+            "module": module,
+            "benchmarks": records,
+            **_core_tags(),
+        }
         path.write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n"
         )

@@ -16,6 +16,8 @@ A full reproduction of Sabel & Marzullo (Cornell TR 94-1413 / PODC 1994):
 * :mod:`repro.runtime` — an asyncio runtime for wall-clock validation.
 """
 
+import platform
+
 from repro._version import __version__
 from repro.errors import (
     BoundsError,
@@ -26,8 +28,28 @@ from repro.errors import (
     SimulationError,
 )
 
+def core_info() -> dict:
+    """Which event core is active and how it was selected.
+
+    ``core`` is ``"accel"`` (compiled extension) or ``"pure"``;
+    ``selection`` is ``"env"`` when forced via ``REPRO_CORE`` and
+    ``"auto"`` when detected; ``accel_import_error`` explains, in auto
+    mode, why the extension was unavailable (else ``None``).
+    """
+    from repro import _core
+
+    return {
+        "version": __version__,
+        "python": platform.python_version(),
+        "core": _core.ACTIVE_IMPL,
+        "selection": _core.SELECTION,
+        "accel_import_error": _core.ACCEL_IMPORT_ERROR,
+    }
+
+
 __all__ = [
     "__version__",
+    "core_info",
     "ReproError",
     "InvalidHistoryError",
     "CannotRearrangeError",

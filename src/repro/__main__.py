@@ -2,6 +2,9 @@
 
 Commands:
 
+* ``version`` — print the package version and which event core is active
+  (the compiled ``accel`` extension or the ``pure`` Python reference; see
+  :mod:`repro._core` and the ``REPRO_CORE`` environment variable).
 * ``demo`` — run the quickstart scenario and print the conformance report
   plus the Theorem 5 witness verdict.
 * ``bounds N [T]`` — print the Theorem 7 / Corollary 8 bounds for a
@@ -113,6 +116,21 @@ def _add_exec_flags(
              "re-running them (the final digest is bit-identical to an "
              "uninterrupted run)",
     )
+
+
+def _cmd_version(args: argparse.Namespace) -> int:
+    import repro
+
+    info = repro.core_info()
+    print(f"repro {info['version']} (python {info['python']})")
+    how = {
+        "env": "forced via REPRO_CORE",
+        "auto": "auto-detected",
+    }[info["selection"]]
+    print(f"event core: {info['core']} ({how})")
+    if info["accel_import_error"]:
+        print(f"compiled core unavailable: {info['accel_import_error']}")
+    return 0
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -601,6 +619,12 @@ def main(argv: list[str] | None = None) -> int:
         "Systems (Sabel & Marzullo, 1994) — reproduction toolkit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    version = sub.add_parser(
+        "version",
+        help="package version and which event core (pure/accel) is active",
+    )
+    version.set_defaults(fn=_cmd_version)
 
     demo = sub.add_parser("demo", help="quickstart scenario + verdict")
     demo.add_argument("--n", type=int, default=9)

@@ -1,0 +1,37 @@
+"""Optional compiled event core.
+
+This package wraps the C extension ``repro._accel._ccore`` with thin
+Python subclasses that complete the pure modules' public surface. It is
+selected at import time by :mod:`repro._core` (``REPRO_CORE=accel|pure``,
+default: accel when the extension is importable) — nothing should import
+it directly except the shim and the cross-core tests.
+
+The pure-Python modules remain the **authoritative reference**: every
+behaviour here, down to counter visibility, rng stream consumption, and
+error-message text, must be bit-identical to them. The contract is
+enforced by the cross-core digest property tests under ``tests/accel/``.
+
+Importing this package raises ``ImportError`` when the extension was not
+built — callers (the shim) treat that as "use the pure core".
+"""
+
+from __future__ import annotations
+
+import random
+
+# Imported by absolute module path (not `from repro._accel import ...`)
+# so a missing extension reads as "No module named 'repro._accel._ccore'"
+# rather than a spurious circular-import message.
+import repro._accel._ccore as _ccore
+from repro.errors import SimulationError
+
+# Hand the extension the exception type it raises and random.Random for
+# the exact-type gate on the compiled delay kernels. This module stays
+# import-light on purpose — the canonical modules import it from their
+# bottom-of-module core-selection blocks, so pulling in repro.core here
+# would be circular. The event alphabet (needed only by the history
+# builder) is installed by repro._accel.history.
+_ccore._install_error(SimulationError)
+_ccore._set_random_type(random.Random)
+
+__all__ = ["_ccore"]

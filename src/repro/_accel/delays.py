@@ -1,0 +1,112 @@
+"""Compiled batch delay sampling (see ``repro.sim.delays``).
+
+The C kernels in ``_ccore`` re-implement the exact CPython
+``random.Random`` arithmetic (uniform / expovariate / lognormvariate via
+Kinderman-Monahan / paretovariate) so the rng *stream* — not just the
+distribution — is bit-identical to the pure samplers. Because that
+identity depends on the host's libm and on ``random.py`` internals not
+having changed, each kernel is **probed at install time** against the
+real ``random.Random`` and only installed when it reproduces the pure
+draws exactly; a failed probe silently leaves that distribution on the
+pure path (correct, merely slower).
+
+Install hooks two things per distribution:
+
+* ``_ccore._register_delay_fastpath`` — lets the compiled ``Network.send``
+  sample inline without a Python dispatch per message.
+* a ``sample_batch`` override on the (shared) pure dataclass — the batch
+  seam used by ``release_channel``; it falls back to the original
+  implementation for non-``random.Random`` rngs and for parameter values
+  where the pure code raises (so tracebacks and rng consumption on error
+  paths stay identical).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro._accel import _ccore
+
+_installed = False
+
+
+def _probe_ok(kind, p0, p1, expected, k=6, seed=987654321) -> bool:
+    """True when the C kernel reproduces ``k`` pure draws bit-for-bit."""
+    rng_c = random.Random(seed)
+    rng_py = random.Random(seed)
+    try:
+        got = _ccore._batch_sample(kind, p0, p1, rng_c, k)
+    except Exception:
+        return False
+    want = [expected(rng_py) for _ in range(k)]
+    # State equality proves the kernel consumed exactly the same number
+    # of draws, not just that the outputs collide.
+    return got == want and rng_c.getstate() == rng_py.getstate()
+
+
+def _patch(cls, kind, params) -> None:
+    original = cls.sample_batch
+
+    def sample_batch(self, rng, pairs):
+        if type(rng) is not random.Random:
+            return original(self, rng, pairs)
+        try:
+            p0, p1 = params(self)
+        except (ZeroDivisionError, ValueError):
+            # Parameters the pure sampler raises on: take the pure path
+            # so the exception (and any rng consumption before it) is
+            # byte-identical.
+            return original(self, rng, pairs)
+        return _ccore._batch_sample(kind, p0, p1, rng, len(pairs))
+
+    sample_batch.__doc__ = original.__doc__
+    cls.sample_batch = sample_batch
+
+
+def install_batch_kernels() -> None:
+    """Probe and install the compiled kernels (idempotent).
+
+    Called from the bottom of ``repro.sim.delays`` when the accel core is
+    selected; the classes are passed through their defining module to
+    avoid importing a partially-initialised module.
+    """
+    global _installed
+    if _installed:
+        return
+    _installed = True
+    from repro.sim.delays import (
+        ConstantDelay,
+        ExponentialDelay,
+        LogNormalDelay,
+        ParetoDelay,
+        UniformDelay,
+    )
+
+    # Constant consumes no randomness — nothing to probe, and the pure
+    # sample_batch ([delay] * k) is already optimal; register only the
+    # send-path kernel.
+    _ccore._register_delay_fastpath(ConstantDelay, 0)
+    if _probe_ok(1, 0.25, 1.75, lambda r: r.uniform(0.25, 1.75)):
+        _ccore._register_delay_fastpath(UniformDelay, 1)
+        _patch(UniformDelay, 1, lambda self: (self.low, self.high))
+    if _probe_ok(2, 1.0 / 1.3, 0.0, lambda r: r.expovariate(1.0 / 1.3)):
+        _ccore._register_delay_fastpath(ExponentialDelay, 2)
+        _patch(ExponentialDelay, 2, lambda self: (1.0 / self.mean, 0.0))
+    if _probe_ok(
+        3,
+        math.log(1.2),
+        0.6,
+        lambda r: r.lognormvariate(math.log(1.2), 0.6),
+    ):
+        _ccore._register_delay_fastpath(LogNormalDelay, 3)
+        _patch(
+            LogNormalDelay,
+            3,
+            lambda self: (math.log(self.median), self.sigma),
+        )
+    if _probe_ok(4, 0.5, -1.0 / 1.5, lambda r: 0.5 * r.paretovariate(1.5)):
+        _ccore._register_delay_fastpath(ParetoDelay, 4)
+        _patch(
+            ParetoDelay, 4, lambda self: (self.scale, -1.0 / self.alpha)
+        )

@@ -1,0 +1,97 @@
+"""Accelerated history builder (see ``repro.core.history``).
+
+``append_one`` — the recorder's per-event fast path — runs in C
+(``HistoryBuilderBase``), with the vector-clock rows held as a flat
+int64 array instead of per-process Python lists. This subclass adds the
+snapshot handoff into the (pure, authoritative) ``History`` and the
+introspection properties the pure builder exposes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro._accel import _ccore
+from repro._accel._ccore import HistoryBuilderBase
+from repro.core.events import (
+    CrashEvent,
+    FailedEvent,
+    RecoverEvent,
+    RecvEvent,
+    SendEvent,
+)
+
+# The (closed) event alphabet the compiled builder dispatches on by class
+# identity. Installed here, not in repro._accel.__init__: this module is
+# imported from the bottom of repro.core.history, by which point
+# repro.core.events is fully loaded — importing it any earlier would be
+# circular.
+_ccore._install_event_types(
+    SendEvent, RecvEvent, CrashEvent, FailedEvent, RecoverEvent
+)
+
+
+class HistoryBuilder(HistoryBuilderBase):
+    """Incrementally builds a ``History``, O(delta) per appended event."""
+
+    @classmethod
+    def from_history(cls, history) -> "HistoryBuilder":
+        """A builder primed with an existing history's events."""
+        return cls(history.n, history.events)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of processes in the system."""
+        return self._n
+
+    @property
+    def events(self) -> tuple:
+        """The events appended so far, in order."""
+        return tuple(self._events)
+
+    def event_at(self, index: int):
+        """The event at ``index`` (no O(len) tuple copy)."""
+        return self._events[index]
+
+    @property
+    def crash_index(self) -> dict:
+        """Live view of process id -> crash event index (read-only use)."""
+        return self._crash_index
+
+    @property
+    def failed_index(self) -> dict:
+        """Live view of (detector, target) -> failed event index."""
+        return self._failed_index
+
+    def __iter__(self) -> Iterator:
+        return iter(self._events)
+
+    # ------------------------------------------------------------------
+    # Snapshot
+    # ------------------------------------------------------------------
+
+    def snapshot(self):
+        """An immutable, fully cache-seeded ``History`` of the state so far.
+
+        Identical handoff to the pure builder: the snapshot owns copies
+        of every container, so later appends never mutate it. ``History``
+        itself is never swapped — the immutable artifact (and its digest)
+        is always the pure class.
+        """
+        from repro.core.history import History
+
+        return History._precomputed(
+            tuple(self._events),
+            self._n,
+            vectors=list(self._vectors),
+            send_index=dict(self._send_index),
+            recv_index=dict(self._recv_index),
+            crash_index=dict(self._crash_index),
+            failed_index=dict(self._failed_index),
+            recover_index=dict(self._recover_index),
+            proc_indices=[list(ix) for ix in self._proc_indices],
+        )

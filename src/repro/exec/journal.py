@@ -46,6 +46,7 @@ import pickle
 from pathlib import Path
 from typing import IO, Any, Sequence
 
+from repro import _core
 from repro.errors import SimulationError
 from repro.exec.job import JobSpec, job_digest, plan_digest
 
@@ -224,6 +225,11 @@ class Journal:
             "version": JOURNAL_VERSION,
             "plan": plan_digest(jobs),
             "total": len(jobs),
+            # Informational: which event core wrote this file. Results
+            # are bit-identical across cores, so resume does not (and
+            # must not) validate it — a journal written under one core
+            # resumes under the other.
+            "core": _core.ACTIVE_IMPL,
         }
         tmp = self.path.with_name(self.path.name + ".rewrite")
         try:
@@ -417,6 +423,9 @@ class CampaignJournal:
             "version": JOURNAL_VERSION,
             "campaign": campaign,
             "total": total,
+            # Informational only — never validated on resume (see
+            # Journal.begin).
+            "core": _core.ACTIVE_IMPL,
         }
         tmp = self.path.with_name(self.path.name + ".rewrite")
         try:

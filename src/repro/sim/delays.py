@@ -181,3 +181,18 @@ class PerChannelDelay(DelayModel):
                 if factor is not None:
                     delays[i] *= factor
         return delays
+
+
+# ---------------------------------------------------------------------------
+# Core selection (see repro._core): with the compiled core active, probe
+# and install the C batch-sampling kernels on the classes above. The
+# kernels self-verify against random.Random at install time; any that
+# fail the bit-identity probe leave their class on the pure path.
+# ---------------------------------------------------------------------------
+
+from repro._core import USE_ACCEL  # noqa: E402
+
+if USE_ACCEL:
+    from repro._accel.delays import install_batch_kernels  # noqa: E402
+
+    install_batch_kernels()

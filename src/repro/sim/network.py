@@ -297,7 +297,7 @@ class Network:
         idx = src * self._n + dst
         state = self._flat[idx]
         if state is None:
-            state = self._flat[idx] = _ChannelState()
+            state = self._flat[idx] = Pure_ChannelState()
             self._channels[(src, dst)] = state
         return state
 
@@ -316,7 +316,7 @@ class Network:
         idx = src * self._n + dst
         state = self._flat[idx]
         if state is None:
-            state = self._flat[idx] = _ChannelState()
+            state = self._flat[idx] = Pure_ChannelState()
             self._channels[(src, dst)] = state
         state.sent += 1
         self.sent_by_kind[kind] += 1
@@ -437,7 +437,7 @@ class Network:
                 burst.due = due
                 burst.periodic = periodic
             else:
-                burst = _Burst(
+                burst = Pure_Burst(
                     self, state, src, dst, msg, kind, due, periodic
                 )
             state.burst = burst
@@ -584,3 +584,24 @@ class Network:
             channel: (state.sent, state.delivered)
             for channel, state in self._channels.items()
         }
+
+
+# ---------------------------------------------------------------------------
+# Core selection (see repro._core): the pure classes stay importable as
+# the Pure* aliases — the authoritative reference for the compiled core.
+# Pure-internal constructions of helper objects go through the aliases so
+# the pure implementation keeps working after the rebind below.
+# ---------------------------------------------------------------------------
+
+PureNetwork = Network
+Pure_Burst = _Burst
+Pure_ChannelState = _ChannelState
+
+from repro._core import USE_ACCEL  # noqa: E402
+
+if USE_ACCEL:
+    from repro._accel.network import (  # noqa: E402,F811
+        Network,
+        _Burst,
+        _ChannelState,
+    )

@@ -207,7 +207,7 @@ class SchedulerStoragePool:
             entry.finished = False
             entry.tracked = True
             return entry
-        return _Entry(time, seq, callback, periodic=periodic)
+        return Pure_Entry(time, seq, callback, periodic=periodic)
 
     # -- release --------------------------------------------------------
 
@@ -225,7 +225,7 @@ class SchedulerStoragePool:
         capacity = self._max_entries
         for item in queue:
             entry = item[2]
-            entry.callback = _noop  # drop closure refs (worlds, messages)
+            entry.callback = _pure_noop  # drop closure refs (worlds, messages)
             if len(entries) < capacity:
                 entries.append(entry)
                 recycled += 1
@@ -266,7 +266,7 @@ def shared_scheduler_storage(
     """
     global _ACTIVE_POOL
     if pool is None:
-        pool = SchedulerStoragePool()
+        pool = PureSchedulerStoragePool()
     previous = _ACTIVE_POOL
     _ACTIVE_POOL = pool
     try:
@@ -439,7 +439,7 @@ class Scheduler:
                 entry.finished = False
                 entry.tracked = tracked
                 return entry
-        return _Entry(time, seq, callback, False, periodic, False, tracked)
+        return Pure_Entry(time, seq, callback, False, periodic, False, tracked)
 
     def schedule_at(
         self,
@@ -460,7 +460,7 @@ class Scheduler:
         self._pending += 1
         if not periodic:
             self._pending_nonperiodic += 1
-        return TimerHandle(entry, self)
+        return PureTimerHandle(entry, self)
 
     def schedule_callback_at(
         self,
@@ -498,7 +498,7 @@ class Scheduler:
                 entry.finished = False
                 entry.tracked = False
         if entry is None:
-            entry = _Entry(time, seq, callback, False, periodic, False, False)
+            entry = Pure_Entry(time, seq, callback, False, periodic, False, False)
         heappush(self._queue, (time, seq, entry))
         self._pending += 1
         if not periodic:
@@ -581,7 +581,7 @@ class Scheduler:
                 and pool is not None
                 and len(pool._entries) < pool._max_entries
             ):
-                entry.callback = _noop
+                entry.callback = _pure_noop
                 pool._entries.append(entry)
             return True
         return False
@@ -642,7 +642,7 @@ class Scheduler:
             # goes straight back to the pool's free list instead of
             # waiting for end-of-life recycling.
             if not entry.tracked and free is not None and len(free) < cap:
-                entry.callback = _noop
+                entry.callback = _pure_noop
                 free.append(entry)
         return executed
 
@@ -695,7 +695,7 @@ class Scheduler:
             entry.callback()
             executed += 1
             if not entry.tracked and free is not None and len(free) < cap:
-                entry.callback = _noop
+                entry.callback = _pure_noop
                 free.append(entry)
 
     def _peek(self) -> _Entry | None:
@@ -725,3 +725,50 @@ class Scheduler:
         self._pending_nonperiodic = 0
         self._cancelled_in_heap = 0
         return residual
+
+    def clear_queue(self) -> None:
+        """Park every queued callback and empty the heap (end of life).
+
+        Used by :meth:`~repro.sim.world.World.dispose` after storage
+        release: whatever ``release_storage`` left in place (it is a
+        no-op without a pool) has its callbacks swapped for ``_noop`` so
+        queued closures stop pinning the world, then the heap and the
+        pending accounting are zeroed. The scheduler must not be run
+        afterwards.
+        """
+        queue = self._queue
+        for item in queue:
+            item[2].callback = _pure_noop
+        queue.clear()
+        self._pending = 0
+        self._pending_nonperiodic = 0
+        self._cancelled_in_heap = 0
+
+
+# ---------------------------------------------------------------------------
+# Core selection: when the compiled event core is active, the canonical
+# names below are rebound to the accelerated implementations. The classes
+# above remain importable as the Pure* aliases — they are the authoritative
+# reference the compiled core is digest-pinned against (tests/accel/) —
+# and their *internal* call-time references are spelled via these aliases
+# so the pure implementation keeps working after the rebind.
+# ---------------------------------------------------------------------------
+
+Pure_Entry = _Entry
+PureScheduler = Scheduler
+PureTimerHandle = TimerHandle
+PureSchedulerStoragePool = SchedulerStoragePool
+pure_shared_scheduler_storage = shared_scheduler_storage
+_pure_noop = _noop
+
+from repro._core import USE_ACCEL  # noqa: E402
+
+if USE_ACCEL:
+    from repro._accel.scheduler import (  # noqa: E402,F811
+        Scheduler,
+        SchedulerStoragePool,
+        TimerHandle,
+        _Entry,
+        _noop,
+        shared_scheduler_storage,
+    )

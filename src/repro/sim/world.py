@@ -367,8 +367,6 @@ FailureModel`) of the failure semantics this world runs under; the
         use). Idempotent; returns the number of entries recycled into the
         ambient pool, like :meth:`release_storage`.
         """
-        from repro.sim.scheduler import _noop
-
         network = self.network
         # The pool reference detaches inside release_storage — capture it
         # first so the network's burst free list rides along (adopted by
@@ -380,14 +378,7 @@ FailureModel`) of the failure semantics this world runs under; the
             network._burst_free = []
         # Without a pool release_storage leaves the heap in place; clear
         # the queued callbacks (closures over this world) either way.
-        scheduler = self.scheduler
-        queue = scheduler._queue
-        for item in queue:
-            item[2].callback = _noop
-        queue.clear()
-        scheduler._pending = 0
-        scheduler._pending_nonperiodic = 0
-        scheduler._cancelled_in_heap = 0
+        self.scheduler.clear_queue()
         for proc in self._processes:
             proc._world = None
         network._deliver_fn = None

@@ -49,7 +49,12 @@ def test_equal_time_ties_break_on_seq(time, sa, sb):
 
 @given(
     st.lists(
-        st.tuples(st.sampled_from([0.0, 1.0, 1.5, 2.0]), st.integers()),
+        st.tuples(
+            # seq is a scheduler-assigned counter; the compiled entry
+            # stores it as int64, so that is the contract's domain.
+            st.sampled_from([0.0, 1.0, 1.5, 2.0]),
+            st.integers(0, 2**63 - 1),
+        ),
         min_size=1,
         max_size=40,
         unique_by=lambda pair: pair[1],

@@ -19,7 +19,12 @@ RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
 
 def render(path: Path) -> str:
     payload = json.loads(path.read_text())
-    lines = [f"== {payload['module']} ({path.name}) =="]
+    tags = "".join(
+        f" {key}={payload[key]}"
+        for key in ("core", "python")
+        if key in payload
+    )
+    lines = [f"== {payload['module']} ({path.name}){tags} =="]
     for record in payload["benchmarks"]:
         lines.append(
             f"  {record['name']:<48} "

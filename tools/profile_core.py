@@ -18,6 +18,17 @@ Two jobs, one harness:
   ``PERF_SMOKE_WARN_ONLY=1``. Re-pin the baseline (after an intentional
   perf change, on the machine of record) with ``--update-baseline``.
 
+  The baseline is stamped with the event core (``pure``/``accel``) and
+  Python version that produced it; a check run under a different
+  configuration refuses the comparison (the rates measure different
+  code) instead of reporting a phantom regression or improvement.
+
+* **A/B mode** (``--ab``): time the workload under *both* cores (each in
+  a subprocess with ``REPRO_CORE`` forced) and print the speedup — the
+  number the compiled-core PRs quote::
+
+      PYTHONPATH=src python tools/profile_core.py --ab
+
 The workload is the E15 fuzz batch (``run_fuzz(seed=0, count=80)``) —
 80 deterministic scenarios across every protocol, exercising scheduler,
 network, history recording, monitors, and detectors together. Its digest
@@ -33,6 +44,7 @@ import io
 import json
 import os
 import pstats
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -45,6 +57,16 @@ BASELINE_PATH = (
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.analysis.fuzz import run_fuzz  # noqa: E402
+
+
+def core_tags() -> dict:
+    """The configuration tags a throughput number is only valid under."""
+    from repro import _core
+
+    return {
+        "core": _core.ACTIVE_IMPL,
+        "python": f"{sys.version_info.major}.{sys.version_info.minor}",
+    }
 
 
 def _workload(seed: int, count: int):
@@ -78,11 +100,13 @@ def profile_workload(seed: int, count: int, top: int) -> str:
 
 
 def run_check(args: argparse.Namespace) -> int:
+    tags = core_tags()
     best, events = time_workload(args.seed, args.count, args.repeats)
     rate = events / best
     print(
         f"workload: run_fuzz(seed={args.seed}, count={args.count})  "
-        f"events={events}  best={best:.3f}s  rate={rate:,.0f} events/s"
+        f"core={tags['core']}  events={events}  best={best:.3f}s  "
+        f"rate={rate:,.0f} events/s"
     )
     if args.update_baseline:
         BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
@@ -93,6 +117,7 @@ def run_check(args: argparse.Namespace) -> int:
                     "events": events,
                     "best_s": round(best, 6),
                     "events_per_sec": round(rate, 1),
+                    **tags,
                 },
                 indent=2,
                 sort_keys=True,
@@ -110,6 +135,18 @@ def run_check(args: argparse.Namespace) -> int:
         return 1
     baseline = json.loads(BASELINE_PATH.read_text())
     base_rate = baseline["events_per_sec"]
+    for key in ("core", "python"):
+        pinned = baseline.get(key)
+        if pinned is not None and pinned != tags[key]:
+            # Different core or interpreter = different code under the
+            # stopwatch; comparing would report phantom drift.
+            print(
+                f"baseline was pinned under {key}={pinned} but this run "
+                f"has {key}={tags[key]}; not comparable — match the "
+                "configuration or re-pin with --update-baseline",
+                file=sys.stderr,
+            )
+            return 1
     if baseline.get("events") not in (None, events):
         # The workload itself changed (different event count): rates are
         # no longer comparable and the pin must be refreshed on purpose.
@@ -134,6 +171,73 @@ def run_check(args: argparse.Namespace) -> int:
         return 0
     print(message, file=sys.stderr)
     return 1
+
+
+def run_ab(args: argparse.Namespace) -> int:
+    """Time the workload under both cores and print the speedup."""
+    results: dict[str, dict] = {}
+    for core in ("pure", "accel"):
+        env = dict(os.environ, REPRO_CORE=core)
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(Path(__file__).resolve()),
+                "--time-json",
+                "--seed", str(args.seed),
+                "--count", str(args.count),
+                "--repeats", str(args.repeats),
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            reason = (
+                proc.stderr.strip().splitlines()[-1]
+                if proc.stderr.strip()
+                else "unknown error"
+            )
+            print(f"{core:>5}: unavailable ({reason})")
+            continue
+        record = json.loads(proc.stdout)
+        results[core] = record
+        print(
+            f"{core:>5}: events={record['events']}  "
+            f"best={record['best_s']:.3f}s  "
+            f"rate={record['events_per_sec']:,.0f} events/s"
+        )
+    if "pure" not in results or "accel" not in results:
+        print("A/B incomplete: need both cores importable", file=sys.stderr)
+        return 1
+    if results["pure"]["events"] != results["accel"]["events"]:
+        print(
+            "event counts differ between cores — the cores diverged, "
+            "which the digest tests should have caught",
+            file=sys.stderr,
+        )
+        return 1
+    ratio = (
+        results["accel"]["events_per_sec"]
+        / results["pure"]["events_per_sec"]
+    )
+    print(f"speedup: accel is {ratio:.2f}x pure")
+    return 0
+
+
+def run_time_json(args: argparse.Namespace) -> int:
+    """Machine-readable timing record (the --ab subprocess body)."""
+    best, events = time_workload(args.seed, args.count, args.repeats)
+    json.dump(
+        {
+            "events": events,
+            "best_s": best,
+            "events_per_sec": events / best,
+            **core_tags(),
+        },
+        sys.stdout,
+    )
+    print()
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -165,8 +269,23 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="re-pin the committed baseline from this machine",
     )
+    parser.add_argument(
+        "--ab",
+        action="store_true",
+        help="time the workload under both event cores (REPRO_CORE "
+        "subprocesses) and print the accel/pure speedup",
+    )
+    parser.add_argument(
+        "--time-json",
+        action="store_true",
+        help=argparse.SUPPRESS,  # internal: --ab subprocess body
+    )
     args = parser.parse_args(argv)
 
+    if args.time_json:
+        return run_time_json(args)
+    if args.ab:
+        return run_ab(args)
     if args.check or args.update_baseline:
         return run_check(args)
 
